@@ -1,0 +1,304 @@
+//! Arbitrary-width bit rows backed by `u64` limbs.
+//!
+//! A [`BitRow`] models the contents of one physical SRAM row: `width`
+//! columns, bit `i` living on bit-line `i`. Widths up to several thousand
+//! columns are supported (the paper's Fig. 9 sweeps BL sizes 128-1024).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A fixed-width row of bits.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_array::BitRow;
+/// let mut row = BitRow::zeros(128);
+/// row.set(3, true);
+/// assert!(row.get(3));
+/// row.set_field(8, 8, 0xAB); // an 8-bit word at columns 8..16
+/// assert_eq!(row.get_field(8, 8), 0xAB);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitRow {
+    /// An all-zero row of `width` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zeros(width: usize) -> Self {
+        assert!(width > 0, "rows must have at least one column");
+        Self { width, limbs: vec![0; width.div_ceil(64)] }
+    }
+
+    /// An all-one row of `width` columns.
+    pub fn ones(width: usize) -> Self {
+        let mut r = Self::zeros(width);
+        for l in &mut r.limbs {
+            *l = u64::MAX;
+        }
+        r.mask_top();
+        r
+    }
+
+    /// Builds a row from a `u64`, placing bit `i` of `value` in column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, or `value` does not fit in `width` bits.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        let mut r = Self::zeros(width);
+        if width < 64 {
+            assert!(value < (1u64 << width), "value {value:#x} does not fit in {width} bits");
+        }
+        r.limbs[0] = value;
+        r.mask_top();
+        r
+    }
+
+    /// The number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bit at column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "column {i} out of range (width {})", self.width);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.width, "column {i} out of range (width {})", self.width);
+        let (l, b) = (i / 64, i % 64);
+        if v {
+            self.limbs[l] |= 1 << b;
+        } else {
+            self.limbs[l] &= !(1 << b);
+        }
+    }
+
+    /// Reads an up-to-64-bit little-endian field starting at column `lsb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field exceeds the row or `field_width > 64` or is zero.
+    pub fn get_field(&self, lsb: usize, field_width: usize) -> u64 {
+        assert!(field_width > 0 && field_width <= 64, "field width {field_width}");
+        assert!(
+            lsb + field_width <= self.width,
+            "field [{lsb}, {}) exceeds row width {}",
+            lsb + field_width,
+            self.width
+        );
+        let mut v = 0u64;
+        for k in 0..field_width {
+            if self.get(lsb + k) {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Writes an up-to-64-bit little-endian field starting at column `lsb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`BitRow::get_field`], or when
+    /// `value` does not fit in the field.
+    pub fn set_field(&mut self, lsb: usize, field_width: usize, value: u64) {
+        assert!(field_width > 0 && field_width <= 64, "field width {field_width}");
+        assert!(
+            lsb + field_width <= self.width,
+            "field [{lsb}, {}) exceeds row width {}",
+            lsb + field_width,
+            self.width
+        );
+        if field_width < 64 {
+            assert!(
+                value < (1u64 << field_width),
+                "value {value:#x} does not fit in {field_width} bits"
+            );
+        }
+        for k in 0..field_width {
+            self.set(lsb + k, (value >> k) & 1 == 1);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bits, column 0 first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(move |i| self.get(i))
+    }
+
+    /// Clears bits beyond `width` in the top limb (representation invariant).
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    fn binary_op(&self, rhs: &Self, f: fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.width, rhs.width, "row width mismatch");
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut r = Self { width: self.width, limbs };
+        r.mask_top();
+        r
+    }
+}
+
+impl BitAnd for &BitRow {
+    type Output = BitRow;
+    fn bitand(self, rhs: &BitRow) -> BitRow {
+        self.binary_op(rhs, |a, b| a & b)
+    }
+}
+
+impl BitOr for &BitRow {
+    type Output = BitRow;
+    fn bitor(self, rhs: &BitRow) -> BitRow {
+        self.binary_op(rhs, |a, b| a | b)
+    }
+}
+
+impl BitXor for &BitRow {
+    type Output = BitRow;
+    fn bitxor(self, rhs: &BitRow) -> BitRow {
+        self.binary_op(rhs, |a, b| a ^ b)
+    }
+}
+
+impl Not for &BitRow {
+    type Output = BitRow;
+    fn not(self) -> BitRow {
+        let limbs = self.limbs.iter().map(|&a| !a).collect();
+        let mut r = BitRow { width: self.width, limbs };
+        r.mask_top();
+        r
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRow<{}>(", self.width)?;
+        // MSB (highest column) on the left, like a number.
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip_across_limb_boundary() {
+        let mut r = BitRow::zeros(130);
+        for i in [0, 63, 64, 65, 127, 128, 129] {
+            r.set(i, true);
+            assert!(r.get(i), "bit {i}");
+        }
+        assert_eq!(r.count_ones(), 7);
+        r.set(64, false);
+        assert_eq!(r.count_ones(), 6);
+    }
+
+    #[test]
+    fn ones_respects_width() {
+        let r = BitRow::ones(70);
+        assert_eq!(r.count_ones(), 70);
+        let r = BitRow::ones(64);
+        assert_eq!(r.count_ones(), 64);
+    }
+
+    #[test]
+    fn fields_cross_limb_boundaries() {
+        let mut r = BitRow::zeros(128);
+        r.set_field(60, 16, 0xBEEF);
+        assert_eq!(r.get_field(60, 16), 0xBEEF);
+        assert_eq!(r.get_field(60 + 4, 8), (0xBEEF >> 4) & 0xFF);
+    }
+
+    #[test]
+    fn logic_ops_match_reference() {
+        let a = BitRow::from_u64(64, 0b1100);
+        let b = BitRow::from_u64(64, 0b1010);
+        assert_eq!((&a & &b).get_field(0, 8), 0b1000);
+        assert_eq!((&a | &b).get_field(0, 8), 0b1110);
+        assert_eq!((&a ^ &b).get_field(0, 8), 0b0110);
+        let n = !&a;
+        assert!(!n.get(2));
+        assert!(n.get(0));
+    }
+
+    #[test]
+    fn not_respects_width_invariant() {
+        let r = BitRow::zeros(100);
+        let n = !&r;
+        assert_eq!(n.count_ones(), 100);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let r = BitRow::from_u64(4, 0b0011);
+        assert_eq!(r.to_string(), "0011");
+        assert!(format!("{r:?}").contains("0011"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let a = BitRow::zeros(64);
+        let b = BitRow::zeros(65);
+        let _ = &a & &b;
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_get_panics() {
+        let r = BitRow::zeros(8);
+        let _ = r.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_field_value_panics() {
+        let mut r = BitRow::zeros(16);
+        r.set_field(0, 4, 16);
+    }
+}

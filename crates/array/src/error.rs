@@ -1,0 +1,58 @@
+//! Error type for array operations.
+
+use crate::addr::RowAddr;
+use std::fmt;
+
+/// Errors from functional array accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A row address beyond the array geometry.
+    RowOutOfRange {
+        /// Offending address.
+        addr: RowAddr,
+        /// Rows available in the addressed array segment.
+        available: usize,
+    },
+    /// A write value whose width differs from the column count.
+    WidthMismatch {
+        /// Width of the supplied row.
+        got: usize,
+        /// Column count of the array.
+        want: usize,
+    },
+    /// A dual-WL compute access naming the same row twice.
+    SameRowTwice(RowAddr),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::RowOutOfRange { addr, available } => {
+                write!(f, "row {addr} out of range ({available} rows available)")
+            }
+            ArrayError::WidthMismatch { got, want } => {
+                write!(f, "row width {got} does not match array column count {want}")
+            }
+            ArrayError::SameRowTwice(addr) => {
+                write!(f, "dual word-line access cannot activate {addr} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        let e = ArrayError::RowOutOfRange { addr: RowAddr::Main(200), available: 128 };
+        assert!(e.to_string().contains("main[200]"));
+        let e = ArrayError::WidthMismatch { got: 64, want: 128 };
+        assert!(e.to_string().contains("64"));
+        let e = ArrayError::SameRowTwice(RowAddr::Dummy(0));
+        assert!(e.to_string().contains("dummy[0]"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Cycle phase structure of the in-memory-computing macro.
+//!
+//! Fig. 8 (left) of the paper breaks one computing cycle into five phases.
+//! This module defines that structure so the executor can log per-phase
+//! activity and the metrics crate can assemble cycle time from per-phase
+//! delays.
+
+/// One phase of a computing cycle (the paper's Fig. 8 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CyclePhase {
+    /// Bit-line precharge (with BSTRS mirror reset folded in).
+    Precharge,
+    /// Word-line activation (the short pulse).
+    WlActivate,
+    /// Bit-line swing + single-ended sensing (includes the boost action).
+    Sense,
+    /// Column peripheral logic (FA-Logics / carry propagation).
+    Logic,
+    /// Write-back of the result.
+    WriteBack,
+}
+
+impl CyclePhase {
+    /// All phases in cycle order.
+    pub const ALL: [CyclePhase; 5] = [
+        CyclePhase::Precharge,
+        CyclePhase::WlActivate,
+        CyclePhase::Sense,
+        CyclePhase::Logic,
+        CyclePhase::WriteBack,
+    ];
+}
+
+/// The kind of access a cycle performs, which determines the phases it
+/// exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleKind {
+    /// Dual-WL compute access with logic and write-back (ADD, logic ops...).
+    Compute,
+    /// Single-WL access (NOT / shift / copy) with write-back.
+    SingleAccess,
+    /// Plain write (initialisation of dummy rows, stores).
+    WriteOnly,
+    /// Plain read (data out; no logic, no write-back).
+    ReadOnly,
+}
+
+impl CycleKind {
+    /// The phases this kind of cycle exercises, in order.
+    pub fn phases(&self) -> &'static [CyclePhase] {
+        use CyclePhase::*;
+        match self {
+            CycleKind::Compute => &[Precharge, WlActivate, Sense, Logic, WriteBack],
+            CycleKind::SingleAccess => &[Precharge, WlActivate, Sense, Logic, WriteBack],
+            CycleKind::WriteOnly => &[Precharge, WlActivate, WriteBack],
+            CycleKind::ReadOnly => &[Precharge, WlActivate, Sense],
+        }
+    }
+
+    /// Whether the cycle performs a dual word-line activation.
+    pub fn is_dual_wl(&self) -> bool {
+        matches!(self, CycleKind::Compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_exercises_all_phases() {
+        assert_eq!(CycleKind::Compute.phases(), &CyclePhase::ALL);
+    }
+
+    #[test]
+    fn read_skips_logic_and_writeback() {
+        let p = CycleKind::ReadOnly.phases();
+        assert!(!p.contains(&CyclePhase::Logic));
+        assert!(!p.contains(&CyclePhase::WriteBack));
+    }
+
+    #[test]
+    fn only_compute_is_dual_wl() {
+        assert!(CycleKind::Compute.is_dual_wl());
+        assert!(!CycleKind::SingleAccess.is_dual_wl());
+        assert!(!CycleKind::WriteOnly.is_dual_wl());
+    }
+}

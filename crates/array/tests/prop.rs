@@ -1,0 +1,71 @@
+//! Property tests for the bit-row and array invariants.
+
+use bpimc_array::{ArrayGeometry, BitRow, RowAddr, SramArray};
+use proptest::prelude::*;
+
+proptest! {
+    /// BitRow logic matches u128 reference arithmetic for any width <= 128.
+    #[test]
+    fn bitrow_logic_matches_u128(a in any::<u128>(), b in any::<u128>(), width in 1usize..=128) {
+        let mask = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let mut ra = BitRow::zeros(width);
+        let mut rb = BitRow::zeros(width);
+        for i in 0..width {
+            ra.set(i, (a >> i) & 1 == 1);
+            rb.set(i, (b >> i) & 1 == 1);
+        }
+        let to_u128 = |r: &BitRow| -> u128 {
+            (0..width).fold(0u128, |acc, i| acc | ((r.get(i) as u128) << i))
+        };
+        prop_assert_eq!(to_u128(&(&ra & &rb)), a & b);
+        prop_assert_eq!(to_u128(&(&ra | &rb)), a | b);
+        prop_assert_eq!(to_u128(&(&ra ^ &rb)), a ^ b);
+        prop_assert_eq!(to_u128(&!&ra), !a & mask);
+        prop_assert_eq!(ra.count_ones(), a.count_ones() as usize);
+    }
+
+    /// Field writes are isolated: writing one field never disturbs another
+    /// disjoint field.
+    #[test]
+    fn field_writes_are_isolated(
+        v1 in 0u64..256,
+        v2 in 0u64..256,
+        lsb1 in 0usize..15,
+        gap in 1usize..10,
+    ) {
+        let lsb2 = lsb1 + 8 + gap;
+        let mut r = BitRow::zeros(64);
+        r.set_field(lsb1, 8, v1);
+        r.set_field(lsb2, 8, v2);
+        prop_assert_eq!(r.get_field(lsb1, 8), v1);
+        prop_assert_eq!(r.get_field(lsb2, 8), v2);
+        // Overwrite the first field; the second must survive.
+        r.set_field(lsb1, 8, v1 ^ 0xFF);
+        prop_assert_eq!(r.get_field(lsb2, 8), v2);
+    }
+
+    /// Dual-WL compute readouts are involutive w.r.t. operand order
+    /// (AND/NOR are symmetric).
+    #[test]
+    fn bl_compute_is_symmetric(a in any::<u64>(), b in any::<u64>()) {
+        let g = ArrayGeometry { rows: 4, cols: 64, dummy_rows: 1, interleave: 1 };
+        let mut arr = SramArray::new(g);
+        arr.write(RowAddr::Main(0), &BitRow::from_u64(64, a)).unwrap();
+        arr.write(RowAddr::Main(1), &BitRow::from_u64(64, b)).unwrap();
+        let ab = arr.bl_compute(RowAddr::Main(0), RowAddr::Main(1)).unwrap();
+        let ba = arr.bl_compute(RowAddr::Main(1), RowAddr::Main(0)).unwrap();
+        prop_assert_eq!(&ab.and, &ba.and);
+        prop_assert_eq!(&ab.nor, &ba.nor);
+    }
+
+    /// Writing then reading any row is the identity.
+    #[test]
+    fn write_read_identity(v in any::<u64>(), row in 0usize..8) {
+        let g = ArrayGeometry { rows: 8, cols: 64, dummy_rows: 2, interleave: 4 };
+        let mut arr = SramArray::new(g);
+        let r = BitRow::from_u64(64, v);
+        arr.write(RowAddr::Main(row), &r).unwrap();
+        prop_assert_eq!(arr.read(RowAddr::Main(row)).unwrap(), r);
+    }
+}

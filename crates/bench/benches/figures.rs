@@ -1,0 +1,67 @@
+//! Criterion benchmarks: one group per paper figure/table, plus simulator
+//! micro-benchmarks.
+//!
+//! The figure/table benches wrap the same experiment runners the `repro`
+//! CLI uses (with reduced Monte-Carlo sample counts where transient
+//! simulation is involved), so `cargo bench` regenerates every evaluation
+//! artefact and times it. The `macro_ops` group measures raw simulator
+//! throughput of the core executor.
+
+use bpimc_bench::experiments::{ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange};
+use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("fig2_bl_delay_distribution_mc64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig2::run(64, seed))
+        })
+    });
+    g.bench_function("fig7a_corner_delays", |b| b.iter(|| black_box(fig7a::run())));
+    g.bench_function("fig7b_fa_critical_path", |b| b.iter(|| black_box(fig7b::run())));
+    g.bench_function("fig8_breakdown_fmax_tops", |b| b.iter(|| black_box(fig8::run())));
+    g.bench_function("fig9_cycles_vs_bl_size", |b| b.iter(|| black_box(fig9::run())));
+    g.bench_function("supply_range_validation", |b| b.iter(|| black_box(vrange::run())));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("table1_op_cycles", |b| b.iter(|| black_box(table1::run())));
+    g.bench_function("table2_energy_calibration", |b| b.iter(|| black_box(table2::run())));
+    g.bench_function("table3_comparison", |b| b.iter(|| black_box(table3::run())));
+    g.bench_function("ablation_studies", |b| b.iter(|| black_box(ablation::run())));
+    g.finish();
+}
+
+fn bench_macro_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("macro_ops");
+    let p = Precision::P8;
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    mac.write_words(0, p, &[123; 16]).expect("fits");
+    mac.write_words(1, p, &[45; 16]).expect("fits");
+    mac.write_mult_operands(4, p, &[123; 8]).expect("fits");
+    mac.write_mult_operands(5, p, &[45; 8]).expect("fits");
+
+    g.bench_function("add_row_128col_8b", |b| {
+        b.iter(|| black_box(mac.add(0, 1, 2, p).expect("add")))
+    });
+    g.bench_function("sub_row_128col_8b", |b| {
+        b.iter(|| black_box(mac.sub(0, 1, 3, p).expect("sub")))
+    });
+    g.bench_function("mult_row_128col_8b", |b| {
+        b.iter(|| black_box(mac.mult(4, 5, 6, p).expect("mult")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_macro_ops);
+criterion_main!(benches);

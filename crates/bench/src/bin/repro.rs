@@ -1,0 +1,76 @@
+//! `repro` — regenerate the paper's figures and tables from the simulators.
+//!
+//! ```text
+//! repro all                 # everything (fig2 with default sample count)
+//! repro fig2 --samples 2000
+//! repro fig7a fig7b fig8 fig9 table1 table2 table3
+//! ```
+
+use bpimc_bench::experiments::{ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S]");
+        std::process::exit(2);
+    }
+    let mut samples = 800usize;
+    let mut seed = 2020u64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--samples needs a number"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    if want("table1") {
+        println!("{}\n", table1::run());
+    }
+    if want("fig7b") {
+        println!("{}\n", fig7b::run());
+    }
+    if want("fig8") {
+        println!("{}\n", fig8::run());
+    }
+    if want("fig9") {
+        println!("{}\n", fig9::run());
+    }
+    if want("table2") {
+        println!("{}\n", table2::run());
+    }
+    if want("table3") {
+        println!("{}\n", table3::run());
+    }
+    if want("vrange") {
+        println!("{}\n", vrange::run());
+    }
+    if want("ablation") {
+        println!("{}\n", ablation::run());
+    }
+    if want("fig7a") {
+        println!("{}\n", fig7a::run());
+    }
+    if want("fig2") {
+        println!("{}\n", fig2::run(samples, seed));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,12 @@
+//! The per-figure / per-table experiment runners.
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod vrange;

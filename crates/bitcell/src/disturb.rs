@@ -1,0 +1,219 @@
+//! Read-disturb Monte-Carlo, failure-rate extrapolation and iso-failure
+//! calibration.
+//!
+//! The paper compares its short-WL + boost scheme against WLUD *at equal
+//! read-disturb failure rate* (2.5e-5, its Fig. 2). This module provides
+//! that machinery: sample cell mismatch, simulate the dual-WL access,
+//! extract the worst storage-node margin, fit a Gaussian tail and solve for
+//! the scheme parameter (WLUD level, or pulse width) that hits the target
+//! failure rate.
+
+use crate::blbench::{BlComputeBench, WlScheme};
+use crate::boost::BoostDevices;
+use crate::sram6t::CellDevices;
+use bpimc_circuit::mc::montecarlo;
+use bpimc_device::{Env, MismatchModel};
+use bpimc_stats::TailFit;
+
+/// A Monte-Carlo disturb study over one bench configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisturbStudy {
+    bench: BlComputeBench,
+    mismatch: MismatchModel,
+}
+
+impl DisturbStudy {
+    /// Creates a study of `bench` under `mismatch`.
+    pub fn new(bench: BlComputeBench, mismatch: MismatchModel) -> Self {
+        Self { bench, mismatch }
+    }
+
+    /// The underlying bench.
+    pub fn bench(&self) -> &BlComputeBench {
+        &self.bench
+    }
+
+    /// Samples `n` disturb margins for the worst-case operand pattern
+    /// (A = 0, B = 1: BLT discharges under cell B's high node while BLB
+    /// chews at its low node).
+    pub fn margins(&self, n: usize, seed: u64) -> Vec<f64> {
+        let bench = self.bench.clone();
+        let mm = self.mismatch;
+        montecarlo(n, seed, move |_, rng| {
+            let cell_a = CellDevices::sampled(bench.sizing, &mm, rng);
+            let cell_b = CellDevices::sampled(bench.sizing, &mm, rng);
+            let boost_t = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
+            let boost_b = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
+            let out = bench
+                .run(&cell_a, &cell_b, &boost_t, &boost_b, false, true)
+                .expect("bench runs");
+            out.worst_margin()
+        })
+    }
+
+    /// Samples `n` BL computing delays for a discharging pattern (A=0, B=1).
+    ///
+    /// Samples whose BL never trips the SA within the window (deep slow-tail
+    /// events) are reported as the window length, i.e. right-censored rather
+    /// than dropped.
+    pub fn delays(&self, n: usize, seed: u64) -> Vec<f64> {
+        let bench = self.bench.clone();
+        let mm = self.mismatch;
+        let window = bench.window();
+        montecarlo(n, seed, move |_, rng| {
+            let cell_a = CellDevices::sampled(bench.sizing, &mm, rng);
+            let cell_b = CellDevices::sampled(bench.sizing, &mm, rng);
+            let boost_t = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
+            let boost_b = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
+            let out = bench
+                .run(&cell_a, &cell_b, &boost_t, &boost_b, false, true)
+                .expect("bench runs");
+            out.delay_s.unwrap_or(window)
+        })
+    }
+
+    /// Fits the margin distribution and returns the tail model; the failure
+    /// probability is `P(margin < 0)`.
+    pub fn failure_fit(&self, n: usize, seed: u64) -> TailFit {
+        TailFit::from_margins(&self.margins(n, seed))
+    }
+}
+
+/// Result of calibrating one scheme parameter to a target failure rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsoFailureCalibration {
+    /// The calibrated parameter value (volts for WLUD, seconds for the
+    /// pulse width).
+    pub param: f64,
+    /// The achieved extrapolated failure probability at that parameter.
+    pub achieved: f64,
+    /// The target failure probability that was requested.
+    pub target: f64,
+}
+
+/// Binary-searches the WLUD word-line level whose disturb failure rate hits
+/// `target` (failure grows with WL level).
+///
+/// `n` Monte-Carlo samples are drawn per probe; 300-1000 gives a stable fit.
+pub fn calibrate_wlud(
+    rows: usize,
+    env: Env,
+    mismatch: MismatchModel,
+    target: f64,
+    n: usize,
+    seed: u64,
+) -> IsoFailureCalibration {
+    calibrate(
+        target,
+        0.45,
+        env.vdd,
+        8,
+        |v_wl| {
+            let bench = BlComputeBench::new(rows, env, WlScheme::Wlud { v_wl });
+            DisturbStudy::new(bench, mismatch).failure_fit(n, seed).failure_probability()
+        },
+    )
+}
+
+/// Binary-searches the short-WL pulse width whose disturb failure rate hits
+/// `target` (failure grows with pulse width).
+pub fn calibrate_pulse(
+    rows: usize,
+    env: Env,
+    mismatch: MismatchModel,
+    target: f64,
+    n: usize,
+    seed: u64,
+) -> IsoFailureCalibration {
+    calibrate(
+        target,
+        60e-12,
+        600e-12,
+        8,
+        |pulse_s| {
+            let bench = BlComputeBench::new(rows, env, WlScheme::ShortBoost { pulse_s });
+            DisturbStudy::new(bench, mismatch).failure_fit(n, seed).failure_probability()
+        },
+    )
+}
+
+/// Monotone bisection: `f` must be non-decreasing in its parameter.
+fn calibrate<F: Fn(f64) -> f64>(
+    target: f64,
+    mut lo: f64,
+    mut hi: f64,
+    iters: usize,
+    f: F,
+) -> IsoFailureCalibration {
+    let mut best = (lo + hi) / 2.0;
+    let mut achieved = f(best);
+    for _ in 0..iters {
+        if achieved < target {
+            lo = best;
+        } else {
+            hi = best;
+        }
+        best = (lo + hi) / 2.0;
+        achieved = f(best);
+    }
+    IsoFailureCalibration { param: best, achieved, target }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpimc_stats::Summary;
+
+    /// Small-n smoke studies; the full-scale runs live in the bench harness.
+    fn quick_study(scheme: WlScheme) -> DisturbStudy {
+        let bench = BlComputeBench::new(128, Env::nominal(), scheme);
+        DisturbStudy::new(bench, MismatchModel::nominal())
+    }
+
+    #[test]
+    fn margins_are_positive_at_nominal_operating_points() {
+        for scheme in [WlScheme::Wlud { v_wl: 0.55 }, WlScheme::short_boost_140ps()] {
+            let m = quick_study(scheme).margins(24, 7);
+            let s = Summary::from_slice(&m);
+            assert!(s.min > 0.0, "{scheme:?}: min margin {}", s.min);
+        }
+    }
+
+    #[test]
+    fn full_static_wl_fails_much_more_often_than_wlud() {
+        let full = quick_study(WlScheme::FullStatic).failure_fit(24, 3);
+        let wlud = quick_study(WlScheme::Wlud { v_wl: 0.55 }).failure_fit(24, 3);
+        assert!(
+            full.failure_probability() > 10.0 * wlud.failure_probability(),
+            "full {} vs wlud {}",
+            full.failure_probability(),
+            wlud.failure_probability()
+        );
+    }
+
+    #[test]
+    fn wlud_failure_grows_with_wl_level() {
+        let lo = quick_study(WlScheme::Wlud { v_wl: 0.5 }).failure_fit(24, 11);
+        let hi = quick_study(WlScheme::Wlud { v_wl: 0.75 }).failure_fit(24, 11);
+        assert!(hi.failure_probability() > lo.failure_probability());
+    }
+
+    #[test]
+    fn pulse_failure_grows_with_width() {
+        let short = quick_study(WlScheme::ShortBoost { pulse_s: 100e-12 }).failure_fit(24, 13);
+        let long = quick_study(WlScheme::ShortBoost { pulse_s: 450e-12 }).failure_fit(24, 13);
+        assert!(
+            long.failure_probability() > short.failure_probability(),
+            "long {} vs short {}",
+            long.failure_probability(),
+            short.failure_probability()
+        );
+    }
+
+    #[test]
+    fn delays_are_censored_not_dropped() {
+        let d = quick_study(WlScheme::short_boost_140ps()).delays(16, 5);
+        assert_eq!(d.len(), 16);
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! The write-back path with and without the BL separator.
+//!
+//! Iterative operations (SUB, MULT) write intermediate values to the dummy
+//! rows. The BL separator is a pass-gate that can disconnect the long,
+//! high-capacitance main-array bit-line segment from the short dummy-row
+//! segment, so a dummy write only swings a few femtofarads — the paper
+//! credits it with both write-back delay and energy reduction.
+
+use bpimc_circuit::{Circuit, CircuitError, Edge, SimOptions, Waveform};
+use bpimc_device::{Env, Mosfet, VtFlavor};
+
+/// Per-row bit-line capacitance (matches the compute bench).
+const BL_CAP_PER_ROW: f64 = 0.10e-15;
+/// Extra wiring/mux capacitance on the dummy segment.
+const DUMMY_EXTRA_CAP: f64 = 1.2e-15;
+
+/// A write-driver + separator + bit-line-segment bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WritePathBench {
+    /// Main-array rows on the long BL segment.
+    pub main_rows: usize,
+    /// Dummy rows on the short segment (the paper uses 3).
+    pub dummy_rows: usize,
+    /// Operating environment.
+    pub env: Env,
+    /// Write driver NMOS/PMOS width (nm).
+    pub w_driver_nm: f64,
+    /// Separator pass-gate width (nm).
+    pub w_sep_nm: f64,
+}
+
+impl WritePathBench {
+    /// The paper's configuration: 128 main rows, 3 dummy rows.
+    pub fn paper_column(env: Env) -> Self {
+        Self {
+            main_rows: 128,
+            dummy_rows: 3,
+            env,
+            w_driver_nm: 500.0,
+            w_sep_nm: 400.0,
+        }
+    }
+
+    /// Simulates one write-back (driving the dummy segment low from VDD) and
+    /// returns the time for the dummy-segment BL to fall below 10% of VDD.
+    ///
+    /// With `separator_on`, the pass-gate between the segments is off and
+    /// only the dummy capacitance swings; otherwise the main segment loads
+    /// the driver too.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the segment never completes the swing in the
+    /// simulated window.
+    pub fn writeback_delay(&self, separator_on: bool) -> Result<f64, CircuitError> {
+        let vdd_v = self.env.vdd;
+        let mut ckt = Circuit::new(self.env);
+        let vdd = ckt.add_source("vdd", Waveform::dc(vdd_v));
+
+        let c_dummy = self.dummy_rows as f64 * BL_CAP_PER_ROW + DUMMY_EXTRA_CAP;
+        let c_main = self.main_rows as f64 * BL_CAP_PER_ROW;
+        let bl_dummy = ckt.add_node("bl_dummy", c_dummy, vdd_v);
+        let bl_main = ckt.add_node("bl_main", c_main, vdd_v);
+
+        // Separator: an NMOS/PMOS transmission gate between the segments.
+        // `separator_on = true` means the paper's feature is ACTIVE, i.e. the
+        // gate is OFF and the main BL is disconnected.
+        let (g_n, g_p) = if separator_on { (0.0, vdd_v) } else { (vdd_v, 0.0) };
+        let sep_n_gate = ckt.add_source("sep_n", Waveform::dc(g_n));
+        let sep_p_gate = ckt.add_source("sep_p", Waveform::dc(g_p));
+        ckt.add_mosfet(
+            Mosfet::nmos(VtFlavor::Rvt, self.w_sep_nm, 30.0),
+            bl_main,
+            sep_n_gate,
+            bl_dummy,
+        );
+        ckt.add_mosfet(
+            Mosfet::pmos(VtFlavor::Rvt, self.w_sep_nm, 30.0),
+            bl_main,
+            sep_p_gate,
+            bl_dummy,
+        );
+
+        // Write driver: pulls the dummy segment low when enabled at t0.
+        let t0 = 50e-12;
+        let en = ckt.add_source("wr_en", Waveform::step(0.0, vdd_v, t0, 10e-12));
+        ckt.add_mosfet(
+            Mosfet::nmos(VtFlavor::Rvt, self.w_driver_nm, 30.0),
+            bl_dummy,
+            en,
+            ckt.gnd(),
+        );
+        let _ = vdd;
+
+        let trace = ckt.run(&SimOptions::for_window(2.5e-9));
+        let t_done = trace.cross_time(bl_dummy, 0.1 * vdd_v, Edge::Falling, t0)?;
+        Ok(t_done - t0)
+    }
+
+    /// The capacitance that swings in one dummy write-back, farads.
+    pub fn swung_capacitance(&self, separator_on: bool) -> f64 {
+        let c_dummy = self.dummy_rows as f64 * BL_CAP_PER_ROW + DUMMY_EXTRA_CAP;
+        if separator_on {
+            c_dummy
+        } else {
+            c_dummy + self.main_rows as f64 * BL_CAP_PER_ROW
+        }
+    }
+
+    /// CV^2 energy of one dummy write-back, joules.
+    pub fn writeback_energy(&self, separator_on: bool) -> f64 {
+        self.swung_capacitance(separator_on) * self.env.vdd * self.env.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separator_cuts_writeback_delay() {
+        let bench = WritePathBench::paper_column(Env::nominal());
+        let with = bench.writeback_delay(true).unwrap();
+        let without = bench.writeback_delay(false).unwrap();
+        assert!(
+            with < 0.4 * without,
+            "with sep {with:.3e} should be much faster than without {without:.3e}"
+        );
+        // With the separator the write is tens of picoseconds, like the
+        // paper's 51 ps write-back component.
+        assert!(with > 5e-12 && with < 150e-12, "with = {with:.3e}");
+    }
+
+    #[test]
+    fn separator_cuts_swung_capacitance() {
+        let bench = WritePathBench::paper_column(Env::nominal());
+        let c_on = bench.swung_capacitance(true);
+        let c_off = bench.swung_capacitance(false);
+        assert!(c_on < c_off);
+        assert!((c_off - c_on - 128.0 * BL_CAP_PER_ROW).abs() < 1e-18);
+    }
+
+    #[test]
+    fn energy_scales_with_vdd_squared() {
+        let e06 = WritePathBench::paper_column(Env::nominal().with_vdd(0.6)).writeback_energy(true);
+        let e12 = WritePathBench::paper_column(Env::nominal().with_vdd(1.2)).writeback_energy(true);
+        assert!((e12 / e06 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for circuit construction and measurement.
+
+use std::fmt;
+
+/// Errors produced by circuit construction, simulation or measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A measurement referenced a node with no recorded trace.
+    UnknownNode(String),
+    /// A threshold crossing was requested but never happened in the window.
+    NoCrossing {
+        /// Node searched.
+        node: String,
+        /// Threshold voltage.
+        level: f64,
+    },
+    /// The integrator could not keep the step error bounded.
+    StepLimitExceeded {
+        /// Simulation time at which the failure occurred (seconds).
+        at: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            CircuitError::NoCrossing { node, level } => {
+                write!(f, "node `{node}` never crossed {level} V in the simulated window")
+            }
+            CircuitError::StepLimitExceeded { at } => {
+                write!(f, "integrator sub-step limit exceeded at t = {at:.3e} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::UnknownNode("bl".into());
+        assert!(e.to_string().contains("bl"));
+        let e = CircuitError::NoCrossing { node: "bl".into(), level: 0.45 };
+        assert!(e.to_string().contains("0.45"));
+        let e = CircuitError::StepLimitExceeded { at: 1e-9 };
+        assert!(e.to_string().contains("sub-step"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The explicit transient integrator.
+
+use crate::netlist::{Circuit, NodeKind};
+use crate::trace::Trace;
+use bpimc_device::{DeviceKind, Env, Mosfet, ProcessLibrary};
+
+/// Options controlling a transient run.
+///
+/// The defaults (0.5 ps base step, 20 mV per-step voltage guard with
+/// sub-stepping) are tuned for the femtofarad-scale SRAM nets this workspace
+/// simulates; [`SimOptions::for_window`] is the common entry point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// End of the simulated window, seconds.
+    pub t_stop: f64,
+    /// Base integration step, seconds.
+    pub dt: f64,
+    /// Trace storage interval, seconds (decimation of the raw steps).
+    pub store_dt: f64,
+    /// Maximum allowed per-node voltage change per step before the step is
+    /// recursively halved (volts).
+    pub dv_max: f64,
+    /// Maximum halving depth before giving up and accepting the step.
+    pub max_depth: u32,
+}
+
+impl SimOptions {
+    /// Sensible defaults for a window of `t_stop` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` is not positive.
+    pub fn for_window(t_stop: f64) -> Self {
+        assert!(t_stop > 0.0, "simulation window must be positive");
+        Self {
+            t_stop,
+            dt: 0.5e-12,
+            store_dt: 1.0e-12,
+            dv_max: 0.02,
+            max_depth: 10,
+        }
+    }
+
+    /// Returns a copy with a different base step.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        self.dt = dt;
+        self
+    }
+}
+
+/// A MOSFET with its process parameters flattened for the inner loop.
+#[derive(Debug, Clone, Copy)]
+struct CompiledMos {
+    kind: DeviceKind,
+    d: usize,
+    g: usize,
+    s: usize,
+    vt: f64,
+    phi: f64,
+    keff: f64,
+    alpha: f64,
+    lambda: f64,
+    sat_frac: f64,
+    vdsat_min: f64,
+}
+
+impl CompiledMos {
+    fn compile(dev: &Mosfet, d: usize, g: usize, s: usize, env: &Env) -> Self {
+        let p = ProcessLibrary::at(dev.kind(), dev.flavor(), env);
+        Self {
+            kind: dev.kind(),
+            d,
+            g,
+            s,
+            vt: p.vt0 + dev.dvt(),
+            phi: 2.0 * p.nsub * env.thermal_voltage(),
+            keff: p.kp * dev.aspect(),
+            alpha: p.alpha,
+            lambda: p.lambda,
+            sat_frac: p.sat_frac,
+            vdsat_min: p.vdsat_min,
+        }
+    }
+
+    /// Drain current magnitude; must match `Mosfet::id` (tested below).
+    #[inline]
+    fn id(&self, vgs: f64, vds: f64) -> f64 {
+        if vds <= 0.0 {
+            return 0.0;
+        }
+        let x = (vgs - self.vt) / self.phi;
+        let soft = if x > 30.0 {
+            x
+        } else if x < -30.0 {
+            x.exp()
+        } else {
+            x.exp().ln_1p()
+        };
+        let veff = self.phi * soft;
+        let idsat = self.keff * veff.powf(self.alpha);
+        let vdsat = (self.sat_frac * veff).max(self.vdsat_min);
+        idsat * (vds / vdsat).tanh() * (1.0 + self.lambda * vds)
+    }
+}
+
+/// One prepared transient run over a circuit.
+pub(crate) struct Transient<'a> {
+    ckt: &'a Circuit,
+    opts: SimOptions,
+    caps: Vec<f64>,
+    mosfets: Vec<CompiledMos>,
+    /// (a, b, conductance)
+    conductors: Vec<(usize, usize, f64)>,
+}
+
+impl<'a> Transient<'a> {
+    pub(crate) fn new(ckt: &'a Circuit, opts: &SimOptions) -> Self {
+        let caps = ckt
+            .kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::State { cap } => *cap,
+                _ => f64::INFINITY,
+            })
+            .collect();
+        let mosfets = ckt
+            .mosfets
+            .iter()
+            .map(|m| CompiledMos::compile(&m.dev, m.d.0, m.g.0, m.s.0, ckt.env()))
+            .collect();
+        let conductors = ckt
+            .resistors
+            .iter()
+            .map(|&(a, b, r)| (a.0, b.0, 1.0 / r))
+            .collect();
+        Self { ckt, opts: *opts, caps, mosfets, conductors }
+    }
+
+    /// Sums element currents into `dvdt` (as dV/dt, i.e. already divided by
+    /// the node capacitance; driven/ground nodes get zero).
+    fn derivatives(&self, v: &[f64], dvdt: &mut [f64]) {
+        dvdt.fill(0.0);
+        for &(a, b, gcond) in &self.conductors {
+            let i = (v[a] - v[b]) * gcond;
+            dvdt[a] -= i;
+            dvdt[b] += i;
+        }
+        for m in &self.mosfets {
+            let (hi, lo) = if v[m.d] >= v[m.s] { (m.d, m.s) } else { (m.s, m.d) };
+            let vds = v[hi] - v[lo];
+            let vgs = match m.kind {
+                DeviceKind::Nmos => v[m.g] - v[lo],
+                DeviceKind::Pmos => v[hi] - v[m.g],
+            };
+            let i = m.id(vgs, vds);
+            // Conventional current flows hi -> lo through the channel.
+            dvdt[hi] -= i;
+            dvdt[lo] += i;
+        }
+        for (i, c) in self.caps.iter().enumerate() {
+            if c.is_finite() {
+                dvdt[i] /= c;
+            } else {
+                dvdt[i] = 0.0;
+            }
+        }
+    }
+
+    /// Sets driven node voltages for time `t`.
+    fn apply_sources(&self, t: f64, v: &mut [f64]) {
+        for (i, k) in self.ckt.kinds.iter().enumerate() {
+            match k {
+                NodeKind::Driven { wave } => v[i] = wave.at(t),
+                NodeKind::Ground => v[i] = 0.0,
+                NodeKind::State { .. } => {}
+            }
+        }
+    }
+
+    /// Advances `v` from `t` by `dt` with Heun's method, recursively halving
+    /// while any state node would move more than `dv_max` in one step.
+    fn step(&self, t: f64, dt: f64, v: &mut [f64], k1: &mut [f64], k2: &mut [f64], tmp: &mut [f64], depth: u32) {
+        self.derivatives(v, k1);
+        let worst = k1
+            .iter()
+            .map(|d| (d * dt).abs())
+            .fold(0.0_f64, f64::max);
+        if worst > self.opts.dv_max && depth < self.opts.max_depth {
+            let half = dt / 2.0;
+            self.step(t, half, v, k1, k2, tmp, depth + 1);
+            self.step(t + half, half, v, k1, k2, tmp, depth + 1);
+            return;
+        }
+        // Heun: predictor at t+dt, then trapezoidal correction.
+        tmp.copy_from_slice(v);
+        for i in 0..v.len() {
+            tmp[i] += k1[i] * dt;
+        }
+        self.apply_sources(t + dt, tmp);
+        self.derivatives(tmp, k2);
+        for i in 0..v.len() {
+            v[i] += 0.5 * (k1[i] + k2[i]) * dt;
+        }
+        self.apply_sources(t + dt, v);
+    }
+
+    pub(crate) fn run(&self) -> Trace {
+        let n = self.ckt.node_count();
+        let mut v = self.ckt.v0.clone();
+        self.apply_sources(0.0, &mut v);
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        let mut trace = Trace::new(self.ckt.names.clone());
+        trace.push(0.0, &v);
+
+        let steps = (self.opts.t_stop / self.opts.dt).ceil() as usize;
+        let mut next_store = self.opts.store_dt;
+        for i in 0..steps {
+            let t = i as f64 * self.opts.dt;
+            let dt = self.opts.dt.min(self.opts.t_stop - t);
+            if dt <= 0.0 {
+                break;
+            }
+            self.step(t, dt, &mut v, &mut k1, &mut k2, &mut tmp, 0);
+            let t_new = t + dt;
+            if t_new + 1e-18 >= next_store {
+                trace.push(t_new, &v);
+                next_store += self.opts.store_dt;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::Waveform;
+    use bpimc_device::VtFlavor;
+
+    #[test]
+    fn compiled_mos_matches_device_model() {
+        let env = Env::nominal();
+        let dev = Mosfet::nmos(VtFlavor::Lvt, 150.0, 30.0).with_dvt(0.01);
+        let c = CompiledMos::compile(&dev, 0, 1, 2, &env);
+        for i in 0..=12 {
+            for j in 1..=12 {
+                let vgs = i as f64 * 0.1 - 0.2;
+                let vds = j as f64 * 0.1;
+                let a = dev.id(vgs, vds, &env);
+                let b = c.id(vgs, vds);
+                assert!(
+                    (a - b).abs() <= 1e-12 + 1e-9 * a.abs(),
+                    "mismatch at vgs={vgs} vds={vds}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rc_discharge_matches_closed_form() {
+        let mut ckt = Circuit::new(Env::nominal());
+        let out = ckt.add_node("out", 10e-15, 1.0);
+        ckt.add_resistor(out, ckt.gnd(), 10_000.0); // tau = 100 ps
+        let trace = ckt.run(&SimOptions::for_window(0.5e-9));
+        for &(t, expect) in &[(100e-12, (-1.0_f64).exp()), (200e-12, (-2.0_f64).exp())] {
+            let got = trace.voltage_at(out, t).unwrap();
+            assert!((got - expect).abs() < 0.01, "t={t}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn rc_charge_through_resistor_from_source() {
+        let mut ckt = Circuit::new(Env::nominal());
+        let vdd = ckt.add_source("vdd", Waveform::dc(0.9));
+        let out = ckt.add_node("out", 20e-15, 0.0);
+        ckt.add_resistor(vdd, out, 5_000.0); // tau = 100 ps
+        let trace = ckt.run(&SimOptions::for_window(1e-9));
+        let got = trace.voltage_at(out, 100e-12).unwrap();
+        let expect = 0.9 * (1.0 - (-1.0_f64).exp());
+        assert!((got - expect).abs() < 0.01, "got {got} want {expect}");
+        assert!(trace.last_voltage(out) > 0.89);
+    }
+
+    #[test]
+    fn nmos_discharges_a_capacitor() {
+        // A single NMOS pulling a 20 fF bit-line-ish node low when gated.
+        let mut ckt = Circuit::new(Env::nominal());
+        let gate = ckt.add_source("g", Waveform::step(0.0, 0.9, 100e-12, 20e-12));
+        let bl = ckt.add_node("bl", 20e-15, 0.9);
+        ckt.add_mosfet(Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0), bl, gate, ckt.gnd());
+        let trace = ckt.run(&SimOptions::for_window(2e-9));
+        assert!(trace.voltage_at(bl, 90e-12).unwrap() > 0.89, "no discharge before gate");
+        assert!(trace.last_voltage(bl) < 0.05, "discharged at the end");
+    }
+
+    #[test]
+    fn pmos_pulls_up() {
+        let mut ckt = Circuit::new(Env::nominal());
+        let vdd = ckt.add_source("vdd", Waveform::dc(0.9));
+        let gate = ckt.add_source("g", Waveform::dc(0.0)); // PMOS on
+        let out = ckt.add_node("out", 5e-15, 0.0);
+        ckt.add_mosfet(Mosfet::pmos(VtFlavor::Rvt, 200.0, 30.0), out, gate, vdd);
+        let trace = ckt.run(&SimOptions::for_window(1e-9));
+        assert!(trace.last_voltage(out) > 0.85);
+    }
+
+    #[test]
+    fn charge_is_conserved_between_two_floating_caps() {
+        // Two equal caps joined by a resistor settle at the average voltage.
+        let mut ckt = Circuit::new(Env::nominal());
+        let a = ckt.add_node("a", 10e-15, 1.0);
+        let b = ckt.add_node("b", 10e-15, 0.0);
+        ckt.add_resistor(a, b, 10_000.0);
+        let trace = ckt.run(&SimOptions::for_window(2e-9));
+        let va = trace.last_voltage(a);
+        let vb = trace.last_voltage(b);
+        assert!((va - 0.5).abs() < 0.005, "va {va}");
+        assert!((vb - 0.5).abs() < 0.005, "vb {vb}");
+    }
+}

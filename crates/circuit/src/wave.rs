@@ -1,0 +1,152 @@
+//! Source waveforms: DC, pulse and piece-wise linear.
+
+/// A time-dependent ideal voltage waveform.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_circuit::Waveform;
+/// // A 140 ps word-line pulse with 20 ps edges starting at 100 ps.
+/// let wl = Waveform::pulse(0.0, 0.9, 100e-12, 140e-12, 20e-12);
+/// assert_eq!(wl.at(0.0), 0.0);
+/// assert_eq!(wl.at(150e-12), 0.9);
+/// assert_eq!(wl.at(400e-12), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant voltage.
+    Dc(f64),
+    /// A single pulse: `low` before `t0`, linear rise over `t_edge`, `high`
+    /// for `width`, linear fall over `t_edge`, then `low` again.
+    Pulse {
+        /// Base level in volts.
+        low: f64,
+        /// Pulse level in volts.
+        high: f64,
+        /// Start of the rising edge, seconds.
+        t0: f64,
+        /// Flat-top width, seconds.
+        width: f64,
+        /// Rise/fall time, seconds.
+        t_edge: f64,
+    },
+    /// Piece-wise linear: `(time, voltage)` points, sorted by time. Before
+    /// the first point the first voltage holds; after the last, the last.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Constant voltage source.
+    pub fn dc(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+
+    /// Single pulse; see [`Waveform::Pulse`] for the field meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `t_edge` is negative.
+    pub fn pulse(low: f64, high: f64, t0: f64, width: f64, t_edge: f64) -> Self {
+        assert!(width >= 0.0 && t_edge >= 0.0, "pulse timing must be non-negative");
+        Waveform::Pulse { low, high, t0, width, t_edge }
+    }
+
+    /// Piece-wise linear waveform from `(t, v)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not non-decreasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "PWL times must be non-decreasing"
+        );
+        Waveform::Pwl(points)
+    }
+
+    /// A step from `low` to `high` at `t0` with rise time `t_edge`.
+    pub fn step(low: f64, high: f64, t0: f64, t_edge: f64) -> Self {
+        Waveform::pwl(vec![(t0, low), (t0 + t_edge.max(1e-15), high)])
+    }
+
+    /// The waveform value at time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { low, high, t0, width, t_edge } => {
+                let rise_end = t0 + t_edge;
+                let fall_start = rise_end + width;
+                let fall_end = fall_start + t_edge;
+                if t < *t0 || t >= fall_end {
+                    *low
+                } else if t < rise_end {
+                    low + (high - low) * (t - t0) / t_edge.max(1e-18)
+                } else if t < fall_start {
+                    *high
+                } else {
+                    high - (high - low) * (t - fall_start) / t_edge.max(1e-18)
+                }
+            }
+            Waveform::Pwl(points) => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::dc(0.9);
+        assert_eq!(w.at(0.0), 0.9);
+        assert_eq!(w.at(1.0), 0.9);
+    }
+
+    #[test]
+    fn pulse_profile() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 2.0, 0.5);
+        assert_eq!(w.at(0.9), 0.0);
+        assert!((w.at(1.25) - 0.5).abs() < 1e-12, "mid-rise");
+        assert_eq!(w.at(2.0), 1.0);
+        assert!((w.at(3.75) - 0.5).abs() < 1e-12, "mid-fall");
+        assert_eq!(w.at(4.1), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(vec![(1.0, 0.0), (2.0, 1.0)]);
+        assert_eq!(w.at(0.0), 0.0);
+        assert!((w.at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(3.0), 1.0);
+    }
+
+    #[test]
+    fn step_rises_once() {
+        let w = Waveform::step(0.0, 0.9, 1e-9, 10e-12);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(2e-9), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_pwl_panics() {
+        let _ = Waveform::pwl(vec![(2.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for waveforms and the transient solver.
+
+use bpimc_circuit::{Circuit, SimOptions, Waveform};
+use bpimc_device::Env;
+use proptest::prelude::*;
+
+proptest! {
+    /// A pulse never leaves its [low, high] band and returns to `low`.
+    #[test]
+    fn pulse_stays_in_band(
+        low in -1.0f64..0.5,
+        amp in 0.1f64..1.5,
+        t0 in 0.0f64..1e-9,
+        width in 1e-12f64..1e-9,
+        t_edge in 1e-12f64..100e-12,
+        t in 0.0f64..5e-9,
+    ) {
+        let high = low + amp;
+        let w = Waveform::pulse(low, high, t0, width, t_edge);
+        let v = w.at(t);
+        prop_assert!(v >= low - 1e-12 && v <= high + 1e-12);
+        prop_assert!((w.at(t0 + 2.0 * (width + 2.0 * t_edge) + 1e-12) - low).abs() < 1e-12);
+    }
+
+    /// PWL interpolation is bounded by its control points.
+    #[test]
+    fn pwl_is_bounded(points in prop::collection::vec((0.0f64..1e-9, -1.0f64..1.0), 1..10), t in 0.0f64..2e-9) {
+        let mut pts = points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let w = Waveform::pwl(pts.clone());
+        let v = w.at(t);
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// RC discharge through any sane R/C lands within 2% of the closed form
+    /// at one time constant.
+    #[test]
+    fn rc_matches_closed_form(r_kohm in 1.0f64..100.0, c_ff in 1.0f64..100.0) {
+        let r = r_kohm * 1e3;
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let mut ckt = Circuit::new(Env::nominal());
+        let node = ckt.add_node("n", c, 1.0);
+        ckt.add_resistor(node, ckt.gnd(), r);
+        let trace = ckt.run(&SimOptions::for_window(3.0 * tau));
+        let got = trace.voltage_at(node, tau).expect("inside window");
+        let expect = (-1.0f64).exp();
+        prop_assert!((got - expect).abs() < 0.02, "tau={tau:.3e} got={got}");
+    }
+
+    /// Two capacitors joined by a resistor conserve total charge.
+    #[test]
+    fn charge_conservation(c1 in 1.0f64..50.0, c2 in 1.0f64..50.0, v1 in 0.0f64..1.0) {
+        let (c1, c2) = (c1 * 1e-15, c2 * 1e-15);
+        let mut ckt = Circuit::new(Env::nominal());
+        let a = ckt.add_node("a", c1, v1);
+        let b = ckt.add_node("b", c2, 0.0);
+        ckt.add_resistor(a, b, 20e3);
+        let trace = ckt.run(&SimOptions::for_window(5e-9));
+        let q0 = c1 * v1;
+        let q1 = c1 * trace.last_voltage(a) + c2 * trace.last_voltage(b);
+        prop_assert!((q1 - q0).abs() <= 0.01 * q0.max(1e-18), "q0={q0:.3e} q1={q1:.3e}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-cycle activity logging.
+//!
+//! Every cycle the executor runs is recorded with enough detail for the
+//! energy model to reproduce the paper's Table II: which phases ran, how
+//! many columns computed, how many were written back and whether the BL
+//! separator shielded the write, and how many multiplier FF bits clocked.
+
+use crate::isa::OpKind;
+use bpimc_array::CycleKind;
+use bpimc_periph::Precision;
+
+/// What happened in one macro cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleActivity {
+    /// The access type of the cycle.
+    pub kind: CycleKind,
+    /// Columns participating in the BL compute / sense phase.
+    pub compute_cols: usize,
+    /// Columns whose FA/logic slice evaluated.
+    pub logic_cols: usize,
+    /// Columns driven by the write-back phase.
+    pub wb_cols: usize,
+    /// Whether the write-back targeted a dummy row.
+    pub wb_to_dummy: bool,
+    /// Whether the BL separator shielded the write-back.
+    pub wb_shielded: bool,
+    /// Whether the write-back inverts the just-read data (a NOT), forcing
+    /// every bit-line to swing against its read polarity — the expensive
+    /// write case the energy model charges separately.
+    pub wb_inverting: bool,
+    /// Multiplier FF bits clocked this cycle.
+    pub ff_bits: usize,
+}
+
+impl CycleActivity {
+    /// A cycle with no array activity at all (placeholder/testing).
+    pub fn idle() -> Self {
+        Self {
+            kind: CycleKind::ReadOnly,
+            compute_cols: 0,
+            logic_cols: 0,
+            wb_cols: 0,
+            wb_to_dummy: false,
+            wb_shielded: false,
+            wb_inverting: false,
+            ff_bits: 0,
+        }
+    }
+}
+
+/// One executed operation: its kind, precision and cycle span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The precision it ran at (logic/copy ops report the full row and use
+    /// [`Precision::P8`] only as a placeholder when irrelevant).
+    pub precision: Precision,
+    /// Index of its first cycle in the log.
+    pub first_cycle: usize,
+    /// Number of cycles it took.
+    pub cycle_count: usize,
+}
+
+/// The complete activity history of a macro.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActivityLog {
+    cycles: Vec<CycleActivity>,
+    ops: Vec<OpRecord>,
+}
+
+impl ActivityLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cycle.
+    pub fn push_cycle(&mut self, c: CycleActivity) {
+        self.cycles.push(c);
+    }
+
+    /// Records an operation spanning the last `cycle_count` cycles.
+    pub fn push_op(&mut self, kind: OpKind, precision: Precision, cycle_count: usize) {
+        let first_cycle = self.cycles.len().saturating_sub(cycle_count);
+        self.ops.push(OpRecord { kind, precision, first_cycle, cycle_count });
+    }
+
+    /// All recorded cycles.
+    pub fn cycles(&self) -> &[CycleActivity] {
+        &self.cycles
+    }
+
+    /// All recorded operations.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Total cycle count.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// The cycles belonging to an op record.
+    pub fn cycles_of(&self, op: &OpRecord) -> &[CycleActivity] {
+        &self.cycles[op.first_cycle..op.first_cycle + op.cycle_count]
+    }
+
+    /// The last recorded op, if any.
+    pub fn last_op(&self) -> Option<&OpRecord> {
+        self.ops.last()
+    }
+
+    /// Clears all history (used between measurements).
+    pub fn clear(&mut self) {
+        self.cycles.clear();
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_spans_map_to_cycles() {
+        let mut log = ActivityLog::new();
+        log.push_cycle(CycleActivity::idle());
+        log.push_cycle(CycleActivity { compute_cols: 64, ..CycleActivity::idle() });
+        log.push_op(OpKind::Sub, Precision::P8, 2);
+        let op = *log.last_op().unwrap();
+        assert_eq!(op.first_cycle, 0);
+        assert_eq!(log.cycles_of(&op).len(), 2);
+        assert_eq!(log.cycles_of(&op)[1].compute_cols, 64);
+        assert_eq!(log.total_cycles(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = ActivityLog::new();
+        log.push_cycle(CycleActivity::idle());
+        log.push_op(OpKind::Not, Precision::P8, 1);
+        log.clear();
+        assert_eq!(log.total_cycles(), 0);
+        assert!(log.ops().is_empty());
+    }
+}

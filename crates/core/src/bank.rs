@@ -1,0 +1,167 @@
+//! The multi-bank chip: the paper's 128 KB organisation.
+//!
+//! Operations are issued to all macros in lock-step (each macro has its own
+//! column peripherals), so a chip-wide op takes the same cycle count as a
+//! single macro while processing `banks x macros x lanes` words.
+
+use crate::config::ChipConfig;
+use crate::error::Error;
+use crate::macroblock::ImcMacro;
+use bpimc_periph::Precision;
+
+/// A chip of `banks x macros_per_bank` macros operating in lock-step.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_core::{bank::Chip, config::ChipConfig, Precision};
+///
+/// # fn main() -> Result<(), bpimc_core::Error> {
+/// let mut chip = Chip::new(ChipConfig::paper_chip());
+/// assert_eq!(chip.macro_count(), 64);
+/// // One broadcast ADD processes every lane of every macro in 1 cycle.
+/// let cycles = chip.add_all(0, 1, 2, Precision::P8)?;
+/// assert_eq!(cycles, 1);
+/// assert_eq!(chip.words_per_op(Precision::P8), 64 * 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    config: ChipConfig,
+    macros: Vec<ImcMacro>,
+}
+
+impl Chip {
+    /// Creates a zeroed chip.
+    pub fn new(config: ChipConfig) -> Self {
+        let n = config.banks * config.macros_per_bank;
+        Self {
+            config,
+            macros: (0..n).map(|_| ImcMacro::new(config.macro_config)).collect(),
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Total number of macros.
+    pub fn macro_count(&self) -> usize {
+        self.macros.len()
+    }
+
+    /// Access one macro (bank-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn macro_at(&mut self, i: usize) -> &mut ImcMacro {
+        &mut self.macros[i]
+    }
+
+    /// Words processed by one broadcast op at a precision (dense lanes).
+    pub fn words_per_op(&self, precision: Precision) -> usize {
+        self.macro_count() * precision.lanes(self.config.macro_config.geometry.cols)
+    }
+
+    /// Products computed by one broadcast MULT at a precision.
+    pub fn products_per_op(&self, precision: Precision) -> usize {
+        self.macro_count() * precision.product_lanes(self.config.macro_config.geometry.cols)
+    }
+
+    /// Broadcast per-lane addition on every macro. Returns the lock-step
+    /// cycle count (that of a single macro).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first macro error encountered.
+    pub fn add_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+        self.broadcast(|m| m.add(a, b, dst, precision))
+    }
+
+    /// Broadcast per-lane subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first macro error encountered.
+    pub fn sub_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+        self.broadcast(|m| m.sub(a, b, dst, precision))
+    }
+
+    /// Broadcast per-lane multiplication (product-lane layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first macro error encountered.
+    pub fn mult_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+        self.broadcast(|m| m.mult(a, b, dst, precision))
+    }
+
+    /// Runs `f` on every macro and checks they report identical cycle
+    /// counts (they must: the chip is lock-step).
+    fn broadcast<F: FnMut(&mut ImcMacro) -> Result<u64, Error>>(&mut self, mut f: F) -> Result<u64, Error> {
+        let mut cycles = None;
+        for m in &mut self.macros {
+            let c = f(m)?;
+            match cycles {
+                None => cycles = Some(c),
+                Some(prev) => debug_assert_eq!(prev, c, "macros must stay in lock-step"),
+            }
+        }
+        Ok(cycles.unwrap_or(0))
+    }
+
+    /// Total cycles recorded across the chip's lifetime (max over macros,
+    /// since they run in lock-step).
+    pub fn total_cycles(&self) -> u64 {
+        self.macros.iter().map(|m| m.activity().total_cycles()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MacroConfig;
+
+    fn small_chip() -> Chip {
+        Chip::new(ChipConfig { banks: 2, macros_per_bank: 2, macro_config: MacroConfig::paper_macro() })
+    }
+
+    #[test]
+    fn broadcast_add_runs_everywhere() {
+        let mut chip = small_chip();
+        for i in 0..chip.macro_count() {
+            let base = (i as u64 + 1) * 3;
+            chip.macro_at(i).write_words(0, Precision::P8, &[base]).unwrap();
+            chip.macro_at(i).write_words(1, Precision::P8, &[10]).unwrap();
+        }
+        let cycles = chip.add_all(0, 1, 2, Precision::P8).unwrap();
+        assert_eq!(cycles, 1);
+        for i in 0..chip.macro_count() {
+            let got = chip.macro_at(i).read_words(2, Precision::P8, 1).unwrap()[0];
+            assert_eq!(got, (i as u64 + 1) * 3 + 10);
+        }
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let chip = Chip::new(ChipConfig::paper_chip());
+        assert_eq!(chip.words_per_op(Precision::P8), 64 * 16);
+        assert_eq!(chip.products_per_op(Precision::P8), 64 * 8);
+        assert_eq!(chip.words_per_op(Precision::P2), 64 * 64);
+    }
+
+    #[test]
+    fn mult_broadcast_cycles() {
+        let mut chip = small_chip();
+        for i in 0..chip.macro_count() {
+            chip.macro_at(i).write_mult_operands(0, Precision::P4, &[7]).unwrap();
+            chip.macro_at(i).write_mult_operands(1, Precision::P4, &[9]).unwrap();
+        }
+        let cycles = chip.mult_all(0, 1, 2, Precision::P4).unwrap();
+        assert_eq!(cycles, 6);
+        assert_eq!(chip.macro_at(3).read_products(2, Precision::P4, 1).unwrap()[0], 63);
+    }
+}

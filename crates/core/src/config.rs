@@ -1,0 +1,83 @@
+//! Macro and chip configuration.
+
+use bpimc_array::ArrayGeometry;
+
+/// Configuration of one in-memory-computing macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacroConfig {
+    /// Array geometry (rows, columns, dummy rows, interleave).
+    pub geometry: ArrayGeometry,
+    /// Whether the BL separator feature is active (shields dummy-row
+    /// write-backs from the main bit-line capacitance).
+    pub separator_enabled: bool,
+}
+
+impl MacroConfig {
+    /// The paper's macro: 128 x 128, 3 dummy rows, separator on.
+    pub fn paper_macro() -> Self {
+        Self { geometry: ArrayGeometry::paper_macro(), separator_enabled: true }
+    }
+
+    /// A macro with a custom column count (the Fig. 9 BL-size sweep).
+    pub fn with_cols(cols: usize) -> Self {
+        Self { geometry: ArrayGeometry::with_cols(cols), ..Self::paper_macro() }
+    }
+
+    /// Returns a copy with the separator feature set.
+    pub fn with_separator(mut self, enabled: bool) -> Self {
+        self.separator_enabled = enabled;
+        self
+    }
+}
+
+impl Default for MacroConfig {
+    fn default() -> Self {
+        Self::paper_macro()
+    }
+}
+
+/// Configuration of a multi-bank chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipConfig {
+    /// Banks per chip.
+    pub banks: usize,
+    /// Macros per bank.
+    pub macros_per_bank: usize,
+    /// Per-macro configuration.
+    pub macro_config: MacroConfig,
+}
+
+impl ChipConfig {
+    /// The paper's 128 KB chip: 4 banks x 16 macros x (128 x 128 bits).
+    pub fn paper_chip() -> Self {
+        Self { banks: 4, macros_per_bank: 16, macro_config: MacroConfig::paper_macro() }
+    }
+
+    /// Total storage capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.banks * self.macros_per_bank * self.macro_config.geometry.capacity_bytes()
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::paper_chip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_is_128_kb() {
+        assert_eq!(ChipConfig::paper_chip().capacity_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MacroConfig::with_cols(256).with_separator(false);
+        assert_eq!(c.geometry.cols, 256);
+        assert!(!c.separator_enabled);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type of the macro executor.
+
+use bpimc_array::ArrayError;
+use std::fmt;
+
+/// Errors from macro operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An underlying array access failed.
+    Array(ArrayError),
+    /// More words were supplied/requested than the row has lanes for.
+    TooManyWords {
+        /// Lanes requested.
+        requested: usize,
+        /// Lanes available at this precision and row width.
+        available: usize,
+    },
+    /// A word value does not fit the configured precision.
+    WordTooWide {
+        /// The offending value.
+        value: u64,
+        /// The precision in bits.
+        bits: usize,
+    },
+    /// The configured precision does not fit the row even once.
+    PrecisionTooWide {
+        /// The precision in bits (doubled for multiplication lanes).
+        needed_bits: usize,
+        /// The row width in columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Array(e) => write!(f, "array access failed: {e}"),
+            Error::TooManyWords { requested, available } => {
+                write!(f, "{requested} words requested but only {available} lanes available")
+            }
+            Error::WordTooWide { value, bits } => {
+                write!(f, "word {value:#x} does not fit in {bits} bits")
+            }
+            Error::PrecisionTooWide { needed_bits, cols } => {
+                write!(f, "operation needs {needed_bits}-bit lanes but the row has {cols} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ArrayError> for Error {
+    fn from(e: ArrayError) -> Self {
+        Error::Array(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpimc_array::RowAddr;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = Error::from(ArrayError::SameRowTwice(RowAddr::Main(1)));
+        assert!(e.to_string().contains("array access"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::TooManyWords { requested: 20, available: 16 };
+        assert!(e.to_string().contains("20"));
+        let e = Error::WordTooWide { value: 256, bits: 8 };
+        assert!(e.to_string().contains("8"));
+    }
+}

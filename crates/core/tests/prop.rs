@@ -1,0 +1,96 @@
+//! Property tests for the macro executor: algebraic identities computed
+//! entirely in-memory.
+
+use bpimc_core::{ImcMacro, LogicOp, MacroConfig, Precision};
+use proptest::prelude::*;
+
+fn words(n: usize, mask: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..=mask, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// De Morgan: NOT(a AND b) == NOT(a) OR NOT(b), all lanes.
+    #[test]
+    fn de_morgan(a in words(16, 0xFF), b in words(16, 0xFF)) {
+        let p = Precision::P8;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_words(0, p, &a).unwrap();
+        m.write_words(1, p, &b).unwrap();
+        // lhs = NAND(a, b)
+        m.logic(LogicOp::Nand, 0, 1, 2).unwrap();
+        // rhs = NOT a OR NOT b
+        m.not(0, 3).unwrap();
+        m.not(1, 4).unwrap();
+        m.logic(LogicOp::Or, 3, 4, 5).unwrap();
+        prop_assert_eq!(m.read_words(2, p, 16).unwrap(), m.read_words(5, p, 16).unwrap());
+    }
+
+    /// x + x == x << 1 per lane.
+    #[test]
+    fn doubling_is_shifting(a in words(16, 0xFF)) {
+        let p = Precision::P8;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_words(0, p, &a).unwrap();
+        m.copy(0, 1).unwrap();
+        m.add(0, 1, 2, p).unwrap();
+        m.shl(0, 3, p).unwrap();
+        prop_assert_eq!(m.read_words(2, p, 16).unwrap(), m.read_words(3, p, 16).unwrap());
+    }
+
+    /// a - b == ~(b - a) + 1 (two's complement negation), all lanes.
+    #[test]
+    fn subtraction_antisymmetry(a in words(16, 0xFF), b in words(16, 0xFF)) {
+        let p = Precision::P8;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_words(0, p, &a).unwrap();
+        m.write_words(1, p, &b).unwrap();
+        m.sub(0, 1, 2, p).unwrap();
+        m.sub(1, 0, 3, p).unwrap();
+        let d1 = m.read_words(2, p, 16).unwrap();
+        let d2 = m.read_words(3, p, 16).unwrap();
+        for i in 0..16 {
+            prop_assert_eq!(d1[i], (!d2[i]).wrapping_add(1) & 0xFF);
+        }
+    }
+
+    /// Multiplication by powers of two equals repeated add-shift, and
+    /// mult by 0/1 behave as annihilator/identity.
+    #[test]
+    fn mult_identities(a in words(8, 0xFF)) {
+        let p = Precision::P8;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_mult_operands(0, p, &a).unwrap();
+        m.write_mult_operands(1, p, &vec![1; 8]).unwrap();
+        m.mult(0, 1, 2, p).unwrap();
+        prop_assert_eq!(m.read_products(2, p, 8).unwrap(), a.clone());
+        m.write_mult_operands(3, p, &vec![0; 8]).unwrap();
+        m.mult(0, 3, 4, p).unwrap();
+        prop_assert_eq!(m.read_products(4, p, 8).unwrap(), vec![0; 8]);
+    }
+
+    /// Commutativity of in-memory multiplication.
+    #[test]
+    fn mult_commutes(a in words(8, 0xFF), b in words(8, 0xFF)) {
+        let p = Precision::P8;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_mult_operands(0, p, &a).unwrap();
+        m.write_mult_operands(1, p, &b).unwrap();
+        m.mult(0, 1, 2, p).unwrap();
+        m.mult(1, 0, 3, p).unwrap();
+        prop_assert_eq!(m.read_products(2, p, 8).unwrap(), m.read_products(3, p, 8).unwrap());
+    }
+
+    /// 32-bit extension: products match host arithmetic.
+    #[test]
+    fn mult_32bit_extension(a in 0u64..=u32::MAX as u64, b in 0u64..=u32::MAX as u64) {
+        let p = Precision::P32;
+        let mut m = ImcMacro::new(MacroConfig::paper_macro());
+        m.write_mult_operands(0, p, &[a]).unwrap();
+        m.write_mult_operands(1, p, &[b]).unwrap();
+        let cycles = m.mult(0, 1, 2, p).unwrap();
+        prop_assert_eq!(cycles, 34); // N + 2
+        prop_assert_eq!(m.read_products(2, p, 1).unwrap()[0], a * b);
+    }
+}

@@ -1,0 +1,265 @@
+//! The MOSFET compact model: geometry + flavor + local mismatch.
+
+use crate::env::Env;
+use crate::params::ProcessLibrary;
+use crate::types::{DeviceKind, VtFlavor};
+
+/// A sized MOSFET instance.
+///
+/// The drain-current model is a smoothed Sakurai-Newton alpha-power law with
+/// an EKV-style soft overdrive that degrades gracefully into sub-threshold:
+///
+/// ```text
+/// veff = 2 n vT ln(1 + exp((Vgs - VT) / (2 n vT)))    // smooth overdrive
+/// Idsat = kp (W/L) veff^alpha
+/// Id = Idsat * tanh(Vds / Vdsat) * (1 + lambda Vds)   // triode/sat blend
+/// ```
+///
+/// Voltages passed to [`Mosfet::id`] are *magnitudes* relative to the source
+/// (a PMOS caller passes `|Vgs|`, `|Vds|`); the circuit solver orients
+/// terminals, which also makes bidirectional pass-transistor conduction (the
+/// 6T access devices) come out naturally.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_device::{Env, Mosfet, VtFlavor};
+/// let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+/// let env = Env::nominal();
+/// // Monotone in Vgs.
+/// assert!(m.id(0.9, 0.9, &env) > m.id(0.7, 0.9, &env));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    kind: DeviceKind,
+    flavor: VtFlavor,
+    w_nm: f64,
+    l_nm: f64,
+    /// Local threshold shift from mismatch sampling (V, magnitude space).
+    dvt: f64,
+}
+
+impl Mosfet {
+    /// Creates an NMOS with the given flavor and drawn W/L in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_nm` or `l_nm` is not positive.
+    pub fn nmos(flavor: VtFlavor, w_nm: f64, l_nm: f64) -> Self {
+        Self::new(DeviceKind::Nmos, flavor, w_nm, l_nm)
+    }
+
+    /// Creates a PMOS with the given flavor and drawn W/L in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_nm` or `l_nm` is not positive.
+    pub fn pmos(flavor: VtFlavor, w_nm: f64, l_nm: f64) -> Self {
+        Self::new(DeviceKind::Pmos, flavor, w_nm, l_nm)
+    }
+
+    fn new(kind: DeviceKind, flavor: VtFlavor, w_nm: f64, l_nm: f64) -> Self {
+        assert!(w_nm > 0.0 && l_nm > 0.0, "W/L must be positive: {w_nm}/{l_nm}");
+        Self { kind, flavor, w_nm, l_nm, dvt: 0.0 }
+    }
+
+    /// Returns a copy with an explicit local threshold shift (volts).
+    ///
+    /// Positive `dvt` always makes the device *weaker* regardless of
+    /// polarity (the shift is applied in magnitude space).
+    pub fn with_dvt(mut self, dvt: f64) -> Self {
+        self.dvt = dvt;
+        self
+    }
+
+    /// Device polarity.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Threshold flavor.
+    pub fn flavor(&self) -> VtFlavor {
+        self.flavor
+    }
+
+    /// Drawn width in nanometres.
+    pub fn w_nm(&self) -> f64 {
+        self.w_nm
+    }
+
+    /// Drawn length in nanometres.
+    pub fn l_nm(&self) -> f64 {
+        self.l_nm
+    }
+
+    /// Local threshold shift in volts.
+    pub fn dvt(&self) -> f64 {
+        self.dvt
+    }
+
+    /// Aspect ratio W/L.
+    pub fn aspect(&self) -> f64 {
+        self.w_nm / self.l_nm
+    }
+
+    /// The effective threshold voltage (magnitude) at this operating point,
+    /// including flavor, corner, temperature and local mismatch.
+    pub fn vt(&self, env: &Env) -> f64 {
+        ProcessLibrary::at(self.kind, self.flavor, env).vt0 + self.dvt
+    }
+
+    /// Drain current magnitude in amperes for source-referenced voltage
+    /// magnitudes `vgs` and `vds` (both may be any sign; conduction requires
+    /// positive `vds`, and negative `vgs` simply lands deep in
+    /// sub-threshold).
+    pub fn id(&self, vgs: f64, vds: f64, env: &Env) -> f64 {
+        if vds <= 0.0 {
+            return 0.0;
+        }
+        let p = ProcessLibrary::at(self.kind, self.flavor, env);
+        let vt = p.vt0 + self.dvt;
+        let phi = 2.0 * p.nsub * env.thermal_voltage();
+        // Smooth overdrive: -> (vgs - vt) in strong inversion, exponential below.
+        let x = (vgs - vt) / phi;
+        // ln(1+e^x) computed stably for large |x|.
+        let soft = if x > 30.0 {
+            x
+        } else if x < -30.0 {
+            x.exp()
+        } else {
+            x.exp().ln_1p()
+        };
+        let veff = phi * soft;
+        let idsat = p.kp * self.aspect() * veff.powf(p.alpha);
+        let vdsat = (p.sat_frac * veff).max(p.vdsat_min);
+        idsat * (vds / vdsat).tanh() * (1.0 + p.lambda * vds)
+    }
+
+    /// Gate capacitance estimate in farads (oxide + ~30% overlap/fringe).
+    pub fn gate_cap(&self) -> f64 {
+        let p = ProcessLibrary::base(self.kind, self.flavor);
+        let area_m2 = (self.w_nm * 1e-9) * (self.l_nm * 1e-9);
+        1.3 * p.cox * area_m2
+    }
+
+    /// Drain junction/diffusion capacitance estimate in farads.
+    ///
+    /// A simple per-width figure (~0.6 fF/um) adequate for loading hand-built
+    /// nets like the BL mirror node.
+    pub fn drain_cap(&self) -> f64 {
+        0.6e-15 * (self.w_nm / 1000.0)
+    }
+
+    /// Pelgrom sigma of the local threshold for this geometry (volts).
+    pub fn sigma_vt(&self) -> f64 {
+        let p = ProcessLibrary::base(self.kind, self.flavor);
+        let area_m2 = (self.w_nm * 1e-9) * (self.l_nm * 1e-9);
+        p.avt / area_m2.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Corner;
+
+    fn env() -> Env {
+        Env::nominal()
+    }
+
+    #[test]
+    fn on_current_magnitude_is_plausible() {
+        // A 28 nm cell access device should carry tens of microamperes.
+        let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        let i = m.id(0.9, 0.9, &env());
+        assert!(i > 10e-6 && i < 200e-6, "Ion = {i}");
+    }
+
+    #[test]
+    fn leakage_is_orders_of_magnitude_below_on_current() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        let ion = m.id(0.9, 0.9, &env());
+        let ioff = m.id(0.0, 0.9, &env());
+        assert!(ioff < 1e-4 * ion, "Ion {ion}, Ioff {ioff}");
+        assert!(ioff > 0.0, "sub-threshold conduction should not be zero");
+    }
+
+    #[test]
+    fn no_conduction_without_drain_bias() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        assert_eq!(m.id(0.9, 0.0, &env()), 0.0);
+        assert_eq!(m.id(0.9, -0.5, &env()), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_vgs_and_vds() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 120.0, 30.0);
+        let e = env();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let vgs = i as f64 * 0.05;
+            let id = m.id(vgs, 0.9, &e);
+            assert!(id >= prev, "Id must be monotone in Vgs at vgs={vgs}");
+            prev = id;
+        }
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let vds = i as f64 * 0.05;
+            let id = m.id(0.9, vds, &e);
+            assert!(id >= prev, "Id must be monotone in Vds at vds={vds}");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn lvt_beats_rvt_at_low_overdrive() {
+        let rvt = Mosfet::nmos(VtFlavor::Rvt, 100.0, 30.0);
+        let lvt = Mosfet::nmos(VtFlavor::Lvt, 100.0, 30.0);
+        // At a small gate bias the LVT device conducts much more.
+        let e = env();
+        assert!(lvt.id(0.45, 0.9, &e) > 2.0 * rvt.id(0.45, 0.9, &e));
+    }
+
+    #[test]
+    fn mismatch_shift_weakens_or_strengthens() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        let weak = m.with_dvt(0.05);
+        let strong = m.with_dvt(-0.05);
+        let e = env();
+        assert!(weak.id(0.6, 0.9, &e) < m.id(0.6, 0.9, &e));
+        assert!(strong.id(0.6, 0.9, &e) > m.id(0.6, 0.9, &e));
+    }
+
+    #[test]
+    fn corner_current_ordering() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        let ss = m.id(0.9, 0.9, &env().with_corner(Corner::Ss));
+        let nn = m.id(0.9, 0.9, &env());
+        let ff = m.id(0.9, 0.9, &env().with_corner(Corner::Ff));
+        assert!(ss < nn && nn < ff);
+    }
+
+    #[test]
+    fn pmos_weaker_than_nmos_at_same_size() {
+        let n = Mosfet::nmos(VtFlavor::Rvt, 100.0, 30.0);
+        let p = Mosfet::pmos(VtFlavor::Rvt, 100.0, 30.0);
+        let e = env();
+        assert!(p.id(0.9, 0.9, &e) < n.id(0.9, 0.9, &e));
+    }
+
+    #[test]
+    fn sigma_vt_scales_with_area() {
+        let small = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
+        let big = Mosfet::nmos(VtFlavor::Rvt, 360.0, 30.0);
+        assert!((small.sigma_vt() / big.sigma_vt() - 2.0).abs() < 1e-9);
+        // ~ 35 mV for a minimal cell transistor: the well-known 28 nm figure.
+        assert!(small.sigma_vt() > 0.02 && small.sigma_vt() < 0.05);
+    }
+
+    #[test]
+    fn caps_are_femtofarad_scale() {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 100.0, 30.0);
+        assert!(m.gate_cap() > 1e-17 && m.gate_cap() < 1e-15);
+        assert!(m.drain_cap() > 1e-17 && m.drain_cap() < 1e-15);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the device model: the physics must stay monotone and
+//! continuous everywhere the solver can visit.
+
+use bpimc_device::{Corner, Env, Mosfet, VtFlavor};
+use proptest::prelude::*;
+
+fn any_corner() -> impl Strategy<Value = Corner> {
+    prop_oneof![
+        Just(Corner::Sf),
+        Just(Corner::Ss),
+        Just(Corner::Nn),
+        Just(Corner::Fs),
+        Just(Corner::Ff),
+    ]
+}
+
+fn any_flavor() -> impl Strategy<Value = VtFlavor> {
+    prop_oneof![Just(VtFlavor::Rvt), Just(VtFlavor::Lvt), Just(VtFlavor::Hvt)]
+}
+
+proptest! {
+    /// Drain current is non-negative and monotone non-decreasing in both
+    /// Vgs and Vds for every flavor/corner/geometry.
+    #[test]
+    fn id_is_monotone(
+        corner in any_corner(),
+        flavor in any_flavor(),
+        w in 60.0f64..600.0,
+        vgs in 0.0f64..1.2,
+        vds in 0.01f64..1.2,
+        dv in 0.01f64..0.2,
+    ) {
+        let env = Env::new(0.9, 25.0, corner);
+        let m = Mosfet::nmos(flavor, w, 30.0);
+        let i0 = m.id(vgs, vds, &env);
+        prop_assert!(i0 >= 0.0);
+        prop_assert!(m.id(vgs + dv, vds, &env) >= i0, "monotone in vgs");
+        prop_assert!(m.id(vgs, vds + dv, &env) >= i0, "monotone in vds");
+    }
+
+    /// The model is continuous across the threshold: a tiny Vgs step can
+    /// only produce a bounded relative current step.
+    #[test]
+    fn id_is_continuous_near_threshold(flavor in any_flavor(), base in 0.2f64..0.7) {
+        let env = Env::nominal();
+        let m = Mosfet::nmos(flavor, 100.0, 30.0);
+        let eps = 1e-4;
+        let a = m.id(base, 0.9, &env);
+        let b = m.id(base + eps, 0.9, &env);
+        // Sub-threshold slope bounds the growth: < 1% per 0.1 mV.
+        prop_assert!(b >= a);
+        prop_assert!(b <= a * 1.01 + 1e-15, "jump at vgs={base}: {a} -> {b}");
+    }
+
+    /// Wider devices carry proportionally more current.
+    #[test]
+    fn id_scales_with_width(w in 60.0f64..300.0, vgs in 0.5f64..1.0) {
+        let env = Env::nominal();
+        let m1 = Mosfet::nmos(VtFlavor::Rvt, w, 30.0);
+        let m2 = Mosfet::nmos(VtFlavor::Rvt, 2.0 * w, 30.0);
+        let (i1, i2) = (m1.id(vgs, 0.9, &env), m2.id(vgs, 0.9, &env));
+        prop_assert!((i2 / i1 - 2.0).abs() < 1e-9);
+    }
+
+    /// Corner ordering holds at any bias in strong inversion.
+    #[test]
+    fn corner_ordering_holds_everywhere(vgs in 0.55f64..1.1, vds in 0.1f64..1.1) {
+        let m = Mosfet::nmos(VtFlavor::Rvt, 100.0, 30.0);
+        let at = |c| m.id(vgs, vds, &Env::new(0.9, 25.0, c));
+        prop_assert!(at(Corner::Ss) <= at(Corner::Nn));
+        prop_assert!(at(Corner::Nn) <= at(Corner::Ff));
+    }
+}

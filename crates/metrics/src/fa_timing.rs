@@ -1,0 +1,112 @@
+//! Critical-path timing of the two full-adder styles (Fig. 7(b)).
+//!
+//! The proposed FA pre-computes both sum/carry candidates from the SA
+//! outputs and lets the carry ripple through one transmission gate per bit
+//! (plus a regenerating buffer every few stages). A logic-gate ripple FA
+//! re-evaluates two gate levels per bit. The paper measures 1.8-2.2x
+//! critical-path advantage for the proposed style at 8 and 16 bits.
+
+use crate::scaling::DelayScaling;
+use bpimc_device::Env;
+
+/// Which adder implementation to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaKind {
+    /// The paper's transmission-gate carry-select FA.
+    TgCarrySelect,
+    /// A conventional logic-gate ripple-carry FA.
+    LogicGate,
+}
+
+impl FaKind {
+    /// Reference timing constants at 0.9 V NN, seconds.
+    fn constants(&self) -> FaConstants {
+        match self {
+            // Fixed: SA-to-FA candidate generation; per-bit: one TG; a
+            // buffer re-drives the chain every 4 stages.
+            FaKind::TgCarrySelect => FaConstants {
+                fixed: 38e-12,
+                per_bit: 10e-12,
+                buffer_every: 4,
+                buffer: 8e-12,
+            },
+            // Fixed: input XOR stage; per-bit: two gate levels (carry
+            // majority + propagate mux), no buffers needed at these depths.
+            FaKind::LogicGate => FaConstants {
+                fixed: 30e-12,
+                per_bit: 26e-12,
+                buffer_every: usize::MAX,
+                buffer: 0.0,
+            },
+        }
+    }
+
+    /// Critical-path delay of an `bits`-wide carry chain, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn critical_path(&self, bits: usize, env: &Env) -> f64 {
+        assert!(bits > 0, "adder width must be positive");
+        let c = self.constants();
+        let buffers = if c.buffer_every == usize::MAX {
+            0
+        } else {
+            bits.saturating_sub(1) / c.buffer_every
+        };
+        let ref_delay = c.fixed + bits as f64 * c.per_bit + buffers as f64 * c.buffer;
+        ref_delay * DelayScaling::paper_fit().delay_factor(env)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FaConstants {
+    fixed: f64,
+    per_bit: f64,
+    buffer_every: usize,
+    buffer: f64,
+}
+
+/// The speedup of the proposed FA over the logic-gate FA at a width.
+pub fn speedup(bits: usize, env: &Env) -> f64 {
+    FaKind::LogicGate.critical_path(bits, env) / FaKind::TgCarrySelect.critical_path(bits, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_16b_matches_the_breakdown_component() {
+        // The Fig. 8 logic component is the 16-bit adder: 222 ps.
+        let d = FaKind::TgCarrySelect.critical_path(16, &Env::nominal());
+        assert!((d - 222e-12).abs() < 3e-12, "d = {d:.3e}");
+    }
+
+    #[test]
+    fn speedup_is_in_the_papers_band() {
+        // Fig. 7(b): 1.8x - 2.2x for 8- and 16-bit at 0.7-1.1 V.
+        for bits in [8, 16] {
+            for mv in [700, 900, 1100] {
+                let env = Env::nominal().with_vdd(mv as f64 / 1000.0);
+                let s = speedup(bits, &env);
+                assert!((1.7..2.3).contains(&s), "{bits} bits @ {mv} mV: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let env = Env::nominal();
+        for kind in [FaKind::TgCarrySelect, FaKind::LogicGate] {
+            assert!(kind.critical_path(16, &env) > kind.critical_path(8, &env));
+        }
+    }
+
+    #[test]
+    fn low_voltage_slows_both() {
+        let hot = FaKind::TgCarrySelect.critical_path(16, &Env::nominal().with_vdd(1.1));
+        let cold = FaKind::TgCarrySelect.critical_path(16, &Env::nominal().with_vdd(0.7));
+        assert!(cold > 2.0 * hot);
+    }
+}

@@ -1,0 +1,51 @@
+//! Maximum clock frequency vs supply voltage (Fig. 8 right).
+
+use crate::delay::ComponentDelays;
+use bpimc_device::Env;
+
+/// The frequency model: the inverse of the pipeline-visible cycle time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrequencyModel;
+
+impl FrequencyModel {
+    /// Maximum clock frequency in hertz at `env`.
+    pub fn fmax(&self, env: &Env) -> f64 {
+        1.0 / ComponentDelays::at(env).cycle_time()
+    }
+
+    /// `(vdd, fmax)` series over a voltage sweep, the paper's 0.6-1.1 V.
+    pub fn sweep(&self, env_base: &Env, voltages: &[f64]) -> Vec<(f64, f64)> {
+        voltages
+            .iter()
+            .map(|&v| (v, self.fmax(&env_base.with_vdd(v))))
+            .collect()
+    }
+
+    /// The paper's standard sweep points.
+    pub fn paper_voltages() -> Vec<f64> {
+        (6..=11).map(|x| x as f64 / 10.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_the_published_frequency_points() {
+        let f = FrequencyModel;
+        let f10 = f.fmax(&Env::nominal().with_vdd(1.0));
+        assert!((f10 - 2.25e9).abs() / 2.25e9 < 0.02, "f(1.0V) = {f10:.3e}");
+        let f06 = f.fmax(&Env::nominal().with_vdd(0.6));
+        assert!((f06 - 372e6).abs() / 372e6 < 0.06, "f(0.6V) = {f06:.3e}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_covers_range() {
+        let f = FrequencyModel;
+        let sweep = f.sweep(&Env::nominal(), &FrequencyModel::paper_voltages());
+        assert_eq!(sweep.len(), 6);
+        assert!(sweep.windows(2).all(|w| w[1].1 > w[0].1));
+        assert!(sweep[0].1 > 0.3e9 && sweep[5].1 < 3.5e9);
+    }
+}

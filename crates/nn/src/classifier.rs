@@ -1,0 +1,177 @@
+//! A nearest-prototype classifier whose arithmetic runs on the IMC macro.
+
+use crate::dataset::Dataset;
+use crate::quant::QuantParams;
+use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use bpimc_metrics::paper_calibrated_params;
+
+/// Classifier state: quantized class prototypes plus the macro that
+/// evaluates the dot products.
+#[derive(Debug, Clone)]
+pub struct PrototypeClassifier {
+    precision: Precision,
+    quant: QuantParams,
+    prototypes_q: Vec<Vec<u64>>,
+    mac: ImcMacro,
+}
+
+/// Evaluation result over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Fraction of samples classified correctly.
+    pub accuracy: f64,
+    /// Total macro cycles spent.
+    pub cycles: u64,
+    /// Total macro energy at 0.9 V, femtojoules (Table II-calibrated).
+    pub energy_fj: f64,
+    /// Samples evaluated.
+    pub samples: usize,
+}
+
+impl EvalReport {
+    /// Average cycles per classified sample.
+    pub fn cycles_per_sample(&self) -> f64 {
+        self.cycles as f64 / self.samples.max(1) as f64
+    }
+
+    /// Average energy per classified sample, femtojoules.
+    pub fn energy_per_sample_fj(&self) -> f64 {
+        self.energy_fj / self.samples.max(1) as f64
+    }
+}
+
+impl PrototypeClassifier {
+    /// Builds a classifier from a dataset's generating prototypes at the
+    /// requested datapath precision.
+    pub fn fit(data: &Dataset, precision: Precision) -> Self {
+        let quant = QuantParams::new(precision, data.max_feature().max(1e-9));
+        let prototypes_q = data.prototypes.iter().map(|p| quant.quantize_all(p)).collect();
+        Self {
+            precision,
+            quant,
+            prototypes_q,
+            mac: ImcMacro::new(MacroConfig::paper_macro()),
+        }
+    }
+
+    /// The datapath precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Computes `dot(x_q, w_q)` on the macro: operands go into product
+    /// lanes, one bit-parallel MULT per chunk, products read out and
+    /// reduced. Returns the dot product value.
+    fn imc_dot(&mut self, x_q: &[u64], w_q: &[u64]) -> u64 {
+        let lanes = self.precision.product_lanes(self.mac.cols());
+        let mut acc = 0u64;
+        for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
+            self.mac
+                .write_mult_operands(0, self.precision, xc)
+                .expect("chunk fits product lanes");
+            self.mac
+                .write_mult_operands(1, self.precision, wc)
+                .expect("chunk fits product lanes");
+            self.mac.mult(0, 1, 2, self.precision).expect("mult runs");
+            let products = self
+                .mac
+                .read_products(2, self.precision, xc.len())
+                .expect("products readable");
+            acc += products.iter().sum::<u64>();
+        }
+        acc
+    }
+
+    /// Classifies one (real-valued) sample; returns the predicted class.
+    ///
+    /// Nearest-prototype scoring: `argmax_c x.w_c - |w_c|^2 / 2`, which is
+    /// equivalent to minimum Euclidean distance. The `|w_c|^2` terms are
+    /// per-class constants, computed once on the same macro.
+    pub fn classify(&mut self, x: &[f64]) -> usize {
+        let x_q = self.quant.quantize_all(x);
+        let protos = self.prototypes_q.clone();
+        let mut best: Option<(usize, f64)> = None;
+        for (c, w_q) in protos.iter().enumerate() {
+            let xw = self.imc_dot(&x_q, w_q) as f64;
+            let ww = self.imc_dot(w_q, w_q) as f64;
+            let score = xw - ww / 2.0;
+            if best.is_none() || score > best.expect("set").1 {
+                best = Some((c, score));
+            }
+        }
+        best.expect("at least one class").0
+    }
+
+    /// Evaluates accuracy, cycles and energy over a dataset.
+    pub fn evaluate(&mut self, data: &Dataset) -> EvalReport {
+        self.mac.clear_activity();
+        let mut correct = 0usize;
+        for (x, &label) in data.samples.iter().zip(&data.labels) {
+            if self.classify(x) == label {
+                correct += 1;
+            }
+        }
+        let cycles = self.mac.activity().total_cycles();
+        let energy_fj = paper_calibrated_params().log_energy_fj(self.mac.activity());
+        EvalReport {
+            accuracy: correct as f64 / data.len() as f64,
+            cycles,
+            energy_fj,
+            samples: data.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::synthetic_blobs(4, 8, 30, 11)
+    }
+
+    #[test]
+    fn high_precision_is_accurate() {
+        let d = data();
+        let mut clf = PrototypeClassifier::fit(&d, Precision::P8);
+        let r = clf.evaluate(&d);
+        assert!(r.accuracy > 0.9, "accuracy {}", r.accuracy);
+        assert!(r.cycles > 0 && r.energy_fj > 0.0);
+    }
+
+    #[test]
+    fn imc_dot_matches_host_arithmetic() {
+        let d = data();
+        let mut clf = PrototypeClassifier::fit(&d, Precision::P4);
+        let x = vec![3u64, 7, 0, 15, 1, 2, 9, 4];
+        let w = vec![5u64, 5, 15, 1, 0, 8, 2, 3];
+        let got = clf.imc_dot(&x, &w);
+        let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lower_precision_costs_fewer_cycles() {
+        let d = data();
+        let mut hi = PrototypeClassifier::fit(&d, Precision::P8);
+        let mut lo = PrototypeClassifier::fit(&d, Precision::P2);
+        let rh = hi.evaluate(&d);
+        let rl = lo.evaluate(&d);
+        assert!(
+            rl.cycles < rh.cycles,
+            "P2 {} cycles !< P8 {} cycles",
+            rl.cycles,
+            rh.cycles
+        );
+        assert!(rl.energy_fj < rh.energy_fj);
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_not_catastrophically() {
+        let d = data();
+        let mut lo = PrototypeClassifier::fit(&d, Precision::P2);
+        let r = lo.evaluate(&d);
+        // 2-bit template matching is crude but far better than chance (25%).
+        assert!(r.accuracy > 0.5, "accuracy {}", r.accuracy);
+    }
+}

@@ -1,0 +1,256 @@
+//! The row-wide composition of Y-paths with reconfigurable segmentation.
+//!
+//! A [`CarryChain`] slices the row into independent word lanes (the MX3
+//! reconfiguration muxes of Fig. 6 block carry/shift propagation across lane
+//! boundaries) and evaluates whole-row operations by rippling each lane's
+//! Y-paths from LSB to MSB — exactly what the hardware's transmission-gate
+//! carry path does in one cycle.
+
+use crate::precision::Precision;
+use crate::ypath::{ColumnInputs, WriteBackSel, YPath};
+use bpimc_array::{BitRow, DualReadout};
+
+/// Result of a row-wide addition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddOutcome {
+    /// Per-column sums.
+    pub sum: BitRow,
+    /// Carry out of each lane's MSB (lane order, LSB-most lane first).
+    pub carries: Vec<bool>,
+}
+
+/// A carry chain configured for a row width and a lane (segment) width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryChain {
+    cols: usize,
+    segment_bits: usize,
+}
+
+impl CarryChain {
+    /// A chain over `cols` columns with lanes of `precision` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero.
+    pub fn new(cols: usize, precision: Precision) -> Self {
+        Self::with_segment_bits(cols, precision.bits())
+    }
+
+    /// A chain with an explicit segment width. Multiplication configures
+    /// `2 * P` (the product spans two precision units, Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `segment_bits` is zero.
+    pub fn with_segment_bits(cols: usize, segment_bits: usize) -> Self {
+        assert!(cols > 0, "cols must be positive");
+        assert!(segment_bits > 0, "segment width must be positive");
+        Self { cols, segment_bits }
+    }
+
+    /// Row width in columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Lane width in bits.
+    pub fn segment_bits(&self) -> usize {
+        self.segment_bits
+    }
+
+    /// Number of whole lanes (leftover columns at the top are idle).
+    pub fn lane_count(&self) -> usize {
+        self.cols / self.segment_bits
+    }
+
+    /// Column range of lane `lane`.
+    fn lane_range(&self, lane: usize) -> std::ops::Range<usize> {
+        let lo = lane * self.segment_bits;
+        lo..lo + self.segment_bits
+    }
+
+    /// Row-wide `A + B` (+ `carry_in` into every lane's LSB — `true` is the
+    /// two's-complement `+1` used by SUB).
+    pub fn add(&self, readout: &DualReadout, carry_in: bool) -> AddOutcome {
+        self.check_width(readout.and.width());
+        let y = YPath;
+        let mut sum = BitRow::zeros(self.cols);
+        let mut carries = Vec::with_capacity(self.lane_count());
+        for lane in 0..self.lane_count() {
+            let mut c = carry_in;
+            for col in self.lane_range(lane) {
+                let inp = ColumnInputs {
+                    and_ab: readout.and.get(col),
+                    nor_ab: readout.nor.get(col),
+                };
+                let out = y.eval(inp, c, false, WriteBackSel::Sum);
+                sum.set(col, out.writeback);
+                c = out.carry_out;
+            }
+            carries.push(c);
+        }
+        AddOutcome { sum, carries }
+    }
+
+    /// Row-wide add-and-shift: per lane, `(A + B) << 1` written in a single
+    /// cycle (each column writes back its right neighbour's sum; the lane
+    /// LSB receives zero).
+    pub fn add_shift(&self, readout: &DualReadout) -> BitRow {
+        let added = self.add(readout, false);
+        self.shift_row(&added.sum)
+    }
+
+    /// Per-lane logical left shift by one of raw row data (the single-WL
+    /// shift operation).
+    pub fn shift_row(&self, data: &BitRow) -> BitRow {
+        self.check_width(data.width());
+        let mut out = BitRow::zeros(self.cols);
+        for lane in 0..self.lane_count() {
+            let r = self.lane_range(lane);
+            for col in r.clone() {
+                let v = if col == r.start { false } else { data.get(col - 1) };
+                out.set(col, v);
+            }
+        }
+        out
+    }
+
+    /// One multiplication step: per lane, writes `(sum) << 1` when the
+    /// lane's multiplier FF bit is 1, else `(acc) << 1` where `acc` is the
+    /// Y-path FF copy of the previously written accumulator.
+    ///
+    /// When `final_step` is true the shift is suppressed (the last partial
+    /// product is accumulated with a plain ADD, per Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff_bits` does not have one entry per lane.
+    pub fn mult_step(
+        &self,
+        readout: &DualReadout,
+        acc_latch: &BitRow,
+        ff_bits: &[bool],
+        final_step: bool,
+    ) -> BitRow {
+        assert_eq!(ff_bits.len(), self.lane_count(), "one FF bit per lane");
+        self.check_width(acc_latch.width());
+        let added = self.add(readout, false);
+        let mut out = BitRow::zeros(self.cols);
+        for lane in 0..self.lane_count() {
+            let r = self.lane_range(lane);
+            let src = if ff_bits[lane] { &added.sum } else { acc_latch };
+            for col in r.clone() {
+                let v = if final_step {
+                    src.get(col)
+                } else if col == r.start {
+                    false
+                } else {
+                    src.get(col - 1)
+                };
+                out.set(col, v);
+            }
+        }
+        out
+    }
+
+    fn check_width(&self, got: usize) {
+        assert_eq!(got, self.cols, "row width {got} does not match chain width {}", self.cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn readout(cols: usize, a: u64, b: u64) -> DualReadout {
+        let ra = BitRow::from_u64(cols, a);
+        let rb = BitRow::from_u64(cols, b);
+        DualReadout { and: &ra & &rb, nor: &!&ra & &!&rb }
+    }
+
+    #[test]
+    fn add_respects_lane_boundaries() {
+        // Two 8-bit lanes in a 16-column row: 0xFF + 0x01 must not carry
+        // into the upper lane.
+        let chain = CarryChain::new(16, Precision::P8);
+        let out = chain.add(&readout(16, 0x00FF, 0x0001), false);
+        assert_eq!(out.sum.get_field(0, 8), 0x00);
+        assert_eq!(out.sum.get_field(8, 8), 0x00, "no carry leak into lane 1");
+        assert_eq!(out.carries, vec![true, false]);
+    }
+
+    #[test]
+    fn carry_in_implements_plus_one_per_lane() {
+        let chain = CarryChain::new(16, Precision::P8);
+        let out = chain.add(&readout(16, 0x0102, 0x0304), true);
+        assert_eq!(out.sum.get_field(0, 8), 0x07); // 2+4+1
+        assert_eq!(out.sum.get_field(8, 8), 0x05); // 1+3+1
+    }
+
+    #[test]
+    fn add_shift_doubles_the_sum() {
+        let chain = CarryChain::new(16, Precision::P8);
+        let out = chain.add_shift(&readout(16, 5, 9));
+        assert_eq!(out.get_field(0, 8), (5 + 9) * 2);
+    }
+
+    #[test]
+    fn shift_row_is_per_lane() {
+        let chain = CarryChain::new(8, Precision::P4);
+        let data = BitRow::from_u64(8, 0b1000_1001);
+        let out = chain.shift_row(&data);
+        assert_eq!(out.get_field(0, 4), 0b0010);
+        assert_eq!(out.get_field(4, 4), 0b0000, "lane MSB drops, no cross-lane leak");
+    }
+
+    #[test]
+    fn mult_step_selects_sum_or_latch() {
+        let chain = CarryChain::with_segment_bits(8, 8);
+        let acc = BitRow::from_u64(8, 0b0000_0110);
+        // ff = 1: (acc + a) << 1.
+        let r = readout(8, 0b0000_0110, 0b0000_0011);
+        let out = chain.mult_step(&r, &acc, &[true], false);
+        assert_eq!(out.get_field(0, 8), ((0b110 + 0b011) << 1) & 0xFF);
+        // ff = 0: acc << 1 regardless of the readout.
+        let out = chain.mult_step(&r, &acc, &[false], false);
+        assert_eq!(out.get_field(0, 8), 0b0000_1100);
+        // final step suppresses the shift.
+        let out = chain.mult_step(&r, &acc, &[true], true);
+        assert_eq!(out.get_field(0, 8), 0b110 + 0b011);
+    }
+
+    proptest! {
+        /// Lane-segmented addition equals per-word wrapping addition for
+        /// every precision on random data.
+        #[test]
+        fn add_matches_reference(a in any::<u64>(), b in any::<u64>(), p in 0usize..5) {
+            let precision = Precision::ALL[p];
+            let bits = precision.bits();
+            let chain = CarryChain::new(64, precision);
+            let out = chain.add(&readout(64, a, b), false);
+            for lane in 0..(64 / bits) {
+                let wa = (a >> (lane * bits)) & precision.mask();
+                let wb = (b >> (lane * bits)) & precision.mask();
+                let expect = (wa + wb) & precision.mask();
+                prop_assert_eq!(out.sum.get_field(lane * bits, bits), expect);
+                let expect_carry = (wa + wb) > precision.mask();
+                prop_assert_eq!(out.carries[lane], expect_carry);
+            }
+        }
+
+        /// Subtraction built the paper's way (invert + add + 1) matches
+        /// wrapping subtraction.
+        #[test]
+        fn invert_add_one_is_subtraction(a in any::<u32>(), b in any::<u32>()) {
+            let chain = CarryChain::new(64, Precision::P32);
+            let ra = BitRow::from_u64(64, a as u64 | ((a as u64) << 32));
+            let rb_inv = !&BitRow::from_u64(64, b as u64 | ((b as u64) << 32));
+            let r = DualReadout { and: &ra & &rb_inv, nor: &!&ra & &!&rb_inv };
+            let out = chain.add(&r, true);
+            let expect = a.wrapping_sub(b) as u64;
+            prop_assert_eq!(out.sum.get_field(0, 32), expect);
+            prop_assert_eq!(out.sum.get_field(32, 32), expect);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The simple-logic unit: every two-input function from the SA pair.
+//!
+//! The hardware is one OR gate, three inverters and four transmission gates
+//! steered by `LogicSEL` and the MX2 select; functionally, each operation is
+//! a fixed combination of the `AND` and `NOR` sense-amplifier outputs.
+
+use bpimc_array::BitRow;
+use bpimc_array::DualReadout;
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-input bit-wise logic operation of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// `A AND B` — directly the BLT sense output.
+    And,
+    /// `~(A AND B)`.
+    Nand,
+    /// `A OR B` — inverse of the BLB sense output.
+    Or,
+    /// `NOR(A, B)` — directly the BLB sense output.
+    Nor,
+    /// `A XOR B` — `~AND AND ~NOR`.
+    Xor,
+    /// `~(A XOR B)`.
+    Xnor,
+}
+
+impl LogicOp {
+    /// All logic operations.
+    pub const ALL: [LogicOp; 6] = [
+        LogicOp::And,
+        LogicOp::Nand,
+        LogicOp::Or,
+        LogicOp::Nor,
+        LogicOp::Xor,
+        LogicOp::Xnor,
+    ];
+
+    /// Evaluates the operation over a whole dual-WL readout.
+    pub fn eval(&self, readout: &DualReadout) -> BitRow {
+        match self {
+            LogicOp::And => readout.and.clone(),
+            LogicOp::Nand => !&readout.and,
+            LogicOp::Or => readout.or(),
+            LogicOp::Nor => readout.nor.clone(),
+            LogicOp::Xor => readout.xor(),
+            LogicOp::Xnor => !&readout.xor(),
+        }
+    }
+
+    /// Scalar reference evaluation for one column.
+    pub fn eval_bit(&self, a: bool, b: bool) -> bool {
+        match self {
+            LogicOp::And => a && b,
+            LogicOp::Nand => !(a && b),
+            LogicOp::Or => a || b,
+            LogicOp::Nor => !(a || b),
+            LogicOp::Xor => a != b,
+            LogicOp::Xnor => a == b,
+        }
+    }
+}
+
+impl fmt::Display for LogicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogicOp::And => "AND",
+            LogicOp::Nand => "NAND",
+            LogicOp::Or => "OR",
+            LogicOp::Nor => "NOR",
+            LogicOp::Xor => "XOR",
+            LogicOp::Xnor => "XNOR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Error when parsing a [`LogicOp`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogicOpError(String);
+
+impl fmt::Display for ParseLogicOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown logic operation `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseLogicOpError {}
+
+impl FromStr for LogicOp {
+    type Err = ParseLogicOpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(LogicOp::And),
+            "NAND" => Ok(LogicOp::Nand),
+            "OR" => Ok(LogicOp::Or),
+            "NOR" => Ok(LogicOp::Nor),
+            "XOR" => Ok(LogicOp::Xor),
+            "XNOR" => Ok(LogicOp::Xnor),
+            other => Err(ParseLogicOpError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpimc_array::{ArrayGeometry, RowAddr, SramArray};
+
+    #[test]
+    fn all_ops_match_scalar_reference_on_random_rows() {
+        let mut arr = SramArray::new(ArrayGeometry { rows: 2, cols: 64, dummy_rows: 1, interleave: 1 });
+        let a = 0x5A5A_F00F_1234_8888u64;
+        let b = 0x0FF0_AAAA_4321_7777u64;
+        arr.write(RowAddr::Main(0), &BitRow::from_u64(64, a)).unwrap();
+        arr.write(RowAddr::Main(1), &BitRow::from_u64(64, b)).unwrap();
+        let readout = arr.bl_compute(RowAddr::Main(0), RowAddr::Main(1)).unwrap();
+        for op in LogicOp::ALL {
+            let row = op.eval(&readout);
+            for i in 0..64 {
+                let expect = op.eval_bit((a >> i) & 1 == 1, (b >> i) & 1 == 1);
+                assert_eq!(row.get(i), expect, "{op} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for op in LogicOp::ALL {
+            assert_eq!(op.to_string().parse::<LogicOp>().unwrap(), op);
+        }
+        assert!("FOO".parse::<LogicOp>().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the statistics utilities.
+
+use bpimc_stats::{inv_norm_cdf, norm_cdf, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles are ordered and bounded by the extrema.
+    #[test]
+    fn summary_percentiles_are_ordered(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_slice(&xs);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Histograms never lose samples.
+    #[test]
+    fn histogram_conserves_samples(xs in prop::collection::vec(-10.0f64..10.0, 0..300)) {
+        let mut h = Histogram::new(-1.0, 1.0, 16);
+        h.extend(xs.iter().copied());
+        prop_assert_eq!(h.total() as usize, xs.len());
+        let binned: u64 = (0..h.nbins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+    }
+
+    /// The normal CDF is monotone and its quantile is a right inverse.
+    #[test]
+    fn cdf_and_quantile_agree(p in 1e-8f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-8);
+        let z = inv_norm_cdf(p);
+        let back = norm_cdf(z);
+        prop_assert!((back - p).abs() < 3e-7, "p={p} z={z} back={back}");
+    }
+
+    /// CDF monotonicity on arbitrary pairs.
+    #[test]
+    fn cdf_is_monotone(a in -8.0f64..8.0, d in 0.0f64..4.0) {
+        prop_assert!(norm_cdf(a + d) >= norm_cdf(a));
+    }
+
+    /// Shifting a sample shifts the mean and leaves the spread unchanged.
+    #[test]
+    fn summary_shift_invariance(xs in prop::collection::vec(-100.0f64..100.0, 2..100), c in -50.0f64..50.0) {
+        let s0 = Summary::from_slice(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let s1 = Summary::from_slice(&shifted);
+        prop_assert!((s1.mean - s0.mean - c).abs() < 1e-6);
+        prop_assert!((s1.std - s0.std).abs() < 1e-6);
+    }
+}

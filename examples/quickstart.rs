@@ -1,0 +1,47 @@
+//! Quickstart: the macro's full operation set in a few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bpimc::core::{ImcMacro, LogicOp, MacroConfig, Precision};
+
+fn main() -> Result<(), bpimc::core::Error> {
+    // One 128 x 128 macro with 3 dummy rows, BL separator enabled.
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    let p = Precision::P8;
+
+    // Sixteen 8-bit words fit one row.
+    let a: Vec<u64> = (0..16).map(|i| 10 * i + 7).collect();
+    let b: Vec<u64> = (0..16).map(|i| 3 * i + 1).collect();
+    mac.write_words(0, p, &a)?;
+    mac.write_words(1, p, &b)?;
+
+    // Single-cycle bit-parallel operations.
+    let c_xor = mac.logic(LogicOp::Xor, 0, 1, 2)?;
+    let c_add = mac.add(0, 1, 3, p)?;
+    let c_shl = mac.shl(0, 4, p)?;
+    // Two-cycle subtraction, N+2-cycle multiplication.
+    let c_sub = mac.sub(0, 1, 5, p)?;
+    mac.write_mult_operands(6, p, &a[..8])?;
+    mac.write_mult_operands(7, p, &b[..8])?;
+    let c_mul = mac.mult(6, 7, 8, p)?;
+
+    println!("cycles: XOR={c_xor} ADD={c_add} SHL={c_shl} SUB={c_sub} MULT={c_mul}");
+    println!("a        = {:?}", a);
+    println!("b        = {:?}", b);
+    println!("a xor b  = {:?}", mac.read_words(2, p, 16)?);
+    println!("a +  b   = {:?}", mac.read_words(3, p, 16)?);
+    println!("a << 1   = {:?}", mac.read_words(4, p, 16)?);
+    println!("a -  b   = {:?}", mac.read_words(5, p, 16)?);
+    println!("a *  b   = {:?}", mac.read_products(8, p, 8)?);
+
+    // Activity accounting: how many write-backs the BL separator shielded.
+    println!(
+        "separator: {} shielded / {} exposed write-backs",
+        mac.separator().shielded(),
+        mac.separator().exposed()
+    );
+    println!("total cycles logged: {}", mac.activity().total_cycles());
+    Ok(())
+}

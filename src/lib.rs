@@ -1,0 +1,52 @@
+//! # bpimc — Bit-Parallel 6T SRAM In-Memory Computing
+//!
+//! A Rust reproduction of *"Bit Parallel 6T SRAM In-memory Computing with
+//! Reconfigurable Bit-Precision"* (Lee et al., DAC 2020).
+//!
+//! This facade crate re-exports every subsystem of the workspace so an
+//! application can depend on `bpimc` alone:
+//!
+//! * [`core`] — the in-memory-computing macro itself (the paper's
+//!   contribution): 6T array + dummy rows + column peripherals executing
+//!   logic/ADD/SUB/ADD-shift/MULT bit-parallel with reconfigurable 2/4/8/16/32
+//!   bit precision.
+//! * [`mod@array`] / [`mod@periph`] — the functional SRAM array and the Y-path column
+//!   peripheral models the macro is assembled from.
+//! * [`device`] / [`circuit`] / [`cell`] — the 28 nm behavioral transistor
+//!   model, transient solver and electrical cell/bit-line test-benches used
+//!   for the circuit-level experiments (short-WL + BL boosting vs WLUD,
+//!   read-disturb analysis).
+//! * [`metrics`] — timing / energy / area / TOPS-per-watt models.
+//! * [`baseline`] — the conventional bit-serial IMC used for comparison.
+//! * [`nn`] — a quantized neural-network workload running on the macro.
+//! * [`mod@bench`] — the experiment runners that regenerate every figure and
+//!   table of the paper's evaluation section.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bpimc::core::{ImcMacro, MacroConfig, Precision};
+//!
+//! # fn main() -> Result<(), bpimc::core::Error> {
+//! let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+//! // Store two vectors of 8-bit words in rows 0 and 1.
+//! mac.write_words(0, Precision::P8, &[10, 20, 30])?;
+//! mac.write_words(1, Precision::P8, &[5, 9, 200])?;
+//! // One-cycle bit-parallel addition into row 2.
+//! mac.add(0, 1, 2, Precision::P8)?;
+//! assert_eq!(mac.read_words(2, Precision::P8, 3)?, vec![15, 29, 230 & 0xff]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bpimc_array as array;
+pub use bpimc_baseline as baseline;
+pub use bpimc_bench as bench;
+pub use bpimc_cell as cell;
+pub use bpimc_circuit as circuit;
+pub use bpimc_core as core;
+pub use bpimc_device as device;
+pub use bpimc_metrics as metrics;
+pub use bpimc_nn as nn;
+pub use bpimc_periph as periph;
+pub use bpimc_stats as stats;
