@@ -31,7 +31,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "row {addr} out of range ({available} rows available)")
             }
             ArrayError::WidthMismatch { got, want } => {
-                write!(f, "row width {got} does not match array column count {want}")
+                write!(
+                    f,
+                    "row width {got} does not match array column count {want}"
+                )
             }
             ArrayError::SameRowTwice(addr) => {
                 write!(f, "dual word-line access cannot activate {addr} twice")
@@ -48,7 +51,10 @@ mod tests {
 
     #[test]
     fn messages_mention_offenders() {
-        let e = ArrayError::RowOutOfRange { addr: RowAddr::Main(200), available: 128 };
+        let e = ArrayError::RowOutOfRange {
+            addr: RowAddr::Main(200),
+            available: 128,
+        };
         assert!(e.to_string().contains("main[200]"));
         let e = ArrayError::WidthMismatch { got: 64, want: 128 };
         assert!(e.to_string().contains("64"));

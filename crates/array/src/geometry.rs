@@ -25,7 +25,12 @@ pub struct ArrayGeometry {
 impl ArrayGeometry {
     /// The paper's 128 x 128 macro with 3 dummy rows and 4:1 interleaving.
     pub fn paper_macro() -> Self {
-        Self { rows: 128, cols: 128, dummy_rows: 3, interleave: 4 }
+        Self {
+            rows: 128,
+            cols: 128,
+            dummy_rows: 3,
+            interleave: 4,
+        }
     }
 
     /// A macro with a different column count (used by the Fig. 9 BL-size
@@ -36,7 +41,10 @@ impl ArrayGeometry {
     /// Panics if `cols` is zero.
     pub fn with_cols(cols: usize) -> Self {
         assert!(cols > 0, "cols must be positive");
-        Self { cols, ..Self::paper_macro() }
+        Self {
+            cols,
+            ..Self::paper_macro()
+        }
     }
 
     /// Storage capacity of the main array in bits.

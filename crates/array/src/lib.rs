@@ -27,7 +27,7 @@ pub mod sram;
 pub mod timing;
 
 pub use addr::RowAddr;
-pub use bits::BitRow;
+pub use bits::{BitRow, LaneMasks};
 pub use error::ArrayError;
 pub use geometry::ArrayGeometry;
 pub use separator::BlSeparator;

@@ -18,7 +18,11 @@ pub struct BlSeparator {
 impl BlSeparator {
     /// A separator policy; `enabled` turns the feature on.
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, shielded_writebacks: 0, exposed_writebacks: 0 }
+        Self {
+            enabled,
+            shielded_writebacks: 0,
+            exposed_writebacks: 0,
+        }
     }
 
     /// Whether the feature is enabled.

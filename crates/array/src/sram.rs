@@ -52,9 +52,17 @@ pub struct SramArray {
 impl SramArray {
     /// An all-zero array with the given geometry.
     pub fn new(geometry: ArrayGeometry) -> Self {
-        let main = (0..geometry.rows).map(|_| BitRow::zeros(geometry.cols)).collect();
-        let dummy = (0..geometry.dummy_rows).map(|_| BitRow::zeros(geometry.cols)).collect();
-        Self { geometry, main, dummy }
+        let main = (0..geometry.rows)
+            .map(|_| BitRow::zeros(geometry.cols))
+            .collect();
+        let dummy = (0..geometry.dummy_rows)
+            .map(|_| BitRow::zeros(geometry.cols))
+            .collect();
+        Self {
+            geometry,
+            main,
+            dummy,
+        }
     }
 
     /// The geometry this array was built with.
@@ -78,14 +86,14 @@ impl SramArray {
     fn row_mut(&mut self, addr: RowAddr) -> Result<&mut BitRow, ArrayError> {
         let (rows, dummy_rows) = (self.geometry.rows, self.geometry.dummy_rows);
         match addr {
-            RowAddr::Main(i) => self
-                .main
-                .get_mut(i)
-                .ok_or(ArrayError::RowOutOfRange { addr, available: rows }),
-            RowAddr::Dummy(i) => self
-                .dummy
-                .get_mut(i)
-                .ok_or(ArrayError::RowOutOfRange { addr, available: dummy_rows }),
+            RowAddr::Main(i) => self.main.get_mut(i).ok_or(ArrayError::RowOutOfRange {
+                addr,
+                available: rows,
+            }),
+            RowAddr::Dummy(i) => self.dummy.get_mut(i).ok_or(ArrayError::RowOutOfRange {
+                addr,
+                available: dummy_rows,
+            }),
         }
     }
 
@@ -127,7 +135,10 @@ impl SramArray {
         }
         let ra = self.row(a)?;
         let rb = self.row(b)?;
-        Ok(DualReadout { and: ra & rb, nor: &!ra & &!rb })
+        Ok(DualReadout {
+            and: ra & rb,
+            nor: BitRow::nor_of(ra, rb),
+        })
     }
 
     /// Single word-line access: returns `A` and `~A` (the SA pair outputs).
@@ -137,7 +148,10 @@ impl SramArray {
     /// Returns [`ArrayError::RowOutOfRange`].
     pub fn single_read(&self, a: RowAddr) -> Result<SingleReadout, ArrayError> {
         let ra = self.row(a)?;
-        Ok(SingleReadout { a: ra.clone(), not_a: !ra })
+        Ok(SingleReadout {
+            a: ra.clone(),
+            not_a: !ra,
+        })
     }
 }
 
@@ -147,7 +161,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_array() -> SramArray {
-        SramArray::new(ArrayGeometry { rows: 8, cols: 16, dummy_rows: 3, interleave: 4 })
+        SramArray::new(ArrayGeometry {
+            rows: 8,
+            cols: 16,
+            dummy_rows: 3,
+            interleave: 4,
+        })
     }
 
     #[test]
@@ -165,8 +184,10 @@ mod tests {
     #[test]
     fn bl_compute_is_and_and_nor() {
         let mut arr = small_array();
-        arr.write(RowAddr::Main(0), &BitRow::from_u64(16, 0b1100)).unwrap();
-        arr.write(RowAddr::Main(1), &BitRow::from_u64(16, 0b1010)).unwrap();
+        arr.write(RowAddr::Main(0), &BitRow::from_u64(16, 0b1100))
+            .unwrap();
+        arr.write(RowAddr::Main(1), &BitRow::from_u64(16, 0b1010))
+            .unwrap();
         let out = arr.bl_compute(RowAddr::Main(0), RowAddr::Main(1)).unwrap();
         assert_eq!(out.and.get_field(0, 4), 0b1000);
         assert_eq!(out.nor.get_field(0, 4), 0b0001);
@@ -177,8 +198,10 @@ mod tests {
     #[test]
     fn compute_between_main_and_dummy_rows_works() {
         let mut arr = small_array();
-        arr.write(RowAddr::Main(0), &BitRow::from_u64(16, 0xF0)).unwrap();
-        arr.write(RowAddr::Dummy(0), &BitRow::from_u64(16, 0x3C)).unwrap();
+        arr.write(RowAddr::Main(0), &BitRow::from_u64(16, 0xF0))
+            .unwrap();
+        arr.write(RowAddr::Dummy(0), &BitRow::from_u64(16, 0x3C))
+            .unwrap();
         let out = arr.bl_compute(RowAddr::Main(0), RowAddr::Dummy(0)).unwrap();
         assert_eq!(out.and.get_field(0, 8), 0x30);
     }
@@ -186,7 +209,8 @@ mod tests {
     #[test]
     fn single_read_gives_complement() {
         let mut arr = small_array();
-        arr.write(RowAddr::Main(2), &BitRow::from_u64(16, 0x00FF)).unwrap();
+        arr.write(RowAddr::Main(2), &BitRow::from_u64(16, 0x00FF))
+            .unwrap();
         let out = arr.single_read(RowAddr::Main(2)).unwrap();
         assert_eq!(out.a.get_field(0, 16), 0x00FF);
         assert_eq!(out.not_a.get_field(0, 16), 0xFF00);

@@ -22,8 +22,18 @@ impl BitSerialImc {
     /// An all-zero array of `rows x cols` (bits). `cols` is the number of
     /// word lanes; `rows` bounds operand placement.
     pub fn new(rows: usize, cols: usize) -> Self {
-        let g = bpimc_array::ArrayGeometry { rows, cols, dummy_rows: 1, interleave: 1 };
-        Self { array: SramArray::new(g), rows, cols, cycles: 0 }
+        let g = bpimc_array::ArrayGeometry {
+            rows,
+            cols,
+            dummy_rows: 1,
+            interleave: 1,
+        };
+        Self {
+            array: SramArray::new(g),
+            rows,
+            cols,
+            cycles: 0,
+        }
     }
 
     /// Word-lane count (columns).
@@ -69,7 +79,12 @@ impl BitSerialImc {
     /// # Errors
     ///
     /// Returns an array error when the region exceeds the geometry.
-    pub fn read_words(&mut self, base: usize, n: usize, count: usize) -> Result<Vec<u64>, ArrayError> {
+    pub fn read_words(
+        &mut self,
+        base: usize,
+        n: usize,
+        count: usize,
+    ) -> Result<Vec<u64>, ArrayError> {
         let mut out = vec![0u64; count];
         for i in 0..n {
             let row = self.array.read(RowAddr::Main(base + i))?;
@@ -91,7 +106,9 @@ impl BitSerialImc {
         // Per-column carry latches.
         let mut carry = BitRow::zeros(self.cols);
         for i in 0..n {
-            let out = self.array.bl_compute(RowAddr::Main(a + i), RowAddr::Main(b + i))?;
+            let out = self
+                .array
+                .bl_compute(RowAddr::Main(a + i), RowAddr::Main(b + i))?;
             let xor = out.xor();
             let sum = &xor ^ &carry;
             // carry' = AND + XOR & carry (majority via the SA outputs).
@@ -134,7 +151,8 @@ impl BitSerialImc {
     pub fn mult(&mut self, a: usize, b: usize, dst: usize, n: usize) -> Result<u64, ArrayError> {
         // Accumulator: 2n rows at dst, cleared first.
         for i in 0..2 * n {
-            self.array.write(RowAddr::Main(dst + i), &BitRow::zeros(self.cols))?;
+            self.array
+                .write(RowAddr::Main(dst + i), &BitRow::zeros(self.cols))?;
         }
         for i in 0..n {
             // Predication mask: multiplier bit i of every lane.
@@ -181,7 +199,10 @@ mod tests {
         imc.write_words(8, 8, &[100, 20]).unwrap();
         let c = imc.add(0, 8, 16, 8).unwrap();
         assert_eq!(c, 21);
-        assert_eq!(imc.read_words(16, 8, 2).unwrap(), vec![(200 + 100) & 0xFF, 35]);
+        assert_eq!(
+            imc.read_words(16, 8, 2).unwrap(),
+            vec![(200 + 100) & 0xFF, 35]
+        );
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! artefact and times it. The `macro_ops` group measures raw simulator
 //! throughput of the core executor.
 
-use bpimc_bench::experiments::{ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange};
-use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use bpimc_array::BitRow;
+use bpimc_bench::experiments::{
+    ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange,
+};
+use bpimc_core::{ImcMacro, MacroBank, MacroConfig, Precision};
+use bpimc_periph::CarryChain;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -24,11 +28,21 @@ fn bench_figures(c: &mut Criterion) {
             black_box(fig2::run(64, seed))
         })
     });
-    g.bench_function("fig7a_corner_delays", |b| b.iter(|| black_box(fig7a::run())));
-    g.bench_function("fig7b_fa_critical_path", |b| b.iter(|| black_box(fig7b::run())));
-    g.bench_function("fig8_breakdown_fmax_tops", |b| b.iter(|| black_box(fig8::run())));
-    g.bench_function("fig9_cycles_vs_bl_size", |b| b.iter(|| black_box(fig9::run())));
-    g.bench_function("supply_range_validation", |b| b.iter(|| black_box(vrange::run())));
+    g.bench_function("fig7a_corner_delays", |b| {
+        b.iter(|| black_box(fig7a::run()))
+    });
+    g.bench_function("fig7b_fa_critical_path", |b| {
+        b.iter(|| black_box(fig7b::run()))
+    });
+    g.bench_function("fig8_breakdown_fmax_tops", |b| {
+        b.iter(|| black_box(fig8::run()))
+    });
+    g.bench_function("fig9_cycles_vs_bl_size", |b| {
+        b.iter(|| black_box(fig9::run()))
+    });
+    g.bench_function("supply_range_validation", |b| {
+        b.iter(|| black_box(vrange::run()))
+    });
     g.finish();
 }
 
@@ -36,9 +50,13 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("table1_op_cycles", |b| b.iter(|| black_box(table1::run())));
-    g.bench_function("table2_energy_calibration", |b| b.iter(|| black_box(table2::run())));
+    g.bench_function("table2_energy_calibration", |b| {
+        b.iter(|| black_box(table2::run()))
+    });
     g.bench_function("table3_comparison", |b| b.iter(|| black_box(table3::run())));
-    g.bench_function("ablation_studies", |b| b.iter(|| black_box(ablation::run())));
+    g.bench_function("ablation_studies", |b| {
+        b.iter(|| black_box(ablation::run()))
+    });
     g.finish();
 }
 
@@ -50,6 +68,10 @@ fn bench_macro_ops(c: &mut Criterion) {
     mac.write_words(1, p, &[45; 16]).expect("fits");
     mac.write_mult_operands(4, p, &[123; 8]).expect("fits");
     mac.write_mult_operands(5, p, &[45; 8]).expect("fits");
+    for r in 8..16 {
+        mac.write_words(r, p, &[(r as u64 * 31) % 256; 16])
+            .expect("fits");
+    }
 
     g.bench_function("add_row_128col_8b", |b| {
         b.iter(|| black_box(mac.add(0, 1, 2, p).expect("add")))
@@ -60,8 +82,85 @@ fn bench_macro_ops(c: &mut Criterion) {
     g.bench_function("mult_row_128col_8b", |b| {
         b.iter(|| black_box(mac.mult(4, 5, 6, p).expect("mult")))
     });
+    let reduce_rows: Vec<usize> = (8..16).collect();
+    g.bench_function("reduce_add_8rows_8b", |b| {
+        b.iter(|| black_box(mac.reduce_add(&reduce_rows, 6, p).expect("reduce")))
+    });
+    // An imc_dot-shaped workload: 64 features in 8 product-lane chunks.
+    let x: Vec<u64> = (0..64u64).map(|i| (i * 37) % 256).collect();
+    let w: Vec<u64> = (0..64u64).map(|i| (i * 53) % 256).collect();
+    g.bench_function("imc_dot_64feat_8b", |b| {
+        b.iter(|| {
+            let lanes = p.product_lanes(mac.cols());
+            let mut acc = 0u64;
+            for (xc, wc) in x.chunks(lanes).zip(w.chunks(lanes)) {
+                mac.write_mult_operands(0, p, xc).expect("fits");
+                mac.write_mult_operands(1, p, wc).expect("fits");
+                mac.mult(0, 1, 2, p).expect("mult");
+                acc += mac
+                    .read_products(2, p, xc.len())
+                    .expect("read")
+                    .iter()
+                    .sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_tables, bench_macro_ops);
+/// Limb-parallel engine vs the per-column structural reference, and the
+/// batched bank executor vs sequential execution of the same jobs.
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let chain = CarryChain::new(128, Precision::P8);
+    let a = BitRow::from_limbs(128, vec![0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210]);
+    let b = BitRow::from_limbs(128, vec![0x5555_AAAA_5555_AAAA, 0x0F0F_F0F0_0F0F_F0F0]);
+    let readout = bpimc_array::DualReadout {
+        and: &a & &b,
+        nor: BitRow::nor_of(&a, &b),
+    };
+    g.bench_function("chain_add_limb_parallel", |bch| {
+        bch.iter(|| black_box(chain.add(&readout, false)))
+    });
+    g.bench_function("chain_add_bitwise_reference", |bch| {
+        bch.iter(|| black_box(chain.add_bitwise(&readout, false)))
+    });
+
+    // Small batches measure dispatch overhead; the 2048-job batch is the
+    // executor's intended regime (enough work to amortize a worker wake).
+    let small: Vec<(u64, u64)> = (0..64).map(|i| (i % 256, (i * 7) % 256)).collect();
+    let big: Vec<(u64, u64)> = (0..2048).map(|i| (i % 256, (i * 7) % 256)).collect();
+    let run = |mac: &mut ImcMacro, job: &(u64, u64)| {
+        mac.write_mult_operands(0, Precision::P8, &[job.0])
+            .expect("fits");
+        mac.write_mult_operands(1, Precision::P8, &[job.1])
+            .expect("fits");
+        mac.mult(0, 1, 2, Precision::P8).expect("mult");
+        mac.read_products(2, Precision::P8, 1).expect("read")[0]
+    };
+    let mut bank = MacroBank::with_host_parallelism(MacroConfig::paper_macro());
+    let mut single = ImcMacro::new(MacroConfig::paper_macro());
+    g.bench_function("bank_batch_64_mults", |bch| {
+        bch.iter(|| black_box(bank.run_batch(&small, run)))
+    });
+    g.bench_function("sequential_64_mults", |bch| {
+        bch.iter(|| black_box(small.iter().map(|j| run(&mut single, j)).sum::<u64>()))
+    });
+    g.bench_function("bank_batch_2048_mults", |bch| {
+        bch.iter(|| black_box(bank.run_batch(&big, run)))
+    });
+    g.bench_function("sequential_2048_mults", |bch| {
+        bch.iter(|| black_box(big.iter().map(|j| run(&mut single, j)).sum::<u64>()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_tables,
+    bench_macro_ops,
+    bench_engine
+);
 criterion_main!(benches);

@@ -4,18 +4,144 @@
 //! repro all                 # everything (fig2 with default sample count)
 //! repro fig2 --samples 2000
 //! repro fig7a fig7b fig8 fig9 table1 table2 table3
+//! repro all --json          # also write BENCH_repro.json with wall-clock
+//!                           # and simulated-cycle numbers
 //! ```
 
-use bpimc_bench::experiments::{ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange};
+use bpimc_bench::experiments::{
+    ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange,
+};
+use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock + simulated-cycle numbers this PR and future perf PRs are
+/// measured by. Written to `BENCH_repro.json` by `--json`.
+struct BenchReport {
+    samples: usize,
+    seed: u64,
+    /// True when fig2 ran, i.e. `samples`/`seed` describe a real run.
+    ran_fig2: bool,
+    experiments: Vec<(String, f64)>,
+}
+
+/// The pre-refactor (seed, commit 85e31a3) numbers, measured on the same
+/// host as this PR's rewrite so the speedup claims in the PR are anchored
+/// in the artefact itself. See CHANGES.md for the methodology.
+const BASELINE_JSON: &str = r#"{
+    "commit": "85e31a3 (seed, per-bit engine, fixed-step integrator)",
+    "fig2_samples2000_wall_s": 53.5,
+    "nn_eval_400x64_p8_wall_s": 2.300,
+    "mult_p8_128col_us": 12.98,
+    "reduce_add_8rows_us": 7.15
+  }"#;
+
+impl BenchReport {
+    fn record<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.experiments
+            .push((name.to_string(), t0.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Simulated per-op cycle counts (Table I ground truth, precision-swept)
+    /// plus current host micro-timings for the hot ops.
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": 1,\n");
+        if self.ran_fig2 {
+            // Only a run that included fig2 has meaningful sample counts.
+            let _ = writeln!(s, "  \"samples\": {},", self.samples);
+            let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        }
+        s.push_str("  \"experiments_wall_s\": {\n");
+        for (i, (name, secs)) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    \"{name}\": {secs:.4}{comma}");
+        }
+        s.push_str("  },\n  \"simulated_cycles\": {\n");
+        let cycles = simulated_cycles();
+        for (i, (name, c)) in cycles.iter().enumerate() {
+            let comma = if i + 1 < cycles.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{name}\": {c}{comma}");
+        }
+        s.push_str("  },\n  \"micro_us\": {\n");
+        let micro = micro_timings();
+        for (i, (name, us)) in micro.iter().enumerate() {
+            let comma = if i + 1 < micro.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{name}\": {us:.3}{comma}");
+        }
+        let _ = writeln!(s, "  }},\n  \"baseline_pre_refactor\": {BASELINE_JSON}\n}}");
+        s
+    }
+}
+
+/// Runs each Table I op once and reports its hardware cycle count.
+fn simulated_cycles() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for p in [Precision::P2, Precision::P4, Precision::P8, Precision::P16] {
+        let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+        mac.write_words(0, p, &[1]).expect("fits");
+        mac.write_words(1, p, &[2]).expect("fits");
+        let add = mac.add(0, 1, 2, p).expect("add");
+        let sub = mac.sub(0, 1, 3, p).expect("sub");
+        let mut mm = ImcMacro::new(MacroConfig::paper_macro());
+        mm.write_mult_operands(0, p, &[1]).expect("fits");
+        mm.write_mult_operands(1, p, &[2]).expect("fits");
+        let mult = mm.mult(0, 1, 2, p).expect("mult");
+        let bits = p.bits();
+        out.push((format!("add_p{bits}"), add));
+        out.push((format!("sub_p{bits}"), sub));
+        out.push((format!("mult_p{bits}"), mult));
+    }
+    out
+}
+
+/// Quick host-side timings of the two hottest macro ops (microseconds per
+/// op; small sample, indicative rather than statistical — `cargo bench`
+/// has the criterion versions).
+fn micro_timings() -> Vec<(String, f64)> {
+    let p = Precision::P8;
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    mac.write_mult_operands(0, p, &[123; 8]).expect("fits");
+    mac.write_mult_operands(1, p, &[45; 8]).expect("fits");
+    let n = 2000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        mac.mult(0, 1, 2, p).expect("mult");
+        mac.clear_activity();
+    }
+    let mult_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    for r in 0..8 {
+        mac.write_words(3 + r, p, &[(r as u64 * 31) % 256; 16])
+            .expect("fits");
+    }
+    let rows: Vec<usize> = (3..11).collect();
+    let t0 = Instant::now();
+    for _ in 0..n {
+        mac.reduce_add(&rows, 12, p).expect("reduce");
+        mac.clear_activity();
+    }
+    let reduce_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    vec![
+        ("mult_p8_128col_us".into(), mult_us),
+        ("reduce_add_8rows_us".into(), reduce_us),
+    ]
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S]");
+        eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S] [--json]");
         std::process::exit(2);
     }
     let mut samples = 800usize;
     let mut seed = 2020u64;
+    let mut json = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -32,41 +158,56 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--json" => json = true,
             other => wanted.push(other.to_string()),
         }
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let mut report = BenchReport {
+        samples,
+        seed,
+        ran_fig2: false,
+        experiments: Vec::new(),
+    };
 
     if want("table1") {
-        println!("{}\n", table1::run());
+        println!("{}\n", report.record("table1", table1::run));
     }
     if want("fig7b") {
-        println!("{}\n", fig7b::run());
+        println!("{}\n", report.record("fig7b", fig7b::run));
     }
     if want("fig8") {
-        println!("{}\n", fig8::run());
+        println!("{}\n", report.record("fig8", fig8::run));
     }
     if want("fig9") {
-        println!("{}\n", fig9::run());
+        println!("{}\n", report.record("fig9", fig9::run));
     }
     if want("table2") {
-        println!("{}\n", table2::run());
+        println!("{}\n", report.record("table2", table2::run));
     }
     if want("table3") {
-        println!("{}\n", table3::run());
+        println!("{}\n", report.record("table3", table3::run));
     }
     if want("vrange") {
-        println!("{}\n", vrange::run());
+        println!("{}\n", report.record("vrange", vrange::run));
     }
     if want("ablation") {
-        println!("{}\n", ablation::run());
+        println!("{}\n", report.record("ablation", ablation::run));
     }
     if want("fig7a") {
-        println!("{}\n", fig7a::run());
+        println!("{}\n", report.record("fig7a", fig7a::run));
     }
     if want("fig2") {
-        println!("{}\n", fig2::run(samples, seed));
+        report.ran_fig2 = true;
+        println!("{}\n", report.record("fig2", || fig2::run(samples, seed)));
+    }
+
+    if json {
+        let path = "BENCH_repro.json";
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("wrote {path}");
     }
 }
 

@@ -77,8 +77,14 @@ pub fn run() -> AblationResult {
             let bench = BlComputeBench::new(128, env, WlScheme::ShortBoost { pulse_s });
             let cell = CellDevices::nominal(bench.sizing);
             let boost = BoostDevices::nominal(bench.boost_sizing);
-            let out = bench.run(&cell, &cell, &boost, &boost, false, true).expect("runs");
-            PulsePoint { pulse_s, delay_s: out.delay_s, margin_v: out.worst_margin() }
+            let out = bench
+                .run(&cell, &cell, &boost, &boost, false, true)
+                .expect("runs");
+            PulsePoint {
+                pulse_s,
+                delay_s: out.delay_s,
+                margin_v: out.worst_margin(),
+            }
         })
         .collect();
 
@@ -109,14 +115,19 @@ pub fn run() -> AblationResult {
         }
     }
 
-    AblationResult { pulse_sweep, no_boost_blt_final, no_boost_trips, separator }
+    AblationResult {
+        pulse_sweep,
+        no_boost_blt_final,
+        no_boost_trips,
+        separator,
+    }
 }
 
 /// A 140 ps pulse driving the standard two-cell column with NO booster:
 /// how far do the cells alone get the bit-line?
 fn no_boost_probe(env: Env) -> (f64, bool) {
-    use bpimc_circuit::{Circuit, Edge, SimOptions, Waveform};
     use bpimc_cell::sram6t::{build_cell, CellDevices, CellSizing};
+    use bpimc_circuit::{Circuit, Edge, SimOptions, Waveform};
     let vdd_v = env.vdd;
     let mut ckt = Circuit::new(env);
     let vdd = ckt.add_source("vdd", Waveform::dc(vdd_v));
@@ -128,7 +139,9 @@ fn no_boost_probe(env: Env) -> (f64, bool) {
     let _a = build_cell(&mut ckt, &devs, "a", blt, blb, wl, vdd, false);
     let _b = build_cell(&mut ckt, &devs, "b", blt, blb, wl, vdd, true);
     let tr = ckt.run(&SimOptions::for_window(3e-9));
-    let trips = tr.cross_time(blt, 0.5 * vdd_v, Edge::Falling, 0.2e-9).is_ok();
+    let trips = tr
+        .cross_time(blt, 0.5 * vdd_v, Edge::Falling, 0.2e-9)
+        .is_ok();
     (tr.last_voltage(blt), trips)
 }
 
@@ -188,7 +201,10 @@ mod tests {
     #[test]
     fn booster_is_load_bearing() {
         let r = run();
-        assert!(!r.no_boost_trips, "without the booster a 140 ps pulse must not trip the SA");
+        assert!(
+            !r.no_boost_trips,
+            "without the booster a 140 ps pulse must not trip the SA"
+        );
         assert!(
             r.no_boost_blt_final > 0.45,
             "cells alone leave most of the BL charge: {:.2} V",

@@ -54,9 +54,13 @@ impl Fig2Result {
     pub fn histogram(&self, scheme_prop: bool) -> Histogram {
         let mut h = Histogram::new(0.0e-9, 3.5e-9, 70);
         h.extend(
-            (if scheme_prop { &self.prop_delays } else { &self.wlud_delays })
-                .iter()
-                .copied(),
+            (if scheme_prop {
+                &self.prop_delays
+            } else {
+                &self.wlud_delays
+            })
+            .iter()
+            .copied(),
         );
         h
     }
@@ -96,16 +100,26 @@ impl fmt::Display for Fig2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let w = self.wlud_summary();
         let p = self.prop_summary();
-        writeln!(f, "Fig. 2 — BL computing delay distribution ({} MC samples, 0.9 V NN)", self.samples)?;
+        writeln!(
+            f,
+            "Fig. 2 — BL computing delay distribution ({} MC samples, 0.9 V NN)",
+            self.samples
+        )?;
         writeln!(
             f,
             "  WLUD (0.55 V WL):        mean {} | p50 {} | p99 {} | max {}",
-            ns(w.mean), ns(w.p50), ns(w.p99), ns(w.max)
+            ns(w.mean),
+            ns(w.p50),
+            ns(w.p99),
+            ns(w.max)
         )?;
         writeln!(
             f,
             "  Short WL (140 ps)+Boost: mean {} | p50 {} | p99 {} | max {}",
-            ns(p.mean), ns(p.p50), ns(p.p99), ns(p.max)
+            ns(p.mean),
+            ns(p.p50),
+            ns(p.p99),
+            ns(p.max)
         )?;
         writeln!(
             f,

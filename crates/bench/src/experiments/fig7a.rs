@@ -64,7 +64,11 @@ pub fn run() -> Fig7aResult {
             let prop = BlComputeBench::new(128, env, WlScheme::short_boost_140ps())
                 .nominal_delay(false, true)
                 .expect("proposed discharges");
-            CornerDelays { corner, wlud_s: wlud, prop_s: prop }
+            CornerDelays {
+                corner,
+                wlud_s: wlud,
+                prop_s: prop,
+            }
         })
         .collect();
     Fig7aResult { rows }

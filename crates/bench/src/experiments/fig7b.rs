@@ -68,7 +68,12 @@ impl fmt::Display for Fig7bResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 7(b) — FA critical path vs supply (28 nm, NN)")?;
         let mut t = TextTable::new([
-            "VDD", "Prop. FA (8b)", "Logic FA (8b)", "Prop. FA (16b)", "Logic FA (16b)", "speedup 16b",
+            "VDD",
+            "Prop. FA (8b)",
+            "Logic FA (8b)",
+            "Prop. FA (16b)",
+            "Logic FA (16b)",
+            "speedup 16b",
         ]);
         for p in &self.points {
             t.row([

@@ -55,7 +55,11 @@ pub fn run() -> Fig8Result {
             tops_mult_nosep: tops.tops_per_watt(Table2Op::Mult, Precision::P8, false, vdd),
         })
         .collect();
-    Fig8Result { breakdown, fractions, sweep }
+    Fig8Result {
+        breakdown,
+        fractions,
+        sweep,
+    }
 }
 
 impl fmt::Display for Fig8Result {
@@ -65,7 +69,11 @@ impl fmt::Display for Fig8Result {
         for (p, d, frac) in &self.fractions {
             t.row([format!("{p:?}"), ps(*d), format!("{:.1} %", frac * 100.0)]);
         }
-        t.row(["TOTAL".to_string(), ps(self.breakdown.total()), String::new()]);
+        t.row([
+            "TOTAL".to_string(),
+            ps(self.breakdown.total()),
+            String::new(),
+        ]);
         t.row([
             "cycle (pch hidden)".to_string(),
             ps(self.breakdown.cycle_time()),
@@ -73,8 +81,17 @@ impl fmt::Display for Fig8Result {
         ]);
         write!(f, "{}", t.render())?;
 
-        writeln!(f, "\nFig. 8 (right) — Fmax and TOPS/W vs supply (8-bit ops)")?;
-        let mut t = TextTable::new(["VDD", "Fmax", "ADD TOPS/W", "MULT TOPS/W (w/ sep)", "MULT TOPS/W (w/o sep)"]);
+        writeln!(
+            f,
+            "\nFig. 8 (right) — Fmax and TOPS/W vs supply (8-bit ops)"
+        )?;
+        let mut t = TextTable::new([
+            "VDD",
+            "Fmax",
+            "ADD TOPS/W",
+            "MULT TOPS/W (w/ sep)",
+            "MULT TOPS/W (w/o sep)",
+        ]);
         for p in &self.sweep {
             t.row([
                 format!("{:.1} V", p.vdd),
@@ -102,8 +119,16 @@ mod tests {
         // 0.6 V point: 372 MHz, ADD ~8.09, MULT ~0.68 TOPS/W.
         let p06 = r.sweep.iter().find(|p| (p.vdd - 0.6).abs() < 1e-9).unwrap();
         assert!((p06.fmax_hz - 372e6).abs() / 372e6 < 0.06);
-        assert!((p06.tops_add - 8.09).abs() / 8.09 < 0.15, "{}", p06.tops_add);
-        assert!((p06.tops_mult_sep - 0.68).abs() / 0.68 < 0.15, "{}", p06.tops_mult_sep);
+        assert!(
+            (p06.tops_add - 8.09).abs() / 8.09 < 0.15,
+            "{}",
+            p06.tops_add
+        );
+        assert!(
+            (p06.tops_mult_sep - 0.68).abs() / 0.68 < 0.15,
+            "{}",
+            p06.tops_mult_sep
+        );
     }
 
     #[test]

@@ -82,8 +82,10 @@ pub fn run() -> Fig9Result {
         mac.write_words(1, p, &vec![9; lanes]).expect("fits");
         let c_add = mac.add(0, 1, 2, p).expect("add");
         let c_sub = mac.sub(0, 1, 3, p).expect("sub");
-        mac.write_mult_operands(4, p, &vec![7; plane]).expect("fits");
-        mac.write_mult_operands(5, p, &vec![9; plane]).expect("fits");
+        mac.write_mult_operands(4, p, &vec![7; plane])
+            .expect("fits");
+        mac.write_mult_operands(5, p, &vec![9; plane])
+            .expect("fits");
         let c_mult = mac.mult(4, 5, 6, p).expect("mult");
 
         add.push(Fig9Cell {
@@ -115,7 +117,12 @@ pub fn run() -> Fig9Result {
             conv_words: BitSerialCycles::SIMD_LANES,
         });
     }
-    Fig9Result { add, sub, mult, mult_strict }
+    Fig9Result {
+        add,
+        sub,
+        mult,
+        mult_strict,
+    }
 }
 
 impl fmt::Display for Fig9Result {
@@ -151,8 +158,16 @@ mod tests {
     fn anchors_match_the_paper_labels() {
         let r = run();
         // ADD at BL=128: x0.38; MULT (dense) at BL=128: x1.19.
-        assert!((r.add[0].ratio() - 0.38).abs() < 0.01, "{}", r.add[0].ratio());
-        assert!((r.mult[0].ratio() - 1.19).abs() < 0.01, "{}", r.mult[0].ratio());
+        assert!(
+            (r.add[0].ratio() - 0.38).abs() < 0.01,
+            "{}",
+            r.add[0].ratio()
+        );
+        assert!(
+            (r.mult[0].ratio() - 1.19).abs() < 0.01,
+            "{}",
+            r.mult[0].ratio()
+        );
         // MULT at BL=1024 (dense): ~0.15 (paper label 0.19).
         assert!(r.mult[3].ratio() < 0.2);
     }

@@ -40,9 +40,17 @@ pub fn run() -> Table1Result {
             measured_8b: cycles,
         });
     };
-    push("NAND/AND", "1", mac.logic(LogicOp::And, 0, 1, 2).expect("op"));
+    push(
+        "NAND/AND",
+        "1",
+        mac.logic(LogicOp::And, 0, 1, 2).expect("op"),
+    );
     push("NOR/OR", "1", mac.logic(LogicOp::Nor, 0, 1, 2).expect("op"));
-    push("XNOR/XOR", "1", mac.logic(LogicOp::Xor, 0, 1, 2).expect("op"));
+    push(
+        "XNOR/XOR",
+        "1",
+        mac.logic(LogicOp::Xor, 0, 1, 2).expect("op"),
+    );
     push("NOT", "1", mac.not(0, 2).expect("op"));
     push("Shift (<<1)", "1", mac.shl(0, 2, p).expect("op"));
     push("ADD", "1", mac.add(0, 1, 2, p).expect("op"));
@@ -69,10 +77,17 @@ impl Table1Result {
 
 impl fmt::Display for Table1Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table I — supported operations and cycles (measured @ 8-bit)")?;
+        writeln!(
+            f,
+            "Table I — supported operations and cycles (measured @ 8-bit)"
+        )?;
         let mut t = TextTable::new(["operation", "paper", "measured (N=8)"]);
         for r in &self.rows {
-            t.row([r.operation.clone(), r.paper_cycles.clone(), r.measured_8b.to_string()]);
+            t.row([
+                r.operation.clone(),
+                r.paper_cycles.clone(),
+                r.measured_8b.to_string(),
+            ]);
         }
         write!(f, "{}", t.render())?;
         writeln!(f, "all rows match: {}", self.all_match())

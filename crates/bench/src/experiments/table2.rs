@@ -16,18 +16,34 @@ pub struct Table2Result {
 
 /// Runs the calibration and packages the comparison.
 pub fn run() -> Table2Result {
-    Table2Result { report: calibrate() }
+    Table2Result {
+        report: calibrate(),
+    }
 }
 
 impl fmt::Display for Table2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table II — energy per operation [fJ] @ 0.9 V (model vs paper)")?;
-        let mut t = TextTable::new(["operation", "precision", "separator", "paper", "model", "rel. err"]);
+        writeln!(
+            f,
+            "Table II — energy per operation [fJ] @ 0.9 V (model vs paper)"
+        )?;
+        let mut t = TextTable::new([
+            "operation",
+            "precision",
+            "separator",
+            "paper",
+            "model",
+            "rel. err",
+        ]);
         for (cell, model, rel) in &self.report.cells {
             t.row([
                 format!("{:?}", cell.op),
                 cell.precision.to_string(),
-                if cell.separator { "w/".to_string() } else { "w/o".to_string() },
+                if cell.separator {
+                    "w/".to_string()
+                } else {
+                    "w/o".to_string()
+                },
                 format!("{:.1}", cell.paper_fj),
                 format!("{model:.1}"),
                 format!("{:+.1} %", rel * 100.0),

@@ -49,20 +49,32 @@ pub fn run() -> Table3Result {
         tops_w_mult: tops.tops_per_watt(Table2Op::Mult, Precision::P8, true, 0.6),
         tops_w_add: tops.tops_per_watt(Table2Op::Add, Precision::P8, true, 0.6),
     };
-    Table3Result { cited: TABLE3_ROWS, proposed }
+    Table3Result {
+        cited: TABLE3_ROWS,
+        proposed,
+    }
 }
 
 impl fmt::Display for Table3Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table III — comparison with the state of the art")?;
         let mut t = TextTable::new([
-            "design", "area ovh", "cell", "read-disturb fix", "supply", "array", "max freq",
-            "reconfig", "TOPS/W MULT", "TOPS/W ADD",
+            "design",
+            "area ovh",
+            "cell",
+            "read-disturb fix",
+            "supply",
+            "array",
+            "max freq",
+            "reconfig",
+            "TOPS/W MULT",
+            "TOPS/W ADD",
         ]);
         for r in &self.cited {
             t.row([
                 r.reference.to_string(),
-                r.area_overhead.map_or("-".into(), |a| format!("*{:.1} %", a * 100.0)),
+                r.area_overhead
+                    .map_or("-".into(), |a| format!("*{:.1} %", a * 100.0)),
                 r.cell_type.to_string(),
                 r.read_disturb_fix.to_string(),
                 format!("{:.1}-{:.1} V", r.supply_v.0, r.supply_v.1),
@@ -87,7 +99,10 @@ impl fmt::Display for Table3Result {
             format!("{:.2} (0.6 V)", p.tops_w_add),
         ]);
         write!(f, "{}", t.render())?;
-        writeln!(f, "* array area overhead not included for cited designs (paper footnote)")
+        writeln!(
+            f,
+            "* array area overhead not included for cited designs (paper footnote)"
+        )
     }
 }
 
@@ -99,7 +114,11 @@ mod tests {
     fn proposed_row_matches_paper_headlines() {
         let r = run();
         let p = r.proposed;
-        assert!((p.area_overhead - 0.052).abs() < 0.005, "area {}", p.area_overhead);
+        assert!(
+            (p.area_overhead - 0.052).abs() < 0.005,
+            "area {}",
+            p.area_overhead
+        );
         assert!((p.fmax_hz - 2.25e9).abs() / 2.25e9 < 0.02);
         assert!((p.fmax_0v6_hz - 372e6).abs() / 372e6 < 0.06);
         assert!((p.tops_w_mult - 0.68).abs() / 0.68 < 0.15);

@@ -102,8 +102,18 @@ pub fn run() -> VrangeResult {
 
 impl fmt::Display for VrangeResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Supply-range validation — short WL + boost, 0.6-1.1 V (circuit level)")?;
-        let mut t = TextTable::new(["VDD", "pulse", "BL delay", "margin", "state", "delay vs model"]);
+        writeln!(
+            f,
+            "Supply-range validation — short WL + boost, 0.6-1.1 V (circuit level)"
+        )?;
+        let mut t = TextTable::new([
+            "VDD",
+            "pulse",
+            "BL delay",
+            "margin",
+            "state",
+            "delay vs model",
+        ]);
         let scaling = self.scaling_comparison();
         for (p, (_, meas, pred)) in self.points.iter().zip(&scaling) {
             t.row([
@@ -111,12 +121,20 @@ impl fmt::Display for VrangeResult {
                 format!("{:.0} ps", p.pulse_s * 1e12),
                 p.delay_s.map_or("FAIL".into(), ns),
                 format!("{:.0} mV", p.margin_v * 1e3),
-                if p.flipped { "FLIPPED".into() } else { "ok".to_string() },
+                if p.flipped {
+                    "FLIPPED".into()
+                } else {
+                    "ok".to_string()
+                },
                 format!("x{meas:.2} (law x{pred:.2})"),
             ]);
         }
         write!(f, "{}", t.render())?;
-        writeln!(f, "operational at every point: {}", self.operational_everywhere())
+        writeln!(
+            f,
+            "operational at every point: {}",
+            self.operational_everywhere()
+        )
     }
 }
 
@@ -145,7 +163,10 @@ mod tests {
                 continue;
             }
             let rel = (measured - predicted).abs() / predicted;
-            assert!(rel < 0.40, "{vdd} V: measured x{measured:.2} vs law x{predicted:.2}");
+            assert!(
+                rel < 0.40,
+                "{vdd} V: measured x{measured:.2} vs law x{predicted:.2}"
+            );
         }
     }
 

@@ -12,7 +12,10 @@ pub struct TextTable {
 impl TextTable {
     /// A table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

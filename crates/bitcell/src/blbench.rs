@@ -167,7 +167,14 @@ impl BlComputeBench {
             (None, None)
         };
 
-        let nodes = BenchNodes { blt, blb, cell_a: nodes_a, cell_b: nodes_b, mirror_t, mirror_b };
+        let nodes = BenchNodes {
+            blt,
+            blb,
+            cell_a: nodes_a,
+            cell_b: nodes_b,
+            mirror_t,
+            mirror_b,
+        };
         (ckt, nodes)
     }
 
@@ -198,7 +205,11 @@ impl BlComputeBench {
             None
         };
         let margin = |cell: &CellNodes, stores_one: bool| -> f64 {
-            let (hi, lo) = if stores_one { (cell.q, cell.qb) } else { (cell.qb, cell.q) };
+            let (hi, lo) = if stores_one {
+                (cell.q, cell.qb)
+            } else {
+                (cell.qb, cell.q)
+            };
             // Worst instantaneous separation of the storage nodes during and
             // after the access window.
             let mut worst = f64::INFINITY;
@@ -213,9 +224,8 @@ impl BlComputeBench {
         };
         let margin_a = margin(&nodes.cell_a, a);
         let margin_b = margin(&nodes.cell_b, b);
-        let final_state = |cell: &CellNodes| {
-            trace.last_voltage(cell.q) > trace.last_voltage(cell.qb)
-        };
+        let final_state =
+            |cell: &CellNodes| trace.last_voltage(cell.q) > trace.last_voltage(cell.qb);
         let flipped = final_state(&nodes.cell_a) != a || final_state(&nodes.cell_b) != b;
         let _ = t_end;
         BlOutcome {
@@ -299,13 +309,14 @@ mod tests {
 
     #[test]
     fn nominal_accesses_do_not_flip_cells() {
-        for scheme in [
-            WlScheme::Wlud { v_wl: 0.55 },
-            WlScheme::short_boost_140ps(),
-        ] {
+        for scheme in [WlScheme::Wlud { v_wl: 0.55 }, WlScheme::short_boost_140ps()] {
             let out = nominal_outcome(scheme, false, true);
             assert!(!out.flipped, "{scheme:?} flipped a nominal cell");
-            assert!(out.worst_margin() > 0.1, "{scheme:?} margin {}", out.worst_margin());
+            assert!(
+                out.worst_margin() > 0.1,
+                "{scheme:?} margin {}",
+                out.worst_margin()
+            );
         }
     }
 
@@ -327,8 +338,14 @@ mod tests {
         let bench = BlComputeBench::new(128, Env::nominal(), WlScheme::short_boost_140ps());
         let cell = CellDevices::nominal(bench.sizing);
         let boost = BoostDevices::nominal(bench.boost_sizing);
-        let out = bench.run(&cell, &cell, &boost, &boost, false, true).unwrap();
+        let out = bench
+            .run(&cell, &cell, &boost, &boost, false, true)
+            .unwrap();
         assert!(out.delay_s.is_some(), "boosted scheme completes the swing");
-        assert!(out.blt_final < 0.2, "boost should drive BLT low, got {}", out.blt_final);
+        assert!(
+            out.blt_final < 0.2,
+            "boost should drive BLT low, got {}",
+            out.blt_final
+        );
     }
 }

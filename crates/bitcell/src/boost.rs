@@ -32,7 +32,12 @@ pub struct BoostSizing {
 impl BoostSizing {
     /// Default booster sizing.
     pub fn default_28nm() -> Self {
-        Self { w_p0_nm: 320.0, w_n_nm: 400.0, w_rst_nm: 100.0, l_nm: 30.0 }
+        Self {
+            w_p0_nm: 320.0,
+            w_n_nm: 400.0,
+            w_rst_nm: 100.0,
+            l_nm: 30.0,
+        }
     }
 }
 
@@ -154,14 +159,21 @@ mod tests {
         let (ckt, bl, mirror) = boost_bench(true);
         let tr = ckt.run(&SimOptions::for_window(2.5e-9));
         assert!(tr.last_voltage(mirror) > 0.5, "mirror should latch high");
-        assert!(tr.last_voltage(bl) < 0.1, "boost should complete the discharge");
+        assert!(
+            tr.last_voltage(bl) < 0.1,
+            "boost should complete the discharge"
+        );
     }
 
     #[test]
     fn booster_stays_quiet_on_a_high_bl() {
         let (ckt, bl, mirror) = boost_bench(false);
         let tr = ckt.run(&SimOptions::for_window(2.5e-9));
-        assert!(tr.last_voltage(bl) > 0.8, "BL must stay high, got {}", tr.last_voltage(bl));
+        assert!(
+            tr.last_voltage(bl) > 0.8,
+            "BL must stay high, got {}",
+            tr.last_voltage(bl)
+        );
         assert!(
             tr.last_voltage(mirror) < 0.3,
             "mirror must stay low, got {}",
@@ -177,11 +189,17 @@ mod tests {
         let mut ckt = Circuit::new(env);
         let vdd = ckt.add_source("vdd", Waveform::dc(env.vdd));
         let bl = ckt.add_node("bl", 18e-15, env.vdd);
-        let bstrs = ckt.add_source("bstrs", Waveform::pulse(0.0, env.vdd, 5e-12, 150e-12, 10e-12));
+        let bstrs = ckt.add_source(
+            "bstrs",
+            Waveform::pulse(0.0, env.vdd, 5e-12, 150e-12, 10e-12),
+        );
         let bsten = ckt.add_source("bsten", Waveform::dc(0.0));
         let devs = BoostDevices::nominal(BoostSizing::default_28nm());
         let _mirror = build_boost(&mut ckt, &devs, "b", bl, bstrs, bsten, vdd);
-        let wl = ckt.add_source("wl", Waveform::pulse(0.0, env.vdd, 200e-12, 140e-12, 15e-12));
+        let wl = ckt.add_source(
+            "wl",
+            Waveform::pulse(0.0, env.vdd, 200e-12, 140e-12, 15e-12),
+        );
         ckt.add_mosfet(Mosfet::nmos(VtFlavor::Rvt, 60.0, 30.0), bl, wl, ckt.gnd());
         let tr = ckt.run(&SimOptions::for_window(2.5e-9));
         let v_bl = tr.last_voltage(bl);

@@ -103,16 +103,12 @@ pub fn calibrate_wlud(
     n: usize,
     seed: u64,
 ) -> IsoFailureCalibration {
-    calibrate(
-        target,
-        0.45,
-        env.vdd,
-        8,
-        |v_wl| {
-            let bench = BlComputeBench::new(rows, env, WlScheme::Wlud { v_wl });
-            DisturbStudy::new(bench, mismatch).failure_fit(n, seed).failure_probability()
-        },
-    )
+    calibrate(target, 0.45, env.vdd, 8, |v_wl| {
+        let bench = BlComputeBench::new(rows, env, WlScheme::Wlud { v_wl });
+        DisturbStudy::new(bench, mismatch)
+            .failure_fit(n, seed)
+            .failure_probability()
+    })
 }
 
 /// Binary-searches the short-WL pulse width whose disturb failure rate hits
@@ -125,16 +121,12 @@ pub fn calibrate_pulse(
     n: usize,
     seed: u64,
 ) -> IsoFailureCalibration {
-    calibrate(
-        target,
-        60e-12,
-        600e-12,
-        8,
-        |pulse_s| {
-            let bench = BlComputeBench::new(rows, env, WlScheme::ShortBoost { pulse_s });
-            DisturbStudy::new(bench, mismatch).failure_fit(n, seed).failure_probability()
-        },
-    )
+    calibrate(target, 60e-12, 600e-12, 8, |pulse_s| {
+        let bench = BlComputeBench::new(rows, env, WlScheme::ShortBoost { pulse_s });
+        DisturbStudy::new(bench, mismatch)
+            .failure_fit(n, seed)
+            .failure_probability()
+    })
 }
 
 /// Monotone bisection: `f` must be non-decreasing in its parameter.
@@ -156,7 +148,11 @@ fn calibrate<F: Fn(f64) -> f64>(
         best = (lo + hi) / 2.0;
         achieved = f(best);
     }
-    IsoFailureCalibration { param: best, achieved, target }
+    IsoFailureCalibration {
+        param: best,
+        achieved,
+        target,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ pub struct SenseAmp {
 impl SenseAmp {
     /// The default SA: trips at VDD/2 and resolves in 30 ps.
     pub fn default_28nm() -> Self {
-        Self { trip_frac: 0.5, resolve_s: 30e-12 }
+        Self {
+            trip_frac: 0.5,
+            resolve_s: 30e-12,
+        }
     }
 
     /// Absolute trip voltage at a given supply.

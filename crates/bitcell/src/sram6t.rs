@@ -24,7 +24,12 @@ pub struct CellSizing {
 impl CellSizing {
     /// The default high-density 28 nm cell.
     pub fn hd28() -> Self {
-        Self { w_pd_nm: 120.0, w_pu_nm: 60.0, w_ax_nm: 90.0, l_nm: 30.0 }
+        Self {
+            w_pd_nm: 120.0,
+            w_pu_nm: 60.0,
+            w_ax_nm: 90.0,
+            l_nm: 30.0,
+        }
     }
 
     /// Read beta ratio (pull-down strength over access strength).
@@ -74,11 +79,7 @@ impl CellDevices {
     }
 
     /// Draws a mismatched instance of every device.
-    pub fn sampled<R: Rng + ?Sized>(
-        sizing: CellSizing,
-        mm: &MismatchModel,
-        rng: &mut R,
-    ) -> Self {
+    pub fn sampled<R: Rng + ?Sized>(sizing: CellSizing, mm: &MismatchModel, rng: &mut R) -> Self {
         let n = Self::nominal(sizing);
         Self {
             pd_l: mm.sample(&n.pd_l, rng),
@@ -108,6 +109,7 @@ const CELL_NODE_CAP: f64 = 0.10e-15;
 /// `stores_one` sets the initial state: `true` puts `q` at VDD (`Q = 1`).
 /// The word-line node `wl` gates both access devices; `vdd` supplies the
 /// pull-ups.
+#[allow(clippy::too_many_arguments)]
 pub fn build_cell(
     ckt: &mut Circuit,
     devs: &CellDevices,
@@ -119,7 +121,11 @@ pub fn build_cell(
     stores_one: bool,
 ) -> CellNodes {
     let vdd_v = ckt.env().vdd;
-    let (q0, qb0) = if stores_one { (vdd_v, 0.0) } else { (0.0, vdd_v) };
+    let (q0, qb0) = if stores_one {
+        (vdd_v, 0.0)
+    } else {
+        (0.0, vdd_v)
+    };
     let q = ckt.add_node(&format!("{label}.q"), CELL_NODE_CAP, q0);
     let qb = ckt.add_node(&format!("{label}.qb"), CELL_NODE_CAP, qb0);
     let gnd = ckt.gnd();

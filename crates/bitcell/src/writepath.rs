@@ -65,7 +65,11 @@ impl WritePathBench {
         // Separator: an NMOS/PMOS transmission gate between the segments.
         // `separator_on = true` means the paper's feature is ACTIVE, i.e. the
         // gate is OFF and the main BL is disconnected.
-        let (g_n, g_p) = if separator_on { (0.0, vdd_v) } else { (vdd_v, 0.0) };
+        let (g_n, g_p) = if separator_on {
+            (0.0, vdd_v)
+        } else {
+            (vdd_v, 0.0)
+        };
         let sep_n_gate = ckt.add_source("sep_n", Waveform::dc(g_n));
         let sep_p_gate = ckt.add_source("sep_p", Waveform::dc(g_p));
         ckt.add_mosfet(

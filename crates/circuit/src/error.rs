@@ -26,7 +26,10 @@ impl fmt::Display for CircuitError {
         match self {
             CircuitError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
             CircuitError::NoCrossing { node, level } => {
-                write!(f, "node `{node}` never crossed {level} V in the simulated window")
+                write!(
+                    f,
+                    "node `{node}` never crossed {level} V in the simulated window"
+                )
             }
             CircuitError::StepLimitExceeded { at } => {
                 write!(f, "integrator sub-step limit exceeded at t = {at:.3e} s")
@@ -45,7 +48,10 @@ mod tests {
     fn display_messages() {
         let e = CircuitError::UnknownNode("bl".into());
         assert!(e.to_string().contains("bl"));
-        let e = CircuitError::NoCrossing { node: "bl".into(), level: 0.45 };
+        let e = CircuitError::NoCrossing {
+            node: "bl".into(),
+            level: 0.45,
+        };
         assert!(e.to_string().contains("0.45"));
         let e = CircuitError::StepLimitExceeded { at: 1e-9 };
         assert!(e.to_string().contains("sub-step"));

@@ -37,26 +37,10 @@ where
     T: Send,
     F: Fn(usize, &mut StdRng) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads.max(1));
-    crossbeam::scope(|scope| {
-        for (c, slot) in results.chunks_mut(chunk.max(1)).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let i = c * chunk + j;
-                    let mut rng = sample_rng(seed, i as u64);
-                    *out = Some(f(i, &mut rng));
-                }
-            });
-        }
+    bpimc_stats::parallel::par_indexed_map(n, |i| {
+        let mut rng = sample_rng(seed, i as u64);
+        f(i, &mut rng)
     })
-    .expect("monte-carlo worker panicked");
-    results.into_iter().map(|x| x.expect("all samples filled")).collect()
 }
 
 /// Convenience wrapper returning `f64` samples (the common case: a measured

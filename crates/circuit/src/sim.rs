@@ -6,9 +6,13 @@ use bpimc_device::{DeviceKind, Env, Mosfet, ProcessLibrary};
 
 /// Options controlling a transient run.
 ///
-/// The defaults (0.5 ps base step, 20 mV per-step voltage guard with
-/// sub-stepping) are tuned for the femtofarad-scale SRAM nets this workspace
-/// simulates; [`SimOptions::for_window`] is the common entry point.
+/// The integrator is adaptive: each step is sized so no state node moves
+/// more than `dv_max`, shrinking into fast transients (down to
+/// `dt / 2^max_depth`) and growing through quiet regions (up to
+/// `dt * max_growth`). The 20 mV guard matches the original fixed-step
+/// integrator's sub-stepping criterion, so accuracy in active regions is
+/// unchanged while quiescent tails cost almost nothing.
+/// [`SimOptions::for_window`] is the common entry point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimOptions {
     /// End of the simulated window, seconds.
@@ -18,10 +22,13 @@ pub struct SimOptions {
     /// Trace storage interval, seconds (decimation of the raw steps).
     pub store_dt: f64,
     /// Maximum allowed per-node voltage change per step before the step is
-    /// recursively halved (volts).
+    /// shrunk (volts). Also bounds the accepted Heun corrector error.
     pub dv_max: f64,
-    /// Maximum halving depth before giving up and accepting the step.
+    /// Maximum halving depth below the base step for fast transients.
     pub max_depth: u32,
+    /// Maximum step growth factor above the base step in quiet regions.
+    /// `1.0` reproduces the original fixed-step behaviour.
+    pub max_growth: f64,
 }
 
 impl SimOptions {
@@ -38,6 +45,7 @@ impl SimOptions {
             store_dt: 1.0e-12,
             dv_max: 0.02,
             max_depth: 10,
+            max_growth: 64.0,
         }
     }
 
@@ -45,6 +53,13 @@ impl SimOptions {
     pub fn with_dt(mut self, dt: f64) -> Self {
         assert!(dt > 0.0, "dt must be positive");
         self.dt = dt;
+        self
+    }
+
+    /// Returns a copy with a different quiet-region growth cap.
+    pub fn with_max_growth(mut self, g: f64) -> Self {
+        assert!(g >= 1.0, "growth cap must be at least 1");
+        self.max_growth = g;
         self
     }
 }
@@ -83,11 +98,12 @@ impl CompiledMos {
         }
     }
 
-    /// Drain current magnitude; must match `Mosfet::id` (tested below).
+    /// Drain current magnitude plus the output conductance `d id / d vds`
+    /// (used by the integrator's stiffness damping).
     #[inline]
-    fn id(&self, vgs: f64, vds: f64) -> f64 {
+    fn id_g(&self, vgs: f64, vds: f64) -> (f64, f64) {
         if vds <= 0.0 {
-            return 0.0;
+            return (0.0, 0.0);
         }
         let x = (vgs - self.vt) / self.phi;
         let soft = if x > 30.0 {
@@ -100,7 +116,11 @@ impl CompiledMos {
         let veff = self.phi * soft;
         let idsat = self.keff * veff.powf(self.alpha);
         let vdsat = (self.sat_frac * veff).max(self.vdsat_min);
-        idsat * (vds / vdsat).tanh() * (1.0 + self.lambda * vds)
+        let th = (vds / vdsat).tanh();
+        let clm = 1.0 + self.lambda * vds;
+        let i = idsat * th * clm;
+        let g = idsat * ((1.0 - th * th) / vdsat * clm + th * self.lambda);
+        (i, g)
     }
 }
 
@@ -134,11 +154,17 @@ impl<'a> Transient<'a> {
             .iter()
             .map(|&(a, b, r)| (a.0, b.0, 1.0 / r))
             .collect();
-        Self { ckt, opts: *opts, caps, mosfets, conductors }
+        Self {
+            ckt,
+            opts: *opts,
+            caps,
+            mosfets,
+            conductors,
+        }
     }
 
-    /// Sums element currents into `dvdt` (as dV/dt, i.e. already divided by
-    /// the node capacitance; driven/ground nodes get zero).
+    /// Element currents as dV/dt only (no conductance bookkeeping): the
+    /// corrector stage needs just the slopes.
     fn derivatives(&self, v: &[f64], dvdt: &mut [f64]) {
         dvdt.fill(0.0);
         for &(a, b, gcond) in &self.conductors {
@@ -147,14 +173,17 @@ impl<'a> Transient<'a> {
             dvdt[b] += i;
         }
         for m in &self.mosfets {
-            let (hi, lo) = if v[m.d] >= v[m.s] { (m.d, m.s) } else { (m.s, m.d) };
+            let (hi, lo) = if v[m.d] >= v[m.s] {
+                (m.d, m.s)
+            } else {
+                (m.s, m.d)
+            };
             let vds = v[hi] - v[lo];
             let vgs = match m.kind {
                 DeviceKind::Nmos => v[m.g] - v[lo],
                 DeviceKind::Pmos => v[hi] - v[m.g],
             };
-            let i = m.id(vgs, vds);
-            // Conventional current flows hi -> lo through the channel.
+            let (i, _) = m.id_g(vgs, vds);
             dvdt[hi] -= i;
             dvdt[lo] += i;
         }
@@ -163,6 +192,49 @@ impl<'a> Transient<'a> {
                 dvdt[i] /= c;
             } else {
                 dvdt[i] = 0.0;
+            }
+        }
+    }
+
+    /// Accumulates each node's derivative and also its
+    /// local stiffness rate `gc[i] = G_i / C_i` (1/s), where `G_i` is the
+    /// summed small-signal conductance hanging on node `i`. The integrator
+    /// uses it to damp nodes whose time constant is far below the step.
+    fn derivatives_g(&self, v: &[f64], dvdt: &mut [f64], gc: &mut [f64]) {
+        dvdt.fill(0.0);
+        gc.fill(0.0);
+        for &(a, b, gcond) in &self.conductors {
+            let i = (v[a] - v[b]) * gcond;
+            dvdt[a] -= i;
+            dvdt[b] += i;
+            gc[a] += gcond;
+            gc[b] += gcond;
+        }
+        for m in &self.mosfets {
+            let (hi, lo) = if v[m.d] >= v[m.s] {
+                (m.d, m.s)
+            } else {
+                (m.s, m.d)
+            };
+            let vds = v[hi] - v[lo];
+            let vgs = match m.kind {
+                DeviceKind::Nmos => v[m.g] - v[lo],
+                DeviceKind::Pmos => v[hi] - v[m.g],
+            };
+            let (i, g) = m.id_g(vgs, vds);
+            // Conventional current flows hi -> lo through the channel.
+            dvdt[hi] -= i;
+            dvdt[lo] += i;
+            gc[hi] += g;
+            gc[lo] += g;
+        }
+        for (i, c) in self.caps.iter().enumerate() {
+            if c.is_finite() {
+                dvdt[i] /= c;
+                gc[i] /= c;
+            } else {
+                dvdt[i] = 0.0;
+                gc[i] = 0.0;
             }
         }
     }
@@ -178,31 +250,21 @@ impl<'a> Transient<'a> {
         }
     }
 
-    /// Advances `v` from `t` by `dt` with Heun's method, recursively halving
-    /// while any state node would move more than `dv_max` in one step.
-    fn step(&self, t: f64, dt: f64, v: &mut [f64], k1: &mut [f64], k2: &mut [f64], tmp: &mut [f64], depth: u32) {
-        self.derivatives(v, k1);
-        let worst = k1
-            .iter()
-            .map(|d| (d * dt).abs())
-            .fold(0.0_f64, f64::max);
-        if worst > self.opts.dv_max && depth < self.opts.max_depth {
-            let half = dt / 2.0;
-            self.step(t, half, v, k1, k2, tmp, depth + 1);
-            self.step(t + half, half, v, k1, k2, tmp, depth + 1);
-            return;
+    /// The fastest any driven node moves across `[t, t + dt]`, volts.
+    /// Sampled at the midpoint too, so a grown step cannot leap over a
+    /// whole pulse whose endpoints happen to match (pulses shorter than
+    /// `dt / 2` could still be missed; the integrator caps growth well
+    /// below the shortest waveform feature the benches use).
+    fn source_slew(&self, t: f64, dt: f64, v: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, k) in self.ckt.kinds.iter().enumerate() {
+            if let NodeKind::Driven { wave } = k {
+                for q in [0.5, 1.0] {
+                    worst = worst.max((wave.at(t + q * dt) - v[i]).abs());
+                }
+            }
         }
-        // Heun: predictor at t+dt, then trapezoidal correction.
-        tmp.copy_from_slice(v);
-        for i in 0..v.len() {
-            tmp[i] += k1[i] * dt;
-        }
-        self.apply_sources(t + dt, tmp);
-        self.derivatives(tmp, k2);
-        for i in 0..v.len() {
-            v[i] += 0.5 * (k1[i] + k2[i]) * dt;
-        }
-        self.apply_sources(t + dt, v);
+        worst
     }
 
     pub(crate) fn run(&self) -> Trace {
@@ -216,20 +278,84 @@ impl<'a> Transient<'a> {
         let mut trace = Trace::new(self.ckt.names.clone());
         trace.push(0.0, &v);
 
-        let steps = (self.opts.t_stop / self.opts.dt).ceil() as usize;
+        let dv_max = self.opts.dv_max;
+        let dt_min = self.opts.dt / f64::from(1u32 << self.opts.max_depth.min(30));
+        let dt_max = self.opts.dt * self.opts.max_growth.max(1.0);
+        // Driven edges (e.g. a 15 ps WL edge) must be walked through, not
+        // leapt over; allow a little more swing per step than state nodes
+        // get since sources are exact by construction.
+        let src_dv_max = 2.0 * dv_max;
+
+        let mut gc = vec![0.0; n];
+        let mut t = 0.0f64;
+        let mut dt_next = self.opts.dt;
         let mut next_store = self.opts.store_dt;
-        for i in 0..steps {
-            let t = i as f64 * self.opts.dt;
-            let dt = self.opts.dt.min(self.opts.t_stop - t);
-            if dt <= 0.0 {
-                break;
+        while t < self.opts.t_stop - 1e-18 {
+            self.derivatives_g(&v, &mut k1, &mut gc);
+            // Accuracy/stability guard: the same `dv_max` per-step movement
+            // criterion the fixed-step integrator enforced by recursive
+            // halving, but solved for dt. A node damped by its own local
+            // conductance moves `|k1| * dt / (1 + dt * gc)`, which stays
+            // below dv_max for ANY dt once `|k1| / gc <= dv_max` — such
+            // nodes (stiff, near their local equilibrium) do not limit the
+            // step at all.
+            let mut dt_step = dt_next.min(self.opts.t_stop - t);
+            for i in 0..n {
+                let denom = k1[i].abs() - dv_max * gc[i];
+                if denom > 0.0 {
+                    dt_step = dt_step.min(dv_max / denom);
+                }
             }
-            self.step(t, dt, &mut v, &mut k1, &mut k2, &mut tmp, 0);
-            let t_new = t + dt;
-            if t_new + 1e-18 >= next_store {
-                trace.push(t_new, &v);
-                next_store += self.opts.store_dt;
+            dt_step = dt_step.max(dt_min).min(self.opts.t_stop - t);
+            while dt_step > self.opts.dt && self.source_slew(t, dt_step, &v) > src_dv_max {
+                dt_step *= 0.5;
             }
+
+            // Predictor at t+dt (stiff nodes damped), then trapezoidal
+            // correction for the smooth nodes.
+            tmp.copy_from_slice(&v);
+            for i in 0..n {
+                tmp[i] += k1[i] * dt_step / (1.0 + gc[i] * dt_step);
+            }
+            self.apply_sources(t + dt_step, &mut tmp);
+            self.derivatives(&tmp, &mut k2);
+            let mut err = 0.0f64;
+            for i in 0..n {
+                if gc[i] * dt_step <= 1.0 {
+                    err = err.max((k2[i] - k1[i]).abs() * dt_step * 0.5);
+                }
+            }
+            if err > dv_max && dt_step > dt_min * 1.5 {
+                // Corrector disagrees hard on a smooth node: retry smaller.
+                dt_next = (dt_step * 0.5).max(dt_min);
+                continue;
+            }
+            for i in 0..n {
+                let r = gc[i] * dt_step;
+                if r > 1.0 {
+                    // Stiff: diagonally-implicit Euler — unconditionally
+                    // stable, converges to the node's local equilibrium.
+                    v[i] += k1[i] * dt_step / (1.0 + r);
+                } else {
+                    v[i] += 0.5 * (k1[i] + k2[i]) * dt_step;
+                }
+            }
+            self.apply_sources(t + dt_step, &mut v);
+            t += dt_step;
+
+            if t + 1e-18 >= next_store {
+                trace.push(t, &v);
+                next_store = t + self.opts.store_dt;
+            }
+            // Grow through quiet stretches, hold steady otherwise.
+            dt_next = if err < 0.25 * dv_max {
+                (dt_step * 2.0).min(dt_max)
+            } else {
+                dt_step.min(dt_max)
+            };
+        }
+        if trace.times().last().copied() != Some(t) {
+            trace.push(t, &v);
         }
         trace
     }
@@ -251,7 +377,7 @@ mod tests {
                 let vgs = i as f64 * 0.1 - 0.2;
                 let vds = j as f64 * 0.1;
                 let a = dev.id(vgs, vds, &env);
-                let b = c.id(vgs, vds);
+                let b = c.id_g(vgs, vds).0;
                 assert!(
                     (a - b).abs() <= 1e-12 + 1e-9 * a.abs(),
                     "mismatch at vgs={vgs} vds={vds}: {a} vs {b}"
@@ -268,7 +394,10 @@ mod tests {
         let trace = ckt.run(&SimOptions::for_window(0.5e-9));
         for &(t, expect) in &[(100e-12, (-1.0_f64).exp()), (200e-12, (-2.0_f64).exp())] {
             let got = trace.voltage_at(out, t).unwrap();
-            assert!((got - expect).abs() < 0.01, "t={t}: got {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 0.01,
+                "t={t}: got {got}, want {expect}"
+            );
         }
     }
 
@@ -293,7 +422,10 @@ mod tests {
         let bl = ckt.add_node("bl", 20e-15, 0.9);
         ckt.add_mosfet(Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0), bl, gate, ckt.gnd());
         let trace = ckt.run(&SimOptions::for_window(2e-9));
-        assert!(trace.voltage_at(bl, 90e-12).unwrap() > 0.89, "no discharge before gate");
+        assert!(
+            trace.voltage_at(bl, 90e-12).unwrap() > 0.89,
+            "no discharge before gate"
+        );
         assert!(trace.last_voltage(bl) < 0.05, "discharged at the end");
     }
 

@@ -26,7 +26,11 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(names: Vec<String>) -> Self {
-        Self { names, times: Vec::new(), volts: Vec::new() }
+        Self {
+            names,
+            times: Vec::new(),
+            volts: Vec::new(),
+        }
     }
 
     pub(crate) fn push(&mut self, t: f64, v: &[f64]) {
@@ -73,7 +77,10 @@ impl Trace {
         if idx == 0 {
             return Some(self.volts[0][node.0]);
         }
-        let (t0, t1) = (self.times[idx - 1], self.times[idx.min(self.times.len() - 1)]);
+        let (t0, t1) = (
+            self.times[idx - 1],
+            self.times[idx.min(self.times.len() - 1)],
+        );
         let (v0, v1) = (
             self.volts[idx - 1][node.0],
             self.volts[idx.min(self.times.len() - 1)][node.0],
@@ -110,7 +117,11 @@ impl Trace {
                     Edge::Falling => vp > level && v <= level,
                 };
                 if crossed {
-                    let frac = if (v - vp).abs() < 1e-18 { 0.0 } else { (level - vp) / (v - vp) };
+                    let frac = if (v - vp).abs() < 1e-18 {
+                        0.0
+                    } else {
+                        (level - vp) / (v - vp)
+                    };
                     return Ok(tp + frac * (t - tp));
                 }
             }

@@ -47,8 +47,17 @@ impl Waveform {
     ///
     /// Panics if `width` or `t_edge` is negative.
     pub fn pulse(low: f64, high: f64, t0: f64, width: f64, t_edge: f64) -> Self {
-        assert!(width >= 0.0 && t_edge >= 0.0, "pulse timing must be non-negative");
-        Waveform::Pulse { low, high, t0, width, t_edge }
+        assert!(
+            width >= 0.0 && t_edge >= 0.0,
+            "pulse timing must be non-negative"
+        );
+        Waveform::Pulse {
+            low,
+            high,
+            t0,
+            width,
+            t_edge,
+        }
     }
 
     /// Piece-wise linear waveform from `(t, v)` points.
@@ -74,7 +83,13 @@ impl Waveform {
     pub fn at(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { low, high, t0, width, t_edge } => {
+            Waveform::Pulse {
+                low,
+                high,
+                t0,
+                width,
+                t_edge,
+            } => {
                 let rise_end = t0 + t_edge;
                 let fall_start = rise_end + width;
                 let fall_end = fall_start + t_edge;

@@ -83,7 +83,12 @@ impl ActivityLog {
     /// Records an operation spanning the last `cycle_count` cycles.
     pub fn push_op(&mut self, kind: OpKind, precision: Precision, cycle_count: usize) {
         let first_cycle = self.cycles.len().saturating_sub(cycle_count);
-        self.ops.push(OpRecord { kind, precision, first_cycle, cycle_count });
+        self.ops.push(OpRecord {
+            kind,
+            precision,
+            first_cycle,
+            cycle_count,
+        });
     }
 
     /// All recorded cycles.
@@ -126,7 +131,10 @@ mod tests {
     fn op_spans_map_to_cycles() {
         let mut log = ActivityLog::new();
         log.push_cycle(CycleActivity::idle());
-        log.push_cycle(CycleActivity { compute_cols: 64, ..CycleActivity::idle() });
+        log.push_cycle(CycleActivity {
+            compute_cols: 64,
+            ..CycleActivity::idle()
+        });
         log.push_op(OpKind::Sub, Precision::P8, 2);
         let op = *log.last_op().unwrap();
         assert_eq!(op.first_cycle, 0);

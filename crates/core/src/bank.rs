@@ -77,7 +77,13 @@ impl Chip {
     /// # Errors
     ///
     /// Returns the first macro error encountered.
-    pub fn add_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn add_all(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         self.broadcast(|m| m.add(a, b, dst, precision))
     }
 
@@ -86,7 +92,13 @@ impl Chip {
     /// # Errors
     ///
     /// Returns the first macro error encountered.
-    pub fn sub_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn sub_all(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         self.broadcast(|m| m.sub(a, b, dst, precision))
     }
 
@@ -95,13 +107,22 @@ impl Chip {
     /// # Errors
     ///
     /// Returns the first macro error encountered.
-    pub fn mult_all(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn mult_all(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         self.broadcast(|m| m.mult(a, b, dst, precision))
     }
 
     /// Runs `f` on every macro and checks they report identical cycle
     /// counts (they must: the chip is lock-step).
-    fn broadcast<F: FnMut(&mut ImcMacro) -> Result<u64, Error>>(&mut self, mut f: F) -> Result<u64, Error> {
+    fn broadcast<F: FnMut(&mut ImcMacro) -> Result<u64, Error>>(
+        &mut self,
+        mut f: F,
+    ) -> Result<u64, Error> {
         let mut cycles = None;
         for m in &mut self.macros {
             let c = f(m)?;
@@ -116,7 +137,11 @@ impl Chip {
     /// Total cycles recorded across the chip's lifetime (max over macros,
     /// since they run in lock-step).
     pub fn total_cycles(&self) -> u64 {
-        self.macros.iter().map(|m| m.activity().total_cycles()).max().unwrap_or(0)
+        self.macros
+            .iter()
+            .map(|m| m.activity().total_cycles())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -126,7 +151,11 @@ mod tests {
     use crate::config::MacroConfig;
 
     fn small_chip() -> Chip {
-        Chip::new(ChipConfig { banks: 2, macros_per_bank: 2, macro_config: MacroConfig::paper_macro() })
+        Chip::new(ChipConfig {
+            banks: 2,
+            macros_per_bank: 2,
+            macro_config: MacroConfig::paper_macro(),
+        })
     }
 
     #[test]
@@ -134,8 +163,12 @@ mod tests {
         let mut chip = small_chip();
         for i in 0..chip.macro_count() {
             let base = (i as u64 + 1) * 3;
-            chip.macro_at(i).write_words(0, Precision::P8, &[base]).unwrap();
-            chip.macro_at(i).write_words(1, Precision::P8, &[10]).unwrap();
+            chip.macro_at(i)
+                .write_words(0, Precision::P8, &[base])
+                .unwrap();
+            chip.macro_at(i)
+                .write_words(1, Precision::P8, &[10])
+                .unwrap();
         }
         let cycles = chip.add_all(0, 1, 2, Precision::P8).unwrap();
         assert_eq!(cycles, 1);
@@ -157,11 +190,18 @@ mod tests {
     fn mult_broadcast_cycles() {
         let mut chip = small_chip();
         for i in 0..chip.macro_count() {
-            chip.macro_at(i).write_mult_operands(0, Precision::P4, &[7]).unwrap();
-            chip.macro_at(i).write_mult_operands(1, Precision::P4, &[9]).unwrap();
+            chip.macro_at(i)
+                .write_mult_operands(0, Precision::P4, &[7])
+                .unwrap();
+            chip.macro_at(i)
+                .write_mult_operands(1, Precision::P4, &[9])
+                .unwrap();
         }
         let cycles = chip.mult_all(0, 1, 2, Precision::P4).unwrap();
         assert_eq!(cycles, 6);
-        assert_eq!(chip.macro_at(3).read_products(2, Precision::P4, 1).unwrap()[0], 63);
+        assert_eq!(
+            chip.macro_at(3).read_products(2, Precision::P4, 1).unwrap()[0],
+            63
+        );
     }
 }

@@ -15,12 +15,18 @@ pub struct MacroConfig {
 impl MacroConfig {
     /// The paper's macro: 128 x 128, 3 dummy rows, separator on.
     pub fn paper_macro() -> Self {
-        Self { geometry: ArrayGeometry::paper_macro(), separator_enabled: true }
+        Self {
+            geometry: ArrayGeometry::paper_macro(),
+            separator_enabled: true,
+        }
     }
 
     /// A macro with a custom column count (the Fig. 9 BL-size sweep).
     pub fn with_cols(cols: usize) -> Self {
-        Self { geometry: ArrayGeometry::with_cols(cols), ..Self::paper_macro() }
+        Self {
+            geometry: ArrayGeometry::with_cols(cols),
+            ..Self::paper_macro()
+        }
     }
 
     /// Returns a copy with the separator feature set.
@@ -50,7 +56,11 @@ pub struct ChipConfig {
 impl ChipConfig {
     /// The paper's 128 KB chip: 4 banks x 16 macros x (128 x 128 bits).
     pub fn paper_chip() -> Self {
-        Self { banks: 4, macros_per_bank: 16, macro_config: MacroConfig::paper_macro() }
+        Self {
+            banks: 4,
+            macros_per_bank: 16,
+            macro_config: MacroConfig::paper_macro(),
+        }
     }
 
     /// Total storage capacity in bytes.

@@ -35,14 +35,23 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Array(e) => write!(f, "array access failed: {e}"),
-            Error::TooManyWords { requested, available } => {
-                write!(f, "{requested} words requested but only {available} lanes available")
+            Error::TooManyWords {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{requested} words requested but only {available} lanes available"
+                )
             }
             Error::WordTooWide { value, bits } => {
                 write!(f, "word {value:#x} does not fit in {bits} bits")
             }
             Error::PrecisionTooWide { needed_bits, cols } => {
-                write!(f, "operation needs {needed_bits}-bit lanes but the row has {cols} columns")
+                write!(
+                    f,
+                    "operation needs {needed_bits}-bit lanes but the row has {cols} columns"
+                )
             }
         }
     }
@@ -74,9 +83,15 @@ mod tests {
         let e = Error::from(ArrayError::SameRowTwice(RowAddr::Main(1)));
         assert!(e.to_string().contains("array access"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = Error::TooManyWords { requested: 20, available: 16 };
+        let e = Error::TooManyWords {
+            requested: 20,
+            available: 16,
+        };
         assert!(e.to_string().contains("20"));
-        let e = Error::WordTooWide { value: 256, bits: 8 };
+        let e = Error::WordTooWide {
+            value: 256,
+            bits: 8,
+        };
         assert!(e.to_string().contains("8"));
     }
 }

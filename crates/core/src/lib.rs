@@ -45,6 +45,7 @@ pub mod bank;
 pub mod config;
 pub mod error;
 pub mod isa;
+pub mod macrobank;
 pub mod macroblock;
 pub mod words;
 
@@ -53,6 +54,7 @@ pub use bank::Chip;
 pub use config::MacroConfig;
 pub use error::Error;
 pub use isa::OpKind;
+pub use macrobank::MacroBank;
 pub use macroblock::ImcMacro;
 
 // The precision type is part of this crate's public vocabulary.

@@ -1,0 +1,236 @@
+//! The batched multi-macro executor.
+//!
+//! Where [`Chip`](crate::bank::Chip) models the paper's *lock-step* chip
+//! (one broadcast op, every macro in the same cycle), a [`MacroBank`] is the
+//! throughput-oriented executor a server workload needs: it owns `N`
+//! independent [`ImcMacro`]s and spreads a queue of independent jobs across
+//! them, one worker thread per macro, with results returned in job order.
+//!
+//! Each job gets exclusive `&mut` access to one macro for its whole
+//! duration, so macro state (rows, activity log, separator counters) stays
+//! consistent and no locking is involved. Cycle and energy accounting is
+//! unchanged from running the same jobs sequentially on one macro: the
+//! activity logs record *hardware* cycles, and [`MacroBank::total_cycles`]
+//! sums them across macros (total work), while
+//! [`MacroBank::makespan_cycles`] reports the parallel-completion bound
+//! (slowest macro).
+//!
+//! # Examples
+//!
+//! ```
+//! use bpimc_core::{MacroBank, MacroConfig, Precision};
+//!
+//! let mut bank = MacroBank::new(4, MacroConfig::paper_macro());
+//! // 64 independent add jobs, dispatched across the 4 macros.
+//! let sums = bank.run_batch(&(0u64..64).collect::<Vec<_>>(), |mac, &j| {
+//!     mac.write_words(0, Precision::P8, &[j]).unwrap();
+//!     mac.write_words(1, Precision::P8, &[100]).unwrap();
+//!     mac.add(0, 1, 2, Precision::P8).unwrap();
+//!     mac.read_words(2, Precision::P8, 1).unwrap()[0]
+//! });
+//! assert_eq!(sums[7], 107);
+//! assert_eq!(bank.total_cycles(), 64 * 4); // 2 writes + 1 add + 1 read each
+//! ```
+
+use crate::config::MacroConfig;
+use crate::macroblock::ImcMacro;
+use bpimc_stats::parallel::{par_queue_map, par_state_map, worker_count};
+
+/// Cache-line-aligned macro slot: neighbouring macros are mutated by
+/// different threads during a batch, and sharing a line between them would
+/// ping-pong on every activity-log push.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(align(128))]
+struct MacroSlot(ImcMacro);
+
+/// A pool of independent IMC macros executing batched workloads in
+/// parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroBank {
+    macros: Vec<MacroSlot>,
+}
+
+impl MacroBank {
+    /// A bank of `n` zeroed macros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, config: MacroConfig) -> Self {
+        assert!(n > 0, "a bank needs at least one macro");
+        Self {
+            macros: (0..n).map(|_| MacroSlot(ImcMacro::new(config))).collect(),
+        }
+    }
+
+    /// A bank sized to the host: one macro per available worker thread.
+    pub fn with_host_parallelism(config: MacroConfig) -> Self {
+        Self::new(worker_count(usize::MAX), config)
+    }
+
+    /// Number of macros in the bank.
+    pub fn len(&self) -> usize {
+        self.macros.len()
+    }
+
+    /// Always false: banks have at least one macro.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates the macros immutably (activity inspection).
+    pub fn macros(&self) -> impl Iterator<Item = &ImcMacro> {
+        self.macros.iter().map(|s| &s.0)
+    }
+
+    /// One macro, mutably (single-stream use and setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn macro_at(&mut self, i: usize) -> &mut ImcMacro {
+        &mut self.macros[i].0
+    }
+
+    /// Runs one closure per macro concurrently (macro index, `&mut` macro)
+    /// and returns the per-macro results in index order.
+    pub fn dispatch<T, F>(&mut self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut ImcMacro) -> T + Sync,
+    {
+        par_state_map(&mut self.macros, |i, slot| f(i, &mut slot.0))
+    }
+
+    /// Spreads `jobs` across the bank — the calling thread and one pool
+    /// worker per additional macro pull jobs from a shared claim queue —
+    /// and returns `f`'s results **in job order**.
+    ///
+    /// `f` gets exclusive access to one macro per job, so it can freely
+    /// write rows, run multi-cycle ops and read results. Which macro serves
+    /// which job is scheduling-dependent, so jobs must be self-contained
+    /// (write their operand rows before using them — as anything batched
+    /// across macros must anyway). For stateful per-macro workloads use
+    /// [`MacroBank::dispatch`]. The claim-queue design bounds a batch's
+    /// cost at sequential time plus a sub-millisecond dispatch overhead
+    /// even when pool worker wake-ups are slow (sandboxed kernels can take
+    /// ~0.5 ms to deliver one); batches with more than ~1 ms of work spread
+    /// across all macros.
+    pub fn run_batch<J, T, F>(&mut self, jobs: &[J], f: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(&mut ImcMacro, &J) -> T + Sync,
+    {
+        par_queue_map(&mut self.macros, jobs, |slot, job| f(&mut slot.0, job))
+    }
+
+    /// Total hardware cycles across all macros — the amount of work done,
+    /// identical to running the same jobs on one macro.
+    pub fn total_cycles(&self) -> u64 {
+        self.macros
+            .iter()
+            .map(|m| m.0.activity().total_cycles())
+            .sum()
+    }
+
+    /// Parallel completion bound: the busiest macro's cycle count.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.macros
+            .iter()
+            .map(|m| m.0.activity().total_cycles())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Clears every macro's activity log (array contents untouched).
+    pub fn clear_activity(&mut self) {
+        for m in &mut self.macros {
+            m.0.clear_activity();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Precision;
+
+    #[test]
+    fn batch_results_are_in_job_order() {
+        let mut bank = MacroBank::new(3, MacroConfig::paper_macro());
+        let jobs: Vec<u64> = (0..50).collect();
+        let out = bank.run_batch(&jobs, |mac, &j| {
+            mac.write_words(0, Precision::P8, &[j % 251]).unwrap();
+            mac.read_words(0, Precision::P8, 1).unwrap()[0]
+        });
+        assert_eq!(out, jobs.iter().map(|j| j % 251).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_accounting_matches_single_macro_execution() {
+        // The same 40 mult jobs on a 4-macro bank and on a single macro
+        // must log identical total cycles (the log counts hardware cycles,
+        // not host time).
+        let jobs: Vec<(u64, u64)> = (0..40).map(|i| (i % 256, (i * 7) % 256)).collect();
+        let run = |mac: &mut ImcMacro, job: &(u64, u64)| -> u64 {
+            mac.write_mult_operands(0, Precision::P8, &[job.0]).unwrap();
+            mac.write_mult_operands(1, Precision::P8, &[job.1]).unwrap();
+            mac.mult(0, 1, 2, Precision::P8).unwrap();
+            mac.read_products(2, Precision::P8, 1).unwrap()[0]
+        };
+
+        let mut bank = MacroBank::new(4, MacroConfig::paper_macro());
+        let got = bank.run_batch(&jobs, run);
+
+        let mut single = ImcMacro::new(MacroConfig::paper_macro());
+        let expect: Vec<u64> = jobs.iter().map(|j| run(&mut single, j)).collect();
+
+        assert_eq!(got, expect);
+        assert_eq!(bank.total_cycles(), single.activity().total_cycles());
+        assert!(bank.makespan_cycles() <= bank.total_cycles());
+        for (a, b) in jobs.iter().zip(&got) {
+            assert_eq!(a.0 * a.1, *b);
+        }
+    }
+
+    #[test]
+    fn dispatch_reaches_every_macro() {
+        let mut bank = MacroBank::new(5, MacroConfig::paper_macro());
+        let ids = bank.dispatch(|i, mac| {
+            mac.write_words(0, Precision::P8, &[i as u64]).unwrap();
+            i
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            assert_eq!(
+                bank.macro_at(i).read_words(0, Precision::P8, 1).unwrap()[0],
+                i as u64
+            );
+        }
+    }
+
+    #[test]
+    fn more_macros_than_jobs_is_fine() {
+        let mut bank = MacroBank::new(8, MacroConfig::paper_macro());
+        let out = bank.run_batch(&[1u64, 2], |mac, &j| {
+            mac.write_words(0, Precision::P8, &[j]).unwrap();
+            j * 10
+        });
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let mut bank = MacroBank::new(2, MacroConfig::paper_macro());
+        let out: Vec<u64> = bank.run_batch(&[], |_mac, j: &u64| *j);
+        assert!(out.is_empty());
+        assert_eq!(bank.total_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one macro")]
+    fn zero_macros_rejected() {
+        let _ = MacroBank::new(0, MacroConfig::paper_macro());
+    }
+}

@@ -12,12 +12,28 @@ use bpimc_periph::{CarryChain, FfBank, LogicOp, Precision};
 /// peripherals), executing the paper's Table I operation set cycle by cycle.
 ///
 /// See the crate-level documentation for an example.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ImcMacro {
     config: MacroConfig,
     array: SramArray,
     separator: BlSeparator,
     log: ActivityLog,
+    /// Memoized carry chains by segment width: the lane masks are pure
+    /// functions of `(cols, segment_bits)`, and rebuilding them on every
+    /// single-cycle op would rival the limb arithmetic itself. `Arc` so a
+    /// handle can be held across a multi-step op without borrowing `self`.
+    chains: Vec<(usize, std::sync::Arc<CarryChain>)>,
+}
+
+impl PartialEq for ImcMacro {
+    fn eq(&self, other: &Self) -> bool {
+        // The chain cache is a memo, not state: two macros with identical
+        // contents are equal regardless of which ops warmed their caches.
+        self.config == other.config
+            && self.array == other.array
+            && self.separator == other.separator
+            && self.log == other.log
+    }
 }
 
 impl ImcMacro {
@@ -28,6 +44,7 @@ impl ImcMacro {
             array: SramArray::new(config.geometry),
             separator: BlSeparator::new(config.separator_enabled),
             log: ActivityLog::new(),
+            chains: Vec::new(),
         }
     }
 
@@ -49,6 +66,17 @@ impl ImcMacro {
     /// Clears the activity log (the array contents are untouched).
     pub fn clear_activity(&mut self) {
         self.log.clear();
+    }
+
+    /// The memoized carry chain for `segment_bits`-wide lanes.
+    fn chain(&mut self, segment_bits: usize) -> std::sync::Arc<CarryChain> {
+        if let Some(pos) = self.chains.iter().position(|(s, _)| *s == segment_bits) {
+            self.chains[pos].1.clone()
+        } else {
+            let c = std::sync::Arc::new(CarryChain::with_segment_bits(self.cols(), segment_bits));
+            self.chains.push((segment_bits, c.clone()));
+            c
+        }
     }
 
     /// BL separator accounting (shielded vs exposed write-backs).
@@ -186,7 +214,14 @@ impl ImcMacro {
         let r = self.array.single_read(RowAddr::Main(src))?;
         let v = r.not_a;
         let cols = self.cols();
-        self.writeback_gated(RowAddr::Main(dst), &v, CycleKind::SingleAccess, 0, cols, true)?;
+        self.writeback_gated(
+            RowAddr::Main(dst),
+            &v,
+            CycleKind::SingleAccess,
+            0,
+            cols,
+            true,
+        )?;
         self.log.push_op(OpKind::Not, Precision::P8, 1);
         Ok(1)
     }
@@ -211,8 +246,7 @@ impl ImcMacro {
     /// Returns an error for invalid rows.
     pub fn shl(&mut self, src: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
         let r = self.array.single_read(RowAddr::Main(src))?;
-        let chain = CarryChain::new(self.cols(), precision);
-        let v = chain.shift_row(&r.a);
+        let v = self.chain(precision.bits()).shift_row(&r.a);
         self.writeback(RowAddr::Main(dst), &v, CycleKind::SingleAccess, 0)?;
         self.log.push_op(OpKind::Shl, precision, 1);
         Ok(1)
@@ -224,10 +258,15 @@ impl ImcMacro {
     /// # Errors
     ///
     /// Returns an error for invalid rows.
-    pub fn add(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn add(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         let readout = self.array.bl_compute(RowAddr::Main(a), RowAddr::Main(b))?;
-        let chain = CarryChain::new(self.cols(), precision);
-        let sum = chain.add(&readout, false).sum;
+        let sum = self.chain(precision.bits()).add(&readout, false).sum;
         self.writeback(RowAddr::Main(dst), &sum, CycleKind::Compute, 0)?;
         self.log.push_op(OpKind::Add, precision, 1);
         Ok(1)
@@ -246,8 +285,7 @@ impl ImcMacro {
         precision: Precision,
     ) -> Result<u64, Error> {
         let readout = self.array.bl_compute(RowAddr::Main(a), RowAddr::Main(b))?;
-        let chain = CarryChain::new(self.cols(), precision);
-        let v = chain.add_shift(&readout);
+        let v = self.chain(precision.bits()).add_shift(&readout);
         self.writeback(RowAddr::Main(dst), &v, CycleKind::Compute, 0)?;
         self.log.push_op(OpKind::AddShift, precision, 1);
         Ok(1)
@@ -263,16 +301,28 @@ impl ImcMacro {
     /// # Errors
     ///
     /// Returns an error for invalid rows.
-    pub fn sub(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn sub(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         // Cycle 1: invert B into dummy row 0 (shielded by the separator).
         let rb = self.array.single_read(RowAddr::Main(b))?;
         let nb = rb.not_a;
         let cols = self.cols();
-        self.writeback_gated(RowAddr::Dummy(0), &nb, CycleKind::SingleAccess, 0, cols, true)?;
+        self.writeback_gated(
+            RowAddr::Dummy(0),
+            &nb,
+            CycleKind::SingleAccess,
+            0,
+            cols,
+            true,
+        )?;
         // Cycle 2: A + ~B + 1.
         let readout = self.array.bl_compute(RowAddr::Main(a), RowAddr::Dummy(0))?;
-        let chain = CarryChain::new(self.cols(), precision);
-        let diff = chain.add(&readout, true).sum;
+        let diff = self.chain(precision.bits()).add(&readout, true).sum;
         self.writeback(RowAddr::Main(dst), &diff, CycleKind::Compute, 0)?;
         self.log.push_op(OpKind::Sub, precision, 2);
         Ok(2)
@@ -289,13 +339,22 @@ impl ImcMacro {
     ///
     /// Returns [`Error::PrecisionTooWide`] when `2P` exceeds the row width,
     /// or an array error for invalid rows.
-    pub fn mult(&mut self, a: usize, b: usize, dst: usize, precision: Precision) -> Result<u64, Error> {
+    pub fn mult(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        precision: Precision,
+    ) -> Result<u64, Error> {
         let bits = precision.bits();
         let cols = self.cols();
         if 2 * bits > cols {
-            return Err(Error::PrecisionTooWide { needed_bits: 2 * bits, cols });
+            return Err(Error::PrecisionTooWide {
+                needed_bits: 2 * bits,
+                cols,
+            });
         }
-        let chain = CarryChain::with_segment_bits(cols, 2 * bits);
+        let chain = self.chain(2 * bits);
         let lanes = chain.lane_count();
 
         // Init cycle 1: zeros into dummy row 0 (the accumulator) while the
@@ -307,12 +366,26 @@ impl ImcMacro {
         }
         let zeros = BitRow::zeros(cols);
         let lane_cols = lanes * 2 * bits;
-        self.writeback_gated(RowAddr::Dummy(0), &zeros, CycleKind::SingleAccess, lanes * bits, lane_cols, false)?;
+        self.writeback_gated(
+            RowAddr::Dummy(0),
+            &zeros,
+            CycleKind::SingleAccess,
+            lanes * bits,
+            lane_cols,
+            false,
+        )?;
 
         // Init cycle 2: copy the multiplicand into dummy row 1.
         let ra = self.array.single_read(RowAddr::Main(a))?;
         let multiplicand = ra.a;
-        self.writeback_gated(RowAddr::Dummy(1), &multiplicand, CycleKind::SingleAccess, 0, lane_cols, false)?;
+        self.writeback_gated(
+            RowAddr::Dummy(1),
+            &multiplicand,
+            CycleKind::SingleAccess,
+            0,
+            lane_cols,
+            false,
+        )?;
 
         // P add-and-shift steps, accumulator ping-ponging between dummy rows
         // 0 and 2 (the paper's "second and third rows"); the final step is a
@@ -327,12 +400,23 @@ impl ImcMacro {
             let acc_latch = self.array.read(acc_src)?;
             let ff = bank.fronts();
             let next = chain.mult_step(&readout, &acc_latch, &ff, final_step);
-            let target = if final_step { RowAddr::Main(dst) } else { acc_dst };
+            let target = if final_step {
+                RowAddr::Main(dst)
+            } else {
+                acc_dst
+            };
             // Only the valid low bits of each product lane have switched so
             // far; the rest are clock-gated (accumulator width grows by one
             // bit per step).
             let valid = (bits + step + 1).min(2 * bits);
-            self.writeback_gated(target, &next, CycleKind::Compute, lanes * bits, lanes * valid, false)?;
+            self.writeback_gated(
+                target,
+                &next,
+                CycleKind::Compute,
+                lanes * bits,
+                lanes * valid,
+                false,
+            )?;
             bank.shift();
             std::mem::swap(&mut acc_src, &mut acc_dst);
         }
@@ -360,7 +444,10 @@ impl ImcMacro {
         dst: usize,
         precision: Precision,
     ) -> Result<u64, Error> {
-        let first = *srcs.first().ok_or(Error::TooManyWords { requested: 0, available: 0 })?;
+        let first = *srcs.first().ok_or(Error::TooManyWords {
+            requested: 0,
+            available: 0,
+        })?;
         // Running partial sum lives in dummy rows (ping-pong) to avoid
         // clobbering main rows; start by copying the first source.
         let r = self.array.single_read(RowAddr::Main(first))?;
@@ -369,11 +456,15 @@ impl ImcMacro {
         let mut cycles = 1u64;
         let mut acc = RowAddr::Dummy(0);
         let mut spare = RowAddr::Dummy(2);
-        let chain = CarryChain::new(self.cols(), precision);
+        let chain = self.chain(precision.bits());
         for (i, &s) in srcs.iter().enumerate().skip(1) {
             let readout = self.array.bl_compute(acc, RowAddr::Main(s))?;
             let sum = chain.add(&readout, false).sum;
-            let target = if i == srcs.len() - 1 { RowAddr::Main(dst) } else { spare };
+            let target = if i == srcs.len() - 1 {
+                RowAddr::Main(dst)
+            } else {
+                spare
+            };
             self.writeback(target, &sum, CycleKind::Compute, 0)?;
             cycles += 1;
             std::mem::swap(&mut acc, &mut spare);
@@ -421,7 +512,11 @@ impl ImcMacro {
         self.log.push_cycle(CycleActivity {
             kind,
             compute_cols: active_cols,
-            logic_cols: if kind == CycleKind::Compute { active_cols } else { 0 },
+            logic_cols: if kind == CycleKind::Compute {
+                active_cols
+            } else {
+                0
+            },
             wb_cols: active_cols,
             wb_to_dummy: target.is_dummy(),
             wb_shielded: shielded,
@@ -460,7 +555,10 @@ mod tests {
     fn word_round_trip() {
         let mut m = mac();
         m.write_words(0, Precision::P8, &[1, 2, 3, 255]).unwrap();
-        assert_eq!(m.read_words(0, Precision::P8, 4).unwrap(), vec![1, 2, 3, 255]);
+        assert_eq!(
+            m.read_words(0, Precision::P8, 4).unwrap(),
+            vec![1, 2, 3, 255]
+        );
     }
 
     #[test]
@@ -479,9 +577,15 @@ mod tests {
         m.write_words(0, Precision::P8, &[200, 15]).unwrap();
         m.write_words(1, Precision::P8, &[100, 20]).unwrap();
         assert_eq!(m.add(0, 1, 2, Precision::P8).unwrap(), 1);
-        assert_eq!(m.read_words(2, Precision::P8, 2).unwrap(), vec![(200 + 100) & 0xFF, 35]);
+        assert_eq!(
+            m.read_words(2, Precision::P8, 2).unwrap(),
+            vec![(200 + 100) & 0xFF, 35]
+        );
         assert_eq!(m.sub(0, 1, 3, Precision::P8).unwrap(), 2);
-        assert_eq!(m.read_words(3, Precision::P8, 2).unwrap(), vec![100, (15u64.wrapping_sub(20)) & 0xFF]);
+        assert_eq!(
+            m.read_words(3, Precision::P8, 2).unwrap(),
+            vec![100, (15u64.wrapping_sub(20)) & 0xFF]
+        );
     }
 
     #[test]
@@ -490,9 +594,15 @@ mod tests {
         m.write_words(0, Precision::P8, &[0b0100_0001]).unwrap();
         m.write_words(1, Precision::P8, &[3]).unwrap();
         m.shl(0, 2, Precision::P8).unwrap();
-        assert_eq!(m.read_words(2, Precision::P8, 1).unwrap(), vec![0b1000_0010]);
+        assert_eq!(
+            m.read_words(2, Precision::P8, 1).unwrap(),
+            vec![0b1000_0010]
+        );
         m.add_shift(0, 1, 3, Precision::P8).unwrap();
-        assert_eq!(m.read_words(3, Precision::P8, 1).unwrap(), vec![((0b0100_0001 + 3) << 1) & 0xFF]);
+        assert_eq!(
+            m.read_words(3, Precision::P8, 1).unwrap(),
+            vec![((0b0100_0001 + 3) << 1) & 0xFF]
+        );
     }
 
     #[test]
@@ -503,7 +613,10 @@ mod tests {
         m.write_mult_operands(1, Precision::P4, &[0b1011]).unwrap();
         let cycles = m.mult(0, 1, 2, Precision::P4).unwrap();
         assert_eq!(cycles, 6); // N + 2 with N = 4
-        assert_eq!(m.read_products(2, Precision::P4, 1).unwrap(), vec![0b0110_1110]);
+        assert_eq!(
+            m.read_products(2, Precision::P4, 1).unwrap(),
+            vec![0b0110_1110]
+        );
     }
 
     #[test]
@@ -533,7 +646,11 @@ mod tests {
         let cycles = m.mult(0, 1, 2, Precision::P8).unwrap();
         assert_eq!(cycles, 10);
         let got = m.read_products(2, Precision::P8, 8).unwrap();
-        let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| (x & 0xFF) * (y & 0xFF)).collect();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x & 0xFF) * (y & 0xFF))
+            .collect();
         assert_eq!(got, expect);
     }
 
@@ -613,7 +730,10 @@ mod tests {
         let mut m = ImcMacro::new(MacroConfig::with_cols(16));
         assert!(matches!(
             m.mult(0, 1, 2, Precision::P16),
-            Err(Error::PrecisionTooWide { needed_bits: 32, cols: 16 })
+            Err(Error::PrecisionTooWide {
+                needed_bits: 32,
+                cols: 16
+            })
         ));
     }
 

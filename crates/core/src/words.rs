@@ -22,7 +22,10 @@ pub fn pack_words(words: &[u64], precision: Precision, cols: usize) -> Result<Bi
     let bits = precision.bits();
     let lanes = precision.lanes(cols);
     if words.len() > lanes {
-        return Err(Error::TooManyWords { requested: words.len(), available: lanes });
+        return Err(Error::TooManyWords {
+            requested: words.len(),
+            available: lanes,
+        });
     }
     let mut row = BitRow::zeros(cols);
     for (j, &w) in words.iter().enumerate() {
@@ -43,7 +46,10 @@ pub fn unpack_words(row: &BitRow, precision: Precision, n: usize) -> Result<Vec<
     let bits = precision.bits();
     let lanes = precision.lanes(row.width());
     if n > lanes {
-        return Err(Error::TooManyWords { requested: n, available: lanes });
+        return Err(Error::TooManyWords {
+            requested: n,
+            available: lanes,
+        });
     }
     Ok((0..n).map(|j| row.get_field(j * bits, bits)).collect())
 }
@@ -62,7 +68,10 @@ pub fn pack_mult_operands(
     let bits = precision.bits();
     let lanes = precision.product_lanes(cols);
     if words.len() > lanes {
-        return Err(Error::TooManyWords { requested: words.len(), available: lanes });
+        return Err(Error::TooManyWords {
+            requested: words.len(),
+            available: lanes,
+        });
     }
     let mut row = BitRow::zeros(cols);
     for (j, &w) in words.iter().enumerate() {
@@ -79,17 +88,18 @@ pub fn pack_mult_operands(
 /// # Errors
 ///
 /// Returns [`Error::TooManyWords`] when `n` exceeds the product lane count.
-pub fn unpack_products(
-    row: &BitRow,
-    precision: Precision,
-    n: usize,
-) -> Result<Vec<u64>, Error> {
+pub fn unpack_products(row: &BitRow, precision: Precision, n: usize) -> Result<Vec<u64>, Error> {
     let bits = precision.bits();
     let lanes = precision.product_lanes(row.width());
     if n > lanes {
-        return Err(Error::TooManyWords { requested: n, available: lanes });
+        return Err(Error::TooManyWords {
+            requested: n,
+            available: lanes,
+        });
     }
-    Ok((0..n).map(|j| row.get_field(j * 2 * bits, 2 * bits)).collect())
+    Ok((0..n)
+        .map(|j| row.get_field(j * 2 * bits, 2 * bits))
+        .collect())
 }
 
 #[cfg(test)]
@@ -121,7 +131,10 @@ mod tests {
     fn capacity_errors() {
         assert!(matches!(
             pack_words(&[0; 17], Precision::P8, 128),
-            Err(Error::TooManyWords { requested: 17, available: 16 })
+            Err(Error::TooManyWords {
+                requested: 17,
+                available: 16
+            })
         ));
         assert!(matches!(
             pack_mult_operands(&[0; 9], Precision::P8, 128),
@@ -136,7 +149,10 @@ mod tests {
     fn width_errors() {
         assert!(matches!(
             pack_words(&[256], Precision::P8, 128),
-            Err(Error::WordTooWide { value: 256, bits: 8 })
+            Err(Error::WordTooWide {
+                value: 256,
+                bits: 8
+            })
         ));
         assert!(matches!(
             pack_mult_operands(&[4], Precision::P2, 128),

@@ -30,9 +30,16 @@ impl Env {
     ///
     /// Panics if `vdd` is not positive or not finite.
     pub fn new(vdd: f64, temp_c: f64, corner: Corner) -> Self {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive, got {vdd}"
+        );
         assert!(temp_c.is_finite(), "temperature must be finite");
-        Self { vdd, temp_c, corner }
+        Self {
+            vdd,
+            temp_c,
+            corner,
+        }
     }
 
     /// The paper's nominal simulation condition: 0.9 V, 25 C, NN.
@@ -42,7 +49,10 @@ impl Env {
 
     /// Returns a copy with a different supply voltage.
     pub fn with_vdd(mut self, vdd: f64) -> Self {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive, got {vdd}"
+        );
         self.vdd = vdd;
         self
     }
@@ -103,7 +113,10 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let e = Env::nominal().with_vdd(0.6).with_temp(85.0).with_corner(Corner::Ss);
+        let e = Env::nominal()
+            .with_vdd(0.6)
+            .with_temp(85.0)
+            .with_corner(Corner::Ss);
         assert_eq!(e.vdd, 0.6);
         assert_eq!(e.temp_c, 85.0);
         assert_eq!(e.corner, Corner::Ss);

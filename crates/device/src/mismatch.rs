@@ -86,7 +86,12 @@ mod tests {
         let s = Summary::from_slice(&dvts);
         assert!(s.mean.abs() < 1e-3, "mean {}", s.mean);
         let expect = m.sigma_vt();
-        assert!((s.std - expect).abs() / expect < 0.03, "std {} vs {}", s.std, expect);
+        assert!(
+            (s.std - expect).abs() / expect < 0.03,
+            "std {} vs {}",
+            s.std,
+            expect
+        );
     }
 
     #[test]
@@ -104,7 +109,9 @@ mod tests {
         let mut rng = seeded_rng(5);
         let m = Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0);
         let wide = MismatchModel::with_scale(3.0);
-        let dvts: Vec<f64> = (0..10_000).map(|_| wide.sample(&m, &mut rng).dvt()).collect();
+        let dvts: Vec<f64> = (0..10_000)
+            .map(|_| wide.sample(&m, &mut rng).dvt())
+            .collect();
         let s = Summary::from_slice(&dvts);
         let expect = 3.0 * m.sigma_vt();
         assert!((s.std - expect).abs() / expect < 0.05);

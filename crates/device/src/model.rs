@@ -59,8 +59,17 @@ impl Mosfet {
     }
 
     fn new(kind: DeviceKind, flavor: VtFlavor, w_nm: f64, l_nm: f64) -> Self {
-        assert!(w_nm > 0.0 && l_nm > 0.0, "W/L must be positive: {w_nm}/{l_nm}");
-        Self { kind, flavor, w_nm, l_nm, dvt: 0.0 }
+        assert!(
+            w_nm > 0.0 && l_nm > 0.0,
+            "W/L must be positive: {w_nm}/{l_nm}"
+        );
+        Self {
+            kind,
+            flavor,
+            w_nm,
+            l_nm,
+            dvt: 0.0,
+        }
     }
 
     /// Returns a copy with an explicit local threshold shift (volts).

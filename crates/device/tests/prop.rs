@@ -15,7 +15,11 @@ fn any_corner() -> impl Strategy<Value = Corner> {
 }
 
 fn any_flavor() -> impl Strategy<Value = VtFlavor> {
-    prop_oneof![Just(VtFlavor::Rvt), Just(VtFlavor::Lvt), Just(VtFlavor::Hvt)]
+    prop_oneof![
+        Just(VtFlavor::Rvt),
+        Just(VtFlavor::Lvt),
+        Just(VtFlavor::Hvt)
+    ]
 }
 
 proptest! {

@@ -100,8 +100,14 @@ mod tests {
     fn overhead_shrinks_with_taller_arrays() {
         // Peripheral cost is per column; more rows amortise it.
         let m = AreaModel::default_28nm();
-        let short = ArrayGeometry { rows: 64, ..ArrayGeometry::paper_macro() };
-        let tall = ArrayGeometry { rows: 256, ..ArrayGeometry::paper_macro() };
+        let short = ArrayGeometry {
+            rows: 64,
+            ..ArrayGeometry::paper_macro()
+        };
+        let tall = ArrayGeometry {
+            rows: 256,
+            ..ArrayGeometry::paper_macro()
+        };
         assert!(m.overhead_fraction(&tall) < m.overhead_fraction(&short));
     }
 

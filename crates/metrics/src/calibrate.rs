@@ -27,21 +27,96 @@ pub struct Table2Cell {
 /// The paper's Table II. ADD has no separator variant (its result is
 /// written to the main array, which the separator cannot shield).
 pub const PAPER_TABLE2: [Table2Cell; 15] = [
-    Table2Cell { op: Table2Op::Add, precision: Precision::P2, separator: true, paper_fj: 68.2 },
-    Table2Cell { op: Table2Op::Add, precision: Precision::P4, separator: true, paper_fj: 138.4 },
-    Table2Cell { op: Table2Op::Add, precision: Precision::P8, separator: true, paper_fj: 274.8 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P2, separator: false, paper_fj: 152.3 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P4, separator: false, paper_fj: 307.5 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P8, separator: false, paper_fj: 612.2 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P2, separator: true, paper_fj: 136.5 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P4, separator: true, paper_fj: 274.9 },
-    Table2Cell { op: Table2Op::Sub, precision: Precision::P8, separator: true, paper_fj: 545.4 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P2, separator: false, paper_fj: 357.4 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P4, separator: false, paper_fj: 1167.6 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P8, separator: false, paper_fj: 4186.4 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P2, separator: true, paper_fj: 296.0 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P4, separator: true, paper_fj: 922.4 },
-    Table2Cell { op: Table2Op::Mult, precision: Precision::P8, separator: true, paper_fj: 3394.8 },
+    Table2Cell {
+        op: Table2Op::Add,
+        precision: Precision::P2,
+        separator: true,
+        paper_fj: 68.2,
+    },
+    Table2Cell {
+        op: Table2Op::Add,
+        precision: Precision::P4,
+        separator: true,
+        paper_fj: 138.4,
+    },
+    Table2Cell {
+        op: Table2Op::Add,
+        precision: Precision::P8,
+        separator: true,
+        paper_fj: 274.8,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P2,
+        separator: false,
+        paper_fj: 152.3,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P4,
+        separator: false,
+        paper_fj: 307.5,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P8,
+        separator: false,
+        paper_fj: 612.2,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P2,
+        separator: true,
+        paper_fj: 136.5,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P4,
+        separator: true,
+        paper_fj: 274.9,
+    },
+    Table2Cell {
+        op: Table2Op::Sub,
+        precision: Precision::P8,
+        separator: true,
+        paper_fj: 545.4,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P2,
+        separator: false,
+        paper_fj: 357.4,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P4,
+        separator: false,
+        paper_fj: 1167.6,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P8,
+        separator: false,
+        paper_fj: 4186.4,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P2,
+        separator: true,
+        paper_fj: 296.0,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P4,
+        separator: true,
+        paper_fj: 922.4,
+    },
+    Table2Cell {
+        op: Table2Op::Mult,
+        precision: Precision::P8,
+        separator: true,
+        paper_fj: 3394.8,
+    },
 ];
 
 /// Outcome of a calibration run.
@@ -113,7 +188,7 @@ fn nelder_mead<F: Fn(&[f64; 7]) -> f64>(f: F, x0: [f64; 7], iters: usize) -> [f6
         p[i] += 0.35;
         pts.push(p);
     }
-    let mut vals: Vec<f64> = pts.iter().map(|p| f(p)).collect();
+    let mut vals: Vec<f64> = pts.iter().map(&f).collect();
 
     for _ in 0..iters {
         // Sort ascending by value.
@@ -232,7 +307,10 @@ mod tests {
     fn nelder_mead_minimises_a_quadratic() {
         let target = [1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0];
         let f = |x: &[f64; 7]| -> f64 {
-            x.iter().zip(target.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+            x.iter()
+                .zip(target.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
         };
         let sol = nelder_mead(f, [0.0; 7], 4000);
         for (s, t) in sol.iter().zip(target.iter()) {

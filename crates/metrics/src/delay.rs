@@ -1,8 +1,8 @@
 //! The per-cycle delay component breakdown (Fig. 8 left).
 
 use crate::scaling::DelayScaling;
-use bpimc_device::Env;
 use bpimc_array::CyclePhase;
+use bpimc_device::Env;
 
 /// Per-phase delays of one computing cycle, seconds, at a given condition.
 ///

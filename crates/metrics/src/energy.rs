@@ -11,8 +11,8 @@
 //! consistency the paper's own numbers exhibit: Table II's 274.8 fJ 8-bit
 //! ADD at 0.9 V corresponds to Table III's 8.09 TOPS/W at 0.6 V.
 
-use bpimc_core::{ActivityLog, CycleActivity, ImcMacro, MacroConfig, Precision};
 use bpimc_array::CycleKind;
+use bpimc_core::{ActivityLog, CycleActivity, ImcMacro, MacroConfig, Precision};
 
 /// Per-event energy coefficients in femtojoules at the 0.9 V NN reference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,8 +49,16 @@ impl EnergyParams {
             }
             CycleKind::WriteOnly => 0.0,
         };
-        let wb_base = if c.wb_shielded { self.wb_shielded_fj } else { self.wb_full_fj };
-        let wb_extra = if c.wb_inverting { self.wb_invert_extra_fj } else { 0.0 };
+        let wb_base = if c.wb_shielded {
+            self.wb_shielded_fj
+        } else {
+            self.wb_full_fj
+        };
+        let wb_extra = if c.wb_inverting {
+            self.wb_invert_extra_fj
+        } else {
+            0.0
+        };
         let wb = c.wb_cols as f64 * (wb_base + wb_extra);
         compute + wb + c.ff_bits as f64 * self.ff_fj + self.cycle_fixed_fj
     }
@@ -140,8 +148,10 @@ pub fn table2_energy_fj(
             mac.sub(0, 1, 2, precision).expect("sub runs");
         }
         Table2Op::Mult => {
-            mac.write_mult_operands(0, precision, &[3]).expect("operand fits");
-            mac.write_mult_operands(1, precision, &[2]).expect("operand fits");
+            mac.write_mult_operands(0, precision, &[3])
+                .expect("operand fits");
+            mac.write_mult_operands(1, precision, &[2])
+                .expect("operand fits");
             mac.clear_activity();
             mac.mult(0, 1, 2, precision).expect("mult runs");
         }

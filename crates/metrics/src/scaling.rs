@@ -27,7 +27,11 @@ pub struct DelayScaling {
 impl DelayScaling {
     /// The fit used throughout the workspace (see module docs).
     pub fn paper_fit() -> Self {
-        Self { vt_eff: 0.515, alpha: 1.325, corner_spread: 0.10 }
+        Self {
+            vt_eff: 0.515,
+            alpha: 1.325,
+            corner_spread: 0.10,
+        }
     }
 
     /// Relative delay at `env` w.r.t. the 0.9 V NN reference (1.0 there).

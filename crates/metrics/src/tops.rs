@@ -20,7 +20,9 @@ pub struct TopsModel {
 impl TopsModel {
     /// A model using the Table II-calibrated coefficients.
     pub fn paper_calibrated() -> Self {
-        Self { params: paper_calibrated_params() }
+        Self {
+            params: paper_calibrated_params(),
+        }
     }
 
     /// A model with explicit coefficients.
@@ -29,12 +31,24 @@ impl TopsModel {
     }
 
     /// Energy of one operation at `vdd`, femtojoules.
-    pub fn op_energy_fj(&self, op: Table2Op, precision: Precision, separator: bool, vdd: f64) -> f64 {
+    pub fn op_energy_fj(
+        &self,
+        op: Table2Op,
+        precision: Precision,
+        separator: bool,
+        vdd: f64,
+    ) -> f64 {
         table2_energy_fj(op, precision, separator, &self.params) * EnergyParams::voltage_scale(vdd)
     }
 
     /// Tera-operations per second per watt (= operations per picojoule).
-    pub fn tops_per_watt(&self, op: Table2Op, precision: Precision, separator: bool, vdd: f64) -> f64 {
+    pub fn tops_per_watt(
+        &self,
+        op: Table2Op,
+        precision: Precision,
+        separator: bool,
+        vdd: f64,
+    ) -> f64 {
         let fj = self.op_energy_fj(op, precision, separator, vdd);
         // 1 / (fJ) op/J = 1e15/fj ops/J; TOPS/W = ops/J / 1e12.
         1e3 / fj

@@ -2,17 +2,18 @@
 
 use crate::dataset::Dataset;
 use crate::quant::QuantParams;
-use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use bpimc_core::{ImcMacro, MacroBank, MacroConfig, Precision};
 use bpimc_metrics::paper_calibrated_params;
 
-/// Classifier state: quantized class prototypes plus the macro that
-/// evaluates the dot products.
+/// Classifier state: quantized class prototypes plus the macro bank that
+/// evaluates the dot products (one macro per host worker, so independent
+/// samples classify in parallel).
 #[derive(Debug, Clone)]
 pub struct PrototypeClassifier {
     precision: Precision,
     quant: QuantParams,
     prototypes_q: Vec<Vec<u64>>,
-    mac: ImcMacro,
+    bank: MacroBank,
 }
 
 /// Evaluation result over a dataset.
@@ -20,7 +21,8 @@ pub struct PrototypeClassifier {
 pub struct EvalReport {
     /// Fraction of samples classified correctly.
     pub accuracy: f64,
-    /// Total macro cycles spent.
+    /// Total macro cycles spent (summed across the bank — identical to
+    /// running every sample on one macro).
     pub cycles: u64,
     /// Total macro energy at 0.9 V, femtojoules (Table II-calibrated).
     pub energy_fj: f64,
@@ -40,17 +42,71 @@ impl EvalReport {
     }
 }
 
+/// Computes `dot(x_q, w_q)` on one macro: operands go into product lanes,
+/// one bit-parallel MULT per chunk, products read out and reduced.
+fn imc_dot(mac: &mut ImcMacro, precision: Precision, x_q: &[u64], w_q: &[u64]) -> u64 {
+    let lanes = precision.product_lanes(mac.cols());
+    let mut acc = 0u64;
+    for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
+        mac.write_mult_operands(0, precision, xc)
+            .expect("chunk fits product lanes");
+        mac.write_mult_operands(1, precision, wc)
+            .expect("chunk fits product lanes");
+        mac.mult(0, 1, 2, precision).expect("mult runs");
+        let products = mac
+            .read_products(2, precision, xc.len())
+            .expect("products readable");
+        acc += products.iter().sum::<u64>();
+    }
+    acc
+}
+
+/// Classifies one quantized sample on one macro. Nearest-prototype scoring:
+/// `argmax_c x.w_c - |w_c|^2 / 2`, equivalent to minimum Euclidean
+/// distance; the `|w_c|^2` terms are computed on the same macro.
+fn classify_on(
+    mac: &mut ImcMacro,
+    precision: Precision,
+    prototypes_q: &[Vec<u64>],
+    x_q: &[u64],
+) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for (c, w_q) in prototypes_q.iter().enumerate() {
+        let xw = imc_dot(mac, precision, x_q, w_q) as f64;
+        let ww = imc_dot(mac, precision, w_q, w_q) as f64;
+        let score = xw - ww / 2.0;
+        if best.is_none() || score > best.expect("set").1 {
+            best = Some((c, score));
+        }
+    }
+    best.expect("at least one class").0
+}
+
 impl PrototypeClassifier {
     /// Builds a classifier from a dataset's generating prototypes at the
-    /// requested datapath precision.
+    /// requested datapath precision. The macro bank is sized to the host's
+    /// parallelism.
     pub fn fit(data: &Dataset, precision: Precision) -> Self {
+        Self::fit_with_bank(
+            data,
+            precision,
+            MacroBank::with_host_parallelism(MacroConfig::paper_macro()),
+        )
+    }
+
+    /// Builds a classifier evaluating on an explicit macro bank.
+    pub fn fit_with_bank(data: &Dataset, precision: Precision, bank: MacroBank) -> Self {
         let quant = QuantParams::new(precision, data.max_feature().max(1e-9));
-        let prototypes_q = data.prototypes.iter().map(|p| quant.quantize_all(p)).collect();
+        let prototypes_q = data
+            .prototypes
+            .iter()
+            .map(|p| quant.quantize_all(p))
+            .collect();
         Self {
             precision,
             quant,
             prototypes_q,
-            mac: ImcMacro::new(MacroConfig::paper_macro()),
+            bank,
         }
     }
 
@@ -59,60 +115,46 @@ impl PrototypeClassifier {
         self.precision
     }
 
-    /// Computes `dot(x_q, w_q)` on the macro: operands go into product
-    /// lanes, one bit-parallel MULT per chunk, products read out and
-    /// reduced. Returns the dot product value.
-    fn imc_dot(&mut self, x_q: &[u64], w_q: &[u64]) -> u64 {
-        let lanes = self.precision.product_lanes(self.mac.cols());
-        let mut acc = 0u64;
-        for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
-            self.mac
-                .write_mult_operands(0, self.precision, xc)
-                .expect("chunk fits product lanes");
-            self.mac
-                .write_mult_operands(1, self.precision, wc)
-                .expect("chunk fits product lanes");
-            self.mac.mult(0, 1, 2, self.precision).expect("mult runs");
-            let products = self
-                .mac
-                .read_products(2, self.precision, xc.len())
-                .expect("products readable");
-            acc += products.iter().sum::<u64>();
-        }
-        acc
+    /// Number of macros evaluation spreads over.
+    pub fn bank_size(&self) -> usize {
+        self.bank.len()
     }
 
     /// Classifies one (real-valued) sample; returns the predicted class.
-    ///
-    /// Nearest-prototype scoring: `argmax_c x.w_c - |w_c|^2 / 2`, which is
-    /// equivalent to minimum Euclidean distance. The `|w_c|^2` terms are
-    /// per-class constants, computed once on the same macro.
     pub fn classify(&mut self, x: &[f64]) -> usize {
         let x_q = self.quant.quantize_all(x);
-        let protos = self.prototypes_q.clone();
-        let mut best: Option<(usize, f64)> = None;
-        for (c, w_q) in protos.iter().enumerate() {
-            let xw = self.imc_dot(&x_q, w_q) as f64;
-            let ww = self.imc_dot(w_q, w_q) as f64;
-            let score = xw - ww / 2.0;
-            if best.is_none() || score > best.expect("set").1 {
-                best = Some((c, score));
-            }
-        }
-        best.expect("at least one class").0
+        classify_on(
+            self.bank.macro_at(0),
+            self.precision,
+            &self.prototypes_q,
+            &x_q,
+        )
     }
 
-    /// Evaluates accuracy, cycles and energy over a dataset.
+    /// Evaluates accuracy, cycles and energy over a dataset, batching the
+    /// independent samples across the macro bank.
     pub fn evaluate(&mut self, data: &Dataset) -> EvalReport {
-        self.mac.clear_activity();
-        let mut correct = 0usize;
-        for (x, &label) in data.samples.iter().zip(&data.labels) {
-            if self.classify(x) == label {
-                correct += 1;
-            }
-        }
-        let cycles = self.mac.activity().total_cycles();
-        let energy_fj = paper_calibrated_params().log_energy_fj(self.mac.activity());
+        self.bank.clear_activity();
+        let jobs: Vec<(&Vec<f64>, usize)> = data
+            .samples
+            .iter()
+            .zip(data.labels.iter().copied())
+            .collect();
+        let precision = self.precision;
+        let quant = &self.quant;
+        let prototypes_q = &self.prototypes_q;
+        let outcomes = self.bank.run_batch(&jobs, |mac, &(x, label)| {
+            let x_q = quant.quantize_all(x);
+            classify_on(mac, precision, prototypes_q, &x_q) == label
+        });
+        let correct = outcomes.iter().filter(|&&ok| ok).count();
+        let params = paper_calibrated_params();
+        let cycles = self.bank.total_cycles();
+        let energy_fj: f64 = self
+            .bank
+            .macros()
+            .map(|m| params.log_energy_fj(m.activity()))
+            .sum();
         EvalReport {
             accuracy: correct as f64 / data.len() as f64,
             cycles,
@@ -145,7 +187,7 @@ mod tests {
         let mut clf = PrototypeClassifier::fit(&d, Precision::P4);
         let x = vec![3u64, 7, 0, 15, 1, 2, 9, 4];
         let w = vec![5u64, 5, 15, 1, 0, 8, 2, 3];
-        let got = clf.imc_dot(&x, &w);
+        let got = imc_dot(clf.bank.macro_at(0), Precision::P4, &x, &w);
         let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
         assert_eq!(got, expect);
     }
@@ -173,5 +215,27 @@ mod tests {
         let r = lo.evaluate(&d);
         // 2-bit template matching is crude but far better than chance (25%).
         assert!(r.accuracy > 0.5, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn bank_evaluation_matches_single_macro_evaluation() {
+        // Same dataset, 1-macro bank vs multi-macro bank: identical
+        // accuracy, cycles and energy (the accounting is work, not time).
+        let d = data();
+        let mut single = PrototypeClassifier::fit_with_bank(
+            &d,
+            Precision::P4,
+            MacroBank::new(1, MacroConfig::paper_macro()),
+        );
+        let mut wide = PrototypeClassifier::fit_with_bank(
+            &d,
+            Precision::P4,
+            MacroBank::new(4, MacroConfig::paper_macro()),
+        );
+        let rs = single.evaluate(&d);
+        let rw = wide.evaluate(&d);
+        assert_eq!(rs.accuracy, rw.accuracy);
+        assert_eq!(rs.cycles, rw.cycles);
+        assert!((rs.energy_fj - rw.energy_fj).abs() < 1e-6 * rs.energy_fj.max(1.0));
     }
 }

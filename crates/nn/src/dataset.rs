@@ -28,7 +28,10 @@ impl Dataset {
     ///
     /// Panics if `dim`, `classes` or `per_class` is zero.
     pub fn synthetic_blobs(classes: usize, dim: usize, per_class: usize, seed: u64) -> Self {
-        assert!(dim > 0 && classes > 0 && per_class > 0, "empty dataset requested");
+        assert!(
+            dim > 0 && classes > 0 && per_class > 0,
+            "empty dataset requested"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Well-separated prototypes on [0.2, 1.0]^dim.
         let prototypes: Vec<Vec<f64>> = (0..classes)
@@ -46,7 +49,13 @@ impl Dataset {
                 labels.push(c);
             }
         }
-        Self { dim, classes, samples, labels, prototypes }
+        Self {
+            dim,
+            classes,
+            samples,
+            labels,
+            prototypes,
+        }
     }
 
     /// Number of samples.

@@ -2,13 +2,25 @@
 //!
 //! A [`CarryChain`] slices the row into independent word lanes (the MX3
 //! reconfiguration muxes of Fig. 6 block carry/shift propagation across lane
-//! boundaries) and evaluates whole-row operations by rippling each lane's
-//! Y-paths from LSB to MSB — exactly what the hardware's transmission-gate
-//! carry path does in one cycle.
+//! boundaries) and evaluates whole-row operations — exactly what the
+//! hardware's transmission-gate carry path does in one cycle.
+//!
+//! Two implementations coexist:
+//!
+//! * the **limb-parallel engine** (the default): every operation is a
+//!   handful of `u64`-limb ops via [`LaneMasks`], so one host instruction
+//!   covers 64 columns, mirroring the hardware's bit-parallelism;
+//! * the **structural reference** ([`CarryChain::add_bitwise`],
+//!   [`CarryChain::mult_step_bitwise`], …): the original column-by-column
+//!   ripple through [`YPath`] slices. It is kept as the ground truth the
+//!   property tests compare the engine against bit-for-bit.
+//!
+//! Both compute the same function; only host time differs. Simulated cycle
+//! counts are decided by the macro executor, not by either code path.
 
 use crate::precision::Precision;
 use crate::ypath::{ColumnInputs, WriteBackSel, YPath};
-use bpimc_array::{BitRow, DualReadout};
+use bpimc_array::{BitRow, DualReadout, LaneMasks};
 
 /// Result of a row-wide addition.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,10 +32,9 @@ pub struct AddOutcome {
 }
 
 /// A carry chain configured for a row width and a lane (segment) width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CarryChain {
-    cols: usize,
-    segment_bits: usize,
+    masks: LaneMasks,
 }
 
 impl CarryChain {
@@ -43,38 +54,101 @@ impl CarryChain {
     ///
     /// Panics if `cols` or `segment_bits` is zero.
     pub fn with_segment_bits(cols: usize, segment_bits: usize) -> Self {
-        assert!(cols > 0, "cols must be positive");
-        assert!(segment_bits > 0, "segment width must be positive");
-        Self { cols, segment_bits }
+        Self {
+            masks: LaneMasks::new(cols, segment_bits),
+        }
     }
 
     /// Row width in columns.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.masks.cols()
     }
 
     /// Lane width in bits.
     pub fn segment_bits(&self) -> usize {
-        self.segment_bits
+        self.masks.segment_bits()
     }
 
     /// Number of whole lanes (leftover columns at the top are idle).
     pub fn lane_count(&self) -> usize {
-        self.cols / self.segment_bits
+        self.masks.lane_count()
+    }
+
+    /// The precomputed lane masks backing this chain.
+    pub fn masks(&self) -> &LaneMasks {
+        &self.masks
     }
 
     /// Column range of lane `lane`.
     fn lane_range(&self, lane: usize) -> std::ops::Range<usize> {
-        let lo = lane * self.segment_bits;
-        lo..lo + self.segment_bits
+        let lo = lane * self.segment_bits();
+        lo..lo + self.segment_bits()
     }
 
     /// Row-wide `A + B` (+ `carry_in` into every lane's LSB — `true` is the
-    /// two's-complement `+1` used by SUB).
+    /// two's-complement `+1` used by SUB). Limb-parallel.
     pub fn add(&self, readout: &DualReadout, carry_in: bool) -> AddOutcome {
         self.check_width(readout.and.width());
+        let (sum, cout) = self
+            .masks
+            .lane_add_from_readout(&readout.and, &readout.nor, carry_in);
+        let carries = (0..self.lane_count())
+            .map(|lane| cout.get(self.lane_range(lane).end - 1))
+            .collect();
+        AddOutcome { sum, carries }
+    }
+
+    /// Row-wide add-and-shift: per lane, `(A + B) << 1` written in a single
+    /// cycle (each column writes back its right neighbour's sum; the lane
+    /// LSB receives zero). Limb-parallel.
+    pub fn add_shift(&self, readout: &DualReadout) -> BitRow {
+        let added = self.add(readout, false);
+        self.shift_row(&added.sum)
+    }
+
+    /// Per-lane logical left shift by one of raw row data (the single-WL
+    /// shift operation). Limb-parallel.
+    pub fn shift_row(&self, data: &BitRow) -> BitRow {
+        self.check_width(data.width());
+        self.masks.lane_shl1(data)
+    }
+
+    /// One multiplication step: per lane, writes `(sum) << 1` when the
+    /// lane's multiplier FF bit is 1, else `(acc) << 1` where `acc` is the
+    /// Y-path FF copy of the previously written accumulator.
+    ///
+    /// When `final_step` is true the shift is suppressed (the last partial
+    /// product is accumulated with a plain ADD, per Fig. 5). Limb-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff_bits` does not have one entry per lane.
+    pub fn mult_step(
+        &self,
+        readout: &DualReadout,
+        acc_latch: &BitRow,
+        ff_bits: &[bool],
+        final_step: bool,
+    ) -> BitRow {
+        self.check_width(acc_latch.width());
+        let (sum, _cout) = self
+            .masks
+            .lane_add_from_readout(&readout.and, &readout.nor, false);
+        let ff_mask = self.masks.expand_lane_bits(ff_bits);
+        self.masks
+            .select_shl1(&ff_mask, &sum, acc_latch, final_step)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural (per-column) reference implementations
+    // ------------------------------------------------------------------
+
+    /// [`CarryChain::add`] computed column by column through the structural
+    /// [`YPath`] model — the reference the limb engine is verified against.
+    pub fn add_bitwise(&self, readout: &DualReadout, carry_in: bool) -> AddOutcome {
+        self.check_width(readout.and.width());
         let y = YPath;
-        let mut sum = BitRow::zeros(self.cols);
+        let mut sum = BitRow::zeros(self.cols());
         let mut carries = Vec::with_capacity(self.lane_count());
         for lane in 0..self.lane_count() {
             let mut c = carry_in;
@@ -92,40 +166,31 @@ impl CarryChain {
         AddOutcome { sum, carries }
     }
 
-    /// Row-wide add-and-shift: per lane, `(A + B) << 1` written in a single
-    /// cycle (each column writes back its right neighbour's sum; the lane
-    /// LSB receives zero).
-    pub fn add_shift(&self, readout: &DualReadout) -> BitRow {
-        let added = self.add(readout, false);
-        self.shift_row(&added.sum)
-    }
-
-    /// Per-lane logical left shift by one of raw row data (the single-WL
-    /// shift operation).
-    pub fn shift_row(&self, data: &BitRow) -> BitRow {
+    /// [`CarryChain::shift_row`] computed column by column (reference).
+    pub fn shift_row_bitwise(&self, data: &BitRow) -> BitRow {
         self.check_width(data.width());
-        let mut out = BitRow::zeros(self.cols);
+        let mut out = BitRow::zeros(self.cols());
         for lane in 0..self.lane_count() {
             let r = self.lane_range(lane);
             for col in r.clone() {
-                let v = if col == r.start { false } else { data.get(col - 1) };
+                let v = if col == r.start {
+                    false
+                } else {
+                    data.get(col - 1)
+                };
                 out.set(col, v);
             }
         }
         out
     }
 
-    /// One multiplication step: per lane, writes `(sum) << 1` when the
-    /// lane's multiplier FF bit is 1, else `(acc) << 1` where `acc` is the
-    /// Y-path FF copy of the previously written accumulator.
-    ///
-    /// When `final_step` is true the shift is suppressed (the last partial
-    /// product is accumulated with a plain ADD, per Fig. 5).
+    /// [`CarryChain::mult_step`] computed column by column (reference).
     ///
     /// # Panics
     ///
     /// Panics if `ff_bits` does not have one entry per lane.
-    pub fn mult_step(
+    #[allow(clippy::needless_range_loop)]
+    pub fn mult_step_bitwise(
         &self,
         readout: &DualReadout,
         acc_latch: &BitRow,
@@ -134,8 +199,8 @@ impl CarryChain {
     ) -> BitRow {
         assert_eq!(ff_bits.len(), self.lane_count(), "one FF bit per lane");
         self.check_width(acc_latch.width());
-        let added = self.add(readout, false);
-        let mut out = BitRow::zeros(self.cols);
+        let added = self.add_bitwise(readout, false);
+        let mut out = BitRow::zeros(self.cols());
         for lane in 0..self.lane_count() {
             let r = self.lane_range(lane);
             let src = if ff_bits[lane] { &added.sum } else { acc_latch };
@@ -154,7 +219,12 @@ impl CarryChain {
     }
 
     fn check_width(&self, got: usize) {
-        assert_eq!(got, self.cols, "row width {got} does not match chain width {}", self.cols);
+        assert_eq!(
+            got,
+            self.cols(),
+            "row width {got} does not match chain width {}",
+            self.cols()
+        );
     }
 }
 
@@ -166,7 +236,10 @@ mod tests {
     fn readout(cols: usize, a: u64, b: u64) -> DualReadout {
         let ra = BitRow::from_u64(cols, a);
         let rb = BitRow::from_u64(cols, b);
-        DualReadout { and: &ra & &rb, nor: &!&ra & &!&rb }
+        DualReadout {
+            and: &ra & &rb,
+            nor: &!&ra & &!&rb,
+        }
     }
 
     #[test]
@@ -201,7 +274,11 @@ mod tests {
         let data = BitRow::from_u64(8, 0b1000_1001);
         let out = chain.shift_row(&data);
         assert_eq!(out.get_field(0, 4), 0b0010);
-        assert_eq!(out.get_field(4, 4), 0b0000, "lane MSB drops, no cross-lane leak");
+        assert_eq!(
+            out.get_field(4, 4),
+            0b0000,
+            "lane MSB drops, no cross-lane leak"
+        );
     }
 
     #[test]
@@ -218,6 +295,27 @@ mod tests {
         // final step suppresses the shift.
         let out = chain.mult_step(&r, &acc, &[true], true);
         assert_eq!(out.get_field(0, 8), 0b110 + 0b011);
+    }
+
+    #[test]
+    fn idle_top_columns_stay_zero() {
+        // 20 columns at 8-bit precision: 2 lanes + 4 idle columns that must
+        // read zero on every path.
+        let chain = CarryChain::new(20, Precision::P8);
+        let ra = BitRow::ones(20);
+        let rb = BitRow::ones(20);
+        let r = DualReadout {
+            and: &ra & &rb,
+            nor: &!&ra & &!&rb,
+        };
+        let out = chain.add(&r, true);
+        for col in 16..20 {
+            assert!(!out.sum.get(col), "idle col {col}");
+        }
+        let m = chain.mult_step(&r, &ra, &[true, true], true);
+        for col in 16..20 {
+            assert!(!m.get(col), "idle col {col} after mult_step");
+        }
     }
 
     proptest! {
@@ -251,6 +349,56 @@ mod tests {
             let expect = a.wrapping_sub(b) as u64;
             prop_assert_eq!(out.sum.get_field(0, 32), expect);
             prop_assert_eq!(out.sum.get_field(32, 32), expect);
+        }
+
+        /// The limb-parallel adder matches the structural per-column
+        /// reference bit-for-bit, carries included, on random rows, widths
+        /// and segmentations.
+        #[test]
+        fn limb_add_matches_bitwise_reference(
+            a in any::<u128>(),
+            b in any::<u128>(),
+            cols in 2usize..=128,
+            seg_pick in 0usize..6,
+            cin in any::<bool>(),
+        ) {
+            let seg = [2usize, 3, 4, 8, 16, 32][seg_pick].min(cols);
+            let mut ra = BitRow::zeros(cols);
+            let mut rb = BitRow::zeros(cols);
+            for i in 0..cols {
+                ra.set(i, (a >> i) & 1 == 1);
+                rb.set(i, (b >> i) & 1 == 1);
+            }
+            let r = DualReadout { and: &ra & &rb, nor: &!&ra & &!&rb };
+            let chain = CarryChain::with_segment_bits(cols, seg);
+            let fast = chain.add(&r, cin);
+            let slow = chain.add_bitwise(&r, cin);
+            prop_assert_eq!(&fast.sum, &slow.sum, "sum mismatch cols={} seg={}", cols, seg);
+            prop_assert_eq!(&fast.carries, &slow.carries, "carry mismatch cols={} seg={}", cols, seg);
+        }
+
+        /// The limb-parallel shift and mult-step match their per-column
+        /// references bit-for-bit.
+        #[test]
+        fn limb_mult_step_matches_bitwise_reference(
+            a in any::<u64>(),
+            b in any::<u64>(),
+            acc in any::<u64>(),
+            ff_seed in any::<u64>(),
+            final_step in any::<bool>(),
+            seg_pick in 0usize..4,
+        ) {
+            let cols = 64;
+            let seg = [4usize, 8, 16, 32][seg_pick];
+            let chain = CarryChain::with_segment_bits(cols, seg);
+            let r = readout(cols, a, b);
+            let acc_row = BitRow::from_u64(cols, acc);
+            let ff: Vec<bool> = (0..chain.lane_count()).map(|i| (ff_seed >> i) & 1 == 1).collect();
+            let fast = chain.mult_step(&r, &acc_row, &ff, final_step);
+            let slow = chain.mult_step_bitwise(&r, &acc_row, &ff, final_step);
+            prop_assert_eq!(&fast, &slow);
+            let data = BitRow::from_u64(cols, a);
+            prop_assert_eq!(chain.shift_row(&data), chain.shift_row_bitwise(&data));
         }
     }
 }

@@ -19,7 +19,10 @@ pub struct FfBank {
 impl FfBank {
     /// An empty bank for `lanes` word lanes of the given precision.
     pub fn new(precision: Precision, lanes: usize) -> Self {
-        Self { precision, regs: vec![vec![false; precision.bits()]; lanes] }
+        Self {
+            precision,
+            regs: vec![vec![false; precision.bits()]; lanes],
+        }
     }
 
     /// Number of lanes.
@@ -39,7 +42,10 @@ impl FfBank {
     ///
     /// Panics if `lane` is out of range or `value` exceeds the precision.
     pub fn load(&mut self, lane: usize, value: u64) {
-        assert!(value <= self.precision.max_value(), "multiplier {value:#x} too wide");
+        assert!(
+            value <= self.precision.max_value(),
+            "multiplier {value:#x} too wide"
+        );
         let bits = self.precision.bits();
         let reg = &mut self.regs[lane];
         for (k, slot) in reg.iter_mut().enumerate() {

@@ -111,11 +111,18 @@ mod tests {
 
     #[test]
     fn all_ops_match_scalar_reference_on_random_rows() {
-        let mut arr = SramArray::new(ArrayGeometry { rows: 2, cols: 64, dummy_rows: 1, interleave: 1 });
+        let mut arr = SramArray::new(ArrayGeometry {
+            rows: 2,
+            cols: 64,
+            dummy_rows: 1,
+            interleave: 1,
+        });
         let a = 0x5A5A_F00F_1234_8888u64;
         let b = 0x0FF0_AAAA_4321_7777u64;
-        arr.write(RowAddr::Main(0), &BitRow::from_u64(64, a)).unwrap();
-        arr.write(RowAddr::Main(1), &BitRow::from_u64(64, b)).unwrap();
+        arr.write(RowAddr::Main(0), &BitRow::from_u64(64, a))
+            .unwrap();
+        arr.write(RowAddr::Main(1), &BitRow::from_u64(64, b))
+            .unwrap();
         let readout = arr.bl_compute(RowAddr::Main(0), RowAddr::Main(1)).unwrap();
         for op in LogicOp::ALL {
             let row = op.eval(&readout);

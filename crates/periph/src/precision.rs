@@ -101,7 +101,11 @@ pub struct UnsupportedPrecision(pub usize);
 
 impl fmt::Display for UnsupportedPrecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unsupported precision {} (expected 2, 4, 8, 16 or 32)", self.0)
+        write!(
+            f,
+            "unsupported precision {} (expected 2, 4, 8, 16 or 32)",
+            self.0
+        )
     }
 }
 

@@ -23,12 +23,18 @@ pub struct ColumnInputs {
 impl ColumnInputs {
     /// Inputs seen during a dual word-line compute access.
     pub fn dual(a: bool, b: bool) -> Self {
-        Self { and_ab: a && b, nor_ab: !a && !b }
+        Self {
+            and_ab: a && b,
+            nor_ab: !a && !b,
+        }
     }
 
     /// Inputs seen during a single word-line access of a cell storing `a`.
     pub fn single(a: bool) -> Self {
-        Self { and_ab: a, nor_ab: !a }
+        Self {
+            and_ab: a,
+            nor_ab: !a,
+        }
     }
 }
 
@@ -89,7 +95,7 @@ impl YPath {
             // data onto the carry node (the paper: "the FA-Logics outputs
             // the original data (A) to the C[N] node").
             WriteBackSel::Data | WriteBackSel::NotData | WriteBackSel::Propagated
-                if inputs.and_ab == !inputs.nor_ab =>
+                if inputs.and_ab != inputs.nor_ab =>
             {
                 inputs.and_ab
             }
@@ -111,7 +117,11 @@ impl YPath {
             WriteBackSel::NotData => inputs.nor_ab,
             WriteBackSel::Zero => false,
         };
-        YPathOut { carry_out, writeback, sum }
+        YPathOut {
+            carry_out,
+            writeback,
+            sum,
+        }
     }
 }
 
@@ -144,7 +154,12 @@ mod tests {
     #[test]
     fn propagated_selection_ignores_local_data() {
         let y = YPath;
-        let out = y.eval(ColumnInputs::dual(true, true), false, true, WriteBackSel::Propagated);
+        let out = y.eval(
+            ColumnInputs::dual(true, true),
+            false,
+            true,
+            WriteBackSel::Propagated,
+        );
         assert!(out.writeback, "wb must be the propagated bit");
     }
 
@@ -164,16 +179,31 @@ mod tests {
     #[test]
     fn logic_selection_uses_logic_unit() {
         let y = YPath;
-        let out = y.eval(ColumnInputs::dual(true, false), false, false, WriteBackSel::Logic(LogicOp::Xor));
+        let out = y.eval(
+            ColumnInputs::dual(true, false),
+            false,
+            false,
+            WriteBackSel::Logic(LogicOp::Xor),
+        );
         assert!(out.writeback);
-        let out = y.eval(ColumnInputs::dual(true, true), false, false, WriteBackSel::Logic(LogicOp::Nand));
+        let out = y.eval(
+            ColumnInputs::dual(true, true),
+            false,
+            false,
+            WriteBackSel::Logic(LogicOp::Nand),
+        );
         assert!(!out.writeback);
     }
 
     #[test]
     fn zero_writes_zero() {
         let y = YPath;
-        let out = y.eval(ColumnInputs::dual(true, true), true, true, WriteBackSel::Zero);
+        let out = y.eval(
+            ColumnInputs::dual(true, true),
+            true,
+            true,
+            WriteBackSel::Zero,
+        );
         assert!(!out.writeback);
     }
 }

@@ -38,7 +38,10 @@ impl Histogram {
     /// Panics if `nbins == 0` or `hi <= lo`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(nbins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty (lo {lo}, hi {hi})");
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo {lo}, hi {hi})"
+        );
         Self {
             lo,
             hi,

@@ -27,6 +27,7 @@
 pub mod gauss;
 pub mod histogram;
 pub mod normal;
+pub mod parallel;
 pub mod summary;
 pub mod tail;
 

@@ -41,7 +41,10 @@ impl TailFit {
     /// spread (a degenerate fit cannot extrapolate).
     pub fn from_margins(margins: &[f64]) -> Self {
         let s = Summary::from_slice(margins);
-        assert!(s.std > 0.0, "margin sample has zero spread; cannot fit tail");
+        assert!(
+            s.std > 0.0,
+            "margin sample has zero spread; cannot fit tail"
+        );
         Self {
             mean: s.mean,
             sigma: s.std,

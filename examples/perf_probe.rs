@@ -1,0 +1,46 @@
+//! Wall-clock probe: imc_dot-heavy NN evaluation + mult/reduce_add micro ops.
+use bpimc::core::{ImcMacro, MacroConfig, Precision};
+use bpimc::nn::{Dataset, PrototypeClassifier};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    // NN evaluation: 4 classes x 64 features x 400 samples at P8.
+    let d = Dataset::synthetic_blobs(4, 64, 400, 7);
+    let mut clf = PrototypeClassifier::fit(&d, Precision::P8);
+    let t0 = Instant::now();
+    let r = clf.evaluate(&d);
+    let nn_s = t0.elapsed().as_secs_f64();
+    println!(
+        "nn_eval_s {nn_s:.4} accuracy {:.3} cycles {}",
+        r.accuracy, r.cycles
+    );
+
+    // Micro ops on one macro.
+    let p = Precision::P8;
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    mac.write_mult_operands(0, p, &[123; 8]).unwrap();
+    mac.write_mult_operands(1, p, &[45; 8]).unwrap();
+    let t0 = Instant::now();
+    let n = 20000;
+    for _ in 0..n {
+        black_box(mac.mult(0, 1, 2, p).unwrap());
+        mac.clear_activity();
+    }
+    println!("mult_us {:.3}", t0.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    for r in 0..8 {
+        mac.write_words(3 + r, p, &[(r as u64 * 31) % 256; 16])
+            .unwrap();
+    }
+    let rows: Vec<usize> = (3..11).collect();
+    let t0 = Instant::now();
+    for _ in 0..n {
+        black_box(mac.reduce_add(&rows, 12, p).unwrap());
+        mac.clear_activity();
+    }
+    println!(
+        "reduce_add_us {:.3}",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
+}

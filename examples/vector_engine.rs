@@ -12,8 +12,8 @@
 //! ```
 
 use bpimc::core::{bank::Chip, config::ChipConfig, Precision};
-use bpimc::metrics::FrequencyModel;
 use bpimc::device::Env;
+use bpimc::metrics::FrequencyModel;
 
 fn main() -> Result<(), bpimc::core::Error> {
     let mut chip = Chip::new(ChipConfig::paper_chip());
@@ -23,8 +23,12 @@ fn main() -> Result<(), bpimc::core::Error> {
     let total_words = macros * lanes_per_macro;
 
     // Deterministic test vectors, distributed across all 64 macros.
-    let a: Vec<u64> = (0..total_words as u64).map(|i| (i * 37 + 11) & 0xFF).collect();
-    let b: Vec<u64> = (0..total_words as u64).map(|i| (i * 101 + 3) & 0xFF).collect();
+    let a: Vec<u64> = (0..total_words as u64)
+        .map(|i| (i * 37 + 11) & 0xFF)
+        .collect();
+    let b: Vec<u64> = (0..total_words as u64)
+        .map(|i| (i * 101 + 3) & 0xFF)
+        .collect();
     for m in 0..macros {
         let lo = m * lanes_per_macro;
         let hi = lo + lanes_per_macro;

@@ -12,7 +12,12 @@ use bpimc::device::{Corner, Env, MismatchModel};
 fn corner_sweep_shape() {
     let r = fig7a::run();
     for row in &r.rows {
-        assert!(row.ratio() < 0.6, "{}: ratio {:.2}", row.corner, row.ratio());
+        assert!(
+            row.ratio() < 0.6,
+            "{}: ratio {:.2}",
+            row.corner,
+            row.ratio()
+        );
     }
     let worst = r.worst_case_ratio();
     assert!((0.1..0.45).contains(&worst), "worst-case ratio {worst:.2}");
@@ -29,7 +34,12 @@ fn delay_distribution_shape() {
     assert!(p.std < w.std);
     assert!(r.wlud_tail_is_longer());
     // The WLUD distribution sits in the paper's 0.5-3.5 ns axis range.
-    assert!(w.p50 > 0.5e-9 && w.p99 < 3.5e-9, "p50 {} p99 {}", w.p50, w.p99);
+    assert!(
+        w.p50 > 0.5e-9 && w.p99 < 3.5e-9,
+        "p50 {} p99 {}",
+        w.p50,
+        w.p99
+    );
 }
 
 /// Iso-failure direction: full static WL is orders of magnitude worse than
@@ -39,9 +49,8 @@ fn delay_distribution_shape() {
 fn disturb_failure_ordering() {
     let env = Env::nominal();
     let mm = MismatchModel::nominal();
-    let fit = |scheme| {
-        DisturbStudy::new(BlComputeBench::new(128, env, scheme), mm).failure_fit(48, 5)
-    };
+    let fit =
+        |scheme| DisturbStudy::new(BlComputeBench::new(128, env, scheme), mm).failure_fit(48, 5);
     let full = fit(WlScheme::FullStatic);
     let wlud = fit(WlScheme::Wlud { v_wl: 0.55 });
     let prop = fit(WlScheme::short_boost_140ps());

@@ -64,8 +64,12 @@ fn architectures_agree_across_precisions() {
     for p in [Precision::P2, Precision::P4, Precision::P8] {
         let bits = p.bits();
         let n_words = 4usize;
-        let a: Vec<u64> = (0..n_words as u64).map(|i| (i * 3 + 1) & p.mask()).collect();
-        let b: Vec<u64> = (0..n_words as u64).map(|i| (i * 5 + 2) & p.mask()).collect();
+        let a: Vec<u64> = (0..n_words as u64)
+            .map(|i| (i * 3 + 1) & p.mask())
+            .collect();
+        let b: Vec<u64> = (0..n_words as u64)
+            .map(|i| (i * 5 + 2) & p.mask())
+            .collect();
 
         let mut mac = ImcMacro::new(MacroConfig::paper_macro());
         mac.write_mult_operands(0, p, &a).unwrap();
@@ -91,8 +95,12 @@ fn chip_scales_word_throughput() {
     assert_eq!(chip.macro_count(), 64);
     assert_eq!(chip.config().capacity_bytes(), 128 * 1024);
     for i in 0..chip.macro_count() {
-        chip.macro_at(i).write_words(0, Precision::P8, &[i as u64 & 0xFF]).unwrap();
-        chip.macro_at(i).write_words(1, Precision::P8, &[1]).unwrap();
+        chip.macro_at(i)
+            .write_words(0, Precision::P8, &[i as u64 & 0xFF])
+            .unwrap();
+        chip.macro_at(i)
+            .write_words(1, Precision::P8, &[1])
+            .unwrap();
     }
     let cycles = chip.add_all(0, 1, 2, Precision::P8).unwrap();
     assert_eq!(cycles, 1, "chip-wide ADD is still one cycle");

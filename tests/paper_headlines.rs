@@ -37,8 +37,8 @@ fn claim_tops_per_watt() {
 /// "5.2% of area overhead".
 #[test]
 fn claim_area_overhead() {
-    let ovh = AreaModel::default_28nm()
-        .overhead_fraction(&bpimc::array::ArrayGeometry::paper_macro());
+    let ovh =
+        AreaModel::default_28nm().overhead_fraction(&bpimc::array::ArrayGeometry::paper_macro());
     assert!((ovh - 0.052).abs() < 0.005, "overhead {ovh}");
 }
 

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset of criterion's API the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `iter`, and the `criterion_group!`
+//! / `criterion_main!` macros — backed by a simple adaptive wall-clock
+//! timer. No statistical analysis, plots or baselines: each bench prints
+//! `name  time/iter (samples, iters/sample)` to stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Substring filter from the command line (`cargo bench -- <filter>`),
+    /// matched against `group/name`, like the real crate.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let group = name.to_string();
+        BenchmarkGroup {
+            filter: self.filter.clone(),
+            group,
+            announced: false,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (outside any group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self
+            .filter
+            .as_ref()
+            .is_none_or(|flt| name.contains(flt.as_str()))
+        {
+            run_bench(name, self.sample_size, self.measurement_time, &mut f);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    filter: Option<String>,
+    group: String,
+    announced: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Times `f` and prints the result (skipped when a CLI filter does not
+    /// match `group/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.group);
+        if self
+            .filter
+            .as_ref()
+            .is_none_or(|flt| full.contains(flt.as_str()))
+        {
+            if !self.announced {
+                println!("group: {}", self.group);
+                self.announced = true;
+            }
+            run_bench(name, self.sample_size, self.measurement_time, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (parity with the real API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the elapsed time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, budget: Duration, f: &mut F) {
+    // Calibrate: how many iterations fit in ~5 ms?
+    let mut iters_per_sample = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed > Duration::from_millis(5) || iters_per_sample >= 1 << 20 {
+            break;
+        }
+        iters_per_sample *= 2;
+    }
+    // Scale so `samples` samples roughly fill the measurement budget, then
+    // collect them.
+    let per_sample_budget = budget.as_secs_f64() / samples as f64;
+    let mut b = Bencher {
+        iters: iters_per_sample,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let t_iter = (b.elapsed.as_secs_f64() / iters_per_sample as f64).max(1e-12);
+    let iters = ((per_sample_budget / t_iter) as u64).clamp(1, 1 << 24);
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!(
+        "  {name:<40} {:>12}/iter  [min {}, max {}]  ({samples} samples x {iters} iters)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collects benchmark functions into one runner, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut count = 0u64;
+        g.bench_function("incr", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

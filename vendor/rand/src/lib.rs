@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `random` /
+//! `random_range`. The generator is xoshiro256++ seeded through splitmix64 —
+//! a high-quality, deterministic PRNG (not the CSPRNG the real `StdRng`
+//! provides, which none of the Monte-Carlo code here needs).
+
+/// Types that can construct themselves from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a "standard" value: `f64`/`f32` in `[0, 1)`,
+/// integers over their full range, `bool` fair.
+pub trait StandardValue {
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (the 0.9 rename of `gen`).
+    fn random<T: StandardValue>(&mut self) -> T {
+        T::from_rng(self.as_core())
+    }
+
+    /// A uniform sample from `range` (the 0.9 rename of `gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.as_core())
+    }
+
+    /// A fair coin flip.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    #[doc(hidden)]
+    fn as_core(&mut self) -> &mut dyn RngCore;
+}
+
+impl<R: RngCore> Rng for R {
+    fn as_core(&mut self) -> &mut dyn RngCore {
+        self
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = super::splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl StandardValue for u64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardValue for u32 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardValue for u16 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl StandardValue for u8 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl StandardValue for bool {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardValue for f64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Unbiased sampling of `[0, n)` by rejection (Lemire-style threshold).
+fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample an empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let n = rng.random_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let m = rng.random_range(0u64..=5);
+            assert!(m <= 5);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
