@@ -1,0 +1,258 @@
+//! Load generator for the compute service: N concurrent clients, mixed
+//! op/precision request streams, every response verified, requests/sec
+//! reported. Exits non-zero on any dropped or incorrect response — CI uses
+//! it as the server smoke test.
+//!
+//! ```text
+//! cargo run --release -p bpimc-bench --example load_gen -- \
+//!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT]
+//! ```
+//!
+//! Without `--addr` an in-process server is spawned on an ephemeral port
+//! (with fault injection enabled) and shut down gracefully at the end; each
+//! client injects one deliberate panic mid-stream and checks that only that
+//! request fails while the pool keeps serving.
+
+use bpimc_core::{LaneOp, LogicOp, Precision};
+use bpimc_server::{Client, ClientError, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+struct Args {
+    clients: u64,
+    requests: u64,
+    macros: Option<usize>,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 50,
+        macros: None,
+        addr: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
+        match a.as_str() {
+            "--clients" => args.clients = num("--clients").max(1),
+            "--requests" => args.requests = num("--requests").max(1),
+            "--macros" => args.macros = Some(num("--macros").max(1) as usize),
+            "--addr" => {
+                args.addr = Some(it.next().unwrap_or_else(|| die("--addr needs HOST:PORT")))
+            }
+            other => die(&format!("unknown option '{other}'")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// One client's deterministic request stream; returns (ok, failed)
+/// response counts, where "failed" includes any mismatch.
+fn drive_client(addr: SocketAddr, c: u64, requests: u64, expect_faults: bool) -> (u64, u64) {
+    let mut client = match Client::connect(addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("client {c}: connect failed: {e}");
+            return (0, requests);
+        }
+    };
+    let mut ok = 0u64;
+    let mut bad = 0u64;
+    fn tally(ok: &mut u64, bad: &mut u64, c: u64, name: &str, pass: bool) {
+        if pass {
+            *ok += 1;
+        } else {
+            *bad += 1;
+            eprintln!("client {c}: {name} mismatch");
+        }
+    }
+    let panic_at = requests / 2;
+    for r in 0..requests {
+        if expect_faults && r == panic_at {
+            // The contained-fault check: exactly this request errors.
+            match client.inject_panic() {
+                Err(ClientError::Server(msg)) if msg.contains("panicked") => ok += 1,
+                other => {
+                    bad += 1;
+                    eprintln!("client {c}: inject_panic not contained: {other:?}");
+                }
+            }
+            continue;
+        }
+        let k = c * 7919 + r * 131;
+        match r % 5 {
+            0 => {
+                let x: Vec<u64> = (0..12).map(|i| (k + i * 3) % 256).collect();
+                let w: Vec<u64> = (0..12).map(|i| (k + i * 5 + 1) % 256).collect();
+                let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+                tally(
+                    &mut ok,
+                    &mut bad,
+                    c,
+                    "dot",
+                    client.dot(Precision::P8, &x, &w).ok() == Some(expect),
+                );
+            }
+            1 => {
+                let a: Vec<u64> = (0..16).map(|i| (k + i) % 256).collect();
+                let b: Vec<u64> = (0..16).map(|i| (k * 3 + i) % 256).collect();
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| (x + y) & 0xFF).collect();
+                tally(
+                    &mut ok,
+                    &mut bad,
+                    c,
+                    "add",
+                    client.lanes(LaneOp::Add, Precision::P8, &a, &b).ok() == Some(expect),
+                );
+            }
+            2 => {
+                let a: Vec<u64> = (0..8).map(|i| (k + i) % 16).collect();
+                let b: Vec<u64> = (0..8).map(|i| (k * 5 + i) % 16).collect();
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+                tally(
+                    &mut ok,
+                    &mut bad,
+                    c,
+                    "mult",
+                    client.lanes(LaneOp::Mult, Precision::P4, &a, &b).ok() == Some(expect),
+                );
+            }
+            3 => {
+                let a: Vec<u64> = (0..4).map(|i| (k * 251 + i) % 65536).collect();
+                let b: Vec<u64> = (0..4).map(|i| (k * 509 + i) % 65536).collect();
+                let expect: Vec<u64> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| x.wrapping_sub(*y) & 0xFFFF)
+                    .collect();
+                tally(
+                    &mut ok,
+                    &mut bad,
+                    c,
+                    "sub16",
+                    client.lanes(LaneOp::Sub, Precision::P16, &a, &b).ok() == Some(expect),
+                );
+            }
+            _ => {
+                let a: Vec<u64> = (0..32).map(|i| (k + i * 3) % 4).collect();
+                let b: Vec<u64> = (0..32).map(|i| (k * 7 + i) % 4).collect();
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+                tally(
+                    &mut ok,
+                    &mut bad,
+                    c,
+                    "xor2",
+                    client
+                        .lanes(LaneOp::Logic(LogicOp::Xor), Precision::P2, &a, &b)
+                        .ok()
+                        == Some(expect),
+                );
+            }
+        }
+    }
+    // The session account must agree on totals: every request answered,
+    // only the injected fault failed.
+    match client.stats() {
+        Ok(stats) => {
+            let expected_errors = u64::from(expect_faults);
+            if stats.requests != requests || stats.errors != expected_errors {
+                bad += 1;
+                eprintln!(
+                    "client {c}: session account off: {} requests / {} errors (expected {requests} / {expected_errors})",
+                    stats.requests, stats.errors
+                );
+            } else {
+                println!(
+                    "client {c}: {} requests, {} hw cycles, {:.1} pJ billed",
+                    stats.requests,
+                    stats.cycles,
+                    stats.energy_fj / 1000.0
+                );
+            }
+        }
+        Err(e) => {
+            bad += 1;
+            eprintln!("client {c}: stats failed: {e}");
+        }
+    }
+    (ok, bad)
+}
+
+fn main() {
+    let args = parse_args();
+    let spawned = match &args.addr {
+        Some(_) => None,
+        None => {
+            let mut config = ServerConfig {
+                fault_injection: true,
+                ..ServerConfig::default()
+            };
+            if let Some(m) = args.macros {
+                config.macros = m;
+                config.batch_max = 4 * m;
+            }
+            let handle =
+                Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| die(&format!("bind: {e}")));
+            println!(
+                "spawned in-process server on {} ({} macros)",
+                handle.local_addr(),
+                config.macros
+            );
+            Some(handle)
+        }
+    };
+    let addr: SocketAddr = match (&args.addr, &spawned) {
+        (Some(a), _) => a
+            .parse()
+            .unwrap_or_else(|e| die(&format!("bad --addr: {e}"))),
+        (None, Some(h)) => h.local_addr(),
+        (None, None) => unreachable!(),
+    };
+    // Against an external server we do not know whether faults are enabled,
+    // so only the in-process run exercises injection.
+    let expect_faults = spawned.is_some();
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let requests = args.requests;
+            std::thread::spawn(move || drive_client(addr, c, requests, expect_faults))
+        })
+        .collect();
+    let mut total_ok = 0u64;
+    let mut total_bad = 0u64;
+    for w in workers {
+        let (ok, bad) = w.join().unwrap_or((0, 1));
+        total_ok += ok;
+        total_bad += bad;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = args.clients * args.requests;
+    println!(
+        "{} clients x {} requests: {total} total in {elapsed:.3} s = {:.0} requests/sec",
+        args.clients,
+        args.requests,
+        total as f64 / elapsed
+    );
+    if let Some(handle) = spawned {
+        handle.shutdown();
+        println!("server shut down cleanly");
+    }
+    if total_bad > 0 || total_ok != total {
+        die(&format!(
+            "{total_bad} dropped/incorrect responses out of {total}"
+        ));
+    }
+    println!("all {total} responses correct, zero dropped");
+}

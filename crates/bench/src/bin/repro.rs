@@ -6,6 +6,10 @@
 //! repro fig7a fig7b fig8 fig9 table1 table2 table3
 //! repro all --json          # also write BENCH_repro.json with wall-clock
 //!                           # and simulated-cycle numbers
+//! repro serve               # run the multi-client compute service
+//!     [--addr 127.0.0.1:7171] [--macros N] [--fault-injection]
+//! repro check-bench         # regression gate: compare current cycles and
+//!     [--baseline FILE]     # micro-timings against BENCH_repro.json
 //! ```
 
 use bpimc_bench::experiments::{
@@ -133,11 +137,161 @@ fn micro_timings() -> Vec<(String, f64)> {
     ]
 }
 
+/// `repro serve`: run the line-delimited-JSON compute service until a
+/// client sends `{"op":"shutdown"}` (see the README's Serving section).
+fn serve(args: &[String]) {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut config = bpimc_server::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--addr needs HOST:PORT"))
+            }
+            "--macros" => {
+                config.macros = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--macros needs a positive number"));
+                config.batch_max = 4 * config.macros;
+            }
+            "--fault-injection" => config.fault_injection = true,
+            other => die(&format!("unknown serve option '{other}'")),
+        }
+    }
+    let handle = bpimc_server::Server::bind(addr.as_str(), config)
+        .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+    println!(
+        "serving on {} with {} macros (queue {}, batch {}, fault injection {})",
+        handle.local_addr(),
+        config.macros,
+        config.queue_capacity,
+        config.batch_max,
+        if config.fault_injection { "on" } else { "off" }
+    );
+    println!("send {{\"id\":1,\"op\":\"shutdown\"}} to stop");
+    handle.join();
+    println!("server stopped");
+}
+
+/// `repro check-bench`: the CI regression gate. Simulated cycle counts are
+/// hardware ground truth and must match the baseline **exactly**; host
+/// micro-timings vary with the machine, so they only fail when more than
+/// `TOLERANCE_FACTOR` slower than the recorded baseline (catching
+/// order-of-magnitude regressions without flaking on slower CI hosts).
+fn check_bench(args: &[String]) {
+    const TOLERANCE_FACTOR: f64 = 10.0;
+    let mut baseline_path = "BENCH_repro.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--baseline needs a path"))
+            }
+            other => die(&format!("unknown check-bench option '{other}'")),
+        }
+    }
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| die(&format!("reading {baseline_path}: {e}")));
+    let baseline = bpimc_core::json::Json::parse(&text)
+        .unwrap_or_else(|e| die(&format!("parsing {baseline_path}: {e}")));
+
+    // Both directions are gated: a current measurement missing from the
+    // baseline fails, and a baseline entry with no current counterpart
+    // fails too — deleting or renaming a benchmark must not silently
+    // shrink the gate.
+    fn orphaned_baseline_keys(
+        section: &bpimc_core::json::Json,
+        label: &str,
+        current_names: &[String],
+        failures: &mut usize,
+    ) {
+        if let bpimc_core::json::Json::Obj(fields) = section {
+            for (name, _) in fields {
+                if !current_names.iter().any(|n| n == name) {
+                    println!("{label} {name:<22} in baseline but no longer measured  FAIL");
+                    *failures += 1;
+                }
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    let current_cycles = simulated_cycles();
+    let cycles_base = baseline
+        .get("simulated_cycles")
+        .unwrap_or_else(|| die("baseline has no simulated_cycles"));
+    for (name, current) in &current_cycles {
+        match cycles_base.get(name).and_then(|v| v.as_u64()) {
+            Some(recorded) if recorded == *current => {
+                println!("cycles  {name:<16} {current} == baseline");
+            }
+            Some(recorded) => {
+                println!("cycles  {name:<16} {current} != baseline {recorded}  FAIL");
+                failures += 1;
+            }
+            None => {
+                println!("cycles  {name:<16} {current} (not in baseline)  FAIL");
+                failures += 1;
+            }
+        }
+    }
+    let cycle_names: Vec<String> = current_cycles.into_iter().map(|(n, _)| n).collect();
+    orphaned_baseline_keys(cycles_base, "cycles ", &cycle_names, &mut failures);
+
+    let current_micro = micro_timings();
+    let micro_base = baseline
+        .get("micro_us")
+        .unwrap_or_else(|| die("baseline has no micro_us"));
+    for (name, current) in &current_micro {
+        match micro_base.get(name).and_then(|v| v.as_f64()) {
+            Some(recorded) if *current <= recorded * TOLERANCE_FACTOR => {
+                println!("micro   {name:<22} {current:.3} us (baseline {recorded:.3}, limit {TOLERANCE_FACTOR}x)");
+            }
+            Some(recorded) => {
+                println!(
+                    "micro   {name:<22} {current:.3} us > {TOLERANCE_FACTOR}x baseline {recorded:.3}  FAIL"
+                );
+                failures += 1;
+            }
+            None => {
+                println!("micro   {name:<22} {current:.3} us (not in baseline)  FAIL");
+                failures += 1;
+            }
+        }
+    }
+    let micro_names: Vec<String> = current_micro.into_iter().map(|(n, _)| n).collect();
+    orphaned_baseline_keys(micro_base, "micro  ", &micro_names, &mut failures);
+    if failures > 0 {
+        die(&format!(
+            "{failures} bench regression(s) against {baseline_path}"
+        ));
+    }
+    println!("bench check passed against {baseline_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S] [--json]");
+        eprintln!("       repro serve [--addr HOST:PORT] [--macros N] [--fault-injection]");
+        eprintln!("       repro check-bench [--baseline FILE]");
         std::process::exit(2);
+    }
+    if args[0] == "serve" {
+        serve(&args[1..]);
+        return;
+    }
+    if args[0] == "check-bench" {
+        check_bench(&args[1..]);
+        return;
     }
     let mut samples = 800usize;
     let mut seed = 2020u64;

@@ -123,9 +123,75 @@ impl ActivityLog {
     }
 }
 
+/// Per-session accounting for a multi-client workload.
+///
+/// Where [`ActivityLog`] records every cycle of one macro, a
+/// `SessionActivity` aggregates the *billable* totals of one client
+/// session served by a shared [`MacroBank`](crate::MacroBank): how many
+/// requests it issued, how many failed, and the hardware cycles and energy
+/// its successful requests consumed — regardless of which macro each
+/// request happened to land on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionActivity {
+    /// Requests the session has completed (successes and failures).
+    pub requests: u64,
+    /// Requests that failed (bad input, execution error, contained panic).
+    pub errors: u64,
+    /// Hardware cycles consumed by the session's successful requests.
+    pub cycles: u64,
+    /// Energy consumed by the session's successful requests, femtojoules
+    /// (Table II-calibrated, 0.9 V).
+    pub energy_fj: f64,
+}
+
+impl SessionActivity {
+    /// A fresh, empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successful request and the hardware work it consumed.
+    pub fn record_ok(&mut self, cycles: u64, energy_fj: f64) {
+        self.requests += 1;
+        self.cycles += cycles;
+        self.energy_fj += energy_fj;
+    }
+
+    /// Records one failed request (no hardware work billed).
+    pub fn record_error(&mut self) {
+        self.requests += 1;
+        self.errors += 1;
+    }
+
+    /// Folds another account into this one (e.g. totals across sessions).
+    pub fn merge(&mut self, other: &SessionActivity) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.cycles += other.cycles;
+        self.energy_fj += other.energy_fj;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn session_activity_accumulates() {
+        let mut s = SessionActivity::new();
+        s.record_ok(10, 1.5);
+        s.record_ok(4, 0.5);
+        s.record_error();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.cycles, 14);
+        assert!((s.energy_fj - 2.0).abs() < 1e-12);
+        let mut total = SessionActivity::new();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.requests, 6);
+        assert_eq!(total.cycles, 28);
+    }
 
     #[test]
     fn op_spans_map_to_cycles() {

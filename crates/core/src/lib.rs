@@ -45,17 +45,23 @@ pub mod bank;
 pub mod config;
 pub mod error;
 pub mod isa;
+pub mod json;
 pub mod macrobank;
 pub mod macroblock;
+pub mod wire;
 pub mod words;
 
-pub use activity::{ActivityLog, CycleActivity, OpRecord};
+pub use activity::{ActivityLog, CycleActivity, OpRecord, SessionActivity};
 pub use bank::Chip;
 pub use config::MacroConfig;
 pub use error::Error;
 pub use isa::OpKind;
 pub use macrobank::MacroBank;
 pub use macroblock::ImcMacro;
+pub use wire::{LaneOp, Request, RequestBody, Response, ResponseBody};
+
+// A failed batch job, as surfaced by `MacroBank::try_run_batch`.
+pub use bpimc_stats::parallel::JobPanic;
 
 // The precision type is part of this crate's public vocabulary.
 pub use bpimc_periph::{LogicOp, Precision};

@@ -34,7 +34,9 @@
 
 use crate::config::MacroConfig;
 use crate::macroblock::ImcMacro;
-use bpimc_stats::parallel::{par_queue_map, par_state_map, worker_count};
+use bpimc_stats::parallel::{
+    par_queue_map, par_queue_try_map, par_state_map, worker_count, JobPanic,
+};
 
 /// Cache-line-aligned macro slot: neighbouring macros are mutated by
 /// different threads during a batch, and sharing a line between them would
@@ -123,6 +125,26 @@ impl MacroBank {
         F: Fn(&mut ImcMacro, &J) -> T + Sync,
     {
         par_queue_map(&mut self.macros, jobs, |slot, job| f(&mut slot.0, job))
+    }
+
+    /// [`MacroBank::run_batch`] with per-job panic containment: a job that
+    /// panics yields `Err(JobPanic)` in its own result slot while sibling
+    /// jobs complete normally and the bank stays usable for later batches.
+    ///
+    /// This is the entry point a multi-client service uses: one client's
+    /// faulty request must fail alone, not take down every in-flight
+    /// request sharing the bank. A panicking job may leave its macro's
+    /// array rows partially written, which the next job tolerates by
+    /// construction (batched jobs always write their operand rows before
+    /// using them); its activity log may likewise carry a partial op, so
+    /// accounting-sensitive callers should clear per job.
+    pub fn try_run_batch<J, T, F>(&mut self, jobs: &[J], f: F) -> Vec<Result<T, JobPanic>>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(&mut ImcMacro, &J) -> T + Sync,
+    {
+        par_queue_try_map(&mut self.macros, jobs, |slot, job| f(&mut slot.0, job))
     }
 
     /// Total hardware cycles across all macros — the amount of work done,
@@ -232,5 +254,31 @@ mod tests {
     #[should_panic(expected = "at least one macro")]
     fn zero_macros_rejected() {
         let _ = MacroBank::new(0, MacroConfig::paper_macro());
+    }
+
+    #[test]
+    fn try_run_batch_contains_a_panicking_job() {
+        let mut bank = MacroBank::new(3, MacroConfig::paper_macro());
+        let jobs: Vec<u64> = (0..30).collect();
+        let out = bank.try_run_batch(&jobs, |mac, &j| {
+            if j == 13 {
+                panic!("poisoned job");
+            }
+            mac.write_words(0, Precision::P8, &[j % 251]).unwrap();
+            mac.read_words(0, Precision::P8, 1).unwrap()[0]
+        });
+        for (j, r) in out.iter().enumerate() {
+            if j == 13 {
+                assert!(r.as_ref().unwrap_err().message.contains("poisoned"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), j as u64 % 251);
+            }
+        }
+        // The bank keeps serving after the contained failure.
+        let again = bank.run_batch(&jobs, |mac, &j| {
+            mac.write_words(0, Precision::P8, &[j + 1]).unwrap();
+            mac.read_words(0, Precision::P8, 1).unwrap()[0]
+        });
+        assert_eq!(again, jobs.iter().map(|j| j + 1).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,575 @@
+//! The line-delimited JSON wire protocol of the compute service.
+//!
+//! Every request and response is exactly one JSON object on one line. The
+//! vocabulary maps directly onto the macro's ISA (the paper's Table I) plus
+//! the session-level verbs a multi-client service needs.
+//!
+//! # Requests
+//!
+//! | `op` | fields | meaning |
+//! |---|---|---|
+//! | `ping` | — | liveness probe |
+//! | `dot` | `precision`, `x`, `w` | in-memory dot product `Σ x[i]·w[i]` |
+//! | `add` / `sub` / `mult` | `precision`, `a`, `b` | lane-wise arithmetic |
+//! | `and` / `or` / `xor` / `nand` / `nor` / `xnor` | `precision`, `a`, `b` | lane-wise logic |
+//! | `load_model` | `precision`, `prototypes` | store quantized class prototypes in the session |
+//! | `classify` | `x` | nearest-prototype class of a quantized sample |
+//! | `stats` | — | the session's activity account so far |
+//! | `inject_panic` | — | fault injection (only if the server enables it) |
+//! | `shutdown` | — | ask the server to drain and stop |
+//!
+//! `precision` is the lane width in bits (2/4/8/16/32); vectors are arrays
+//! of non-negative integers that must fit the precision (`mult` operands
+//! occupy `2P`-bit product lanes and results may use all 64 bits at P32).
+//! Every request carries a client-chosen `id` echoed in its response.
+//!
+//! # Responses
+//!
+//! `{"id":N,"ok":true,"kind":K,"result":…}` on success, with `kind` one of
+//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`;
+//! `{"id":N,"ok":false,"error":"…"}` on failure. A response's `id` matches
+//! its request; per connection, responses arrive in request order.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpimc_core::wire::{Request, RequestBody, Response, ResponseBody};
+//! use bpimc_core::Precision;
+//!
+//! let req = Request {
+//!     id: 7,
+//!     body: RequestBody::Dot {
+//!         precision: Precision::P8,
+//!         x: vec![1, 2, 3],
+//!         w: vec![4, 5, 6],
+//!     },
+//! };
+//! let line = req.to_json_line();
+//! assert_eq!(Request::parse(&line).unwrap(), req);
+//!
+//! let resp = Response {
+//!     id: 7,
+//!     body: ResponseBody::Scalar(32),
+//! };
+//! assert_eq!(Response::parse(&resp.to_json_line()).unwrap(), resp);
+//! ```
+
+use crate::activity::SessionActivity;
+use crate::json::Json;
+use bpimc_periph::{LogicOp, Precision};
+use std::fmt;
+
+/// Lane-wise operations addressable over the wire (a subset of the ISA's
+/// [`OpKind`](crate::OpKind) that takes two packed operand vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneOp {
+    /// Lane-wise addition (wrapping at the lane width).
+    Add,
+    /// Lane-wise subtraction (two's complement, wrapping).
+    Sub,
+    /// Lane-wise multiplication into `2P`-bit product lanes.
+    Mult,
+    /// Lane-wise bitwise logic.
+    Logic(LogicOp),
+}
+
+impl LaneOp {
+    /// The wire name of this op.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LaneOp::Add => "add",
+            LaneOp::Sub => "sub",
+            LaneOp::Mult => "mult",
+            LaneOp::Logic(LogicOp::And) => "and",
+            LaneOp::Logic(LogicOp::Or) => "or",
+            LaneOp::Logic(LogicOp::Xor) => "xor",
+            LaneOp::Logic(LogicOp::Nand) => "nand",
+            LaneOp::Logic(LogicOp::Nor) => "nor",
+            LaneOp::Logic(LogicOp::Xnor) => "xnor",
+        }
+    }
+
+    /// The op for a wire name, if any.
+    pub fn from_name(name: &str) -> Option<LaneOp> {
+        Some(match name {
+            "add" => LaneOp::Add,
+            "sub" => LaneOp::Sub,
+            "mult" => LaneOp::Mult,
+            "and" => LaneOp::Logic(LogicOp::And),
+            "or" => LaneOp::Logic(LogicOp::Or),
+            "xor" => LaneOp::Logic(LogicOp::Xor),
+            "nand" => LaneOp::Logic(LogicOp::Nand),
+            "nor" => LaneOp::Logic(LogicOp::Nor),
+            "xnor" => LaneOp::Logic(LogicOp::Xnor),
+            _ => return None,
+        })
+    }
+}
+
+/// What a request asks the service to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe.
+    Ping,
+    /// In-memory dot product of two equal-length quantized vectors.
+    Dot {
+        /// Lane width of the operands.
+        precision: Precision,
+        /// First vector.
+        x: Vec<u64>,
+        /// Second vector.
+        w: Vec<u64>,
+    },
+    /// A lane-wise two-operand op over packed vectors.
+    Lanes {
+        /// Which op.
+        op: LaneOp,
+        /// Lane width.
+        precision: Precision,
+        /// First operand vector.
+        a: Vec<u64>,
+        /// Second operand vector.
+        b: Vec<u64>,
+    },
+    /// Stores quantized class prototypes in the session for `classify`.
+    LoadModel {
+        /// Lane width the prototypes are quantized to.
+        precision: Precision,
+        /// One quantized weight vector per class.
+        prototypes: Vec<Vec<u64>>,
+    },
+    /// Classifies one quantized sample against the session's model.
+    Classify {
+        /// The quantized sample.
+        x: Vec<u64>,
+    },
+    /// The session's activity account (state *before* this request).
+    Stats,
+    /// Deliberately panics the executing job (fault injection; the server
+    /// only honours it when started with fault injection enabled).
+    InjectPanic,
+    /// Asks the server to finish queued work and shut down.
+    Shutdown,
+}
+
+/// One request: a client-chosen id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim in the response.
+    pub id: u64,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// What a successful request returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// `ping` reply.
+    Pong,
+    /// A scalar result (`dot`).
+    Scalar(u64),
+    /// A vector result (lane-wise ops).
+    Words(Vec<u64>),
+    /// A predicted class index (`classify`).
+    Class(usize),
+    /// Acknowledgement with no payload (`load_model`, `shutdown`).
+    Ok,
+    /// The session's account (`stats`).
+    Stats(SessionActivity),
+    /// The request failed; human-readable reason.
+    Error(String),
+}
+
+/// One response, tagged with the request's id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Result or error.
+    pub body: ResponseBody,
+}
+
+/// A malformed wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed message: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    v.get(key)
+        .ok_or_else(|| wire_err(format!("missing field '{key}'")))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, WireError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| wire_err(format!("field '{key}' must be a non-negative integer")))
+}
+
+fn words_field(v: &Json, key: &str) -> Result<Vec<u64>, WireError> {
+    field(v, key)?
+        .as_u64_array()
+        .ok_or_else(|| wire_err(format!("field '{key}' must be an array of integers")))
+}
+
+fn precision_field(v: &Json) -> Result<Precision, WireError> {
+    let bits = u64_field(v, "precision")?;
+    Precision::try_from_bits(bits as usize)
+        .map_err(|_| wire_err(format!("unsupported precision {bits} (use 2/4/8/16/32)")))
+}
+
+fn words_json(words: &[u64]) -> Json {
+    Json::Arr(words.iter().map(|&w| Json::UInt(w)).collect())
+}
+
+impl Request {
+    /// Extracts just the `id` of a line, for error responses to requests
+    /// that do not parse fully. Returns 0 when even the id is unreadable.
+    pub fn peek_id(line: &str) -> u64 {
+        Json::parse(line)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Json::as_u64))
+            .unwrap_or(0)
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem (bad JSON, missing or
+    /// ill-typed field, unknown op).
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        let v = Json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
+        let id = u64_field(&v, "id")?;
+        let op = field(&v, "op")?
+            .as_str()
+            .ok_or_else(|| wire_err("field 'op' must be a string"))?;
+        let body = match op {
+            "ping" => RequestBody::Ping,
+            "dot" => RequestBody::Dot {
+                precision: precision_field(&v)?,
+                x: words_field(&v, "x")?,
+                w: words_field(&v, "w")?,
+            },
+            "load_model" => {
+                let protos = field(&v, "prototypes")?
+                    .as_array()
+                    .ok_or_else(|| wire_err("field 'prototypes' must be an array"))?;
+                let prototypes = protos
+                    .iter()
+                    .map(|p| {
+                        p.as_u64_array()
+                            .ok_or_else(|| wire_err("each prototype must be an array of integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                RequestBody::LoadModel {
+                    precision: precision_field(&v)?,
+                    prototypes,
+                }
+            }
+            "classify" => RequestBody::Classify {
+                x: words_field(&v, "x")?,
+            },
+            "stats" => RequestBody::Stats,
+            "inject_panic" => RequestBody::InjectPanic,
+            "shutdown" => RequestBody::Shutdown,
+            other => match LaneOp::from_name(other) {
+                Some(op) => RequestBody::Lanes {
+                    op,
+                    precision: precision_field(&v)?,
+                    a: words_field(&v, "a")?,
+                    b: words_field(&v, "b")?,
+                },
+                None => return Err(wire_err(format!("unknown op '{other}'"))),
+            },
+        };
+        Ok(Request { id, body })
+    }
+
+    /// Serializes the request to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![("id".to_string(), Json::UInt(self.id))];
+        let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match &self.body {
+            RequestBody::Ping => push("op", Json::Str("ping".into())),
+            RequestBody::Dot { precision, x, w } => {
+                push("op", Json::Str("dot".into()));
+                push("precision", Json::UInt(precision.bits() as u64));
+                push("x", words_json(x));
+                push("w", words_json(w));
+            }
+            RequestBody::Lanes {
+                op,
+                precision,
+                a,
+                b,
+            } => {
+                push("op", Json::Str(op.name().into()));
+                push("precision", Json::UInt(precision.bits() as u64));
+                push("a", words_json(a));
+                push("b", words_json(b));
+            }
+            RequestBody::LoadModel {
+                precision,
+                prototypes,
+            } => {
+                push("op", Json::Str("load_model".into()));
+                push("precision", Json::UInt(precision.bits() as u64));
+                push(
+                    "prototypes",
+                    Json::Arr(prototypes.iter().map(|p| words_json(p)).collect()),
+                );
+            }
+            RequestBody::Classify { x } => {
+                push("op", Json::Str("classify".into()));
+                push("x", words_json(x));
+            }
+            RequestBody::Stats => push("op", Json::Str("stats".into())),
+            RequestBody::InjectPanic => push("op", Json::Str("inject_panic".into())),
+            RequestBody::Shutdown => push("op", Json::Str("shutdown".into())),
+        }
+        Json::Obj(fields).to_string()
+    }
+}
+
+impl Response {
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem.
+    pub fn parse(line: &str) -> Result<Response, WireError> {
+        let v = Json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
+        let id = u64_field(&v, "id")?;
+        let ok = field(&v, "ok")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field 'ok' must be a bool"))?;
+        if !ok {
+            let msg = field(&v, "error")?
+                .as_str()
+                .ok_or_else(|| wire_err("field 'error' must be a string"))?;
+            return Ok(Response {
+                id,
+                body: ResponseBody::Error(msg.to_string()),
+            });
+        }
+        let kind = field(&v, "kind")?
+            .as_str()
+            .ok_or_else(|| wire_err("field 'kind' must be a string"))?;
+        let body = match kind {
+            "pong" => ResponseBody::Pong,
+            "ok" => ResponseBody::Ok,
+            "scalar" => ResponseBody::Scalar(u64_field(&v, "result")?),
+            "words" => ResponseBody::Words(words_field(&v, "result")?),
+            "class" => ResponseBody::Class(
+                u64_field(&v, "result")?
+                    .try_into()
+                    .map_err(|_| wire_err("class index out of range"))?,
+            ),
+            "stats" => {
+                let r = field(&v, "result")?;
+                ResponseBody::Stats(SessionActivity {
+                    requests: u64_field(r, "requests")?,
+                    errors: u64_field(r, "errors")?,
+                    cycles: u64_field(r, "cycles")?,
+                    energy_fj: field(r, "energy_fj")?
+                        .as_f64()
+                        .ok_or_else(|| wire_err("field 'energy_fj' must be a number"))?,
+                })
+            }
+            other => return Err(wire_err(format!("unknown response kind '{other}'"))),
+        };
+        Ok(Response { id, body })
+    }
+
+    /// Serializes the response to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![("id".to_string(), Json::UInt(self.id))];
+        let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match &self.body {
+            ResponseBody::Error(msg) => {
+                push("ok", Json::Bool(false));
+                push("error", Json::Str(msg.clone()));
+            }
+            body => {
+                push("ok", Json::Bool(true));
+                let (kind, result) = match body {
+                    ResponseBody::Pong => ("pong", None),
+                    ResponseBody::Ok => ("ok", None),
+                    ResponseBody::Scalar(n) => ("scalar", Some(Json::UInt(*n))),
+                    ResponseBody::Words(ws) => ("words", Some(words_json(ws))),
+                    ResponseBody::Class(c) => ("class", Some(Json::UInt(*c as u64))),
+                    ResponseBody::Stats(s) => (
+                        "stats",
+                        Some(Json::Obj(vec![
+                            ("requests".to_string(), Json::UInt(s.requests)),
+                            ("errors".to_string(), Json::UInt(s.errors)),
+                            ("cycles".to_string(), Json::UInt(s.cycles)),
+                            ("energy_fj".to_string(), Json::Float(s.energy_fj)),
+                        ])),
+                    ),
+                    ResponseBody::Error(_) => unreachable!("handled above"),
+                };
+                push("kind", Json::Str(kind.into()));
+                if let Some(r) = result {
+                    push("result", r);
+                }
+            }
+        }
+        Json::Obj(fields).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let line = req.to_json_line();
+        assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        assert_eq!(Request::peek_id(&line), req.id);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let line = resp.to_json_line();
+        assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        round_trip_request(Request {
+            id: 1,
+            body: RequestBody::Ping,
+        });
+        round_trip_request(Request {
+            id: 2,
+            body: RequestBody::Dot {
+                precision: Precision::P8,
+                x: vec![1, 2, 3],
+                w: vec![4, 5, 6],
+            },
+        });
+        for op in [
+            LaneOp::Add,
+            LaneOp::Sub,
+            LaneOp::Mult,
+            LaneOp::Logic(LogicOp::And),
+            LaneOp::Logic(LogicOp::Or),
+            LaneOp::Logic(LogicOp::Xor),
+            LaneOp::Logic(LogicOp::Nand),
+            LaneOp::Logic(LogicOp::Nor),
+            LaneOp::Logic(LogicOp::Xnor),
+        ] {
+            round_trip_request(Request {
+                id: 3,
+                body: RequestBody::Lanes {
+                    op,
+                    precision: Precision::P4,
+                    a: vec![1, 15],
+                    b: vec![3, 9],
+                },
+            });
+        }
+        round_trip_request(Request {
+            id: 4,
+            body: RequestBody::LoadModel {
+                precision: Precision::P2,
+                prototypes: vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]],
+            },
+        });
+        round_trip_request(Request {
+            id: 5,
+            body: RequestBody::Classify { x: vec![1, 2] },
+        });
+        round_trip_request(Request {
+            id: 6,
+            body: RequestBody::Stats,
+        });
+        round_trip_request(Request {
+            id: 7,
+            body: RequestBody::InjectPanic,
+        });
+        round_trip_request(Request {
+            id: 8,
+            body: RequestBody::Shutdown,
+        });
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        round_trip_response(Response {
+            id: 1,
+            body: ResponseBody::Pong,
+        });
+        round_trip_response(Response {
+            id: 2,
+            body: ResponseBody::Scalar(u64::MAX),
+        });
+        round_trip_response(Response {
+            id: 3,
+            body: ResponseBody::Words(vec![0, 255, 1 << 40]),
+        });
+        round_trip_response(Response {
+            id: 4,
+            body: ResponseBody::Class(3),
+        });
+        round_trip_response(Response {
+            id: 5,
+            body: ResponseBody::Ok,
+        });
+        round_trip_response(Response {
+            id: 6,
+            body: ResponseBody::Stats(SessionActivity {
+                requests: 12,
+                errors: 1,
+                cycles: 3456,
+                energy_fj: 789.25,
+            }),
+        });
+        round_trip_response(Response {
+            id: 7,
+            body: ResponseBody::Error("no model loaded".into()),
+        });
+    }
+
+    #[test]
+    fn malformed_requests_report_the_problem() {
+        for (line, needle) in [
+            ("not json", "malformed"),
+            ("{\"id\":1}", "op"),
+            ("{\"id\":1,\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"ping\"}", "id"),
+            ("{\"id\":1,\"op\":\"dot\",\"precision\":8,\"x\":[1]}", "'w'"),
+            (
+                "{\"id\":1,\"op\":\"add\",\"precision\":3,\"a\":[],\"b\":[]}",
+                "precision",
+            ),
+            (
+                "{\"id\":1,\"op\":\"dot\",\"precision\":8,\"x\":[-1],\"w\":[1]}",
+                "'x'",
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{line} -> {err} (wanted {needle})"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_id_survives_garbage() {
+        assert_eq!(Request::peek_id("garbage"), 0);
+        assert_eq!(Request::peek_id("{\"id\":42,\"op\":\"frobnicate\"}"), 42);
+    }
+}

@@ -29,6 +29,8 @@ pub mod classifier;
 pub mod dataset;
 pub mod quant;
 
-pub use classifier::{EvalReport, PrototypeClassifier};
+pub use classifier::{
+    classify_quantized, imc_dot, prototype_norms, EvalReport, PrototypeClassifier,
+};
 pub use dataset::Dataset;
 pub use quant::QuantParams;

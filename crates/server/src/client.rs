@@ -1,0 +1,238 @@
+//! A minimal blocking client for the wire protocol (tests, load
+//! generation, CLI tooling).
+
+use bpimc_core::{
+    LaneOp, Precision, Request, RequestBody, Response, ResponseBody, SessionActivity,
+};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// The server answered `ok:false` with this message.
+    Server(String),
+    /// The server answered something the client cannot interpret (bad
+    /// line, wrong id, wrong result kind).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a compute server: one request, one response,
+/// in order.
+///
+/// See the crate documentation for a usage example.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response. Ids are assigned
+    /// sequentially and verified against the response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an id mismatch; a server-side `Error`
+    /// body is returned as a normal [`Response`].
+    pub fn call(&mut self, body: RequestBody) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = Request { id, body }.to_json_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let resp = Response::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        Ok(resp)
+    }
+
+    fn expect(&mut self, body: RequestBody, kind: &str) -> Result<ResponseBody, ClientError> {
+        match self.call(body)?.body {
+            ResponseBody::Error(msg) => Err(ClientError::Server(msg)),
+            other => {
+                let _ = kind; // the per-helper match below enforces the kind
+                Ok(other)
+            }
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors (also below).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(RequestBody::Ping, "pong")? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(protocol_kind("pong", &other)),
+        }
+    }
+
+    /// In-memory dot product of two equal-length quantized vectors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn dot(&mut self, precision: Precision, x: &[u64], w: &[u64]) -> Result<u64, ClientError> {
+        let body = RequestBody::Dot {
+            precision,
+            x: x.to_vec(),
+            w: w.to_vec(),
+        };
+        match self.expect(body, "scalar")? {
+            ResponseBody::Scalar(n) => Ok(n),
+            other => Err(protocol_kind("scalar", &other)),
+        }
+    }
+
+    /// A lane-wise two-operand op (`add`/`sub`/`mult`/logic).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn lanes(
+        &mut self,
+        op: LaneOp,
+        precision: Precision,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<Vec<u64>, ClientError> {
+        let body = RequestBody::Lanes {
+            op,
+            precision,
+            a: a.to_vec(),
+            b: b.to_vec(),
+        };
+        match self.expect(body, "words")? {
+            ResponseBody::Words(ws) => Ok(ws),
+            other => Err(protocol_kind("words", &other)),
+        }
+    }
+
+    /// Stores quantized class prototypes in this session for `classify`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn load_model(
+        &mut self,
+        precision: Precision,
+        prototypes: &[Vec<u64>],
+    ) -> Result<(), ClientError> {
+        let body = RequestBody::LoadModel {
+            precision,
+            prototypes: prototypes.to_vec(),
+        };
+        match self.expect(body, "ok")? {
+            ResponseBody::Ok => Ok(()),
+            other => Err(protocol_kind("ok", &other)),
+        }
+    }
+
+    /// Classifies a quantized sample against the session's loaded model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn classify(&mut self, x: &[u64]) -> Result<usize, ClientError> {
+        match self.expect(RequestBody::Classify { x: x.to_vec() }, "class")? {
+            ResponseBody::Class(c) => Ok(c),
+            other => Err(protocol_kind("class", &other)),
+        }
+    }
+
+    /// This session's activity account (state before this request).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn stats(&mut self) -> Result<SessionActivity, ClientError> {
+        match self.expect(RequestBody::Stats, "stats")? {
+            ResponseBody::Stats(s) => Ok(s),
+            other => Err(protocol_kind("stats", &other)),
+        }
+    }
+
+    /// Asks the executing job to panic (fault injection). The expected
+    /// outcome on a fault-injection server is `Err(ClientError::Server)` —
+    /// the panic is contained to this request.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn inject_panic(&mut self) -> Result<(), ClientError> {
+        match self.expect(RequestBody::InjectPanic, "ok")? {
+            ResponseBody::Ok => Ok(()),
+            other => Err(protocol_kind("ok", &other)),
+        }
+    }
+
+    /// Asks the server to drain queued work and shut down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.expect(RequestBody::Shutdown, "ok")? {
+            ResponseBody::Ok => Ok(()),
+            other => Err(protocol_kind("ok", &other)),
+        }
+    }
+}
+
+fn protocol_kind(wanted: &str, got: &ResponseBody) -> ClientError {
+    ClientError::Protocol(format!("expected a '{wanted}' response, got {got:?}"))
+}

@@ -1,0 +1,193 @@
+//! Executes one compute request on one macro, with exact per-request
+//! cycle/energy accounting.
+
+use bpimc_core::{ImcMacro, LaneOp, Precision, RequestBody, ResponseBody};
+use bpimc_metrics::EnergyParams;
+use bpimc_nn::{classify_quantized, imc_dot};
+use std::sync::Arc;
+
+/// A classifier model loaded into a session by `load_model`.
+#[derive(Debug)]
+pub(crate) struct Model {
+    /// Lane width the prototypes are quantized to.
+    pub precision: Precision,
+    /// One quantized weight vector per class.
+    pub prototypes_q: Vec<Vec<u64>>,
+    /// Precomputed `|w_c|^2` self-dots (computed on a macro at load time,
+    /// billed to the `load_model` request).
+    pub norms: Vec<u64>,
+}
+
+/// One queued compute request, ready to run on whichever macro claims it.
+///
+/// The classifier model is snapshotted at job-build time (an `Arc` clone),
+/// so a `load_model` earlier in the same drained batch is visible and a
+/// concurrent one from the same session cannot race the job.
+pub(crate) struct ComputeJob {
+    pub body: RequestBody,
+    pub model: Option<Arc<Model>>,
+    pub fault_injection: bool,
+}
+
+/// True for request kinds that run on a macro via the batched executor.
+pub(crate) fn is_compute(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::Dot { .. }
+            | RequestBody::Lanes { .. }
+            | RequestBody::Classify { .. }
+            | RequestBody::InjectPanic
+    )
+}
+
+/// Runs one compute job with activity capture: the macro's log is cleared
+/// before and after, so the returned `(cycles, energy_fj)` are exactly this
+/// request's hardware work and the bank's logs stay bounded no matter how
+/// long the server runs.
+pub(crate) fn run_compute(
+    mac: &mut ImcMacro,
+    job: &ComputeJob,
+    params: &EnergyParams,
+) -> (Result<ResponseBody, String>, u64, f64) {
+    mac.clear_activity();
+    let out = compute_body(mac, job);
+    let cycles = mac.activity().total_cycles();
+    let energy_fj = params.log_energy_fj(mac.activity());
+    mac.clear_activity();
+    (out, cycles, energy_fj)
+}
+
+/// Multiplication (and therefore dot/classify) needs `2P`-bit product
+/// lanes; rejects precisions too wide for the macro's row.
+pub(crate) fn check_product_lanes(precision: Precision, cols: usize) -> Result<(), String> {
+    if 2 * precision.bits() > cols {
+        return Err(format!(
+            "precision {} needs {}-bit product lanes but the macro has {cols} columns",
+            precision.bits(),
+            2 * precision.bits(),
+        ));
+    }
+    Ok(())
+}
+
+fn check_words_fit(name: &str, words: &[u64], precision: Precision) -> Result<(), String> {
+    match words.iter().find(|&&w| w > precision.max_value()) {
+        Some(&w) => Err(format!(
+            "'{name}' value {w} does not fit {} bits",
+            precision.bits()
+        )),
+        None => Ok(()),
+    }
+}
+
+fn compute_body(mac: &mut ImcMacro, job: &ComputeJob) -> Result<ResponseBody, String> {
+    match &job.body {
+        RequestBody::Dot { precision, x, w } => {
+            if x.len() != w.len() {
+                return Err(format!(
+                    "'x' ({}) and 'w' ({}) differ in length",
+                    x.len(),
+                    w.len()
+                ));
+            }
+            check_words_fit("x", x, *precision)?;
+            check_words_fit("w", w, *precision)?;
+            check_product_lanes(*precision, mac.cols())?;
+            Ok(ResponseBody::Scalar(imc_dot(mac, *precision, x, w)))
+        }
+        RequestBody::Lanes {
+            op,
+            precision,
+            a,
+            b,
+        } => {
+            if a.len() != b.len() {
+                return Err(format!(
+                    "'a' ({}) and 'b' ({}) differ in length",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            run_lanes(mac, *op, *precision, a, b).map(ResponseBody::Words)
+        }
+        RequestBody::Classify { x } => {
+            let model = job
+                .model
+                .as_deref()
+                .ok_or("no model loaded in this session")?;
+            let dim = model.prototypes_q.first().map_or(0, Vec::len);
+            if x.len() != dim {
+                return Err(format!(
+                    "sample has {} features but the model expects {dim}",
+                    x.len()
+                ));
+            }
+            check_words_fit("x", x, model.precision)?;
+            Ok(ResponseBody::Class(classify_quantized(
+                mac,
+                model.precision,
+                &model.prototypes_q,
+                &model.norms,
+                x,
+            )))
+        }
+        RequestBody::InjectPanic => {
+            if job.fault_injection {
+                panic!("injected fault (inject_panic request)");
+            }
+            Err("fault injection is disabled on this server".to_string())
+        }
+        other => Err(format!("not a compute request: {other:?}")),
+    }
+}
+
+/// Lane-wise two-operand op, chunked to the macro's lane capacity so
+/// vectors longer than one row still execute (each chunk is one write /
+/// write / op / read sequence — exactly what a direct `ImcMacro` caller
+/// would do).
+fn run_lanes(
+    mac: &mut ImcMacro,
+    op: LaneOp,
+    precision: Precision,
+    a: &[u64],
+    b: &[u64],
+) -> Result<Vec<u64>, String> {
+    let lanes = match op {
+        LaneOp::Mult => {
+            check_product_lanes(precision, mac.cols())?;
+            precision.product_lanes(mac.cols())
+        }
+        _ => precision.lanes(mac.cols()),
+    };
+    let mut out = Vec::with_capacity(a.len());
+    for (ac, bc) in a.chunks(lanes).zip(b.chunks(lanes)) {
+        let chunk = match op {
+            LaneOp::Mult => {
+                mac.write_mult_operands(0, precision, ac)
+                    .map_err(|e| e.to_string())?;
+                mac.write_mult_operands(1, precision, bc)
+                    .map_err(|e| e.to_string())?;
+                mac.mult(0, 1, 2, precision).map_err(|e| e.to_string())?;
+                mac.read_products(2, precision, ac.len())
+                    .map_err(|e| e.to_string())?
+            }
+            LaneOp::Add | LaneOp::Sub | LaneOp::Logic(_) => {
+                mac.write_words(0, precision, ac)
+                    .map_err(|e| e.to_string())?;
+                mac.write_words(1, precision, bc)
+                    .map_err(|e| e.to_string())?;
+                match op {
+                    LaneOp::Add => mac.add(0, 1, 2, precision),
+                    LaneOp::Sub => mac.sub(0, 1, 2, precision),
+                    LaneOp::Logic(l) => mac.logic(l, 0, 1, 2),
+                    LaneOp::Mult => unreachable!("handled above"),
+                }
+                .map_err(|e| e.to_string())?;
+                mac.read_words(2, precision, ac.len())
+                    .map_err(|e| e.to_string())?
+            }
+        };
+        out.extend(chunk);
+    }
+    Ok(out)
+}

@@ -1,0 +1,62 @@
+//! A multi-client compute service over a shared [`MacroBank`].
+//!
+//! The paper (like IMAC and X-SRAM) frames an SRAM-IMC macro as a shared
+//! accelerator that many workloads time-multiplex. This crate is that
+//! serving layer for the reproduction: a dependency-free threaded TCP
+//! service (`std::net`, line-delimited JSON — the build image is offline,
+//! so no tokio) that accepts concurrent client connections and multiplexes
+//! their requests onto one [`MacroBank`].
+//!
+//! [`MacroBank`]: bpimc_core::MacroBank
+//!
+//! # Architecture
+//!
+//! * **One reader thread per connection** parses request lines and pushes
+//!   them into a **bounded queue**. When the queue is full the reader
+//!   blocks, which stops draining the socket — backpressure propagates to
+//!   the client through TCP flow control rather than through dropped or
+//!   rejected requests.
+//! * **One dispatcher thread** drains the queue in FIFO order. Runs of
+//!   consecutive *compute* requests (dot products, lane-wise macro ops at
+//!   P2–P32, classification) become one [`MacroBank::try_run_batch`] call,
+//!   spreading independent requests across the bank's macros; control
+//!   requests (`ping`, `stats`, `load_model`, `shutdown`) execute inline
+//!   between runs, so every session observes its own requests in order.
+//! * **Per-connection sessions** hold a loaded classifier model and a
+//!   [`SessionActivity`](bpimc_core::SessionActivity) account: every
+//!   successful request is billed the exact hardware cycles and femtojoules
+//!   its job consumed, measured from the executing macro's activity log.
+//! * **Panic containment**: a request that panics its job (a bug, or
+//!   `inject_panic` under fault injection) gets an error response; sibling
+//!   requests in the same batch, other sessions, and the worker pool are
+//!   unaffected.
+//! * **Graceful shutdown** (client `shutdown` op or
+//!   [`ServerHandle::shutdown`]): the listener stops accepting, queued
+//!   requests drain and get responses, then connections close and all
+//!   threads join.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpimc_server::{Client, Server, ServerConfig};
+//! use bpimc_core::Precision;
+//!
+//! let handle = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let dot = client
+//!     .dot(Precision::P8, &[1, 2, 3], &[4, 5, 6])
+//!     .unwrap();
+//! assert_eq!(dot, 1 * 4 + 2 * 5 + 3 * 6);
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.requests, 1);
+//! assert!(stats.cycles > 0);
+//! drop(client);
+//! handle.shutdown();
+//! ```
+
+mod client;
+mod exec;
+mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,627 @@
+//! The threaded TCP service: accept loop, per-connection readers, bounded
+//! request queue, and the dispatcher that batches onto the `MacroBank`.
+
+use crate::exec::{is_compute, run_compute, ComputeJob, Model};
+use bpimc_core::{
+    MacroBank, MacroConfig, Request, RequestBody, Response, ResponseBody, SessionActivity,
+};
+use bpimc_metrics::{paper_calibrated_params, EnergyParams};
+use bpimc_nn::prototype_norms;
+use bpimc_stats::parallel::{lock_unpoisoned, worker_count};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Macros in the shared bank (defaults to the host's parallelism).
+    pub macros: usize,
+    /// Bound of the request queue. A full queue blocks connection readers,
+    /// pushing backpressure into TCP flow control instead of dropping or
+    /// rejecting requests.
+    pub queue_capacity: usize,
+    /// Most requests the dispatcher drains into one bank batch.
+    pub batch_max: usize,
+    /// Honour `inject_panic` requests (testing/chaos only).
+    pub fault_injection: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let macros = worker_count(usize::MAX);
+        Self {
+            macros,
+            queue_capacity: 1024,
+            batch_max: 4 * macros.max(1),
+            fault_injection: false,
+        }
+    }
+}
+
+/// Hard cap on one request line. Readers discard over-long lines (and
+/// answer with an error) instead of buffering them, so a client streaming
+/// an unterminated request cannot grow server memory without bound.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// One queued request with the connection it came from. Malformed lines
+/// travel through the queue too (`body: Err`), so their error responses
+/// keep the per-connection FIFO ordering the protocol promises.
+struct Item {
+    conn: Arc<Conn>,
+    id: u64,
+    body: Result<RequestBody, String>,
+}
+
+/// The bounded FIFO between connection readers and the dispatcher.
+struct Queue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<Item>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks while the queue is full (the backpressure point). `Err(())`
+    /// means the server is shutting down and the item was not enqueued.
+    fn push(&self, item: Item) -> Result<(), ()> {
+        let mut state = lock_unpoisoned(&self.state);
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(());
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until items are available; drains up to `max` in FIFO order.
+    /// `None` means closed **and** fully drained — queued work always gets
+    /// responses before shutdown completes.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Item>> {
+        let mut state = lock_unpoisoned(&self.state);
+        while state.items.is_empty() && !state.closed {
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.items.is_empty() {
+            return None;
+        }
+        let take = state.items.len().min(max.max(1));
+        let batch: Vec<Item> = state.items.drain(..take).collect();
+        drop(state);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    fn close(&self) {
+        lock_unpoisoned(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Per-session state: the activity account plus the loaded model.
+struct SessionState {
+    stats: SessionActivity,
+    model: Option<Arc<Model>>,
+}
+
+/// One client connection.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    session: Mutex<SessionState>,
+}
+
+impl Conn {
+    /// Writes one response line; errors are ignored (a vanished client is
+    /// detected by its reader thread, not here).
+    fn respond(&self, id: u64, body: ResponseBody) {
+        let line = Response { id, body }.to_json_line();
+        let mut w = lock_unpoisoned(&self.writer);
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+    }
+
+    fn record_ok(&self, cycles: u64, energy_fj: f64) {
+        lock_unpoisoned(&self.session)
+            .stats
+            .record_ok(cycles, energy_fj);
+    }
+
+    fn record_error(&self) {
+        lock_unpoisoned(&self.session).stats.record_error();
+    }
+}
+
+/// State shared by the accept loop, readers, dispatcher and handle.
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    queue: Queue,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Idempotent: stops the accept loop and closes the queue. Already
+    /// queued requests still drain and get responses; new pushes fail.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Closes every live connection so reader threads see EOF and exit.
+    fn close_all_conns(&self) {
+        for conn in lock_unpoisoned(&self.conns).values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The service entry point; see the crate documentation for the protocol.
+pub struct Server;
+
+impl Server {
+    /// Binds the service and spawns its accept and dispatcher threads.
+    /// `addr` may use port 0 for an ephemeral port; the bound address is
+    /// available as [`ServerHandle::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            addr,
+            queue: Queue::new(config.queue_capacity),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("bpimc-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawning the accept thread")
+        };
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("bpimc-dispatch".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawning the dispatcher thread")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates a graceful shutdown and waits for every thread to finish:
+    /// queued requests drain with responses, then connections close.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down for another reason (a client's
+    /// `shutdown` request), then joins every thread.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *lock_unpoisoned(&self.shared.readers));
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(Conn {
+            id,
+            stream,
+            writer: Mutex::new(write_half),
+            session: Mutex::new(SessionState {
+                stats: SessionActivity::new(),
+                model: None,
+            }),
+        });
+        lock_unpoisoned(&shared.conns).insert(id, conn.clone());
+        // Re-check AFTER registering: if a shutdown slipped in between the
+        // loop-top check and the insert, `close_all_conns` may already have
+        // run without seeing this connection — sever it here so its reader
+        // cannot outlive the shutdown and wedge `join`.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let reader_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("bpimc-conn-{id}"))
+            .spawn(move || reader_loop(conn, &reader_shared))
+            .expect("spawning a connection reader");
+        let mut readers = lock_unpoisoned(&shared.readers);
+        // Reap finished readers so a long-running server does not
+        // accumulate one JoinHandle per connection it ever accepted.
+        let mut i = 0;
+        while i < readers.len() {
+            if readers[i].is_finished() {
+                let _ = readers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        readers.push(handle);
+    }
+}
+
+/// How one capped line read ended.
+enum LineRead {
+    /// Connection closed (or errored) with nothing buffered.
+    Eof,
+    /// A complete line is in the buffer.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the excess was discarded up
+    /// to (and including) the next newline.
+    TooLong,
+}
+
+/// `read_line` with a hard size cap: over-long lines are *discarded* in
+/// chunks rather than buffered, bounding per-connection memory.
+fn read_line_capped(reader: &mut BufReader<TcpStream>, line: &mut String, cap: usize) -> LineRead {
+    use std::io::BufRead;
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(_) => return LineRead::Eof,
+        };
+        if available.is_empty() {
+            // EOF: a trailing unterminated line still counts as a line.
+            if buf.is_empty() {
+                return LineRead::Eof;
+            }
+            *line = String::from_utf8_lossy(&buf).into_owned();
+            return LineRead::Line;
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |p| p);
+        if buf.len() + take > cap {
+            // Too long: drop what we have and skip to the next newline.
+            buf.clear();
+            loop {
+                let chunk = match reader.fill_buf() {
+                    Ok(c) => c,
+                    Err(_) => return LineRead::Eof,
+                };
+                if chunk.is_empty() {
+                    return LineRead::TooLong;
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(p) => {
+                        reader.consume(p + 1);
+                        return LineRead::TooLong;
+                    }
+                    None => {
+                        let n = chunk.len();
+                        reader.consume(n);
+                    }
+                }
+            }
+        }
+        buf.extend_from_slice(&available[..take]);
+        match newline {
+            Some(p) => {
+                reader.consume(p + 1);
+                *line = String::from_utf8_lossy(&buf).into_owned();
+                return LineRead::Line;
+            }
+            None => reader.consume(take),
+        }
+    }
+}
+
+fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
+    let Ok(read_half) = conn.stream.try_clone() else {
+        lock_unpoisoned(&shared.conns).remove(&conn.id);
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        let (id, body) = match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
+            LineRead::Eof => break,
+            LineRead::TooLong => (
+                0,
+                Err(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+            ),
+            LineRead::Line => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Request::parse(&line) {
+                    Ok(req) => (req.id, Ok(req.body)),
+                    // Malformed lines go through the queue like any other
+                    // request, so their error responses keep the
+                    // per-connection FIFO ordering.
+                    Err(e) => (Request::peek_id(&line), Err(e.to_string())),
+                }
+            }
+        };
+        if shared
+            .queue
+            .push(Item {
+                conn: conn.clone(),
+                id,
+                body,
+            })
+            .is_err()
+        {
+            // Queue closed: the dispatcher will never answer. This is the
+            // one response written off-order, and only during shutdown.
+            conn.record_error();
+            conn.respond(id, ResponseBody::Error("server is shutting down".into()));
+            break;
+        }
+    }
+    lock_unpoisoned(&shared.conns).remove(&conn.id);
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    let config = shared.config;
+    let mut bank = MacroBank::new(config.macros.max(1), MacroConfig::paper_macro());
+    let params = paper_calibrated_params();
+    while let Some(batch) = shared.queue.pop_batch(config.batch_max) {
+        process_batch(batch, &mut bank, &params, shared);
+    }
+    // Queue closed and drained: sever the connections so readers exit.
+    shared.close_all_conns();
+}
+
+/// Processes one drained batch in FIFO order: runs of consecutive compute
+/// requests execute as one bank batch (requests spread across macros),
+/// control requests execute inline between runs. Responses and session
+/// accounting happen in arrival order, so each session observes its own
+/// requests sequentially.
+fn process_batch(
+    batch: Vec<Item>,
+    bank: &mut MacroBank,
+    params: &EnergyParams,
+    shared: &Arc<Shared>,
+) {
+    let is_compute_item = |item: &Item| matches!(&item.body, Ok(body) if is_compute(body));
+    let mut iter = batch.into_iter().peekable();
+    while let Some(item) = iter.next() {
+        if is_compute_item(&item) {
+            let mut meta = Vec::new();
+            let mut jobs = Vec::new();
+            let mut next = Some(item);
+            loop {
+                let it = match next.take() {
+                    Some(it) => it,
+                    None => match iter.next_if(is_compute_item) {
+                        Some(it) => it,
+                        None => break,
+                    },
+                };
+                let body = it.body.expect("compute items carry a parsed body");
+                let model = match &body {
+                    RequestBody::Classify { .. } => lock_unpoisoned(&it.conn.session).model.clone(),
+                    _ => None,
+                };
+                meta.push((it.conn, it.id));
+                jobs.push(ComputeJob {
+                    body,
+                    model,
+                    fault_injection: shared.config.fault_injection,
+                });
+            }
+            let results = bank.try_run_batch(&jobs, |mac, job| run_compute(mac, job, params));
+            for ((conn, id), result) in meta.into_iter().zip(results) {
+                match result {
+                    Ok((Ok(body), cycles, energy_fj)) => {
+                        conn.record_ok(cycles, energy_fj);
+                        conn.respond(id, body);
+                    }
+                    Ok((Err(msg), _, _)) => {
+                        conn.record_error();
+                        conn.respond(id, ResponseBody::Error(msg));
+                    }
+                    Err(panic) => {
+                        conn.record_error();
+                        conn.respond(id, ResponseBody::Error(panic.to_string()));
+                    }
+                }
+            }
+        } else {
+            handle_control(item, bank, params, shared);
+        }
+    }
+}
+
+fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, shared: &Arc<Shared>) {
+    let Item { conn, id, body } = item;
+    let body = match body {
+        Ok(body) => body,
+        Err(msg) => {
+            // A line that never parsed: answered here, in queue order.
+            conn.record_error();
+            conn.respond(id, ResponseBody::Error(msg));
+            return;
+        }
+    };
+    match body {
+        RequestBody::Ping => {
+            conn.record_ok(0, 0.0);
+            conn.respond(id, ResponseBody::Pong);
+        }
+        RequestBody::Stats => {
+            // Reports the account *before* this request, then bills the
+            // stats request itself as zero-cycle work.
+            let stats = lock_unpoisoned(&conn.session).stats;
+            conn.record_ok(0, 0.0);
+            conn.respond(id, ResponseBody::Stats(stats));
+        }
+        RequestBody::LoadModel {
+            precision,
+            prototypes,
+        } => match build_model(bank, params, precision, prototypes) {
+            Ok((model, cycles, energy_fj)) => {
+                let mut session = lock_unpoisoned(&conn.session);
+                session.model = Some(Arc::new(model));
+                session.stats.record_ok(cycles, energy_fj);
+                drop(session);
+                conn.respond(id, ResponseBody::Ok);
+            }
+            Err(msg) => {
+                conn.record_error();
+                conn.respond(id, ResponseBody::Error(msg));
+            }
+        },
+        RequestBody::Shutdown => {
+            conn.record_ok(0, 0.0);
+            conn.respond(id, ResponseBody::Ok);
+            shared.begin_shutdown();
+        }
+        other => {
+            // Compute bodies never reach here (see `process_batch`).
+            conn.record_error();
+            conn.respond(
+                id,
+                ResponseBody::Error(format!("unexpected control request: {other:?}")),
+            );
+        }
+    }
+}
+
+/// Validates and builds a session model, computing the prototype norms on
+/// macro 0 of the bank so the `load_model` request is billed the exact
+/// norm-precompute work (the per-batch half of the classifier's amortized
+/// accounting).
+fn build_model(
+    bank: &mut MacroBank,
+    params: &EnergyParams,
+    precision: bpimc_core::Precision,
+    prototypes_q: Vec<Vec<u64>>,
+) -> Result<(Model, u64, f64), String> {
+    if prototypes_q.is_empty() {
+        return Err("'prototypes' must not be empty".to_string());
+    }
+    let dim = prototypes_q[0].len();
+    if dim == 0 {
+        return Err("prototypes must not be empty vectors".to_string());
+    }
+    crate::exec::check_product_lanes(precision, bank.macro_at(0).cols())?;
+    for (c, p) in prototypes_q.iter().enumerate() {
+        if p.len() != dim {
+            return Err(format!(
+                "prototype {c} has {} features but prototype 0 has {dim}",
+                p.len()
+            ));
+        }
+        if let Some(&w) = p.iter().find(|&&w| w > precision.max_value()) {
+            return Err(format!(
+                "prototype {c} value {w} does not fit {} bits",
+                precision.bits()
+            ));
+        }
+    }
+    let mac = bank.macro_at(0);
+    mac.clear_activity();
+    let norms = prototype_norms(mac, precision, &prototypes_q);
+    let cycles = mac.activity().total_cycles();
+    let energy_fj = params.log_energy_fj(mac.activity());
+    mac.clear_activity();
+    Ok((
+        Model {
+            precision,
+            prototypes_q,
+            norms,
+        },
+        cycles,
+        energy_fj,
+    ))
+}

@@ -1,0 +1,373 @@
+//! End-to-end tests: real TCP on an ephemeral port, concurrent clients,
+//! results checked against direct `ImcMacro` execution, per-session
+//! accounting, contained faults, backpressure and graceful shutdown.
+
+use bpimc_core::{ImcMacro, LaneOp, LogicOp, MacroConfig, Precision, SessionActivity};
+use bpimc_metrics::paper_calibrated_params;
+use bpimc_nn::{classify_quantized, imc_dot, prototype_norms};
+use bpimc_server::{Client, ClientError, Server, ServerConfig};
+
+/// Runs the same op a server job runs, on a private macro, with the same
+/// per-request accounting (clear, run, measure) — the ground truth every
+/// response is checked against.
+struct Direct {
+    mac: ImcMacro,
+    expected: SessionActivity,
+}
+
+impl Direct {
+    fn new() -> Self {
+        Self {
+            mac: ImcMacro::new(MacroConfig::paper_macro()),
+            expected: SessionActivity::new(),
+        }
+    }
+
+    fn bill(&mut self) {
+        let params = paper_calibrated_params();
+        self.expected.record_ok(
+            self.mac.activity().total_cycles(),
+            params.log_energy_fj(self.mac.activity()),
+        );
+        self.mac.clear_activity();
+    }
+
+    fn dot(&mut self, p: Precision, x: &[u64], w: &[u64]) -> u64 {
+        self.mac.clear_activity();
+        let out = imc_dot(&mut self.mac, p, x, w);
+        self.bill();
+        out
+    }
+
+    fn lanes(&mut self, op: LaneOp, p: Precision, a: &[u64], b: &[u64]) -> Vec<u64> {
+        self.mac.clear_activity();
+        let lanes = match op {
+            LaneOp::Mult => p.product_lanes(self.mac.cols()),
+            _ => p.lanes(self.mac.cols()),
+        };
+        let mut out = Vec::new();
+        for (ac, bc) in a.chunks(lanes).zip(b.chunks(lanes)) {
+            match op {
+                LaneOp::Mult => {
+                    self.mac.write_mult_operands(0, p, ac).unwrap();
+                    self.mac.write_mult_operands(1, p, bc).unwrap();
+                    self.mac.mult(0, 1, 2, p).unwrap();
+                    out.extend(self.mac.read_products(2, p, ac.len()).unwrap());
+                }
+                LaneOp::Add | LaneOp::Sub | LaneOp::Logic(_) => {
+                    self.mac.write_words(0, p, ac).unwrap();
+                    self.mac.write_words(1, p, bc).unwrap();
+                    match op {
+                        LaneOp::Add => self.mac.add(0, 1, 2, p).unwrap(),
+                        LaneOp::Sub => self.mac.sub(0, 1, 2, p).unwrap(),
+                        LaneOp::Logic(l) => self.mac.logic(l, 0, 1, 2).unwrap(),
+                        LaneOp::Mult => unreachable!(),
+                    };
+                    out.extend(self.mac.read_words(2, p, ac.len()).unwrap());
+                }
+            }
+        }
+        self.bill();
+        out
+    }
+
+    fn load_model(&mut self, p: Precision, prototypes: &[Vec<u64>]) -> Vec<u64> {
+        self.mac.clear_activity();
+        let norms = prototype_norms(&mut self.mac, p, prototypes);
+        self.bill();
+        norms
+    }
+
+    fn classify(
+        &mut self,
+        p: Precision,
+        prototypes: &[Vec<u64>],
+        norms: &[u64],
+        x: &[u64],
+    ) -> usize {
+        self.mac.clear_activity();
+        let out = classify_quantized(&mut self.mac, p, prototypes, norms, x);
+        self.bill();
+        out
+    }
+}
+
+fn start(config: ServerConfig) -> bpimc_server::ServerHandle {
+    Server::bind("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+#[test]
+fn concurrent_clients_get_correct_results_and_accounting() {
+    let handle = start(ServerConfig {
+        macros: 4,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+
+    let workers: Vec<_> = (0..8u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut direct = Direct::new();
+                // A per-client deterministic mixed request stream.
+                for round in 0..6u64 {
+                    let k = c * 131 + round * 17;
+                    let x: Vec<u64> = (0..10).map(|i| (k + i * 3) % 256).collect();
+                    let w: Vec<u64> = (0..10).map(|i| (k + i * 7 + 1) % 256).collect();
+                    assert_eq!(
+                        client.dot(Precision::P8, &x, &w).expect("dot"),
+                        direct.dot(Precision::P8, &x, &w)
+                    );
+
+                    let a: Vec<u64> = (0..20).map(|i| (k + i) % 16).collect();
+                    let b: Vec<u64> = (0..20).map(|i| (k * 3 + i) % 16).collect();
+                    for op in [
+                        LaneOp::Add,
+                        LaneOp::Sub,
+                        LaneOp::Mult,
+                        LaneOp::Logic(LogicOp::Xor),
+                    ] {
+                        assert_eq!(
+                            client.lanes(op, Precision::P4, &a, &b).expect("lanes"),
+                            direct.lanes(op, Precision::P4, &a, &b),
+                            "client {c} round {round} {op:?}"
+                        );
+                    }
+
+                    // Wider precisions exercise the reconfigurable datapath.
+                    let a16: Vec<u64> = (0..4).map(|i| (k * 251 + i * 1000) % 65536).collect();
+                    let b16: Vec<u64> = (0..4).map(|i| (k * 509 + i * 999) % 65536).collect();
+                    assert_eq!(
+                        client
+                            .lanes(LaneOp::Mult, Precision::P16, &a16, &b16)
+                            .expect("p16 mult"),
+                        direct.lanes(LaneOp::Mult, Precision::P16, &a16, &b16)
+                    );
+                }
+
+                // Per-session model: each client trains on its own data.
+                let protos: Vec<Vec<u64>> = (0..3)
+                    .map(|p| (0..8).map(|i| (c + p * 50 + i * 11) % 256).collect())
+                    .collect();
+                client.load_model(Precision::P8, &protos).expect("load");
+                let norms = direct.load_model(Precision::P8, &protos);
+                for s in 0..4u64 {
+                    let x: Vec<u64> = (0..8).map(|i| (c * 31 + s * 13 + i * 5) % 256).collect();
+                    assert_eq!(
+                        client.classify(&x).expect("classify"),
+                        direct.classify(Precision::P8, &protos, &norms, &x),
+                        "client {c} sample {s}"
+                    );
+                }
+
+                // The session account matches the direct per-request replay
+                // exactly: same requests, same cycles, same energy.
+                let stats = client.stats().expect("stats");
+                assert_eq!(stats.requests, direct.expected.requests);
+                assert_eq!(stats.errors, 0);
+                assert_eq!(
+                    stats.cycles, direct.expected.cycles,
+                    "client {c} billed cycles"
+                );
+                assert!(
+                    (stats.energy_fj - direct.expected.energy_fj).abs()
+                        < 1e-9 * direct.expected.energy_fj.max(1.0),
+                    "client {c} billed energy {} vs {}",
+                    stats.energy_fj,
+                    direct.expected.energy_fj
+                );
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn injected_panic_fails_only_its_own_request() {
+    let handle = start(ServerConfig {
+        macros: 2,
+        fault_injection: true,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+
+    // Sibling clients hammer the bank while one client injects panics.
+    let victims: Vec<_> = (0..3u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..40u64 {
+                    let x = [c + round, 2, 3];
+                    let w = [5, 6, 7];
+                    let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+                    assert_eq!(client.dot(Precision::P8, &x, &w).expect("dot"), expect);
+                }
+            })
+        })
+        .collect();
+
+    let mut chaos = Client::connect(addr).expect("connect");
+    for _ in 0..10 {
+        match chaos.inject_panic() {
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains("panicked"), "{msg}");
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            other => panic!("expected a contained server error, got {other:?}"),
+        }
+        // The same connection keeps working right after each fault.
+        assert_eq!(chaos.dot(Precision::P8, &[9], &[9]).expect("dot"), 81);
+    }
+    let stats = chaos.stats().expect("stats");
+    assert_eq!(stats.errors, 10);
+    assert_eq!(stats.requests, 20);
+
+    for v in victims {
+        v.join().expect("sibling clients unaffected");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn tiny_queue_applies_backpressure_without_dropping() {
+    // Capacity 2 with a single-request batch cap: the readers must block
+    // and every pipelined request must still be answered, in order.
+    let handle = start(ServerConfig {
+        macros: 1,
+        queue_capacity: 2,
+        batch_max: 1,
+        fault_injection: false,
+    });
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for i in 0..200u64 {
+        let got = client
+            .lanes(LaneOp::Add, Precision::P8, &[i % 200, 7], &[1, i % 100])
+            .expect("add");
+        assert_eq!(got, vec![(i % 200) + 1, 7 + (i % 100)]);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 200);
+    assert_eq!(stats.errors, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    for (line, expect_in_error) in [
+        ("this is not json\n", "malformed"),
+        ("{\"id\":77,\"op\":\"frobnicate\"}\n", "unknown op"),
+        (
+            "{\"id\":78,\"op\":\"add\",\"precision\":9,\"a\":[1],\"b\":[2]}\n",
+            "precision",
+        ),
+    ] {
+        stream.write_all(line.as_bytes()).expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        let resp = bpimc_core::Response::parse(&reply).expect("parseable response");
+        match resp.body {
+            bpimc_core::ResponseBody::Error(msg) => {
+                assert!(msg.contains(expect_in_error), "{line:?} -> {msg}")
+            }
+            other => panic!("expected an error for {line:?}, got {other:?}"),
+        }
+    }
+
+    // A valid request on the same connection still succeeds.
+    stream
+        .write_all(b"{\"id\":99,\"op\":\"ping\"}\n")
+        .expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    let resp = bpimc_core::Response::parse(&reply).expect("parseable");
+    assert_eq!(resp.id, 99);
+    assert_eq!(resp.body, bpimc_core::ResponseBody::Pong);
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_discarded_not_buffered() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Stream well past the 4 MiB line cap without a newline, then finish
+    // the line: the server must answer with an error (not OOM) and keep
+    // the connection usable.
+    let chunk = vec![b'1'; 1 << 20];
+    for _ in 0..5 {
+        stream.write_all(&chunk).expect("write");
+    }
+    stream.write_all(b"\n").expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    match bpimc_core::Response::parse(&reply).expect("parseable").body {
+        bpimc_core::ResponseBody::Error(msg) => assert!(msg.contains("exceeds"), "{msg}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    stream
+        .write_all(b"{\"id\":5,\"op\":\"ping\"}\n")
+        .expect("write");
+    reply.clear();
+    reader.read_line(&mut reply).expect("read");
+    let resp = bpimc_core::Response::parse(&reply).expect("parseable");
+    assert_eq!(resp.id, 5);
+    assert_eq!(resp.body, bpimc_core::ResponseBody::Pong);
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn client_initiated_shutdown_drains_and_joins() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    client.shutdown_server().expect("shutdown acknowledged");
+    // join() returns only once every server thread has exited.
+    handle.join();
+    // New connections are refused (or reset immediately) afterwards.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server must be gone"),
+    }
+}
+
+#[test]
+fn sessions_are_isolated() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+
+    // Model in session A only; B must be told it has none.
+    a.load_model(Precision::P4, &[vec![0, 0], vec![15, 15]])
+        .expect("load");
+    assert_eq!(a.classify(&[14, 15]).expect("classify"), 1);
+    match b.classify(&[14, 15]) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("no model"), "{msg}"),
+        other => panic!("expected a missing-model error, got {other:?}"),
+    }
+
+    // Accounts are per-session: B's error does not appear in A's account.
+    let sa = a.stats().expect("stats a");
+    let sb = b.stats().expect("stats b");
+    assert_eq!(sa.requests, 2);
+    assert_eq!(sa.errors, 0);
+    assert_eq!(sb.requests, 1);
+    assert_eq!(sb.errors, 1);
+    handle.shutdown();
+}

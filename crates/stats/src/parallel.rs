@@ -16,10 +16,59 @@
 //! offline, so this is a dependency-free implementation on `std::sync`
 //! primitives.
 
+use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard, OnceLock};
+
+/// A job that panicked inside a parallel batch.
+///
+/// Carried per job by the `try_` variants so one faulty job fails alone:
+/// sibling jobs in the same batch still complete, later batches still run,
+/// and the worker pool stays healthy (workers catch every unwind and never
+/// die). The panic payload is rendered to text — `&str` and `String`
+/// payloads pass through verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload as text.
+    pub message: String,
+}
+
+impl JobPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Self { message }
+    }
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Poisoning policy for this workspace's shared state (the pool's panic
+/// bookkeeping, the server's session and writer locks): every critical
+/// section is short and leaves the guarded data consistent at each await
+/// point of the lock, so a panic while holding one of these locks cannot
+/// leave half-updated state behind. Ignoring the poison flag is therefore
+/// safe, and required: one panicking batch must not wedge every subsequent
+/// batch behind a `PoisonError`.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The number of parallel lanes (pool workers + the calling thread) used
 /// for `n` independent jobs.
@@ -92,9 +141,19 @@ fn pool() -> &'static Pool {
 struct BatchState {
     /// Tasks still running; checked lock-free by the caller.
     remaining: AtomicUsize,
-    panicked: AtomicBool,
+    /// First panic observed in the batch, if any.
+    panic: Mutex<Option<JobPanic>>,
     /// The caller's thread, unparked by whichever task finishes last.
     caller: std::thread::Thread,
+}
+
+impl BatchState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = lock_unpoisoned(&self.panic);
+        if slot.is_none() {
+            *slot = Some(JobPanic::from_payload(&*payload));
+        }
+    }
 }
 
 /// Runs every closure in `tasks` to completion, using the worker pool plus
@@ -114,15 +173,15 @@ fn run_tasks<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
     let inline = tasks.pop().expect("len checked above");
     let state = BatchState {
         remaining: AtomicUsize::new(tasks.len()),
-        panicked: AtomicBool::new(false),
+        panic: Mutex::new(None),
         caller: std::thread::current(),
     };
     let state_ref: &BatchState = &state;
     let senders = &pool().senders;
     for (i, t) in tasks.into_iter().enumerate() {
         let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            if catch_unwind(AssertUnwindSafe(t)).is_err() {
-                state_ref.panicked.store(true, Ordering::Relaxed);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
+                state_ref.record_panic(payload);
             }
             // Clone the wake-up handle BEFORE the decrement: the moment the
             // caller observes zero it may free `state`, so the decrement
@@ -143,8 +202,8 @@ fn run_tasks<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
             .send(wrapped)
             .expect("pool worker alive");
     }
-    if catch_unwind(AssertUnwindSafe(inline)).is_err() {
-        state.panicked.store(true, Ordering::Relaxed);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(inline)) {
+        state.record_panic(payload);
     }
     // Spin only briefly before parking (long spins get this thread
     // throttled by the sandboxed kernel, see the worker loop). A stray
@@ -157,8 +216,9 @@ fn run_tasks<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
             std::thread::park_timeout(std::time::Duration::from_millis(1));
         }
     }
-    if state.panicked.load(Ordering::Relaxed) {
-        panic!("a parallel task panicked");
+    let first_panic = lock_unpoisoned(&state.panic).take();
+    if let Some(p) = first_panic {
+        panic!("a parallel task panicked: {}", p.message);
     }
 }
 
@@ -216,7 +276,6 @@ struct QueueShared {
     len: usize,
     /// Claims currently being executed.
     active: AtomicUsize,
-    panicked: AtomicBool,
     caller: std::thread::Thread,
 }
 
@@ -234,7 +293,58 @@ struct QueueShared {
 /// Job-to-state assignment is scheduling-dependent: `f` must produce the
 /// same result whichever state slot it runs on (true for self-contained
 /// jobs that write their operands before use).
+///
+/// # Panics
+///
+/// Panics (after every job has completed) if any job panicked, re-raising
+/// the first panic's message. Use [`par_queue_try_map`] to receive per-job
+/// `Result`s instead — a server multiplexing independent requests must fail
+/// only the offending request, not the whole batch.
 pub fn par_queue_map<S, J, T, F>(states: &mut [S], jobs: &[J], f: F) -> Vec<T>
+where
+    S: Send,
+    J: Sync,
+    T: Send,
+    F: Fn(&mut S, &J) -> T + Sync,
+{
+    par_queue_try_map(states, jobs, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("a parallel job panicked: {}", p.message),
+        })
+        .collect()
+}
+
+/// [`par_queue_map`] with **per-job panic containment**: a job that panics
+/// yields `Err(JobPanic)` in its own result slot while every sibling job —
+/// including later jobs claimed by the same worker — still runs and returns
+/// `Ok`. The worker pool stays healthy and subsequent batches are
+/// unaffected.
+///
+/// A panicking job may leave its state slot (`&mut S`) partially updated;
+/// `f` must therefore tolerate running on a state slot a previous job
+/// abandoned mid-way (true for self-contained jobs that write their
+/// operands before use — the same requirement `par_queue_map` already has).
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_stats::parallel::par_queue_try_map;
+///
+/// let mut states = vec![(); 4];
+/// let jobs = [1u32, 2, 3];
+/// let out = par_queue_try_map(&mut states, &jobs, |_, &j| {
+///     if j == 2 {
+///         panic!("bad job");
+///     }
+///     j * 10
+/// });
+/// assert_eq!(out[0].as_ref().unwrap(), &10);
+/// assert_eq!(out[1].as_ref().unwrap_err().message, "bad job");
+/// assert_eq!(out[2].as_ref().unwrap(), &30);
+/// ```
+pub fn par_queue_try_map<S, J, T, F>(states: &mut [S], jobs: &[J], f: F) -> Vec<Result<T, JobPanic>>
 where
     S: Send,
     J: Sync,
@@ -250,10 +360,15 @@ where
     let nested = IS_WORKER.with(|w| w.get());
     if lanes <= 1 || nested {
         let s0 = &mut states[0];
-        return jobs.iter().map(|j| f(s0, j)).collect();
+        return jobs
+            .iter()
+            .map(|j| {
+                catch_unwind(AssertUnwindSafe(|| f(s0, j))).map_err(|p| JobPanic::from_payload(&*p))
+            })
+            .collect();
     }
 
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, JobPanic>>> = (0..n).map(|_| None).collect();
     // Claim in blocks: contended atomic RMWs cost ~0.5 us on virtualized
     // hosts, so per-job claiming would swamp fine-grained jobs. Blocks keep
     // the claim overhead at a fraction of a percent while still giving
@@ -263,7 +378,6 @@ where
         next: AtomicUsize::new(0),
         len: n,
         active: AtomicUsize::new(0),
-        panicked: AtomicBool::new(false),
         caller: std::thread::current(),
     });
 
@@ -294,18 +408,19 @@ where
             // SAFETY: the claimed block is unique, so the job reads and the
             // result slot writes are unaliased; the caller cannot have
             // returned (it waits for `active` to drain and `next` to pass
-            // `len`), so the pointers are live.
-            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+            // `len`), so the pointers are live. Panics are caught PER JOB:
+            // a faulty job records a `JobPanic` in its own slot and the
+            // loop continues with the block's remaining jobs, so every slot
+            // is always filled.
+            unsafe {
                 let f = &*(f_ptr as *const F);
                 for i in start..(start + block).min(sh.len) {
                     let job = &*(jobs_ptr as *const J).add(i);
                     let state = &mut *(state_ptr as *mut S);
-                    let out = f(state, job);
-                    *(res_ptr as *mut Option<T>).add(i) = Some(out);
+                    let out = catch_unwind(AssertUnwindSafe(|| f(state, job)))
+                        .map_err(|p| JobPanic::from_payload(&*p));
+                    *(res_ptr as *mut Option<Result<T, JobPanic>>).add(i) = Some(out);
                 }
-            }));
-            if outcome.is_err() {
-                sh.panicked.store(true, Ordering::Relaxed);
             }
             sh.active.fetch_sub(1, Ordering::AcqRel);
         });
@@ -322,18 +437,14 @@ where
         if start >= n {
             break;
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            #[allow(clippy::needless_range_loop)] // `i` also addresses the raw result slot
-            for i in start..(start + block).min(n) {
-                let out = f(first, &jobs[i]);
-                // SAFETY: the claimed block is unique across participants.
-                unsafe {
-                    *(res_ptr as *mut Option<T>).add(i) = Some(out);
-                }
+        #[allow(clippy::needless_range_loop)] // `i` also addresses the raw result slot
+        for i in start..(start + block).min(n) {
+            let out = catch_unwind(AssertUnwindSafe(|| f(first, &jobs[i])))
+                .map_err(|p| JobPanic::from_payload(&*p));
+            // SAFETY: the claimed block is unique across participants.
+            unsafe {
+                *(res_ptr as *mut Option<Result<T, JobPanic>>).add(i) = Some(out);
             }
-        }));
-        if outcome.is_err() {
-            shared.panicked.store(true, Ordering::Relaxed);
         }
     }
     // Wait until no worker is executing a claim. Workers that never woke
@@ -344,9 +455,6 @@ where
         if spins > 4_096 {
             std::thread::park_timeout(std::time::Duration::from_millis(1));
         }
-    }
-    if shared.panicked.load(Ordering::Relaxed) {
-        panic!("a parallel task panicked");
     }
     results
         .into_iter()
@@ -468,5 +576,83 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_map_fails_only_the_panicking_job() {
+        let mut states = vec![0u8; 8];
+        let jobs: Vec<usize> = (0..200).collect();
+        let out = par_queue_try_map(&mut states, &jobs, |_, &j| {
+            if j == 97 {
+                panic!("job 97 exploded");
+            }
+            j * 2
+        });
+        assert_eq!(out.len(), 200);
+        for (j, r) in out.iter().enumerate() {
+            if j == 97 {
+                let p = r.as_ref().expect_err("job 97 must fail");
+                assert!(p.message.contains("exploded"), "{p}");
+            } else {
+                assert_eq!(*r.as_ref().expect("sibling jobs unaffected"), j * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // A batch with panicking jobs must not abort sibling jobs or wedge
+        // the pool for later, unrelated batches.
+        let mut states = vec![(); 4];
+        let jobs: Vec<usize> = (0..64).collect();
+        let out = par_queue_try_map(&mut states, &jobs, |_, &j| {
+            if j % 7 == 3 {
+                panic!("periodic fault");
+            }
+            j
+        });
+        let failed = out.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failed, jobs.iter().filter(|j| *j % 7 == 3).count());
+        // The pool keeps serving healthy batches afterwards.
+        for round in 0..20 {
+            let ok = par_queue_map(&mut states, &jobs, |_, &j| j + round);
+            assert_eq!(ok[10], 10 + round);
+            let chunked = par_indexed_map(32, |i| i * i);
+            assert_eq!(chunked[5], 25);
+        }
+    }
+
+    #[test]
+    fn queue_map_panic_carries_the_message() {
+        let result = std::panic::catch_unwind(|| {
+            let mut states = vec![(); 2];
+            par_queue_map(&mut states, &[1u32, 2, 3, 4], |_, &j| {
+                if j == 3 {
+                    panic!("specific failure detail");
+                }
+                j
+            })
+        });
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("message payload")
+            .clone();
+        assert!(msg.contains("specific failure detail"), "{msg}");
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_from_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("fresh lock");
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 9;
+        assert_eq!(*lock_unpoisoned(&m), 9);
     }
 }

@@ -19,6 +19,8 @@
 //! * [`metrics`] — timing / energy / area / TOPS-per-watt models.
 //! * [`baseline`] — the conventional bit-serial IMC used for comparison.
 //! * [`nn`] — a quantized neural-network workload running on the macro.
+//! * [`server`] — the multi-client TCP compute service multiplexing
+//!   concurrent sessions onto a shared `MacroBank`.
 //! * [`mod@bench`] — the experiment runners that regenerate every figure and
 //!   table of the paper's evaluation section.
 //!
@@ -49,4 +51,5 @@ pub use bpimc_device as device;
 pub use bpimc_metrics as metrics;
 pub use bpimc_nn as nn;
 pub use bpimc_periph as periph;
+pub use bpimc_server as server;
 pub use bpimc_stats as stats;
