@@ -109,6 +109,48 @@ fn bench_macro_ops(c: &mut Criterion) {
     g.finish();
 }
 
+/// The typed program executor vs the same pipeline as raw method calls:
+/// measures the overhead of validation, lowering and per-instruction span
+/// accounting on an imc_dot-shaped workload.
+fn bench_program_pipeline(c: &mut Criterion) {
+    use bpimc_nn::dot_program;
+
+    let mut g = c.benchmark_group("program_pipeline");
+    let p = Precision::P8;
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    let x: Vec<u64> = (0..64u64).map(|i| (i * 37) % 256).collect();
+    let w: Vec<u64> = (0..64u64).map(|i| (i * 53) % 256).collect();
+
+    let prog = dot_program(p, &x, &w, mac.cols());
+    g.bench_function("program_dot_64feat_8b", |b| {
+        b.iter(|| black_box(prog.run(&mut mac).expect("program runs")))
+    });
+    g.bench_function("program_build_and_dot_64feat_8b", |b| {
+        b.iter(|| {
+            let prog = dot_program(p, &x, &w, mac.cols());
+            black_box(prog.run(&mut mac).expect("program runs"))
+        })
+    });
+    g.bench_function("raw_calls_dot_64feat_8b", |b| {
+        b.iter(|| {
+            let lanes = p.product_lanes(mac.cols());
+            let mut acc = 0u64;
+            for (xc, wc) in x.chunks(lanes).zip(w.chunks(lanes)) {
+                mac.write_mult_operands(0, p, xc).expect("fits");
+                mac.write_mult_operands(1, p, wc).expect("fits");
+                mac.mult(0, 1, 2, p).expect("mult");
+                acc += mac
+                    .read_products(2, p, xc.len())
+                    .expect("read")
+                    .iter()
+                    .sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 /// Limb-parallel engine vs the per-column structural reference, and the
 /// batched bank executor vs sequential execution of the same jobs.
 fn bench_engine(c: &mut Criterion) {
@@ -161,6 +203,7 @@ criterion_group!(
     bench_figures,
     bench_tables,
     bench_macro_ops,
+    bench_program_pipeline,
     bench_engine
 );
 criterion_main!(benches);

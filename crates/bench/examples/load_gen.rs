@@ -5,15 +5,22 @@
 //!
 //! ```text
 //! cargo run --release -p bpimc-bench --example load_gen -- \
-//!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT]
+//!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT] [--programs]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
 //! (with fault injection enabled) and shut down gracefully at the end; each
 //! client injects one deliberate panic mid-stream and checks that only that
 //! request fails while the pool keeps serving.
+//!
+//! With `--programs` the clients issue multi-instruction `exec_program`
+//! requests instead of the per-op mix: whole pipelines (staging writes,
+//! fused add+shl, SUB, MULT, reductions, readbacks) in one round trip,
+//! with every output host-verified and the reported per-instruction cycle
+//! accounting checked against the program's static cost model.
 
-use bpimc_core::{LaneOp, LogicOp, Precision};
+use bpimc_core::prog::ProgramBuilder;
+use bpimc_core::{LaneOp, LogicOp, Precision, Program};
 use bpimc_server::{Client, ClientError, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -23,6 +30,7 @@ struct Args {
     requests: u64,
     macros: Option<usize>,
     addr: Option<String>,
+    programs: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +39,7 @@ fn parse_args() -> Args {
         requests: 50,
         macros: None,
         addr: None,
+        programs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,6 +55,7 @@ fn parse_args() -> Args {
             "--addr" => {
                 args.addr = Some(it.next().unwrap_or_else(|| die("--addr needs HOST:PORT")))
             }
+            "--programs" => args.programs = true,
             other => die(&format!("unknown option '{other}'")),
         }
     }
@@ -57,9 +67,89 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Builds one deterministic multi-instruction pipeline plus its expected
+/// outputs (host-computed), keyed by the request counter so every client
+/// exercises dot, fused add+shl / sub, reduction and logic pipelines.
+fn program_request(k: u64, variant: u64) -> (Program, Vec<Vec<u64>>) {
+    let mut b = ProgramBuilder::new();
+    match variant {
+        0 => {
+            // Dot-style: two staging writes, one MULT, products out.
+            let p = Precision::P8;
+            let x: Vec<u64> = (0..8).map(|i| (k + i * 3) % 256).collect();
+            let w: Vec<u64> = (0..8).map(|i| (k * 5 + i + 1) % 256).collect();
+            let rx = b.write_mult(p, x.clone());
+            let rw = b.write_mult(p, w.clone());
+            let prod = b.mult(rx, rw, p);
+            b.read_products(prod, p, 8);
+            let expect = x.iter().zip(&w).map(|(a, c)| a * c).collect();
+            (b.finish(), vec![expect])
+        }
+        1 => {
+            // Fused add+shl (lowered to the hardware add_shift) plus SUB.
+            let p = Precision::P8;
+            let x: Vec<u64> = (0..16).map(|i| (k + i) % 256).collect();
+            let y: Vec<u64> = (0..16).map(|i| (k * 3 + i) % 256).collect();
+            let rx = b.write(p, x.clone());
+            let ry = b.write(p, y.clone());
+            let s = b.add(rx, ry, p);
+            let d = b.shl(s, p);
+            b.read(d, p, 16);
+            let e = b.sub(rx, ry, p);
+            b.read(e, p, 16);
+            let doubled = x
+                .iter()
+                .zip(&y)
+                .map(|(a, c)| ((a + c) << 1) & 0xFF)
+                .collect();
+            let diff = x
+                .iter()
+                .zip(&y)
+                .map(|(a, c)| a.wrapping_sub(*c) & 0xFF)
+                .collect();
+            (b.finish(), vec![doubled, diff])
+        }
+        2 => {
+            // In-memory reduction over four staged rows.
+            let p = Precision::P8;
+            let rows: Vec<Vec<u64>> = (0..4)
+                .map(|j| (0..16).map(|i| (k * (j + 2) + i * 7) % 256).collect())
+                .collect();
+            let regs: Vec<_> = rows.iter().map(|r| b.write(p, r.clone())).collect();
+            let total = b.reduce_add(&regs, p);
+            b.read(total, p, 16);
+            let expect = (0..16)
+                .map(|i| rows.iter().map(|r| r[i]).sum::<u64>() & 0xFF)
+                .collect();
+            (b.finish(), vec![expect])
+        }
+        _ => {
+            // 2-bit logic with an inversion chained on.
+            let p = Precision::P2;
+            let x: Vec<u64> = (0..32).map(|i| (k + i * 3) % 4).collect();
+            let y: Vec<u64> = (0..32).map(|i| (k * 7 + i) % 4).collect();
+            let rx = b.write(p, x.clone());
+            let ry = b.write(p, y.clone());
+            let xo = b.logic(LogicOp::Xor, rx, ry);
+            let inv = b.not(xo);
+            b.read(xo, p, 32);
+            b.read(inv, p, 32);
+            let xor: Vec<u64> = x.iter().zip(&y).map(|(a, c)| a ^ c).collect();
+            let nxor = xor.iter().map(|v| !v & 3).collect();
+            (b.finish(), vec![xor, nxor])
+        }
+    }
+}
+
 /// One client's deterministic request stream; returns (ok, failed)
 /// response counts, where "failed" includes any mismatch.
-fn drive_client(addr: SocketAddr, c: u64, requests: u64, expect_faults: bool) -> (u64, u64) {
+fn drive_client(
+    addr: SocketAddr,
+    c: u64,
+    requests: u64,
+    expect_faults: bool,
+    programs: bool,
+) -> (u64, u64) {
     let mut client = match Client::connect(addr) {
         Ok(cl) => cl,
         Err(e) => {
@@ -91,6 +181,26 @@ fn drive_client(addr: SocketAddr, c: u64, requests: u64, expect_faults: bool) ->
             continue;
         }
         let k = c * 7919 + r * 131;
+        if programs {
+            // Whole pipelines in one round trip: outputs host-verified,
+            // per-instruction cycles checked against the static cost
+            // model (the fused shl must bill 0 there).
+            let (prog, expect) = program_request(k, r % 4);
+            match client.exec_program(&prog) {
+                Ok(report) => {
+                    let pass = report.outputs == expect
+                        && report.cycles == prog.instr_cycles()
+                        && report.total_cycles() == prog.cycles()
+                        && report.energy_fj.len() == prog.instrs().len();
+                    tally(&mut ok, &mut bad, c, "exec_program", pass);
+                }
+                Err(e) => {
+                    bad += 1;
+                    eprintln!("client {c}: exec_program failed: {e}");
+                }
+            }
+            continue;
+        }
         match r % 5 {
             0 => {
                 let x: Vec<u64> = (0..12).map(|i| (k + i * 3) % 256).collect();
@@ -227,7 +337,8 @@ fn main() {
     let workers: Vec<_> = (0..args.clients)
         .map(|c| {
             let requests = args.requests;
-            std::thread::spawn(move || drive_client(addr, c, requests, expect_faults))
+            let programs = args.programs;
+            std::thread::spawn(move || drive_client(addr, c, requests, expect_faults, programs))
         })
         .collect();
     let mut total_ok = 0u64;

@@ -16,6 +16,7 @@ use bpimc_bench::experiments::{
     ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange,
 };
 use bpimc_core::{ImcMacro, MacroConfig, Precision};
+use bpimc_nn::dot_program;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -102,6 +103,16 @@ fn simulated_cycles() -> Vec<(String, u64)> {
         out.push((format!("sub_p{bits}"), sub));
         out.push((format!("mult_p{bits}"), mult));
     }
+    // The program executor's static cost model for a 16-feature P8 dot
+    // pipeline (2 chunks of write/write/mult/read) — hardware ground
+    // truth for the `exec_program` path, asserted against the activity
+    // log by executing it.
+    let x: Vec<u64> = (0..16).collect();
+    let prog = dot_program(Precision::P8, &x, &x, 128);
+    let mut pm = ImcMacro::new(MacroConfig::paper_macro());
+    let run = prog.run(&mut pm).expect("dot program runs");
+    assert_eq!(run.total_cycles(), prog.cycles(), "cost model diverged");
+    out.push(("program_dot16_p8".to_string(), run.total_cycles()));
     out
 }
 
@@ -131,9 +142,36 @@ fn micro_timings() -> Vec<(String, f64)> {
         mac.clear_activity();
     }
     let reduce_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    // The program-executor overhead gate: the same 16-feature dot pipeline
+    // once as a validated+lowered Program run, once as raw method calls.
+    // Regression-gated (10x) so the executor's bookkeeping (validation,
+    // lowering, span accounting) never grows into the hot path's budget.
+    let x: Vec<u64> = (0..16).map(|i| (i * 37) % 256).collect();
+    let w: Vec<u64> = (0..16).map(|i| (i * 53) % 256).collect();
+    let prog = dot_program(p, &x, &w, mac.cols());
+    let t0 = Instant::now();
+    for _ in 0..n {
+        prog.run(&mut mac).expect("program runs");
+        mac.clear_activity();
+    }
+    let program_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    let lanes = p.product_lanes(mac.cols());
+    let t0 = Instant::now();
+    for _ in 0..n {
+        for (xc, wc) in x.chunks(lanes).zip(w.chunks(lanes)) {
+            mac.write_mult_operands(0, p, xc).expect("fits");
+            mac.write_mult_operands(1, p, wc).expect("fits");
+            mac.mult(0, 1, 2, p).expect("mult");
+            mac.read_products(2, p, xc.len()).expect("read");
+        }
+        mac.clear_activity();
+    }
+    let raw_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
     vec![
         ("mult_p8_128col_us".into(), mult_us),
         ("reduce_add_8rows_us".into(), reduce_us),
+        ("program_pipeline_us".into(), program_us),
+        ("raw_pipeline_us".into(), raw_us),
     ]
 }
 

@@ -48,6 +48,7 @@ pub mod isa;
 pub mod json;
 pub mod macrobank;
 pub mod macroblock;
+pub mod prog;
 pub mod wire;
 pub mod words;
 
@@ -58,7 +59,8 @@ pub use error::Error;
 pub use isa::OpKind;
 pub use macrobank::MacroBank;
 pub use macroblock::ImcMacro;
-pub use wire::{LaneOp, Request, RequestBody, Response, ResponseBody};
+pub use prog::{Instr, ProgError, Program, ProgramBuilder, ProgramRun, Reg};
+pub use wire::{LaneOp, ProgramReport, Request, RequestBody, Response, ResponseBody};
 
 // A failed batch job, as surfaced by `MacroBank::try_run_batch`.
 pub use bpimc_stats::parallel::JobPanic;

@@ -14,6 +14,7 @@
 //! | `and` / `or` / `xor` / `nand` / `nor` / `xnor` | `precision`, `a`, `b` | lane-wise logic |
 //! | `load_model` | `precision`, `prototypes` | store quantized class prototypes in the session |
 //! | `classify` | `x` | nearest-prototype class of a quantized sample |
+//! | `exec_program` | `instrs` | run a whole [`Program`](crate::prog::Program) in one round trip |
 //! | `stats` | — | the session's activity account so far |
 //! | `inject_panic` | — | fault injection (only if the server enables it) |
 //! | `shutdown` | — | ask the server to drain and stop |
@@ -23,12 +24,34 @@
 //! occupy `2P`-bit product lanes and results may use all 64 bits at P32).
 //! Every request carries a client-chosen `id` echoed in its response.
 //!
+//! An `exec_program` request carries one JSON object per instruction, each
+//! tagged with its name under `"i"` and naming virtual row registers by
+//! index (see [`crate::prog`]):
+//!
+//! ```text
+//! {"i":"write","dst":0,"precision":8,"values":[1,2]}
+//! {"i":"write_mult","dst":1,"precision":8,"values":[3,4]}
+//! {"i":"read","src":0,"precision":8,"n":2}
+//! {"i":"read_products","src":2,"precision":8,"n":2}
+//! {"i":"and","a":0,"b":1,"dst":2}          (or/xor/nand/nor/xnor)
+//! {"i":"not","src":0,"dst":1}              (copy likewise)
+//! {"i":"shl","src":0,"dst":1,"precision":8}
+//! {"i":"add","a":0,"b":1,"dst":2,"precision":8}   (sub/add_shift/mult likewise)
+//! {"i":"reduce_add","srcs":[0,1,2],"dst":3,"precision":8}
+//! ```
+//!
 //! # Responses
 //!
 //! `{"id":N,"ok":true,"kind":K,"result":…}` on success, with `kind` one of
-//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`;
+//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`;
 //! `{"id":N,"ok":false,"error":"…"}` on failure. A response's `id` matches
 //! its request; per connection, responses arrive in request order.
+//!
+//! A `program` result reports the outputs of the program's read
+//! instructions plus exact per-instruction accounting:
+//! `{"outputs":[[…]…],"cycles":[…],"energy_fj":[…]}` (one `cycles` /
+//! `energy_fj` entry per submitted instruction; an instruction fused away
+//! by the lowering pass bills 0).
 //!
 //! # Examples
 //!
@@ -56,6 +79,7 @@
 
 use crate::activity::SessionActivity;
 use crate::json::Json;
+use crate::prog::{Instr, Reg};
 use bpimc_periph::{LogicOp, Precision};
 use std::fmt;
 
@@ -143,6 +167,12 @@ pub enum RequestBody {
         /// The quantized sample.
         x: Vec<u64>,
     },
+    /// Runs a whole typed instruction stream ([`crate::prog::Program`])
+    /// in one round trip.
+    ExecProgram {
+        /// The program's instructions, in order.
+        instrs: Vec<Instr>,
+    },
     /// The session's activity account (state *before* this request).
     Stats,
     /// Deliberately panics the executing job (fault injection; the server
@@ -176,6 +206,9 @@ pub enum ResponseBody {
     Ok,
     /// The session's account (`stats`).
     Stats(SessionActivity),
+    /// An executed program's outputs and per-instruction accounting
+    /// (`exec_program`).
+    Program(ProgramReport),
     /// The request failed; human-readable reason.
     Error(String),
 }
@@ -187,6 +220,31 @@ pub struct Response {
     pub id: u64,
     /// Result or error.
     pub body: ResponseBody,
+}
+
+/// What `exec_program` returns: read outputs plus exact per-instruction
+/// accounting, aligned with the submitted instruction list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramReport {
+    /// One vector per `read`/`read_products` instruction, in order.
+    pub outputs: Vec<Vec<u64>>,
+    /// Hardware cycles billed to each submitted instruction (an
+    /// instruction fused away by the lowering pass bills 0).
+    pub cycles: Vec<u64>,
+    /// Energy billed to each submitted instruction, femtojoules.
+    pub energy_fj: Vec<f64>,
+}
+
+impl ProgramReport {
+    /// Total hardware cycles of the run.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total energy of the run, femtojoules.
+    pub fn total_energy_fj(&self) -> f64 {
+        self.energy_fj.iter().sum()
+    }
 }
 
 /// A malformed wire message.
@@ -232,14 +290,217 @@ fn words_json(words: &[u64]) -> Json {
     Json::Arr(words.iter().map(|&w| Json::UInt(w)).collect())
 }
 
+fn reg_field(v: &Json, key: &str) -> Result<Reg, WireError> {
+    let n = u64_field(v, key)?;
+    u16::try_from(n)
+        .map(Reg)
+        .map_err(|_| wire_err(format!("register '{key}' out of range")))
+}
+
+fn regs_field(v: &Json, key: &str) -> Result<Vec<Reg>, WireError> {
+    words_field(v, key)?
+        .into_iter()
+        .map(|n| {
+            u16::try_from(n)
+                .map(Reg)
+                .map_err(|_| wire_err(format!("register in '{key}' out of range")))
+        })
+        .collect()
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, WireError> {
+    usize::try_from(u64_field(v, key)?).map_err(|_| wire_err(format!("field '{key}' out of range")))
+}
+
+fn reg_json(r: Reg) -> Json {
+    Json::UInt(r.0 as u64)
+}
+
+/// Serializes one program instruction to its wire object (see the module
+/// docs for the vocabulary).
+fn instr_to_json(instr: &Instr) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match instr {
+        Instr::Write {
+            dst,
+            precision,
+            values,
+        }
+        | Instr::WriteMult {
+            dst,
+            precision,
+            values,
+        } => {
+            push("i", Json::Str(instr.name().into()));
+            push("dst", reg_json(*dst));
+            push("precision", Json::UInt(precision.bits() as u64));
+            push("values", words_json(values));
+        }
+        Instr::Read { src, precision, n } | Instr::ReadProducts { src, precision, n } => {
+            push("i", Json::Str(instr.name().into()));
+            push("src", reg_json(*src));
+            push("precision", Json::UInt(precision.bits() as u64));
+            push("n", Json::UInt(*n as u64));
+        }
+        Instr::Logic { a, b, dst, .. } => {
+            push("i", Json::Str(instr.name().into()));
+            push("a", reg_json(*a));
+            push("b", reg_json(*b));
+            push("dst", reg_json(*dst));
+        }
+        Instr::Not { src, dst } | Instr::Copy { src, dst } => {
+            push("i", Json::Str(instr.name().into()));
+            push("src", reg_json(*src));
+            push("dst", reg_json(*dst));
+        }
+        Instr::Shl {
+            src,
+            dst,
+            precision,
+        } => {
+            push("i", Json::Str("shl".into()));
+            push("src", reg_json(*src));
+            push("dst", reg_json(*dst));
+            push("precision", Json::UInt(precision.bits() as u64));
+        }
+        Instr::Add {
+            a,
+            b,
+            dst,
+            precision,
+        }
+        | Instr::AddShift {
+            a,
+            b,
+            dst,
+            precision,
+        }
+        | Instr::Sub {
+            a,
+            b,
+            dst,
+            precision,
+        }
+        | Instr::Mult {
+            a,
+            b,
+            dst,
+            precision,
+        } => {
+            push("i", Json::Str(instr.name().into()));
+            push("a", reg_json(*a));
+            push("b", reg_json(*b));
+            push("dst", reg_json(*dst));
+            push("precision", Json::UInt(precision.bits() as u64));
+        }
+        Instr::ReduceAdd {
+            srcs,
+            dst,
+            precision,
+        } => {
+            push("i", Json::Str("reduce_add".into()));
+            push(
+                "srcs",
+                Json::Arr(srcs.iter().map(|&r| reg_json(r)).collect()),
+            );
+            push("dst", reg_json(*dst));
+            push("precision", Json::UInt(precision.bits() as u64));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Parses one program instruction from its wire object.
+fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
+    let name = field(v, "i")?
+        .as_str()
+        .ok_or_else(|| wire_err("instruction field 'i' must be a string"))?;
+    Ok(match name {
+        "write" => Instr::Write {
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+            values: words_field(v, "values")?,
+        },
+        "write_mult" => Instr::WriteMult {
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+            values: words_field(v, "values")?,
+        },
+        "read" => Instr::Read {
+            src: reg_field(v, "src")?,
+            precision: precision_field(v)?,
+            n: usize_field(v, "n")?,
+        },
+        "read_products" => Instr::ReadProducts {
+            src: reg_field(v, "src")?,
+            precision: precision_field(v)?,
+            n: usize_field(v, "n")?,
+        },
+        "not" => Instr::Not {
+            src: reg_field(v, "src")?,
+            dst: reg_field(v, "dst")?,
+        },
+        "copy" => Instr::Copy {
+            src: reg_field(v, "src")?,
+            dst: reg_field(v, "dst")?,
+        },
+        "shl" => Instr::Shl {
+            src: reg_field(v, "src")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        "add" => Instr::Add {
+            a: reg_field(v, "a")?,
+            b: reg_field(v, "b")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        "add_shift" => Instr::AddShift {
+            a: reg_field(v, "a")?,
+            b: reg_field(v, "b")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        "sub" => Instr::Sub {
+            a: reg_field(v, "a")?,
+            b: reg_field(v, "b")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        "mult" => Instr::Mult {
+            a: reg_field(v, "a")?,
+            b: reg_field(v, "b")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        "reduce_add" => Instr::ReduceAdd {
+            srcs: regs_field(v, "srcs")?,
+            dst: reg_field(v, "dst")?,
+            precision: precision_field(v)?,
+        },
+        other => match LaneOp::from_name(other) {
+            Some(LaneOp::Logic(op)) => Instr::Logic {
+                op,
+                a: reg_field(v, "a")?,
+                b: reg_field(v, "b")?,
+                dst: reg_field(v, "dst")?,
+            },
+            _ => return Err(wire_err(format!("unknown instruction '{other}'"))),
+        },
+    })
+}
+
 impl Request {
     /// Extracts just the `id` of a line, for error responses to requests
-    /// that do not parse fully. Returns 0 when even the id is unreadable.
-    pub fn peek_id(line: &str) -> u64 {
+    /// that do not parse fully. Returns `None` when the line has no
+    /// readable non-negative integer `id` (bad JSON, missing field, wrong
+    /// type) — the server answers such lines with the documented sentinel
+    /// id 0, since the protocol has no way to address a reply otherwise.
+    pub fn peek_id(line: &str) -> Option<u64> {
         Json::parse(line)
             .ok()
             .and_then(|v| v.get("id").and_then(Json::as_u64))
-            .unwrap_or(0)
     }
 
     /// Parses one request line.
@@ -280,6 +541,15 @@ impl Request {
             "classify" => RequestBody::Classify {
                 x: words_field(&v, "x")?,
             },
+            "exec_program" => {
+                let instrs = field(&v, "instrs")?
+                    .as_array()
+                    .ok_or_else(|| wire_err("field 'instrs' must be an array"))?
+                    .iter()
+                    .map(instr_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                RequestBody::ExecProgram { instrs }
+            }
             "stats" => RequestBody::Stats,
             "inject_panic" => RequestBody::InjectPanic,
             "shutdown" => RequestBody::Shutdown,
@@ -334,6 +604,13 @@ impl Request {
                 push("op", Json::Str("classify".into()));
                 push("x", words_json(x));
             }
+            RequestBody::ExecProgram { instrs } => {
+                push("op", Json::Str("exec_program".into()));
+                push(
+                    "instrs",
+                    Json::Arr(instrs.iter().map(instr_to_json).collect()),
+                );
+            }
             RequestBody::Stats => push("op", Json::Str("stats".into())),
             RequestBody::InjectPanic => push("op", Json::Str("inject_panic".into())),
             RequestBody::Shutdown => push("op", Json::Str("shutdown".into())),
@@ -376,6 +653,32 @@ impl Response {
                     .try_into()
                     .map_err(|_| wire_err("class index out of range"))?,
             ),
+            "program" => {
+                let r = field(&v, "result")?;
+                let outputs = field(r, "outputs")?
+                    .as_array()
+                    .ok_or_else(|| wire_err("field 'outputs' must be an array"))?
+                    .iter()
+                    .map(|o| {
+                        o.as_u64_array()
+                            .ok_or_else(|| wire_err("each output must be an array of integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let energy_fj = field(r, "energy_fj")?
+                    .as_array()
+                    .ok_or_else(|| wire_err("field 'energy_fj' must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_f64()
+                            .ok_or_else(|| wire_err("each energy entry must be a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                ResponseBody::Program(ProgramReport {
+                    outputs,
+                    cycles: words_field(r, "cycles")?,
+                    energy_fj,
+                })
+            }
             "stats" => {
                 let r = field(&v, "result")?;
                 ResponseBody::Stats(SessionActivity {
@@ -409,6 +712,20 @@ impl Response {
                     ResponseBody::Scalar(n) => ("scalar", Some(Json::UInt(*n))),
                     ResponseBody::Words(ws) => ("words", Some(words_json(ws))),
                     ResponseBody::Class(c) => ("class", Some(Json::UInt(*c as u64))),
+                    ResponseBody::Program(r) => (
+                        "program",
+                        Some(Json::Obj(vec![
+                            (
+                                "outputs".to_string(),
+                                Json::Arr(r.outputs.iter().map(|o| words_json(o)).collect()),
+                            ),
+                            ("cycles".to_string(), words_json(&r.cycles)),
+                            (
+                                "energy_fj".to_string(),
+                                Json::Arr(r.energy_fj.iter().map(|&e| Json::Float(e)).collect()),
+                            ),
+                        ])),
+                    ),
                     ResponseBody::Stats(s) => (
                         "stats",
                         Some(Json::Obj(vec![
@@ -437,7 +754,7 @@ mod tests {
     fn round_trip_request(req: Request) {
         let line = req.to_json_line();
         assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
-        assert_eq!(Request::peek_id(&line), req.id);
+        assert_eq!(Request::peek_id(&line), Some(req.id));
     }
 
     fn round_trip_response(resp: Response) {
@@ -492,6 +809,12 @@ mod tests {
             body: RequestBody::Classify { x: vec![1, 2] },
         });
         round_trip_request(Request {
+            id: 9,
+            body: RequestBody::ExecProgram {
+                instrs: every_instr_kind(),
+            },
+        });
+        round_trip_request(Request {
             id: 6,
             body: RequestBody::Stats,
         });
@@ -503,6 +826,92 @@ mod tests {
             id: 8,
             body: RequestBody::Shutdown,
         });
+    }
+
+    /// One of each instruction kind (all six logic functions included),
+    /// with distinct registers so round-trip mix-ups cannot cancel out.
+    fn every_instr_kind() -> Vec<Instr> {
+        let p = Precision::P8;
+        let mut instrs = vec![
+            Instr::Write {
+                dst: Reg(0),
+                precision: p,
+                values: vec![1, 2, 3],
+            },
+            Instr::WriteMult {
+                dst: Reg(1),
+                precision: p,
+                values: vec![4, 5],
+            },
+            Instr::Not {
+                src: Reg(0),
+                dst: Reg(2),
+            },
+            Instr::Copy {
+                src: Reg(2),
+                dst: Reg(3),
+            },
+            Instr::Shl {
+                src: Reg(3),
+                dst: Reg(4),
+                precision: p,
+            },
+            Instr::Add {
+                a: Reg(0),
+                b: Reg(2),
+                dst: Reg(5),
+                precision: p,
+            },
+            Instr::AddShift {
+                a: Reg(0),
+                b: Reg(5),
+                dst: Reg(6),
+                precision: Precision::P4,
+            },
+            Instr::Sub {
+                a: Reg(5),
+                b: Reg(0),
+                dst: Reg(7),
+                precision: p,
+            },
+            Instr::Mult {
+                a: Reg(1),
+                b: Reg(1),
+                dst: Reg(8),
+                precision: p,
+            },
+            Instr::ReduceAdd {
+                srcs: vec![Reg(0), Reg(2), Reg(5)],
+                dst: Reg(9),
+                precision: p,
+            },
+            Instr::Read {
+                src: Reg(9),
+                precision: p,
+                n: 3,
+            },
+            Instr::ReadProducts {
+                src: Reg(8),
+                precision: p,
+                n: 2,
+            },
+        ];
+        for op in [
+            LogicOp::And,
+            LogicOp::Or,
+            LogicOp::Xor,
+            LogicOp::Nand,
+            LogicOp::Nor,
+            LogicOp::Xnor,
+        ] {
+            instrs.push(Instr::Logic {
+                op,
+                a: Reg(0),
+                b: Reg(2),
+                dst: Reg(10),
+            });
+        }
+        instrs
     }
 
     #[test]
@@ -540,6 +949,14 @@ mod tests {
             id: 7,
             body: ResponseBody::Error("no model loaded".into()),
         });
+        round_trip_response(Response {
+            id: 8,
+            body: ResponseBody::Program(ProgramReport {
+                outputs: vec![vec![1, 2], vec![3]],
+                cycles: vec![1, 1, 10, 0, 1],
+                energy_fj: vec![100.5, 100.5, 2040.25, 0.0, 33.0],
+            }),
+        });
     }
 
     #[test]
@@ -558,6 +975,19 @@ mod tests {
                 "{\"id\":1,\"op\":\"dot\",\"precision\":8,\"x\":[-1],\"w\":[1]}",
                 "'x'",
             ),
+            ("{\"id\":1,\"op\":\"exec_program\"}", "'instrs'"),
+            (
+                "{\"id\":1,\"op\":\"exec_program\",\"instrs\":[{\"i\":\"frobnicate\"}]}",
+                "unknown instruction",
+            ),
+            (
+                "{\"id\":1,\"op\":\"exec_program\",\"instrs\":[{\"i\":\"add\",\"a\":0,\"b\":1,\"dst\":99999,\"precision\":8}]}",
+                "register 'dst' out of range",
+            ),
+            (
+                "{\"id\":1,\"op\":\"exec_program\",\"instrs\":[{\"i\":\"write\",\"dst\":0,\"precision\":5,\"values\":[]}]}",
+                "precision",
+            ),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(
@@ -568,8 +998,17 @@ mod tests {
     }
 
     #[test]
-    fn peek_id_survives_garbage() {
-        assert_eq!(Request::peek_id("garbage"), 0);
-        assert_eq!(Request::peek_id("{\"id\":42,\"op\":\"frobnicate\"}"), 42);
+    fn peek_id_is_explicit_about_missing_ids() {
+        // A line with no readable id yields None — not a silent 0 that
+        // could be confused with a client actually using id 0.
+        assert_eq!(Request::peek_id("garbage"), None);
+        assert_eq!(Request::peek_id("{\"op\":\"ping\"}"), None);
+        assert_eq!(Request::peek_id("{\"id\":-3,\"op\":\"ping\"}"), None);
+        assert_eq!(Request::peek_id("{\"id\":\"seven\",\"op\":\"ping\"}"), None);
+        assert_eq!(
+            Request::peek_id("{\"id\":42,\"op\":\"frobnicate\"}"),
+            Some(42)
+        );
+        assert_eq!(Request::peek_id("{\"id\":0,\"op\":\"ping\"}"), Some(0));
     }
 }

@@ -1,6 +1,10 @@
 //! Property tests for the macro executor: algebraic identities computed
-//! entirely in-memory.
+//! entirely in-memory, plus the pinning of the [`Program`] executor to
+//! direct `ImcMacro` method calls (identical result bits, identical
+//! cycle-by-cycle activity — and therefore identical energy — across
+//! P2–P32).
 
+use bpimc_core::prog::ProgramBuilder;
 use bpimc_core::{ImcMacro, LogicOp, MacroConfig, Precision};
 use proptest::prelude::*;
 
@@ -142,6 +146,143 @@ proptest! {
         let got = m.read_products(2, p, 64).unwrap();
         for i in 0..64 {
             prop_assert_eq!(got[i], a[i] * b[i], "lane {}", i);
+        }
+    }
+
+    /// The program executor is pinned to direct `ImcMacro` method calls:
+    /// for every precision P2–P32, the same dense-lane pipeline (writes,
+    /// add, sub, logic, not, copy, shl, add_shift, reduce) produces
+    /// identical result bits AND an identical cycle-by-cycle activity log
+    /// — which makes cycle and energy accounting identical by
+    /// construction.
+    #[test]
+    fn program_matches_direct_method_calls_at_every_precision(
+        p_pick in 0usize..5,
+        a in words(4, 3),
+        b in words(4, 3),
+    ) {
+        let p = Precision::ALL[p_pick];
+        let lanes = p.lanes(128).min(4);
+        let a: Vec<u64> = a[..lanes].iter().map(|v| v & p.mask()).collect();
+        let b: Vec<u64> = b[..lanes].iter().map(|v| v & p.mask()).collect();
+
+        // Program side.
+        let mut bld = ProgramBuilder::new();
+        let ra = bld.write(p, a.clone());
+        let rb = bld.write(p, b.clone());
+        let sum = bld.add(ra, rb, p);
+        let diff = bld.sub(ra, rb, p);
+        let x = bld.logic(LogicOp::Xor, ra, rb);
+        let inv = bld.not(ra);
+        let cp = bld.copy(rb);
+        let sh = bld.shl(cp, p);
+        let ash = bld.add_shift(ra, rb, p);
+        let red = bld.reduce_add(&[sum, diff, x], p);
+        for r in [sum, diff, x, inv, cp, sh, ash, red] {
+            bld.read(r, p, lanes);
+        }
+        let prog = bld.finish();
+        let mut pm = ImcMacro::new(MacroConfig::paper_macro());
+        let run = prog.run(&mut pm).unwrap();
+
+        // Direct side: the same sequence as raw method calls, register i
+        // on row i.
+        let mut dm = ImcMacro::new(MacroConfig::paper_macro());
+        dm.write_words(0, p, &a).unwrap();
+        dm.write_words(1, p, &b).unwrap();
+        dm.add(0, 1, 2, p).unwrap();
+        dm.sub(0, 1, 3, p).unwrap();
+        dm.logic(LogicOp::Xor, 0, 1, 4).unwrap();
+        dm.not(0, 5).unwrap();
+        dm.copy(1, 6).unwrap();
+        dm.shl(6, 7, p).unwrap();
+        dm.add_shift(0, 1, 8, p).unwrap();
+        dm.reduce_add(&[2, 3, 4], 9, p).unwrap();
+        let mut direct_outs = Vec::new();
+        for row in [2, 3, 4, 5, 6, 7, 8, 9] {
+            direct_outs.push(dm.read_words(row, p, lanes).unwrap());
+        }
+
+        prop_assert_eq!(&run.outputs, &direct_outs);
+        prop_assert_eq!(pm.activity().cycles(), dm.activity().cycles());
+        prop_assert_eq!(pm.activity().total_cycles(), prog.cycles());
+        // The static per-cycle prediction matches what both logged.
+        let predicted = prog.predicted_activity(&MacroConfig::paper_macro()).unwrap();
+        prop_assert_eq!(predicted.as_slice(), pm.activity().cycles());
+    }
+
+    /// Same pinning for the product-lane path: write_mult + mult +
+    /// read_products as a program vs direct calls, all precisions.
+    #[test]
+    fn program_mult_matches_direct_at_every_precision(
+        p_pick in 0usize..5,
+        a in 0u64..256,
+        b in 0u64..256,
+    ) {
+        let p = Precision::ALL[p_pick];
+        let (a, b) = (a & p.mask(), b & p.mask());
+
+        let mut bld = ProgramBuilder::new();
+        let ra = bld.write_mult(p, vec![a]);
+        let rb = bld.write_mult(p, vec![b]);
+        let prod = bld.mult(ra, rb, p);
+        bld.read_products(prod, p, 1);
+        let prog = bld.finish();
+        let mut pm = ImcMacro::new(MacroConfig::paper_macro());
+        let run = prog.run(&mut pm).unwrap();
+
+        let mut dm = ImcMacro::new(MacroConfig::paper_macro());
+        dm.write_mult_operands(0, p, &[a]).unwrap();
+        dm.write_mult_operands(1, p, &[b]).unwrap();
+        dm.mult(0, 1, 2, p).unwrap();
+        let direct = dm.read_products(2, p, 1).unwrap();
+
+        prop_assert_eq!(run.outputs[0][0], a * b);
+        prop_assert_eq!(&run.outputs[0], &direct);
+        prop_assert_eq!(pm.activity().cycles(), dm.activity().cycles());
+        prop_assert_eq!(run.instr_cycles, vec![1, 1, p.bits() as u64 + 2, 1]);
+    }
+
+    /// The lowering pass's fused shl+add is bit- and accounting-identical
+    /// to the hardware's explicit add_shift at every precision.
+    #[test]
+    fn fused_shl_add_equals_explicit_add_shift(
+        p_pick in 0usize..5,
+        a in words(4, u64::MAX),
+        b in words(4, u64::MAX),
+    ) {
+        let p = Precision::ALL[p_pick];
+        let lanes = p.lanes(128).min(4);
+        let a: Vec<u64> = a[..lanes].iter().map(|v| v & p.mask()).collect();
+        let b: Vec<u64> = b[..lanes].iter().map(|v| v & p.mask()).collect();
+
+        let build = |explicit: bool| {
+            let mut bld = ProgramBuilder::new();
+            let ra = bld.write(p, a.clone());
+            let rb = bld.write(p, b.clone());
+            let d = if explicit {
+                bld.add_shift(ra, rb, p)
+            } else {
+                let s = bld.add(ra, rb, p);
+                bld.shl(s, p)
+            };
+            bld.read(d, p, lanes);
+            bld.finish()
+        };
+        let fused = build(false);
+        let explicit = build(true);
+        // The fusion saves the separate shl cycle: both cost 4.
+        prop_assert_eq!(fused.cycles(), 4);
+        prop_assert_eq!(explicit.cycles(), 4);
+
+        let mut m1 = ImcMacro::new(MacroConfig::paper_macro());
+        let mut m2 = ImcMacro::new(MacroConfig::paper_macro());
+        let r1 = fused.run(&mut m1).unwrap();
+        let r2 = explicit.run(&mut m2).unwrap();
+        prop_assert_eq!(&r1.outputs, &r2.outputs);
+        prop_assert_eq!(m1.activity().cycles(), m2.activity().cycles());
+        for (x, y) in r1.outputs[0].iter().zip(a.iter().zip(&b)) {
+            prop_assert_eq!(*x, ((y.0 + y.1) << 1) & p.mask());
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::quant::QuantParams;
+use bpimc_core::prog::{Instr, Program, ProgramBuilder};
 use bpimc_core::{ImcMacro, MacroBank, MacroConfig, Precision};
 use bpimc_metrics::paper_calibrated_params;
 
@@ -42,28 +43,49 @@ impl EvalReport {
     }
 }
 
-/// Computes `dot(x_q, w_q)` on one macro: operands go into product lanes,
-/// one bit-parallel MULT per chunk, products read out and reduced.
+/// Emits the dot-product pipeline `dot(x_q, w_q)` as a typed [`Program`]:
+/// per product-lane chunk, both operands are staged into product lanes,
+/// one bit-parallel MULT runs, and the products are read out. The three
+/// working registers are recycled across chunks, so the row budget is
+/// constant regardless of vector length and the instruction stream matches
+/// the direct `ImcMacro` call sequence cycle for cycle.
+///
+/// # Panics
+///
+/// Panics when `2P` exceeds `cols` (no product lanes exist).
+pub fn dot_program(precision: Precision, x_q: &[u64], w_q: &[u64], cols: usize) -> Program {
+    let lanes = precision.product_lanes(cols);
+    assert!(lanes > 0, "{precision} products do not fit {cols} columns");
+    let mut b = ProgramBuilder::new();
+    let rx = b.alloc();
+    let rw = b.alloc();
+    let rp = b.alloc();
+    for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
+        b.write_mult_to(rx, precision, xc.to_vec());
+        b.write_mult_to(rw, precision, wc.to_vec());
+        b.push(Instr::Mult {
+            a: rx,
+            b: rw,
+            dst: rp,
+            precision,
+        });
+        b.read_products(rp, precision, xc.len());
+    }
+    b.finish()
+}
+
+/// Computes `dot(x_q, w_q)` on one macro by building the pipeline with
+/// [`dot_program`] and running it through the program executor; partial
+/// products are summed on the host.
 ///
 /// # Panics
 ///
 /// Panics when operand values exceed the precision or the vectors differ in
 /// length — callers serving untrusted input must validate first.
 pub fn imc_dot(mac: &mut ImcMacro, precision: Precision, x_q: &[u64], w_q: &[u64]) -> u64 {
-    let lanes = precision.product_lanes(mac.cols());
-    let mut acc = 0u64;
-    for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
-        mac.write_mult_operands(0, precision, xc)
-            .expect("chunk fits product lanes");
-        mac.write_mult_operands(1, precision, wc)
-            .expect("chunk fits product lanes");
-        mac.mult(0, 1, 2, precision).expect("mult runs");
-        let products = mac
-            .read_products(2, precision, xc.len())
-            .expect("products readable");
-        acc += products.iter().sum::<u64>();
-    }
-    acc
+    let prog = dot_program(precision, x_q, w_q, mac.cols());
+    let run = prog.run(mac).expect("dot pipeline validates");
+    run.outputs.iter().flatten().sum()
 }
 
 /// Computes every prototype's self-dot `|w_c|^2` on one macro.

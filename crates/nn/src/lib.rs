@@ -30,7 +30,7 @@ pub mod dataset;
 pub mod quant;
 
 pub use classifier::{
-    classify_quantized, imc_dot, prototype_norms, EvalReport, PrototypeClassifier,
+    classify_quantized, dot_program, imc_dot, prototype_norms, EvalReport, PrototypeClassifier,
 };
 pub use dataset::Dataset;
 pub use quant::QuantParams;

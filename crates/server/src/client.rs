@@ -2,7 +2,8 @@
 //! generation, CLI tooling).
 
 use bpimc_core::{
-    LaneOp, Precision, Request, RequestBody, Response, ResponseBody, SessionActivity,
+    LaneOp, Precision, Program, ProgramReport, Request, RequestBody, Response, ResponseBody,
+    SessionActivity,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -191,6 +192,24 @@ impl Client {
         match self.expect(RequestBody::Classify { x: x.to_vec() }, "class")? {
             ResponseBody::Class(c) => Ok(c),
             other => Err(protocol_kind("class", &other)),
+        }
+    }
+
+    /// Runs a whole typed [`Program`] on the server in one round trip,
+    /// returning its read outputs and exact per-instruction
+    /// cycles/energy accounting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors; a program that does
+    /// not validate server-side is a server error.
+    pub fn exec_program(&mut self, program: &Program) -> Result<ProgramReport, ClientError> {
+        let body = RequestBody::ExecProgram {
+            instrs: program.instrs().to_vec(),
+        };
+        match self.expect(body, "program")? {
+            ResponseBody::Program(r) => Ok(r),
+            other => Err(protocol_kind("program", &other)),
         }
     }
 

@@ -1,7 +1,13 @@
 //! Executes one compute request on one macro, with exact per-request
 //! cycle/energy accounting.
+//!
+//! Every arithmetic request — `dot`, the lane-wise ops, `classify`'s dots
+//! and `exec_program` itself — is lowered to a [`Program`] and run by the
+//! single program executor ([`Program::run`]), so there is exactly one
+//! execution path from the wire to the array.
 
-use bpimc_core::{ImcMacro, LaneOp, Precision, RequestBody, ResponseBody};
+use bpimc_core::prog::{Instr, Program, ProgramBuilder};
+use bpimc_core::{ImcMacro, LaneOp, Precision, ProgramReport, RequestBody, ResponseBody};
 use bpimc_metrics::EnergyParams;
 use bpimc_nn::{classify_quantized, imc_dot};
 use std::sync::Arc;
@@ -36,6 +42,7 @@ pub(crate) fn is_compute(body: &RequestBody) -> bool {
         RequestBody::Dot { .. }
             | RequestBody::Lanes { .. }
             | RequestBody::Classify { .. }
+            | RequestBody::ExecProgram { .. }
             | RequestBody::InjectPanic
     )
 }
@@ -50,7 +57,7 @@ pub(crate) fn run_compute(
     params: &EnergyParams,
 ) -> (Result<ResponseBody, String>, u64, f64) {
     mac.clear_activity();
-    let out = compute_body(mac, job);
+    let out = compute_body(mac, job, params);
     let cycles = mac.activity().total_cycles();
     let energy_fj = params.log_energy_fj(mac.activity());
     mac.clear_activity();
@@ -80,7 +87,11 @@ fn check_words_fit(name: &str, words: &[u64], precision: Precision) -> Result<()
     }
 }
 
-fn compute_body(mac: &mut ImcMacro, job: &ComputeJob) -> Result<ResponseBody, String> {
+fn compute_body(
+    mac: &mut ImcMacro,
+    job: &ComputeJob,
+    params: &EnergyParams,
+) -> Result<ResponseBody, String> {
     match &job.body {
         RequestBody::Dot { precision, x, w } => {
             if x.len() != w.len() {
@@ -108,7 +119,11 @@ fn compute_body(mac: &mut ImcMacro, job: &ComputeJob) -> Result<ResponseBody, St
                     b.len()
                 ));
             }
-            run_lanes(mac, *op, *precision, a, b).map(ResponseBody::Words)
+            check_words_fit("a", a, *precision)?;
+            check_words_fit("b", b, *precision)?;
+            let prog = lanes_program(*op, *precision, a, b, mac.cols())?;
+            let run = prog.run(mac).map_err(|e| e.to_string())?;
+            Ok(ResponseBody::Words(run.outputs.concat()))
         }
         RequestBody::Classify { x } => {
             let model = job
@@ -131,6 +146,22 @@ fn compute_body(mac: &mut ImcMacro, job: &ComputeJob) -> Result<ResponseBody, St
                 x,
             )))
         }
+        RequestBody::ExecProgram { instrs } => {
+            let prog = Program::new(instrs.clone());
+            let run = prog.run(mac).map_err(|e| e.to_string())?;
+            // Per-instruction energy from the activity-log spans the run
+            // recorded — exact, not a per-cycle average.
+            let energy_fj = run
+                .instr_spans
+                .iter()
+                .map(|span| params.cycles_energy_fj(&mac.activity().cycles()[span.clone()]))
+                .collect();
+            Ok(ResponseBody::Program(ProgramReport {
+                outputs: run.outputs,
+                cycles: run.instr_cycles,
+                energy_fj,
+            }))
+        }
         RequestBody::InjectPanic => {
             if job.fault_injection {
                 panic!("injected fault (inject_panic request)");
@@ -141,53 +172,70 @@ fn compute_body(mac: &mut ImcMacro, job: &ComputeJob) -> Result<ResponseBody, St
     }
 }
 
-/// Lane-wise two-operand op, chunked to the macro's lane capacity so
-/// vectors longer than one row still execute (each chunk is one write /
-/// write / op / read sequence — exactly what a direct `ImcMacro` caller
-/// would do).
-fn run_lanes(
-    mac: &mut ImcMacro,
+/// Lowers one lane-wise two-operand request to a [`Program`], chunked to
+/// the macro's lane capacity so vectors longer than one row still execute.
+/// Each chunk recycles the same three registers (operand A, operand B,
+/// result), so the row budget stays constant regardless of vector length
+/// and the emitted instruction stream matches what a direct `ImcMacro`
+/// caller would do cycle for cycle.
+fn lanes_program(
     op: LaneOp,
     precision: Precision,
     a: &[u64],
     b: &[u64],
-) -> Result<Vec<u64>, String> {
+    cols: usize,
+) -> Result<Program, String> {
     let lanes = match op {
         LaneOp::Mult => {
-            check_product_lanes(precision, mac.cols())?;
-            precision.product_lanes(mac.cols())
+            check_product_lanes(precision, cols)?;
+            precision.product_lanes(cols)
         }
-        _ => precision.lanes(mac.cols()),
+        _ => precision.lanes(cols),
     };
-    let mut out = Vec::with_capacity(a.len());
+    let mut bld = ProgramBuilder::new();
+    let ra = bld.alloc();
+    let rb = bld.alloc();
+    let rd = bld.alloc();
     for (ac, bc) in a.chunks(lanes).zip(b.chunks(lanes)) {
-        let chunk = match op {
+        match op {
             LaneOp::Mult => {
-                mac.write_mult_operands(0, precision, ac)
-                    .map_err(|e| e.to_string())?;
-                mac.write_mult_operands(1, precision, bc)
-                    .map_err(|e| e.to_string())?;
-                mac.mult(0, 1, 2, precision).map_err(|e| e.to_string())?;
-                mac.read_products(2, precision, ac.len())
-                    .map_err(|e| e.to_string())?
+                bld.write_mult_to(ra, precision, ac.to_vec());
+                bld.write_mult_to(rb, precision, bc.to_vec());
+                bld.push(Instr::Mult {
+                    a: ra,
+                    b: rb,
+                    dst: rd,
+                    precision,
+                });
+                bld.read_products(rd, precision, ac.len());
             }
             LaneOp::Add | LaneOp::Sub | LaneOp::Logic(_) => {
-                mac.write_words(0, precision, ac)
-                    .map_err(|e| e.to_string())?;
-                mac.write_words(1, precision, bc)
-                    .map_err(|e| e.to_string())?;
-                match op {
-                    LaneOp::Add => mac.add(0, 1, 2, precision),
-                    LaneOp::Sub => mac.sub(0, 1, 2, precision),
-                    LaneOp::Logic(l) => mac.logic(l, 0, 1, 2),
+                bld.write_to(ra, precision, ac.to_vec());
+                bld.write_to(rb, precision, bc.to_vec());
+                bld.push(match op {
+                    LaneOp::Add => Instr::Add {
+                        a: ra,
+                        b: rb,
+                        dst: rd,
+                        precision,
+                    },
+                    LaneOp::Sub => Instr::Sub {
+                        a: ra,
+                        b: rb,
+                        dst: rd,
+                        precision,
+                    },
+                    LaneOp::Logic(l) => Instr::Logic {
+                        op: l,
+                        a: ra,
+                        b: rb,
+                        dst: rd,
+                    },
                     LaneOp::Mult => unreachable!("handled above"),
-                }
-                .map_err(|e| e.to_string())?;
-                mac.read_words(2, precision, ac.len())
-                    .map_err(|e| e.to_string())?
+                });
+                bld.read(rd, precision, ac.len());
             }
-        };
-        out.extend(chunk);
+        }
     }
-    Ok(out)
+    Ok(bld.finish())
 }

@@ -18,10 +18,15 @@
 //!   rejected requests.
 //! * **One dispatcher thread** drains the queue in FIFO order. Runs of
 //!   consecutive *compute* requests (dot products, lane-wise macro ops at
-//!   P2–P32, classification) become one [`MacroBank::try_run_batch`] call,
-//!   spreading independent requests across the bank's macros; control
-//!   requests (`ping`, `stats`, `load_model`, `shutdown`) execute inline
-//!   between runs, so every session observes its own requests in order.
+//!   P2–P32, classification, whole `exec_program` pipelines) become one
+//!   [`MacroBank::try_run_batch`] call, spreading independent requests
+//!   across the bank's macros; control requests (`ping`, `stats`,
+//!   `load_model`, `shutdown`) execute inline between runs, so every
+//!   session observes its own requests in order.
+//! * **One execution path**: every arithmetic request is lowered to a
+//!   typed [`Program`](bpimc_core::prog::Program) and run by the single
+//!   program executor, so wire ops, client pipelines and library callers
+//!   share validation, lowering (fused add+shift) and accounting.
 //! * **Per-connection sessions** hold a loaded classifier model and a
 //!   [`SessionActivity`](bpimc_core::SessionActivity) account: every
 //!   successful request is billed the exact hardware cycles and femtojoules

@@ -426,8 +426,10 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
                     Ok(req) => (req.id, Ok(req.body)),
                     // Malformed lines go through the queue like any other
                     // request, so their error responses keep the
-                    // per-connection FIFO ordering.
-                    Err(e) => (Request::peek_id(&line), Err(e.to_string())),
+                    // per-connection FIFO ordering. A line whose id is
+                    // unreadable is answered with the documented sentinel
+                    // id 0 (`peek_id` returns `None` for those).
+                    Err(e) => (Request::peek_id(&line).unwrap_or(0), Err(e.to_string())),
                 }
             }
         };

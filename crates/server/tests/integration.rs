@@ -331,6 +331,106 @@ fn oversized_lines_are_discarded_not_buffered() {
 }
 
 #[test]
+fn exec_program_round_trips_with_per_instruction_accounting() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // A 9-instruction pipeline exercising fusion (add+shl), two-cycle sub
+    // and the multi-cycle mult path in one round trip.
+    let p = Precision::P8;
+    let mut b = ProgramBuilder::new();
+    let x = b.write(p, vec![17, 80, 255]);
+    let y = b.write(p, vec![5, 40, 1]);
+    let s = b.add(x, y, p);
+    let d = b.shl(s, p); // fuses into add_shift
+    b.read(d, p, 3);
+    let e = b.sub(x, y, p);
+    b.read(e, p, 3);
+    let mx = b.write_mult(p, vec![12, 34]);
+    let my = b.write_mult(p, vec![56, 78]);
+    let prod = b.mult(mx, my, p);
+    b.read_products(prod, p, 2);
+    let prog = b.finish();
+    assert!(prog.instrs().len() >= 4);
+
+    let report = client.exec_program(&prog).expect("exec_program");
+
+    // Ground truth: replay the same program directly on a private macro
+    // with the same per-request accounting the server applies.
+    let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+    let run = prog.run(&mut mac).expect("direct replay");
+    let params = paper_calibrated_params();
+
+    assert_eq!(report.outputs, run.outputs);
+    assert_eq!(report.outputs[0], vec![44, 240, 0]); // (x+y)<<1 wrapping
+    assert_eq!(report.outputs[1], vec![12, 40, 254]);
+    assert_eq!(report.outputs[2], vec![12 * 56, 34 * 78]);
+    assert_eq!(report.cycles, run.instr_cycles);
+    // The fused shl bills 0; the whole pipeline costs what the direct
+    // replay logged.
+    assert_eq!(report.cycles[3], 0);
+    assert_eq!(report.total_cycles(), mac.activity().total_cycles());
+    // Per-instruction energy matches the direct replay's log spans
+    // exactly (floats round-trip the wire bit for bit).
+    let direct_energy: Vec<f64> = run
+        .instr_spans
+        .iter()
+        .map(|span| params.cycles_energy_fj(&mac.activity().cycles()[span.clone()]))
+        .collect();
+    assert_eq!(report.energy_fj, direct_energy);
+
+    // The session is billed exactly the program's hardware work.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.cycles, report.total_cycles());
+    assert!((stats.energy_fj - report.total_energy_fj()).abs() < 1e-9);
+
+    // An invalid program (use-before-def) is a clean server error that
+    // does not poison the session.
+    let bad = bpimc_core::Program::new(vec![bpimc_core::Instr::Read {
+        src: bpimc_core::Reg(3),
+        precision: p,
+        n: 1,
+    }]);
+    match client.exec_program(&bad) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("before any write"), "{msg}"),
+        other => panic!("expected a validation error, got {other:?}"),
+    }
+    client.ping().expect("session still alive");
+    handle.shutdown();
+}
+
+#[test]
+fn lines_without_a_readable_id_are_answered_with_id_zero() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // No id at all, and an id of the wrong type: both get a parse-error
+    // response carrying the documented sentinel id 0.
+    for line in [
+        "{\"op\":\"ping\"}\n",
+        "{\"id\":\"seven\",\"op\":\"ping\"}\n",
+    ] {
+        stream.write_all(line.as_bytes()).expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        let resp = bpimc_core::Response::parse(&reply).expect("parseable");
+        assert_eq!(resp.id, 0, "{line:?} -> {reply}");
+        assert!(
+            matches!(resp.body, bpimc_core::ResponseBody::Error(_)),
+            "{reply}"
+        );
+    }
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
 fn client_initiated_shutdown_drains_and_joins() {
     let handle = start(ServerConfig::default());
     let addr = handle.local_addr();

@@ -40,6 +40,29 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Multi-step pipelines are better expressed as a typed
+//! [`Program`](core::prog::Program) — validated upfront, costed before
+//! execution, and submittable to the server in one `exec_program` round
+//! trip:
+//!
+//! ```
+//! use bpimc::core::prog::ProgramBuilder;
+//! use bpimc::core::{ImcMacro, MacroConfig, Precision};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let x = b.write(Precision::P8, vec![10, 20, 30]);
+//! let y = b.write(Precision::P8, vec![1, 2, 3]);
+//! let sum = b.add(x, y, Precision::P8);
+//! let doubled = b.shl(sum, Precision::P8); // lowered into one add_shift
+//! b.read(doubled, Precision::P8, 3);
+//! let prog = b.finish();
+//! assert_eq!(prog.cycles(), 4); // known before execution
+//!
+//! let mut mac = ImcMacro::new(MacroConfig::paper_macro());
+//! let run = prog.run(&mut mac).unwrap();
+//! assert_eq!(run.outputs[0], vec![22, 44, 66]);
+//! ```
 
 pub use bpimc_array as array;
 pub use bpimc_baseline as baseline;
