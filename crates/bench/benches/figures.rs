@@ -123,12 +123,23 @@ fn bench_program_pipeline(c: &mut Criterion) {
 
     let prog = dot_program(p, &x, &w, mac.cols());
     g.bench_function("program_dot_64feat_8b", |b| {
-        b.iter(|| black_box(prog.run(&mut mac).expect("program runs")))
+        b.iter(|| {
+            black_box(prog.run(&mut mac).expect("program runs"));
+            mac.clear_activity();
+        })
+    });
+    let compiled = prog.compile(mac.config()).expect("pipeline validates");
+    g.bench_function("compiled_dot_64feat_8b", |b| {
+        b.iter(|| {
+            black_box(compiled.run(&mut mac).expect("compiled runs"));
+            mac.clear_activity();
+        })
     });
     g.bench_function("program_build_and_dot_64feat_8b", |b| {
         b.iter(|| {
             let prog = dot_program(p, &x, &w, mac.cols());
-            black_box(prog.run(&mut mac).expect("program runs"))
+            black_box(prog.run(&mut mac).expect("program runs"));
+            mac.clear_activity();
         })
     });
     g.bench_function("raw_calls_dot_64feat_8b", |b| {
@@ -145,7 +156,56 @@ fn bench_program_pipeline(c: &mut Criterion) {
                     .iter()
                     .sum::<u64>();
             }
+            mac.clear_activity();
             black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// The structure-of-arrays batch transient engine vs the scalar
+/// one-instance-at-a-time solver on the fig2 Monte-Carlo workload (the
+/// disturb study's sampled dual-WL bench). Both arms are single-threaded
+/// — the batched arm is one cohort, the scalar arm an explicit sequential
+/// loop over the same `(seed, i)` draws — so the ratio is the
+/// SoA/vectorization win alone, not pool parallelism.
+fn bench_transient_batch(c: &mut Criterion) {
+    use bpimc_cell::blbench::{BlComputeBench, WlScheme};
+    use bpimc_cell::disturb::DisturbStudy;
+    use bpimc_circuit::mc::sample_rng;
+    use bpimc_circuit::SimOptions;
+    use bpimc_device::{Env, MismatchModel};
+
+    let mut g = c.benchmark_group("transient_batch");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let bench = BlComputeBench::new(128, Env::nominal(), WlScheme::short_boost_140ps());
+    let study = DisturbStudy::new(bench.clone(), MismatchModel::nominal());
+    // One cohort's worth of samples (BATCH_COHORT = 16).
+    g.bench_function("fig2_delays_batched_16", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(study.delays(16, seed))
+        })
+    });
+    // The same 16 samples (identical `sampled_circuit` draws) solved one
+    // at a time on the calling thread by the scalar solver.
+    g.bench_function("fig2_delays_scalar_16", |b| {
+        let mut seed = 0u64;
+        let window = bench.window();
+        let nodes = study.bench_nodes();
+        let opts = SimOptions::for_window(window);
+        b.iter(|| {
+            seed += 1;
+            let delays: Vec<f64> = (0..16u64)
+                .map(|i| {
+                    let mut rng = sample_rng(seed, i);
+                    let trace = study.sampled_circuit(&mut rng).run(&opts);
+                    let out = bench.measure(&trace, &nodes, false, true);
+                    out.delay_s.unwrap_or(window)
+                })
+                .collect();
+            black_box(delays)
         })
     });
     g.finish();
@@ -204,6 +264,7 @@ criterion_group!(
     bench_tables,
     bench_macro_ops,
     bench_program_pipeline,
+    bench_transient_batch,
     bench_engine
 );
 criterion_main!(benches);

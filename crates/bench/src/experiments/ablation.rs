@@ -70,16 +70,30 @@ pub struct AblationResult {
 pub fn run() -> AblationResult {
     let env = Env::nominal();
 
-    // 1. Pulse-width sweep.
-    let pulse_sweep = [80e-12, 110e-12, 140e-12, 200e-12, 300e-12, 400e-12]
+    // 1. Pulse-width sweep — one batched solve over the six widths: the
+    // sweep points share a topology and differ only in the WL waveform,
+    // exactly the shape the SoA engine wants.
+    let widths = [80e-12, 110e-12, 140e-12, 200e-12, 300e-12, 400e-12];
+    let benches: Vec<BlComputeBench> = widths
         .iter()
-        .map(|&pulse_s| {
-            let bench = BlComputeBench::new(128, env, WlScheme::ShortBoost { pulse_s });
-            let cell = CellDevices::nominal(bench.sizing);
-            let boost = BoostDevices::nominal(bench.boost_sizing);
-            let out = bench
-                .run(&cell, &cell, &boost, &boost, false, true)
-                .expect("runs");
+        .map(|&pulse_s| BlComputeBench::new(128, env, WlScheme::ShortBoost { pulse_s }))
+        .collect();
+    let cell = CellDevices::nominal(benches[0].sizing);
+    let boost = BoostDevices::nominal(benches[0].boost_sizing);
+    let (circuits, node_sets): (Vec<_>, Vec<_>) = benches
+        .iter()
+        .map(|b| b.build(&cell, &cell, &boost, &boost, false, true))
+        .unzip();
+    let opts = bpimc_circuit::SimOptions::for_window(benches[0].window());
+    let traces = bpimc_circuit::BatchSim::new(&circuits, &opts)
+        .expect("sweep points share one topology")
+        .run();
+    let pulse_sweep = widths
+        .iter()
+        .zip(&benches)
+        .zip(node_sets.iter().zip(&traces))
+        .map(|((&pulse_s, bench), (nodes, trace))| {
+            let out = bench.measure(trace, nodes, false, true);
             PulsePoint {
                 pulse_s,
                 delay_s: out.delay_s,

@@ -71,7 +71,8 @@ impl VrangeResult {
 /// Runs the sweep.
 pub fn run() -> VrangeResult {
     let law = DelayScaling::paper_fit();
-    let points = [0.6, 0.7, 0.8, 0.9, 1.0, 1.1]
+    let supplies = [0.6, 0.7, 0.8, 0.9, 1.0, 1.1];
+    let benches: Vec<(f64, f64, BlComputeBench)> = supplies
         .iter()
         .map(|&vdd| {
             let env = Env::nominal().with_vdd(vdd);
@@ -83,14 +84,29 @@ pub fn run() -> VrangeResult {
             // window at 0.6 V (run the ablation to see it).
             let pulse_s = 140e-12 * law.delay_factor(&env).sqrt();
             let bench = BlComputeBench::new(128, env, WlScheme::ShortBoost { pulse_s });
-            let cell = CellDevices::nominal(bench.sizing);
-            let boost = BoostDevices::nominal(bench.boost_sizing);
-            let out = bench
-                .run(&cell, &cell, &boost, &boost, false, true)
-                .expect("bench runs");
+            (vdd, pulse_s, bench)
+        })
+        .collect();
+    // One batched solve across the supply points: same topology, different
+    // environment, waveforms and (via the environment) device parameters.
+    let cell = CellDevices::nominal(benches[0].2.sizing);
+    let boost = BoostDevices::nominal(benches[0].2.boost_sizing);
+    let (circuits, node_sets): (Vec<_>, Vec<_>) = benches
+        .iter()
+        .map(|(_, _, b)| b.build(&cell, &cell, &boost, &boost, false, true))
+        .unzip();
+    let opts = bpimc_circuit::SimOptions::for_window(benches[0].2.window());
+    let traces = bpimc_circuit::BatchSim::new(&circuits, &opts)
+        .expect("sweep points share one topology")
+        .run();
+    let points = benches
+        .iter()
+        .zip(node_sets.iter().zip(&traces))
+        .map(|((vdd, pulse_s, bench), (nodes, trace))| {
+            let out = bench.measure(trace, nodes, false, true);
             VrangePoint {
-                vdd,
-                pulse_s,
+                vdd: *vdd,
+                pulse_s: *pulse_s,
                 delay_s: out.delay_s,
                 margin_v: out.worst_margin(),
                 flipped: out.flipped,

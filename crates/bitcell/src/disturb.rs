@@ -8,12 +8,14 @@
 //! the scheme parameter (WLUD level, or pulse width) that hits the target
 //! failure rate.
 
-use crate::blbench::{BlComputeBench, WlScheme};
+use crate::blbench::{BlComputeBench, BlOutcome, WlScheme};
 use crate::boost::BoostDevices;
 use crate::sram6t::CellDevices;
-use bpimc_circuit::mc::montecarlo;
+use bpimc_circuit::mc::{montecarlo, montecarlo_batch};
+use bpimc_circuit::SimOptions;
 use bpimc_device::{Env, MismatchModel};
 use bpimc_stats::TailFit;
+use rand::rngs::StdRng;
 
 /// A Monte-Carlo disturb study over one bench configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,41 +35,101 @@ impl DisturbStudy {
         &self.bench
     }
 
+    /// Builds one mismatch-sampled instance of the bench netlist for the
+    /// worst-case operand pattern (A = 0, B = 1: BLT discharges under cell
+    /// B's high node while BLB chews at its low node).
+    ///
+    /// This method **owns the sampling-order contract** — cell A, cell B,
+    /// BLT booster, BLB booster — for every execution path (batched,
+    /// scalar reference, benchmarks), so per-sample draws can never drift
+    /// apart between them.
+    pub fn sampled_circuit(&self, rng: &mut StdRng) -> bpimc_circuit::Circuit {
+        let mm = &self.mismatch;
+        let cell_a = CellDevices::sampled(self.bench.sizing, mm, rng);
+        let cell_b = CellDevices::sampled(self.bench.sizing, mm, rng);
+        let boost_t = BoostDevices::sampled(self.bench.boost_sizing, mm, rng);
+        let boost_b = BoostDevices::sampled(self.bench.boost_sizing, mm, rng);
+        self.bench
+            .build(&cell_a, &cell_b, &boost_t, &boost_b, false, true)
+            .0
+    }
+
+    /// The observable nodes of this study's bench netlist (positional, so
+    /// they name the nodes of every sampled instance too).
+    pub fn bench_nodes(&self) -> crate::blbench::BenchNodes {
+        let cell = CellDevices::nominal(self.bench.sizing);
+        let boost = BoostDevices::nominal(self.bench.boost_sizing);
+        self.bench
+            .build(&cell, &cell, &boost, &boost, false, true)
+            .1
+    }
+
+    /// Runs `n` Monte-Carlo samples through the structure-of-arrays batch
+    /// engine and measures each outcome — the execution path behind both
+    /// [`DisturbStudy::margins`] and [`DisturbStudy::delays`].
+    fn outcomes_batch(&self, n: usize, seed: u64) -> Vec<BlOutcome> {
+        let nodes = self.bench_nodes();
+        let opts = SimOptions::for_window(self.bench.window());
+        montecarlo_batch(
+            n,
+            seed,
+            &opts,
+            |_, rng| self.sampled_circuit(rng),
+            |_, trace| self.bench.measure(trace, &nodes, false, true),
+        )
+    }
+
     /// Samples `n` disturb margins for the worst-case operand pattern
-    /// (A = 0, B = 1: BLT discharges under cell B's high node while BLB
-    /// chews at its low node).
+    /// (A = 0, B = 1), batched across instances — bit-identical to
+    /// [`DisturbStudy::margins_scalar`] sample for sample.
     pub fn margins(&self, n: usize, seed: u64) -> Vec<f64> {
-        let bench = self.bench.clone();
-        let mm = self.mismatch;
-        montecarlo(n, seed, move |_, rng| {
-            let cell_a = CellDevices::sampled(bench.sizing, &mm, rng);
-            let cell_b = CellDevices::sampled(bench.sizing, &mm, rng);
-            let boost_t = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
-            let boost_b = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
-            let out = bench
-                .run(&cell_a, &cell_b, &boost_t, &boost_b, false, true)
-                .expect("bench runs");
-            out.worst_margin()
+        self.outcomes_batch(n, seed)
+            .iter()
+            .map(BlOutcome::worst_margin)
+            .collect()
+    }
+
+    /// [`DisturbStudy::margins`] on the scalar one-instance-at-a-time
+    /// solver — the verified reference path the batch engine is pinned
+    /// against. Same [`DisturbStudy::sampled_circuit`] draws, different
+    /// solver.
+    pub fn margins_scalar(&self, n: usize, seed: u64) -> Vec<f64> {
+        let nodes = self.bench_nodes();
+        let opts = SimOptions::for_window(self.bench.window());
+        montecarlo(n, seed, |_, rng| {
+            let trace = self.sampled_circuit(rng).run(&opts);
+            self.bench
+                .measure(&trace, &nodes, false, true)
+                .worst_margin()
         })
     }
 
-    /// Samples `n` BL computing delays for a discharging pattern (A=0, B=1).
+    /// Samples `n` BL computing delays for a discharging pattern (A=0, B=1),
+    /// batched across instances — bit-identical to
+    /// [`DisturbStudy::delays_scalar`] sample for sample.
     ///
     /// Samples whose BL never trips the SA within the window (deep slow-tail
     /// events) are reported as the window length, i.e. right-censored rather
     /// than dropped.
     pub fn delays(&self, n: usize, seed: u64) -> Vec<f64> {
-        let bench = self.bench.clone();
-        let mm = self.mismatch;
-        let window = bench.window();
-        montecarlo(n, seed, move |_, rng| {
-            let cell_a = CellDevices::sampled(bench.sizing, &mm, rng);
-            let cell_b = CellDevices::sampled(bench.sizing, &mm, rng);
-            let boost_t = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
-            let boost_b = BoostDevices::sampled(bench.boost_sizing, &mm, rng);
-            let out = bench
-                .run(&cell_a, &cell_b, &boost_t, &boost_b, false, true)
-                .expect("bench runs");
+        let window = self.bench.window();
+        self.outcomes_batch(n, seed)
+            .iter()
+            .map(|out| out.delay_s.unwrap_or(window))
+            .collect()
+    }
+
+    /// [`DisturbStudy::delays`] on the scalar one-instance-at-a-time
+    /// solver — the verified reference path the batch engine is pinned
+    /// against. Same [`DisturbStudy::sampled_circuit`] draws, different
+    /// solver.
+    pub fn delays_scalar(&self, n: usize, seed: u64) -> Vec<f64> {
+        let nodes = self.bench_nodes();
+        let window = self.bench.window();
+        let opts = SimOptions::for_window(window);
+        montecarlo(n, seed, |_, rng| {
+            let trace = self.sampled_circuit(rng).run(&opts);
+            let out = self.bench.measure(&trace, &nodes, false, true);
             out.delay_s.unwrap_or(window)
         })
     }
@@ -211,5 +273,25 @@ mod tests {
         let d = quick_study(WlScheme::short_boost_140ps()).delays(16, 5);
         assert_eq!(d.len(), 16);
         assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn batched_studies_match_the_scalar_reference_bit_for_bit() {
+        // 20 samples spans a cohort boundary at BATCH_COHORT = 16; every
+        // per-sample measurement must agree with the scalar solver exactly.
+        for scheme in [WlScheme::short_boost_140ps(), WlScheme::Wlud { v_wl: 0.55 }] {
+            let s = quick_study(scheme);
+            let d_batch = s.delays(20, 9);
+            let d_scalar = s.delays_scalar(20, 9);
+            assert_eq!(d_batch.len(), d_scalar.len());
+            for (i, (a, b)) in d_batch.iter().zip(&d_scalar).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{scheme:?} delay sample {i}");
+            }
+            let m_batch = s.margins(20, 31);
+            let m_scalar = s.margins_scalar(20, 31);
+            for (i, (a, b)) in m_batch.iter().zip(&m_scalar).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{scheme:?} margin sample {i}");
+            }
+        }
     }
 }

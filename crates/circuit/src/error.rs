@@ -19,6 +19,14 @@ pub enum CircuitError {
         /// Simulation time at which the failure occurred (seconds).
         at: f64,
     },
+    /// A batch instance's netlist does not share the batch topology
+    /// (see [`crate::batch::BatchSim`]).
+    BatchMismatch {
+        /// Index of the offending instance in the batch.
+        instance: usize,
+        /// What differed from instance 0.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -33,6 +41,12 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::StepLimitExceeded { at } => {
                 write!(f, "integrator sub-step limit exceeded at t = {at:.3e} s")
+            }
+            CircuitError::BatchMismatch { instance, reason } => {
+                write!(
+                    f,
+                    "batch instance {instance} differs from the template: {reason}"
+                )
             }
         }
     }

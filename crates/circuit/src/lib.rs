@@ -40,6 +40,7 @@
 //! assert!(trace.last_voltage(out) < 0.01);
 //! ```
 
+pub mod batch;
 pub mod error;
 pub mod mc;
 pub mod netlist;
@@ -47,6 +48,7 @@ pub mod sim;
 pub mod trace;
 pub mod wave;
 
+pub use batch::BatchSim;
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId};
 pub use sim::SimOptions;

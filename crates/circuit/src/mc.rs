@@ -1,9 +1,24 @@
 //! Parallel Monte-Carlo execution with per-sample deterministic seeding.
 //!
 //! Every sample `i` of a run gets its own RNG seeded from `(seed, i)`, so
-//! results are bit-identical regardless of thread count or scheduling — a
-//! property the workspace's reproducibility tests rely on.
+//! results are bit-identical regardless of thread count, scheduling or
+//! batching — a property the workspace's reproducibility tests rely on.
+//!
+//! Two execution shapes share that contract:
+//!
+//! * [`montecarlo_map`] — the scalar path: one closure per sample, claimed
+//!   off a shared queue in load-balanced blocks.
+//! * [`montecarlo_batch`] — the fast path for transient sweeps: samples are
+//!   sharded into cohorts, each cohort's circuits are built with their
+//!   per-sample RNGs and solved together by one structure-of-arrays
+//!   [`BatchSim`], and each finished trace is measured back into a
+//!   per-sample value. Sample `i`'s result is bit-identical to building
+//!   and running it alone (the batch engine's core guarantee).
 
+use crate::batch::BatchSim;
+use crate::netlist::Circuit;
+use crate::sim::SimOptions;
+use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,10 +52,100 @@ where
     T: Send,
     F: Fn(usize, &mut StdRng) -> T + Sync,
 {
-    bpimc_stats::parallel::par_indexed_map(n, |i| {
+    // Claim-queue dispatch: adaptive transient samples vary in cost, so
+    // fixed per-lane chunks would leave the fast lane idle behind the slow
+    // one; claimed blocks (multi-millisecond granularity at the
+    // workspace's sample costs) keep every lane busy to the end.
+    bpimc_stats::parallel::par_claim_indexed_map(n, |i| {
         let mut rng = sample_rng(seed, i as u64);
         f(i, &mut rng)
     })
+}
+
+/// How many Monte-Carlo samples one [`BatchSim`] cohort carries in
+/// [`montecarlo_batch`].
+///
+/// Wide enough to fill the host's SIMD lanes with headroom, narrow enough
+/// that the spread of per-sample step counts (the whole cohort runs until
+/// its slowest member finishes) wastes little work and a cohort's traces
+/// stay cache-friendly.
+pub const BATCH_COHORT: usize = 16;
+
+/// Runs `n` Monte-Carlo transient samples through the structure-of-arrays
+/// batch engine and returns per-sample measurements in sample order.
+///
+/// `build` receives the sample index and its deterministic `(seed, i)` RNG
+/// and returns that sample's circuit; every circuit must share one
+/// topology (they are process draws over one netlist — see
+/// [`BatchSim::new`]). `measure` turns sample `i`'s finished trace into
+/// its result. Cohorts of [`BATCH_COHORT`] samples are solved together and
+/// fanned across the worker pool in claim-queue blocks, each carrying
+/// multiple milliseconds of simulation.
+///
+/// Results are bit-identical to the scalar path
+/// (`montecarlo_map` + [`Circuit::run`]) sample for sample, for any cohort
+/// size and thread count.
+///
+/// # Panics
+///
+/// Panics if `build` produces circuits with mismatched topologies.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_circuit::{Circuit, SimOptions};
+/// use bpimc_device::Env;
+/// use rand::Rng;
+///
+/// // Node handles are positional, so a template build names the nodes
+/// // every sample's circuit will have.
+/// fn discharge(r: f64) -> (Circuit, bpimc_circuit::NodeId) {
+///     let mut ckt = Circuit::new(Env::nominal());
+///     let out = ckt.add_node("out", 10e-15, 0.9);
+///     ckt.add_resistor(out, ckt.gnd(), r);
+///     (ckt, out)
+/// }
+/// let (_, out) = discharge(10e3);
+/// let opts = SimOptions::for_window(0.5e-9);
+/// let finals = bpimc_circuit::mc::montecarlo_batch(
+///     40,
+///     7,
+///     &opts,
+///     |_, rng| discharge(8_000.0 + 4_000.0 * rng.random::<f64>()).0,
+///     |_, trace| trace.last_voltage(out),
+/// );
+/// assert_eq!(finals.len(), 40);
+/// ```
+pub fn montecarlo_batch<T, B, M>(
+    n: usize,
+    seed: u64,
+    opts: &SimOptions,
+    build: B,
+    measure: M,
+) -> Vec<T>
+where
+    T: Send,
+    B: Fn(usize, &mut StdRng) -> Circuit + Sync,
+    M: Fn(usize, &Trace) -> T + Sync,
+{
+    let cohorts = n.div_ceil(BATCH_COHORT);
+    let per_cohort: Vec<Vec<T>> = bpimc_stats::parallel::par_claim_indexed_map(cohorts, |c| {
+        let start = c * BATCH_COHORT;
+        let end = (start + BATCH_COHORT).min(n);
+        let circuits: Vec<Circuit> = (start..end)
+            .map(|i| {
+                let mut rng = sample_rng(seed, i as u64);
+                build(i, &mut rng)
+            })
+            .collect();
+        let sim = BatchSim::new(&circuits, opts).expect("cohort circuits share one topology");
+        sim.run()
+            .iter()
+            .enumerate()
+            .map(|(k, trace)| measure(start + k, trace))
+            .collect()
+    });
+    per_cohort.into_iter().flatten().collect()
 }
 
 /// Convenience wrapper returning `f64` samples (the common case: a measured
@@ -84,5 +189,47 @@ mod tests {
         let a = montecarlo(32, 1, |_, rng| rng.random::<f64>());
         let b = montecarlo(32, 2, |_, rng| rng.random::<f64>());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn montecarlo_batch_equals_the_scalar_path_sample_for_sample() {
+        use crate::netlist::Circuit;
+        use crate::sim::SimOptions;
+        use bpimc_device::{Env, Mosfet, VtFlavor};
+
+        // A mismatch-sampled NMOS pulldown, the fig2 workload in miniature.
+        let build = |rng: &mut StdRng| {
+            let mut ckt = Circuit::new(Env::nominal());
+            let gate = ckt.add_source("g", crate::Waveform::step(0.0, 0.9, 100e-12, 20e-12));
+            let bl = ckt.add_node("bl", 20e-15, 0.9);
+            let dvt = 0.03 * (rng.random::<f64>() - 0.5);
+            ckt.add_mosfet(
+                Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0).with_dvt(dvt),
+                bl,
+                gate,
+                ckt.gnd(),
+            );
+            (ckt, bl)
+        };
+        let opts = SimOptions::for_window(1e-9);
+        // 37 samples: crosses cohort boundaries and leaves a remainder.
+        let batched = montecarlo_batch(
+            37,
+            11,
+            &opts,
+            |_, rng| build(rng).0,
+            |_, trace| {
+                let (_, bl) = build(&mut sample_rng(0, 0));
+                trace.last_voltage(bl)
+            },
+        );
+        let scalar = montecarlo(37, 11, |_, rng| {
+            let (ckt, bl) = build(rng);
+            ckt.run(&opts).last_voltage(bl)
+        });
+        assert_eq!(batched.len(), scalar.len());
+        for (i, (a, b)) in batched.iter().zip(&scalar).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i}: {a} vs {b}");
+        }
     }
 }

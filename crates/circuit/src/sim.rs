@@ -2,7 +2,7 @@
 
 use crate::netlist::{Circuit, NodeKind};
 use crate::trace::Trace;
-use bpimc_device::{DeviceKind, Env, Mosfet, ProcessLibrary};
+use bpimc_device::{DeviceKind, MosParams};
 
 /// Options controlling a transient run.
 ///
@@ -64,64 +64,18 @@ impl SimOptions {
     }
 }
 
-/// A MOSFET with its process parameters flattened for the inner loop.
+/// A compiled MOSFET bound to its node indices, for the scalar inner loop.
+///
+/// The electrical kernel lives in [`MosParams`] (shared with the batched
+/// engine in [`crate::batch`], which evaluates the identical arithmetic over
+/// parameter arrays — the two paths agree bit for bit).
 #[derive(Debug, Clone, Copy)]
 struct CompiledMos {
     kind: DeviceKind,
     d: usize,
     g: usize,
     s: usize,
-    vt: f64,
-    phi: f64,
-    keff: f64,
-    alpha: f64,
-    lambda: f64,
-    sat_frac: f64,
-    vdsat_min: f64,
-}
-
-impl CompiledMos {
-    fn compile(dev: &Mosfet, d: usize, g: usize, s: usize, env: &Env) -> Self {
-        let p = ProcessLibrary::at(dev.kind(), dev.flavor(), env);
-        Self {
-            kind: dev.kind(),
-            d,
-            g,
-            s,
-            vt: p.vt0 + dev.dvt(),
-            phi: 2.0 * p.nsub * env.thermal_voltage(),
-            keff: p.kp * dev.aspect(),
-            alpha: p.alpha,
-            lambda: p.lambda,
-            sat_frac: p.sat_frac,
-            vdsat_min: p.vdsat_min,
-        }
-    }
-
-    /// Drain current magnitude plus the output conductance `d id / d vds`
-    /// (used by the integrator's stiffness damping).
-    #[inline]
-    fn id_g(&self, vgs: f64, vds: f64) -> (f64, f64) {
-        if vds <= 0.0 {
-            return (0.0, 0.0);
-        }
-        let x = (vgs - self.vt) / self.phi;
-        let soft = if x > 30.0 {
-            x
-        } else if x < -30.0 {
-            x.exp()
-        } else {
-            x.exp().ln_1p()
-        };
-        let veff = self.phi * soft;
-        let idsat = self.keff * veff.powf(self.alpha);
-        let vdsat = (self.sat_frac * veff).max(self.vdsat_min);
-        let th = (vds / vdsat).tanh();
-        let clm = 1.0 + self.lambda * vds;
-        let i = idsat * th * clm;
-        let g = idsat * ((1.0 - th * th) / vdsat * clm + th * self.lambda);
-        (i, g)
-    }
+    p: MosParams,
 }
 
 /// One prepared transient run over a circuit.
@@ -147,7 +101,13 @@ impl<'a> Transient<'a> {
         let mosfets = ckt
             .mosfets
             .iter()
-            .map(|m| CompiledMos::compile(&m.dev, m.d.0, m.g.0, m.s.0, ckt.env()))
+            .map(|m| CompiledMos {
+                kind: m.dev.kind(),
+                d: m.d.0,
+                g: m.g.0,
+                s: m.s.0,
+                p: MosParams::compile(&m.dev, ckt.env()),
+            })
             .collect();
         let conductors = ckt
             .resistors
@@ -183,7 +143,7 @@ impl<'a> Transient<'a> {
                 DeviceKind::Nmos => v[m.g] - v[lo],
                 DeviceKind::Pmos => v[hi] - v[m.g],
             };
-            let (i, _) = m.id_g(vgs, vds);
+            let (i, _) = m.p.id_g(vgs, vds);
             dvdt[hi] -= i;
             dvdt[lo] += i;
         }
@@ -221,7 +181,7 @@ impl<'a> Transient<'a> {
                 DeviceKind::Nmos => v[m.g] - v[lo],
                 DeviceKind::Pmos => v[hi] - v[m.g],
             };
-            let (i, g) = m.id_g(vgs, vds);
+            let (i, g) = m.p.id_g(vgs, vds);
             // Conventional current flows hi -> lo through the channel.
             dvdt[hi] -= i;
             dvdt[lo] += i;
@@ -365,26 +325,7 @@ impl<'a> Transient<'a> {
 mod tests {
     use super::*;
     use crate::wave::Waveform;
-    use bpimc_device::VtFlavor;
-
-    #[test]
-    fn compiled_mos_matches_device_model() {
-        let env = Env::nominal();
-        let dev = Mosfet::nmos(VtFlavor::Lvt, 150.0, 30.0).with_dvt(0.01);
-        let c = CompiledMos::compile(&dev, 0, 1, 2, &env);
-        for i in 0..=12 {
-            for j in 1..=12 {
-                let vgs = i as f64 * 0.1 - 0.2;
-                let vds = j as f64 * 0.1;
-                let a = dev.id(vgs, vds, &env);
-                let b = c.id_g(vgs, vds).0;
-                assert!(
-                    (a - b).abs() <= 1e-12 + 1e-9 * a.abs(),
-                    "mismatch at vgs={vgs} vds={vds}: {a} vs {b}"
-                );
-            }
-        }
-    }
+    use bpimc_device::{Env, Mosfet, VtFlavor};
 
     #[test]
     fn rc_discharge_matches_closed_form() {

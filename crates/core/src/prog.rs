@@ -388,6 +388,9 @@ pub enum ProgError {
     /// A program in a [`MacroBank::run_programs`] batch panicked its job;
     /// sibling programs were unaffected.
     Panicked(String),
+    /// A [`CompiledProgram`] was run on a macro whose configuration differs
+    /// from the one it was compiled (validated) for.
+    ConfigMismatch,
 }
 
 impl fmt::Display for ProgError {
@@ -438,6 +441,12 @@ impl fmt::Display for ProgError {
                 write!(f, "instr {instr} failed on the macro: {source}")
             }
             ProgError::Panicked(msg) => write!(f, "program job panicked: {msg}"),
+            ProgError::ConfigMismatch => {
+                write!(
+                    f,
+                    "compiled program run on a macro with a different configuration"
+                )
+            }
         }
     }
 }
@@ -615,15 +624,7 @@ impl Program {
     /// register, so lowering stays linear in program length (untrusted
     /// `exec_program` requests run through here on the shared dispatcher).
     fn lower_indexed(&self) -> Vec<(Instr, usize)> {
-        // last_read[r] = highest instruction index that reads register r.
-        let mut last_read = vec![0usize; self.regs];
-        for (idx, instr) in self.instrs.iter().enumerate() {
-            for src in instr.sources() {
-                if let Some(slot) = last_read.get_mut(src.row()) {
-                    *slot = idx;
-                }
-            }
-        }
+        let last_read = self.last_read_table();
         let mut out = Vec::with_capacity(self.instrs.len());
         let mut idx = 0;
         while idx < self.instrs.len() {
@@ -636,6 +637,19 @@ impl Program {
             }
         }
         out
+    }
+
+    /// `last_read[r]` = highest instruction index that reads register `r`.
+    fn last_read_table(&self) -> Vec<usize> {
+        let mut last_read = vec![0usize; self.regs];
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            for src in instr.sources() {
+                if let Some(slot) = last_read.get_mut(src.row()) {
+                    *slot = idx;
+                }
+            }
+        }
+        last_read
     }
 
     /// The fused `add_shift` for the pair starting at `idx`, when legal.
@@ -736,32 +750,175 @@ impl Program {
     /// model (a `prog` bug, never a data-dependent condition).
     pub fn run(&self, mac: &mut ImcMacro) -> Result<ProgramRun, ProgError> {
         self.validate(mac.config())?;
-        // Lower once: the same stream drives the cost prediction and the
-        // execution below.
-        let lowered = self.lower_indexed();
-        let predicted: u64 = lowered.iter().map(|(i, _)| i.cycles()).sum();
-        let log_start = mac.activity().total_cycles() as usize;
-        let mut outputs = Vec::with_capacity(self.read_count());
-        let mut instr_cycles = vec![0u64; self.instrs.len()];
-        let mut instr_spans = vec![log_start..log_start; self.instrs.len()];
-        for (instr, idx) in lowered {
-            let start = mac.activity().total_cycles() as usize;
-            exec_instr(&instr, mac, &mut outputs)
-                .map_err(|source| ProgError::Exec { instr: idx, source })?;
-            let end = mac.activity().total_cycles() as usize;
-            instr_cycles[idx] = (end - start) as u64;
-            instr_spans[idx] = start..end;
+        // Fuse on the fly: the executor walks the submitted stream once,
+        // consulting the liveness table at each potential `add`+`shl` pair,
+        // so no lowered copy of the instructions (or of their payload
+        // vectors) is materialised per run.
+        let last_read = self.last_read_table();
+        let mut state = ExecState::new(mac, self.instrs.len(), self.read_count());
+        let mut predicted = 0u64;
+        let mut idx = 0;
+        while idx < self.instrs.len() {
+            if let Some(fused) = self.try_fuse_at(idx, &last_read) {
+                predicted += fused.cycles();
+                state.step(mac, &fused, idx)?;
+                idx += 2;
+            } else {
+                let instr = &self.instrs[idx];
+                predicted += instr.cycles();
+                state.step(mac, instr, idx)?;
+                idx += 1;
+            }
         }
-        let executed = mac.activity().total_cycles() - log_start as u64;
+        Ok(state.finish(mac, predicted))
+    }
+
+    /// Validates and lowers once for `config`, returning a
+    /// [`CompiledProgram`] whose runs skip both — the fast path for
+    /// validate-once-run-many callers (stored programs, benchmark loops,
+    /// replayed pipelines).
+    ///
+    /// # Errors
+    ///
+    /// Forwards any validation [`ProgError`].
+    pub fn compile(&self, config: &MacroConfig) -> Result<CompiledProgram, ProgError> {
+        self.validate(config)?;
+        let ops = self.lower_indexed();
+        let predicted = ops.iter().map(|(i, _)| i.cycles()).sum();
+        Ok(CompiledProgram {
+            ops,
+            submitted: self.instrs.len(),
+            reads: self.read_count(),
+            predicted,
+            config: *config,
+        })
+    }
+}
+
+/// A [`Program`] pre-resolved for one macro configuration: validated once,
+/// lowered once into a flat op array, ready to run any number of times
+/// with zero per-run validation or lowering cost.
+///
+/// The compiled-for [`MacroConfig`] is the cache key: running against a
+/// macro with any other configuration returns
+/// [`ProgError::ConfigMismatch`] instead of silently skipping the checks
+/// that made the compilation sound.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_core::prog::ProgramBuilder;
+/// use bpimc_core::{ImcMacro, MacroConfig, Precision};
+///
+/// let mut b = ProgramBuilder::new();
+/// let x = b.write(Precision::P8, vec![3, 4]);
+/// let y = b.write(Precision::P8, vec![10, 20]);
+/// let s = b.add(x, y, Precision::P8);
+/// b.read(s, Precision::P8, 2);
+/// let prog = b.finish();
+///
+/// let cfg = MacroConfig::paper_macro();
+/// let compiled = prog.compile(&cfg).unwrap();
+/// let mut mac = ImcMacro::new(cfg);
+/// for _ in 0..3 {
+///     let run = compiled.run(&mut mac).unwrap(); // no re-validation
+///     assert_eq!(run.outputs[0], vec![13, 24]);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// Lowered ops, each tagged with the submitted-instruction index its
+    /// cycles bill to.
+    ops: Vec<(Instr, usize)>,
+    /// Submitted instruction count (sizes the per-instruction accounting).
+    submitted: usize,
+    /// Output vectors a run produces.
+    reads: usize,
+    /// Static total-cycle prediction over the lowered stream.
+    predicted: u64,
+    /// The configuration the program was validated against.
+    config: MacroConfig,
+}
+
+impl CompiledProgram {
+    /// The configuration this program was compiled for.
+    pub fn config(&self) -> &MacroConfig {
+        &self.config
+    }
+
+    /// Predicted total hardware cycles of a run (the static cost model).
+    pub fn cycles(&self) -> u64 {
+        self.predicted
+    }
+
+    /// Executes the pre-resolved op array on `mac` — no validation, no
+    /// lowering, just the instruction stream and its accounting. Same
+    /// results and same cost-model assertion as [`Program::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgError::ConfigMismatch`] if `mac` is not configured as
+    /// compiled; forwards macro errors as [`ProgError::Exec`] (unreachable
+    /// for the validated stream; kept for defensive containment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executed cycle count diverges from the static cost
+    /// model (a `prog` bug, never a data-dependent condition).
+    pub fn run(&self, mac: &mut ImcMacro) -> Result<ProgramRun, ProgError> {
+        if *mac.config() != self.config {
+            return Err(ProgError::ConfigMismatch);
+        }
+        let mut state = ExecState::new(mac, self.submitted, self.reads);
+        for (instr, idx) in &self.ops {
+            state.step(mac, instr, *idx)?;
+        }
+        Ok(state.finish(mac, self.predicted))
+    }
+}
+
+/// Per-run execution bookkeeping shared by [`Program::run`] and
+/// [`CompiledProgram::run`]: outputs, per-instruction cycle billing and
+/// activity-log spans, and the cost-model assertion at the end.
+struct ExecState {
+    log_start: usize,
+    outputs: Vec<Vec<u64>>,
+    instr_cycles: Vec<u64>,
+    instr_spans: Vec<Range<usize>>,
+}
+
+impl ExecState {
+    fn new(mac: &ImcMacro, submitted: usize, reads: usize) -> Self {
+        let log_start = mac.activity().total_cycles() as usize;
+        Self {
+            log_start,
+            outputs: Vec::with_capacity(reads),
+            instr_cycles: vec![0u64; submitted],
+            instr_spans: vec![log_start..log_start; submitted],
+        }
+    }
+
+    fn step(&mut self, mac: &mut ImcMacro, instr: &Instr, idx: usize) -> Result<(), ProgError> {
+        let start = mac.activity().total_cycles() as usize;
+        exec_instr(instr, mac, &mut self.outputs)
+            .map_err(|source| ProgError::Exec { instr: idx, source })?;
+        let end = mac.activity().total_cycles() as usize;
+        self.instr_cycles[idx] = (end - start) as u64;
+        self.instr_spans[idx] = start..end;
+        Ok(())
+    }
+
+    fn finish(self, mac: &ImcMacro, predicted: u64) -> ProgramRun {
+        let executed = mac.activity().total_cycles() - self.log_start as u64;
         assert_eq!(
             executed, predicted,
             "static cost model diverged from the activity log"
         );
-        Ok(ProgramRun {
-            outputs,
-            instr_cycles,
-            instr_spans,
-        })
+        ProgramRun {
+            outputs: self.outputs,
+            instr_cycles: self.instr_cycles,
+            instr_spans: self.instr_spans,
+        }
     }
 }
 
@@ -1226,6 +1383,54 @@ mod tests {
         assert_eq!(prog.cycles(), 7);
         assert_eq!(run.total_cycles(), 7);
         assert_eq!(m.activity().total_cycles(), 7);
+    }
+
+    #[test]
+    fn compiled_program_matches_run_including_fusion_and_accounting() {
+        let mut b = ProgramBuilder::new();
+        let p = Precision::P8;
+        let x = b.write(p, vec![10, 20, 30]);
+        let y = b.write(p, vec![1, 2, 3]);
+        let s = b.add(x, y, p); // fuses with the shl below
+        let d = b.shl(s, p);
+        b.read(d, p, 3);
+        let prog = b.finish();
+        let compiled = prog.compile(&cfg()).unwrap();
+        assert_eq!(compiled.cycles(), prog.cycles());
+        let mut m1 = mac();
+        let mut m2 = mac();
+        let via_run = prog.run(&mut m1).unwrap();
+        let via_compiled = compiled.run(&mut m2).unwrap();
+        assert_eq!(via_run, via_compiled);
+        assert_eq!(m1.activity().cycles(), m2.activity().cycles());
+        // Repeat runs reuse the compilation and keep exact accounting.
+        let again = compiled.run(&mut m2).unwrap();
+        assert_eq!(again.outputs, via_run.outputs);
+        assert_eq!(again.total_cycles(), prog.cycles());
+    }
+
+    #[test]
+    fn compiled_program_rejects_a_different_config() {
+        let mut b = ProgramBuilder::new();
+        let x = b.write(Precision::P8, vec![1]);
+        b.read(x, Precision::P8, 1);
+        let compiled = b.finish().compile(&cfg()).unwrap();
+        let mut other = ImcMacro::new(cfg().with_separator(false));
+        assert_eq!(compiled.run(&mut other), Err(ProgError::ConfigMismatch));
+    }
+
+    #[test]
+    fn compile_forwards_validation_errors() {
+        let prog = Program::new(vec![Instr::Add {
+            a: Reg(0),
+            b: Reg(1),
+            dst: Reg(2),
+            precision: Precision::P8,
+        }]);
+        assert!(matches!(
+            prog.compile(&cfg()),
+            Err(ProgError::UseBeforeDef { .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod env;
+pub mod fastmath;
 pub mod mismatch;
 pub mod model;
 pub mod params;
@@ -41,6 +42,6 @@ pub mod types;
 
 pub use env::Env;
 pub use mismatch::MismatchModel;
-pub use model::Mosfet;
+pub use model::{MosParams, MosParamsLanes, Mosfet};
 pub use params::{DeviceParams, ProcessLibrary};
 pub use types::{Corner, DeviceKind, VtFlavor};

@@ -1,6 +1,7 @@
 //! The MOSFET compact model: geometry + flavor + local mismatch.
 
 use crate::env::Env;
+use crate::fastmath;
 use crate::params::ProcessLibrary;
 use crate::types::{DeviceKind, VtFlavor};
 
@@ -122,26 +123,7 @@ impl Mosfet {
     /// positive `vds`, and negative `vgs` simply lands deep in
     /// sub-threshold).
     pub fn id(&self, vgs: f64, vds: f64, env: &Env) -> f64 {
-        if vds <= 0.0 {
-            return 0.0;
-        }
-        let p = ProcessLibrary::at(self.kind, self.flavor, env);
-        let vt = p.vt0 + self.dvt;
-        let phi = 2.0 * p.nsub * env.thermal_voltage();
-        // Smooth overdrive: -> (vgs - vt) in strong inversion, exponential below.
-        let x = (vgs - vt) / phi;
-        // ln(1+e^x) computed stably for large |x|.
-        let soft = if x > 30.0 {
-            x
-        } else if x < -30.0 {
-            x.exp()
-        } else {
-            x.exp().ln_1p()
-        };
-        let veff = phi * soft;
-        let idsat = p.kp * self.aspect() * veff.powf(p.alpha);
-        let vdsat = (p.sat_frac * veff).max(p.vdsat_min);
-        idsat * (vds / vdsat).tanh() * (1.0 + p.lambda * vds)
+        MosParams::compile(self, env).id_g(vgs, vds).0
     }
 
     /// Gate capacitance estimate in farads (oxide + ~30% overlap/fringe).
@@ -165,6 +147,183 @@ impl Mosfet {
         let area_m2 = (self.w_nm * 1e-9) * (self.l_nm * 1e-9);
         p.avt / area_m2.sqrt()
     }
+}
+
+/// A MOSFET instance flattened to the electrical parameters its drain
+/// current depends on, at one operating environment — the form every hot
+/// loop wants.
+///
+/// Compiling a [`Mosfet`] resolves the process-library lookup, the corner
+/// and temperature adjustments, the mismatch shift and the geometry once;
+/// [`MosParams::id_g`] is then pure arithmetic. The transient solvers in
+/// `bpimc-circuit` compile each device up front (the scalar solver into one
+/// `MosParams` per device, the batch engine into per-field parameter arrays
+/// evaluated by [`Mosfet::ids_batch`]) — both paths run the identical
+/// [`crate::fastmath`] kernel, so their results agree bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Device polarity (the solvers orient terminals with it).
+    pub kind: DeviceKind,
+    /// Effective threshold (magnitude), including flavor, corner,
+    /// temperature and local mismatch, volts.
+    pub vt: f64,
+    /// Smooth-overdrive knee width `2 n vT`, volts.
+    pub phi: f64,
+    /// `kp * W/L`.
+    pub keff: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// `Vdsat = sat_frac * veff`, floored at `vdsat_min`.
+    pub sat_frac: f64,
+    /// Saturation-voltage floor, volts.
+    pub vdsat_min: f64,
+}
+
+impl MosParams {
+    /// Flattens `dev` at environment `env`.
+    pub fn compile(dev: &Mosfet, env: &Env) -> Self {
+        let p = ProcessLibrary::at(dev.kind, dev.flavor, env);
+        Self {
+            kind: dev.kind,
+            vt: p.vt0 + dev.dvt,
+            phi: 2.0 * p.nsub * env.thermal_voltage(),
+            keff: p.kp * dev.aspect(),
+            alpha: p.alpha,
+            lambda: p.lambda,
+            sat_frac: p.sat_frac,
+            vdsat_min: p.vdsat_min,
+        }
+    }
+
+    /// Drain current magnitude (amperes) and output conductance
+    /// `d Id / d Vds` (siemens) at source-referenced voltage magnitudes.
+    ///
+    /// `vds <= 0` yields `(0, 0)` (the solvers orient terminals so `vds`
+    /// is non-negative; exactly zero bias must carry no current).
+    #[inline(always)]
+    pub fn id_g(&self, vgs: f64, vds: f64) -> (f64, f64) {
+        mos_id_g(
+            self.vt,
+            self.phi,
+            self.keff,
+            self.alpha,
+            self.lambda,
+            self.sat_frac,
+            self.vdsat_min,
+            vgs,
+            vds,
+        )
+    }
+}
+
+/// Borrowed per-field parameter lanes for a run of device instances — the
+/// structure-of-arrays view [`Mosfet::ids_batch`] evaluates over. All
+/// slices have the same length (one element per instance).
+#[derive(Debug, Clone, Copy)]
+pub struct MosParamsLanes<'a> {
+    /// Effective thresholds, volts.
+    pub vt: &'a [f64],
+    /// Smooth-overdrive knee widths, volts.
+    pub phi: &'a [f64],
+    /// `kp * W/L` per instance.
+    pub keff: &'a [f64],
+    /// Velocity-saturation exponents.
+    pub alpha: &'a [f64],
+    /// Channel-length modulation, 1/V.
+    pub lambda: &'a [f64],
+    /// Saturation fractions.
+    pub sat_frac: &'a [f64],
+    /// Saturation-voltage floors, volts.
+    pub vdsat_min: &'a [f64],
+}
+
+impl Mosfet {
+    /// Slice-based drain-current evaluation: computes current and output
+    /// conductance for every instance `j` of one device position, reading
+    /// `lanes.*[j]`, `vgs[j]`, `vds[j]` and writing `ids[j]`, `gs[j]`.
+    ///
+    /// The body is the same branch-free [`crate::fastmath`] arithmetic as
+    /// [`MosParams::id_g`], laid out so the compiler vectorizes across
+    /// instances; element `j` of the output is bit-identical to the scalar
+    /// call with instance `j`'s parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    pub fn ids_batch(
+        lanes: &MosParamsLanes<'_>,
+        vgs: &[f64],
+        vds: &[f64],
+        ids: &mut [f64],
+        gs: &mut [f64],
+    ) {
+        let n = ids.len();
+        assert!(
+            [
+                lanes.vt.len(),
+                lanes.phi.len(),
+                lanes.keff.len(),
+                lanes.alpha.len(),
+                lanes.lambda.len(),
+                lanes.sat_frac.len(),
+                lanes.vdsat_min.len(),
+                vgs.len(),
+                vds.len(),
+                gs.len(),
+            ]
+            .iter()
+            .all(|&l| l == n),
+            "ids_batch slices must share one length"
+        );
+        for j in 0..n {
+            let (i, g) = mos_id_g(
+                lanes.vt[j],
+                lanes.phi[j],
+                lanes.keff[j],
+                lanes.alpha[j],
+                lanes.lambda[j],
+                lanes.sat_frac[j],
+                lanes.vdsat_min[j],
+                vgs[j],
+                vds[j],
+            );
+            ids[j] = i;
+            gs[j] = g;
+        }
+    }
+}
+
+/// The one drain-current kernel every solver path runs: the smoothed
+/// Sakurai-Newton alpha-power law (see [`Mosfet`]), written branch-free on
+/// [`fastmath`] so batched loops vectorize and scalar calls stay
+/// bit-identical to them.
+#[allow(clippy::too_many_arguments)] // flattened on purpose: this is the SoA lane kernel
+#[inline(always)]
+fn mos_id_g(
+    vt: f64,
+    phi: f64,
+    keff: f64,
+    alpha: f64,
+    lambda: f64,
+    sat_frac: f64,
+    vdsat_min: f64,
+    vgs: f64,
+    vds: f64,
+) -> (f64, f64) {
+    // Smooth overdrive: -> (vgs - vt) in strong inversion, exponential below.
+    let veff = phi * fastmath::softplus((vgs - vt) / phi);
+    let idsat = keff * fastmath::powf(veff, alpha);
+    let vdsat = (sat_frac * veff).max(vdsat_min);
+    let th = fastmath::tanh_pos(vds / vdsat);
+    let clm = 1.0 + lambda * vds;
+    // Zero drain bias (or a mis-oriented caller) carries no current; the
+    // multiplicative mask keeps the kernel branch-free.
+    let live = (vds > 0.0) as u64 as f64;
+    let i = idsat * th * clm * live;
+    let g = idsat * ((1.0 - th * th) / vdsat * clm + th * lambda) * live;
+    (i, g)
 }
 
 #[cfg(test)]
@@ -263,6 +422,69 @@ mod tests {
         assert!((small.sigma_vt() / big.sigma_vt() - 2.0).abs() < 1e-9);
         // ~ 35 mV for a minimal cell transistor: the well-known 28 nm figure.
         assert!(small.sigma_vt() > 0.02 && small.sigma_vt() < 0.05);
+    }
+
+    #[test]
+    fn compiled_params_match_the_device_model() {
+        let e = env();
+        for dev in [
+            Mosfet::nmos(VtFlavor::Rvt, 90.0, 30.0).with_dvt(0.02),
+            Mosfet::pmos(VtFlavor::Lvt, 200.0, 30.0).with_dvt(-0.03),
+        ] {
+            let p = MosParams::compile(&dev, &e);
+            for i in 0..=12 {
+                for j in 0..=12 {
+                    let vgs = i as f64 * 0.1 - 0.2;
+                    let vds = j as f64 * 0.1;
+                    let a = dev.id(vgs, vds, &e);
+                    let b = p.id_g(vgs, vds).0;
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "id mismatch at vgs={vgs} vds={vds}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ids_batch_is_bit_identical_to_scalar_id_g() {
+        let e = env();
+        let n = 37; // odd on purpose: exercises any vector remainder
+        let devs: Vec<Mosfet> = (0..n)
+            .map(|i| {
+                let flavor = [VtFlavor::Rvt, VtFlavor::Lvt, VtFlavor::Hvt][i % 3];
+                Mosfet::nmos(flavor, 80.0 + i as f64, 30.0).with_dvt(i as f64 * 1e-3 - 0.02)
+            })
+            .collect();
+        let params: Vec<MosParams> = devs.iter().map(|d| MosParams::compile(d, &e)).collect();
+        let vt: Vec<f64> = params.iter().map(|p| p.vt).collect();
+        let phi: Vec<f64> = params.iter().map(|p| p.phi).collect();
+        let keff: Vec<f64> = params.iter().map(|p| p.keff).collect();
+        let alpha: Vec<f64> = params.iter().map(|p| p.alpha).collect();
+        let lambda: Vec<f64> = params.iter().map(|p| p.lambda).collect();
+        let sat_frac: Vec<f64> = params.iter().map(|p| p.sat_frac).collect();
+        let vdsat_min: Vec<f64> = params.iter().map(|p| p.vdsat_min).collect();
+        let vgs: Vec<f64> = (0..n).map(|i| -0.1 + i as f64 * 0.03).collect();
+        let vds: Vec<f64> = (0..n).map(|i| i as f64 * 0.025).collect();
+        let mut ids = vec![0.0; n];
+        let mut gs = vec![0.0; n];
+        let lanes = MosParamsLanes {
+            vt: &vt,
+            phi: &phi,
+            keff: &keff,
+            alpha: &alpha,
+            lambda: &lambda,
+            sat_frac: &sat_frac,
+            vdsat_min: &vdsat_min,
+        };
+        Mosfet::ids_batch(&lanes, &vgs, &vds, &mut ids, &mut gs);
+        for j in 0..n {
+            let (i, g) = params[j].id_g(vgs[j], vds[j]);
+            assert_eq!(i.to_bits(), ids[j].to_bits(), "id lane {j}");
+            assert_eq!(g.to_bits(), gs[j].to_bits(), "g lane {j}");
+        }
     }
 
     #[test]

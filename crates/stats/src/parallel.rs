@@ -267,6 +267,39 @@ where
         .collect()
 }
 
+/// [`par_indexed_map`] with **claim-queue load balancing**: the caller and
+/// the pool workers pull contiguous index blocks from a shared queue
+/// instead of receiving one fixed chunk each.
+///
+/// Prefer this over [`par_indexed_map`] when per-index cost varies — a
+/// Monte-Carlo sweep whose adaptive transient solves take different step
+/// counts per sample, say. Static chunking makes the whole batch wait for
+/// whichever lane drew the slow samples; claimed blocks keep every lane
+/// busy to the end. Blocks are sized by [`par_queue_try_map`]'s heuristic
+/// (`n / (lanes * 16)`, clamped to `[1, 256]`), which for the workspace's
+/// millisecond-scale jobs keeps each claim well above the ~1 ms of work
+/// that makes a pool hand-off worthwhile on this host (see the module
+/// docs on futex latency).
+///
+/// # Examples
+///
+/// ```
+/// let squares = bpimc_stats::parallel::par_claim_indexed_map(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_claim_indexed_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut states = vec![(); worker_count(n)];
+    let jobs: Vec<usize> = (0..n).collect();
+    par_queue_map(&mut states, &jobs, |_, &i| f(i))
+}
+
 /// Shared state of one claim-queue batch (see [`par_queue_map`]). Arc'd so
 /// late-waking workers can inspect it safely after the caller has returned.
 struct QueueShared {
@@ -530,6 +563,19 @@ mod tests {
     fn zero_jobs_is_fine() {
         let out: Vec<usize> = par_indexed_map(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn claim_indexed_map_is_order_stable_and_complete() {
+        let calls = AtomicUsize::new(0);
+        let out = par_claim_indexed_map(517, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 7
+        });
+        assert_eq!(out, (0..517).map(|i| i * 7).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 517);
+        let empty: Vec<usize> = par_claim_indexed_map(0, |i| i);
+        assert!(empty.is_empty());
     }
 
     #[test]
