@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p bpimc-bench --example load_gen -- \
-//!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT] [--programs]
+//!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT] \
+//!     [--programs] [--stored] [--pipeline W] [--min-throughput R]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -18,10 +19,23 @@
 //! fused add+shl, SUB, MULT, reductions, readbacks) in one round trip,
 //! with every output host-verified and the reported per-instruction cycle
 //! accounting checked against the program's static cost model.
+//!
+//! With `--stored` each client stores the four pipeline shapes **once**
+//! (`store_program`) and then drives them with `run_stored`, rebinding the
+//! write values per request — the validate-once/run-many fast path. The
+//! same host verification applies: outputs and per-instruction cycles must
+//! match the rebound program's static cost model exactly.
+//!
+//! `--pipeline W` keeps up to `W` requests in flight per client (the
+//! protocol guarantees in-order responses per connection, so verification
+//! just follows the request order). `W = 1` (default) is the synchronous
+//! one-at-a-time stream; higher windows measure the server's capacity
+//! instead of per-request wake-up latency. `--min-throughput R` exits
+//! non-zero when the measured requests/sec land below `R`.
 
 use bpimc_core::prog::ProgramBuilder;
-use bpimc_core::{LaneOp, LogicOp, Precision, Program};
-use bpimc_server::{Client, ClientError, Server, ServerConfig};
+use bpimc_core::{LogicOp, Precision, Program, RequestBody, ResponseBody, StoredMeta};
+use bpimc_server::{Client, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::time::Instant;
 
@@ -31,6 +45,9 @@ struct Args {
     macros: Option<usize>,
     addr: Option<String>,
     programs: bool,
+    stored: bool,
+    pipeline: usize,
+    min_throughput: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +57,9 @@ fn parse_args() -> Args {
         macros: None,
         addr: None,
         programs: false,
+        stored: false,
+        pipeline: 1,
+        min_throughput: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,10 +72,13 @@ fn parse_args() -> Args {
             "--clients" => args.clients = num("--clients").max(1),
             "--requests" => args.requests = num("--requests").max(1),
             "--macros" => args.macros = Some(num("--macros").max(1) as usize),
+            "--pipeline" => args.pipeline = num("--pipeline").max(1) as usize,
+            "--min-throughput" => args.min_throughput = Some(num("--min-throughput") as f64),
             "--addr" => {
                 args.addr = Some(it.next().unwrap_or_else(|| die("--addr needs HOST:PORT")))
             }
             "--programs" => args.programs = true,
+            "--stored" => args.stored = true,
             other => die(&format!("unknown option '{other}'")),
         }
     }
@@ -69,7 +92,10 @@ fn die(msg: &str) -> ! {
 
 /// Builds one deterministic multi-instruction pipeline plus its expected
 /// outputs (host-computed), keyed by the request counter so every client
-/// exercises dot, fused add+shl / sub, reduction and logic pipelines.
+/// exercises dot, fused add+shl / sub, reduction and logic pipelines. Each
+/// variant's *shape* (instruction kinds, vector lengths) is independent of
+/// `k` — only the write values change — which is what makes the shapes
+/// storable once and rebound per request in `--stored` mode.
 fn program_request(k: u64, variant: u64) -> (Program, Vec<Vec<u64>>) {
     let mut b = ProgramBuilder::new();
     match variant {
@@ -141,6 +167,204 @@ fn program_request(k: u64, variant: u64) -> (Program, Vec<Vec<u64>>) {
     }
 }
 
+/// The write values of a program's `write`/`write_mult` instructions in
+/// submitted order — the full input binding that replays the program's
+/// data through `run_stored`.
+fn write_bindings(prog: &Program) -> Vec<Option<Vec<u64>>> {
+    prog.instrs()
+        .iter()
+        .filter_map(|i| match i {
+            bpimc_core::Instr::Write { values, .. }
+            | bpimc_core::Instr::WriteMult { values, .. } => Some(Some(values.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// What a response must look like to count as correct.
+enum Expect {
+    Scalar(u64),
+    Words(Vec<u64>),
+    /// Program outputs plus the static cost model's per-instruction
+    /// cycles; `instrs` checks the per-instruction energy vector length.
+    Report {
+        outputs: Vec<Vec<u64>>,
+        cycles: Vec<u64>,
+        instrs: usize,
+    },
+    /// `store_program` ack carrying the expected bindable write count.
+    Stored {
+        writes: u64,
+    },
+    /// A contained injected fault: an error mentioning the panic.
+    Fault,
+    /// The session account at end of stream.
+    Stats {
+        requests: u64,
+        errors: u64,
+    },
+}
+
+fn check(expect: &Expect, body: &ResponseBody) -> bool {
+    match (expect, body) {
+        (Expect::Scalar(n), ResponseBody::Scalar(got)) => n == got,
+        (Expect::Words(ws), ResponseBody::Words(got)) => ws == got,
+        (
+            Expect::Report {
+                outputs,
+                cycles,
+                instrs,
+            },
+            ResponseBody::Program(r),
+        ) => &r.outputs == outputs && &r.cycles == cycles && r.energy_fj.len() == *instrs,
+        (Expect::Stored { writes }, ResponseBody::Stored(StoredMeta { writes: got, .. })) => {
+            writes == got
+        }
+        (Expect::Fault, ResponseBody::Error(msg)) => msg.contains("panicked"),
+        (Expect::Stats { requests, errors }, ResponseBody::Stats(s)) => {
+            s.requests == *requests && s.errors == *errors
+        }
+        _ => false,
+    }
+}
+
+/// The deterministic request stream one client drives: mixed per-op
+/// requests, whole `exec_program` pipelines, or stored-program replays.
+fn build_stream(
+    c: u64,
+    requests: u64,
+    expect_faults: bool,
+    programs: bool,
+    stored: bool,
+    stored_pids: &[u64],
+) -> Vec<(RequestBody, Expect)> {
+    let mut stream = Vec::with_capacity(requests as usize + 1);
+    let panic_at = requests / 2;
+    for r in 0..requests {
+        if expect_faults && r == panic_at {
+            stream.push((RequestBody::InjectPanic, Expect::Fault));
+            continue;
+        }
+        let k = c * 7919 + r * 131;
+        if stored {
+            let variant = r % 4;
+            let (prog, outputs) = program_request(k, variant);
+            stream.push((
+                RequestBody::RunStored {
+                    pid: stored_pids[variant as usize],
+                    inputs: write_bindings(&prog),
+                },
+                Expect::Report {
+                    outputs,
+                    cycles: prog.instr_cycles(),
+                    instrs: prog.instrs().len(),
+                },
+            ));
+            continue;
+        }
+        if programs {
+            let (prog, outputs) = program_request(k, r % 4);
+            stream.push((
+                RequestBody::ExecProgram {
+                    instrs: prog.instrs().to_vec(),
+                },
+                Expect::Report {
+                    outputs,
+                    cycles: prog.instr_cycles(),
+                    instrs: prog.instrs().len(),
+                },
+            ));
+            continue;
+        }
+        let (body, expect) = match r % 5 {
+            0 => {
+                let x: Vec<u64> = (0..12).map(|i| (k + i * 3) % 256).collect();
+                let w: Vec<u64> = (0..12).map(|i| (k + i * 5 + 1) % 256).collect();
+                let dot: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+                (
+                    RequestBody::Dot {
+                        precision: Precision::P8,
+                        x,
+                        w,
+                    },
+                    Expect::Scalar(dot),
+                )
+            }
+            1 => {
+                let a: Vec<u64> = (0..16).map(|i| (k + i) % 256).collect();
+                let b: Vec<u64> = (0..16).map(|i| (k * 3 + i) % 256).collect();
+                let sum: Vec<u64> = a.iter().zip(&b).map(|(x, y)| (x + y) & 0xFF).collect();
+                (
+                    RequestBody::Lanes {
+                        op: bpimc_core::LaneOp::Add,
+                        precision: Precision::P8,
+                        a,
+                        b,
+                    },
+                    Expect::Words(sum),
+                )
+            }
+            2 => {
+                let a: Vec<u64> = (0..8).map(|i| (k + i) % 16).collect();
+                let b: Vec<u64> = (0..8).map(|i| (k * 5 + i) % 16).collect();
+                let prod: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+                (
+                    RequestBody::Lanes {
+                        op: bpimc_core::LaneOp::Mult,
+                        precision: Precision::P4,
+                        a,
+                        b,
+                    },
+                    Expect::Words(prod),
+                )
+            }
+            3 => {
+                let a: Vec<u64> = (0..4).map(|i| (k * 251 + i) % 65536).collect();
+                let b: Vec<u64> = (0..4).map(|i| (k * 509 + i) % 65536).collect();
+                let diff: Vec<u64> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| x.wrapping_sub(*y) & 0xFFFF)
+                    .collect();
+                (
+                    RequestBody::Lanes {
+                        op: bpimc_core::LaneOp::Sub,
+                        precision: Precision::P16,
+                        a,
+                        b,
+                    },
+                    Expect::Words(diff),
+                )
+            }
+            _ => {
+                let a: Vec<u64> = (0..32).map(|i| (k + i * 3) % 4).collect();
+                let b: Vec<u64> = (0..32).map(|i| (k * 7 + i) % 4).collect();
+                let xor: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+                (
+                    RequestBody::Lanes {
+                        op: bpimc_core::LaneOp::Logic(LogicOp::Xor),
+                        precision: Precision::P2,
+                        a,
+                        b,
+                    },
+                    Expect::Words(xor),
+                )
+            }
+        };
+        stream.push((body, expect));
+    }
+    // The session account must agree on totals at the end of the stream.
+    let setup = if stored { stored_pids.len() as u64 } else { 0 };
+    stream.push((
+        RequestBody::Stats,
+        Expect::Stats {
+            requests: requests + setup,
+            errors: u64::from(expect_faults),
+        },
+    ));
+    stream
+}
+
 /// One client's deterministic request stream; returns (ok, failed)
 /// response counts, where "failed" includes any mismatch.
 fn drive_client(
@@ -149,9 +373,11 @@ fn drive_client(
     requests: u64,
     expect_faults: bool,
     programs: bool,
+    stored: bool,
+    window: usize,
 ) -> (u64, u64) {
-    let mut client = match Client::connect(addr) {
-        Ok(cl) => cl,
+    let mut pipe = match Client::connect(addr) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("client {c}: connect failed: {e}");
             return (0, requests);
@@ -159,148 +385,89 @@ fn drive_client(
     };
     let mut ok = 0u64;
     let mut bad = 0u64;
-    fn tally(ok: &mut u64, bad: &mut u64, c: u64, name: &str, pass: bool) {
-        if pass {
-            *ok += 1;
-        } else {
-            *bad += 1;
-            eprintln!("client {c}: {name} mismatch");
-        }
-    }
-    let panic_at = requests / 2;
-    for r in 0..requests {
-        if expect_faults && r == panic_at {
-            // The contained-fault check: exactly this request errors.
-            match client.inject_panic() {
-                Err(ClientError::Server(msg)) if msg.contains("panicked") => ok += 1,
+
+    // Stored mode: store the four pipeline shapes once, synchronously.
+    let mut stored_pids = Vec::new();
+    if stored {
+        for variant in 0..4u64 {
+            let (shape, _) = program_request(0, variant);
+            let writes = write_bindings(&shape).len() as u64;
+            let body = RequestBody::StoreProgram {
+                instrs: shape.instrs().to_vec(),
+            };
+            match pipe.call(body) {
+                Ok(resp) if check(&Expect::Stored { writes }, &resp.body) => {
+                    let ResponseBody::Stored(meta) = resp.body else {
+                        unreachable!("checked above");
+                    };
+                    stored_pids.push(meta.pid);
+                    ok += 1;
+                }
                 other => {
-                    bad += 1;
-                    eprintln!("client {c}: inject_panic not contained: {other:?}");
+                    eprintln!("client {c}: store_program failed: {other:?}");
+                    return (0, requests);
                 }
-            }
-            continue;
-        }
-        let k = c * 7919 + r * 131;
-        if programs {
-            // Whole pipelines in one round trip: outputs host-verified,
-            // per-instruction cycles checked against the static cost
-            // model (the fused shl must bill 0 there).
-            let (prog, expect) = program_request(k, r % 4);
-            match client.exec_program(&prog) {
-                Ok(report) => {
-                    let pass = report.outputs == expect
-                        && report.cycles == prog.instr_cycles()
-                        && report.total_cycles() == prog.cycles()
-                        && report.energy_fj.len() == prog.instrs().len();
-                    tally(&mut ok, &mut bad, c, "exec_program", pass);
-                }
-                Err(e) => {
-                    bad += 1;
-                    eprintln!("client {c}: exec_program failed: {e}");
-                }
-            }
-            continue;
-        }
-        match r % 5 {
-            0 => {
-                let x: Vec<u64> = (0..12).map(|i| (k + i * 3) % 256).collect();
-                let w: Vec<u64> = (0..12).map(|i| (k + i * 5 + 1) % 256).collect();
-                let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
-                tally(
-                    &mut ok,
-                    &mut bad,
-                    c,
-                    "dot",
-                    client.dot(Precision::P8, &x, &w).ok() == Some(expect),
-                );
-            }
-            1 => {
-                let a: Vec<u64> = (0..16).map(|i| (k + i) % 256).collect();
-                let b: Vec<u64> = (0..16).map(|i| (k * 3 + i) % 256).collect();
-                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| (x + y) & 0xFF).collect();
-                tally(
-                    &mut ok,
-                    &mut bad,
-                    c,
-                    "add",
-                    client.lanes(LaneOp::Add, Precision::P8, &a, &b).ok() == Some(expect),
-                );
-            }
-            2 => {
-                let a: Vec<u64> = (0..8).map(|i| (k + i) % 16).collect();
-                let b: Vec<u64> = (0..8).map(|i| (k * 5 + i) % 16).collect();
-                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
-                tally(
-                    &mut ok,
-                    &mut bad,
-                    c,
-                    "mult",
-                    client.lanes(LaneOp::Mult, Precision::P4, &a, &b).ok() == Some(expect),
-                );
-            }
-            3 => {
-                let a: Vec<u64> = (0..4).map(|i| (k * 251 + i) % 65536).collect();
-                let b: Vec<u64> = (0..4).map(|i| (k * 509 + i) % 65536).collect();
-                let expect: Vec<u64> = a
-                    .iter()
-                    .zip(&b)
-                    .map(|(x, y)| x.wrapping_sub(*y) & 0xFFFF)
-                    .collect();
-                tally(
-                    &mut ok,
-                    &mut bad,
-                    c,
-                    "sub16",
-                    client.lanes(LaneOp::Sub, Precision::P16, &a, &b).ok() == Some(expect),
-                );
-            }
-            _ => {
-                let a: Vec<u64> = (0..32).map(|i| (k + i * 3) % 4).collect();
-                let b: Vec<u64> = (0..32).map(|i| (k * 7 + i) % 4).collect();
-                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
-                tally(
-                    &mut ok,
-                    &mut bad,
-                    c,
-                    "xor2",
-                    client
-                        .lanes(LaneOp::Logic(LogicOp::Xor), Precision::P2, &a, &b)
-                        .ok()
-                        == Some(expect),
-                );
             }
         }
     }
-    // The session account must agree on totals: every request answered,
-    // only the injected fault failed.
-    match client.stats() {
-        Ok(stats) => {
-            let expected_errors = u64::from(expect_faults);
-            if stats.requests != requests || stats.errors != expected_errors {
-                bad += 1;
-                eprintln!(
-                    "client {c}: session account off: {} requests / {} errors (expected {requests} / {expected_errors})",
-                    stats.requests, stats.errors
-                );
-            } else {
-                println!(
-                    "client {c}: {} requests, {} hw cycles, {:.1} pJ billed",
-                    stats.requests,
-                    stats.cycles,
-                    stats.energy_fj / 1000.0
-                );
+
+    let stream = build_stream(c, requests, expect_faults, programs, stored, &stored_pids);
+    let mut pending: std::collections::VecDeque<(u64, &Expect, &'static str)> =
+        std::collections::VecDeque::new();
+    let verify = |pipe: &mut Client,
+                  pending: &mut std::collections::VecDeque<(u64, &Expect, &'static str)>,
+                  ok: &mut u64,
+                  bad: &mut u64| {
+        let (id, expect, name) = pending.pop_front().expect("pending request");
+        match pipe.recv() {
+            Ok(resp) if resp.id == id && check(expect, &resp.body) => *ok += 1,
+            Ok(resp) => {
+                *bad += 1;
+                eprintln!("client {c}: {name} (id {id}) mismatch: {:?}", resp.body);
+            }
+            Err(e) => {
+                *bad += 1;
+                eprintln!("client {c}: {name} (id {id}) failed: {e}");
             }
         }
-        Err(e) => {
-            bad += 1;
-            eprintln!("client {c}: stats failed: {e}");
+    };
+    for (body, expect) in &stream {
+        let name = match expect {
+            Expect::Scalar(_) => "dot",
+            Expect::Words(_) => "lanes",
+            Expect::Report { .. } => {
+                if stored {
+                    "run_stored"
+                } else {
+                    "exec_program"
+                }
+            }
+            Expect::Stored { .. } => "store_program",
+            Expect::Fault => "inject_panic",
+            Expect::Stats { .. } => "stats",
+        };
+        while pending.len() >= window {
+            verify(&mut pipe, &mut pending, &mut ok, &mut bad);
         }
+        match pipe.send(body.clone()) {
+            Ok(id) => pending.push_back((id, expect, name)),
+            Err(e) => {
+                bad += 1;
+                eprintln!("client {c}: send failed: {e}");
+            }
+        }
+    }
+    while !pending.is_empty() {
+        verify(&mut pipe, &mut pending, &mut ok, &mut bad);
     }
     (ok, bad)
 }
 
 fn main() {
     let args = parse_args();
+    if args.stored && args.programs {
+        die("--stored already drives program pipelines; drop --programs");
+    }
     let spawned = match &args.addr {
         Some(_) => None,
         None => {
@@ -310,7 +477,7 @@ fn main() {
             };
             if let Some(m) = args.macros {
                 config.macros = m;
-                config.batch_max = 4 * m;
+                config.batch_max = (16 * m).max(64);
             }
             let handle =
                 Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| die(&format!("bind: {e}")));
@@ -338,7 +505,11 @@ fn main() {
         .map(|c| {
             let requests = args.requests;
             let programs = args.programs;
-            std::thread::spawn(move || drive_client(addr, c, requests, expect_faults, programs))
+            let stored = args.stored;
+            let window = args.pipeline;
+            std::thread::spawn(move || {
+                drive_client(addr, c, requests, expect_faults, programs, stored, window)
+            })
         })
         .collect();
     let mut total_ok = 0u64;
@@ -349,21 +520,32 @@ fn main() {
         total_bad += bad;
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    // Stats checks and stored-shape setup ride the stream but only the
+    // `requests` workload counts toward the reported throughput.
     let total = args.clients * args.requests;
+    let per_client_extra = 1 + if args.stored { 4 } else { 0 };
+    let expected_responses = total + args.clients * per_client_extra;
+    let rate = total as f64 / elapsed;
     println!(
-        "{} clients x {} requests: {total} total in {elapsed:.3} s = {:.0} requests/sec",
-        args.clients,
-        args.requests,
-        total as f64 / elapsed
+        "{} clients x {} requests (window {}): {total} total in {elapsed:.3} s = {rate:.0} requests/sec",
+        args.clients, args.requests, args.pipeline
     );
     if let Some(handle) = spawned {
         handle.shutdown();
         println!("server shut down cleanly");
     }
-    if total_bad > 0 || total_ok != total {
+    if total_bad > 0 || total_ok != expected_responses {
         die(&format!(
-            "{total_bad} dropped/incorrect responses out of {total}"
+            "{total_bad} dropped/incorrect responses out of {expected_responses}"
         ));
     }
-    println!("all {total} responses correct, zero dropped");
+    println!("all {expected_responses} responses correct, zero dropped");
+    if let Some(min) = args.min_throughput {
+        if rate < min {
+            die(&format!(
+                "throughput {rate:.0} requests/sec below the {min:.0} floor"
+            ));
+        }
+        println!("throughput {rate:.0} requests/sec >= {min:.0} floor");
+    }
 }

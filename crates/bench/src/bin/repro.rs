@@ -16,9 +16,22 @@ use bpimc_bench::experiments::{
     ablation, fig2, fig7a, fig7b, fig8, fig9, table1, table2, table3, vrange,
 };
 use bpimc_core::{ImcMacro, MacroConfig, Precision};
-use bpimc_nn::dot_program;
+use bpimc_nn::{
+    chunks_per_class, classify_bindings, classify_from_outputs, classify_program, dot_program,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The serving throughput PR 2 committed (~5k requests/sec with 8
+/// synchronous clients on the 2-core CI container). The check-bench gate
+/// requires the current pipelined measurement to stay at least
+/// [`SERVED_SPEEDUP_FLOOR`] times above it.
+const PR2_SERVED_REQ_PER_S: f64 = 5000.0;
+/// Required speedup of `served_req_per_s` over the PR-2 baseline.
+const SERVED_SPEEDUP_FLOOR: f64 = 2.0;
+/// Perf-history sidecar: `repro --json` appends one record per run;
+/// `check-bench` prints the trend against the latest entries.
+const HISTORY_PATH: &str = "BENCH_history.jsonl";
 
 /// Wall-clock + simulated-cycle numbers this PR and future perf PRs are
 /// measured by. Written to `BENCH_repro.json` by `--json`.
@@ -51,8 +64,9 @@ impl BenchReport {
     }
 
     /// Simulated per-op cycle counts (Table I ground truth, precision-swept)
-    /// plus current host micro-timings for the hot ops.
-    fn to_json(&self) -> String {
+    /// plus the supplied host measurements. Pure serialization: the caller
+    /// measures (`micro_timings`) and records history.
+    fn to_json(&self, report: &MicroReport) -> String {
         let mut s = String::from("{\n  \"schema\": 1,\n");
         if self.ran_fig2 {
             // Only a run that included fig2 has meaningful sample counts.
@@ -75,13 +89,110 @@ impl BenchReport {
             let _ = writeln!(s, "    \"{name}\": {c}{comma}");
         }
         s.push_str("  },\n  \"micro_us\": {\n");
-        let (micro, _) = micro_timings();
-        for (i, (name, us)) in micro.iter().enumerate() {
-            let comma = if i + 1 < micro.len() { "," } else { "" };
+        for (i, (name, us)) in report.micro.iter().enumerate() {
+            let comma = if i + 1 < report.micro.len() { "," } else { "" };
             let _ = writeln!(s, "    \"{name}\": {us:.3}{comma}");
         }
+        s.push_str("  },\n  \"throughput\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"served_req_per_s\": {:.0}",
+            report.served_req_per_s
+        );
         let _ = writeln!(s, "  }},\n  \"baseline_pre_refactor\": {BASELINE_JSON}\n}}");
         s
+    }
+}
+
+/// One line per `repro --json` run, appended to `BENCH_history.jsonl` — the
+/// criterion-free perf history `check-bench` prints trends from. Each
+/// record is a standalone JSON object (timestamp, micro timings,
+/// throughput), so the file is greppable and survives baseline rewrites.
+fn append_history(samples: usize, ran_fig2: bool, report: &MicroReport) {
+    use std::io::Write as _;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!("{{\"ts\":{ts}");
+    if ran_fig2 {
+        let _ = write!(line, ",\"samples\":{samples}");
+    }
+    line.push_str(",\"micro_us\":{");
+    for (i, (name, us)) in report.micro.iter().enumerate() {
+        let comma = if i + 1 < report.micro.len() { "," } else { "" };
+        let _ = write!(line, "\"{name}\":{us:.3}{comma}");
+    }
+    let _ = write!(
+        line,
+        "}},\"served_req_per_s\":{:.0}}}",
+        report.served_req_per_s
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(HISTORY_PATH)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match appended {
+        Ok(()) => eprintln!("appended perf record to {HISTORY_PATH}"),
+        Err(e) => eprintln!("warning: could not append to {HISTORY_PATH}: {e}"),
+    }
+}
+
+/// Prints each current metric against the median of the last `n` history
+/// records (purely informational — the hard gates are the baseline
+/// comparisons). Silent when no history exists yet.
+fn print_history_trend(report: &MicroReport, n: usize) {
+    let Ok(text) = std::fs::read_to_string(HISTORY_PATH) else {
+        println!("history no {HISTORY_PATH} yet (run `repro all --json` to start one)");
+        return;
+    };
+    let records: Vec<bpimc_core::json::Json> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| bpimc_core::json::Json::parse(l).ok())
+        .collect();
+    if records.is_empty() {
+        return;
+    }
+    let recent = &records[records.len().saturating_sub(n)..];
+    println!(
+        "history trend vs the last {} record(s) in {HISTORY_PATH}:",
+        recent.len()
+    );
+    let median_of = |pick: &dyn Fn(&bpimc_core::json::Json) -> Option<f64>| -> Option<f64> {
+        let mut vals: Vec<f64> = recent.iter().filter_map(pick).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(f64::total_cmp);
+        Some(vals[vals.len() / 2])
+    };
+    for (name, current) in &report.micro {
+        let key = name.clone();
+        if let Some(med) = median_of(&move |r: &bpimc_core::json::Json| {
+            r.get("micro_us")
+                .and_then(|m| m.get(&key))
+                .and_then(|v| v.as_f64())
+        }) {
+            let delta = if med > 0.0 {
+                100.0 * (current - med) / med
+            } else {
+                0.0
+            };
+            println!("history {name:<22} {current:.3} us vs median {med:.3} ({delta:+.0}%)");
+        }
+    }
+    if let Some(med) =
+        median_of(&|r: &bpimc_core::json::Json| r.get("served_req_per_s").and_then(|v| v.as_f64()))
+    {
+        let cur = report.served_req_per_s;
+        let delta = if med > 0.0 {
+            100.0 * (cur - med) / med
+        } else {
+            0.0
+        };
+        println!("history served_req_per_s       {cur:.0} vs median {med:.0} ({delta:+.0}%)");
     }
 }
 
@@ -116,11 +227,25 @@ fn simulated_cycles() -> Vec<(String, u64)> {
     out
 }
 
+/// Host-side measurements `check-bench` gates: micro timings of the hot
+/// ops/pipelines, the relative executor-overhead ratios (medians over
+/// interleaved rounds), and the served request throughput.
+struct MicroReport {
+    micro: Vec<(String, f64)>,
+    /// Compiled-program / raw-method-call pipeline time (16-feature dot).
+    compiled_ratio: f64,
+    /// Classify-via-compiled-template / raw-method-call classify time.
+    classify_ratio: f64,
+    /// Pipelined mixed-stream requests/sec against an in-process server.
+    served_req_per_s: f64,
+}
+
 /// Quick host-side timings of the hot macro ops and pipelines
 /// (microseconds per op; small sample, indicative rather than statistical
-/// — `cargo bench` has the criterion versions). The second return is the
-/// median-over-rounds compiled/raw pipeline ratio check-bench gates.
-fn micro_timings() -> (Vec<(String, f64)>, f64) {
+/// — `cargo bench` has the criterion versions). Ratios are medians over
+/// interleaved measurement rounds, so host frequency drift and
+/// noisy-neighbor bursts land on both sides equally.
+fn micro_timings() -> MicroReport {
     let p = Precision::P8;
     let mut mac = ImcMacro::new(MacroConfig::paper_macro());
     mac.write_mult_operands(0, p, &[123; 8]).expect("fits");
@@ -194,13 +319,74 @@ fn micro_timings() -> (Vec<(String, f64)>, f64) {
     let program_us = program_s * 1e6 / denom;
     let compiled_us = compiled_rounds.iter().sum::<f64>() * 1e6 / denom;
     let raw_us = raw_rounds.iter().sum::<f64>() * 1e6 / denom;
-    let mut ratios: Vec<f64> = compiled_rounds
-        .iter()
-        .zip(&raw_rounds)
-        .map(|(c, r)| c / r)
+    let median_ratio = |a: &[f64], b: &[f64]| -> f64 {
+        let mut ratios: Vec<f64> = a.iter().zip(b).map(|(x, y)| x / y).collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+    let ratio_median = median_ratio(&compiled_rounds, &raw_rounds);
+
+    // The serving hot path: one whole classification (all C prototype
+    // dots) through the per-model compiled template with the sample's
+    // chunks rebound, against the same work as raw ImcMacro method calls
+    // with host scoring. This is exactly what a `classify` request runs.
+    let protos: Vec<Vec<u64>> = (0..4)
+        .map(|c| (0..16).map(|i| (c * 37 + i * 11 + 3) % 256).collect())
         .collect();
-    ratios.sort_by(f64::total_cmp);
-    let ratio_median = ratios[ratios.len() / 2];
+    let norms = bpimc_nn::prototype_norms(&mut mac, p, &protos);
+    mac.clear_activity();
+    let dim = 16usize;
+    let template = classify_program(p, &protos, &vec![0u64; dim], mac.cols())
+        .compile(mac.config())
+        .expect("classify template compiles");
+    let chunks = chunks_per_class(p, dim, mac.cols());
+    let xq: Vec<u64> = (0..dim as u64).map(|i| (i * 29 + 5) % 256).collect();
+    let cls_n = 400usize;
+    let cls_per_round = cls_n / rounds;
+    let mut cls_prog_rounds = Vec::with_capacity(rounds);
+    let mut cls_raw_rounds = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..cls_per_round {
+            let inputs = classify_bindings(p, protos.len(), &xq, mac.cols());
+            let outputs = template
+                .run_outputs(&mut mac, &inputs)
+                .expect("template runs");
+            let got = classify_from_outputs(&outputs, chunks, &norms);
+            assert!(got < protos.len());
+            mac.clear_activity();
+        }
+        cls_prog_rounds.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for _ in 0..cls_per_round {
+            let mut best: Option<(usize, f64)> = None;
+            for (c, (w_q, &ww)) in protos.iter().zip(&norms).enumerate() {
+                let mut xw = 0u64;
+                for (xc, wc) in xq.chunks(lanes).zip(w_q.chunks(lanes)) {
+                    mac.write_mult_operands(0, p, xc).expect("fits");
+                    mac.write_mult_operands(1, p, wc).expect("fits");
+                    mac.mult(0, 1, 2, p).expect("mult");
+                    xw += mac
+                        .read_products(2, p, xc.len())
+                        .expect("read")
+                        .iter()
+                        .sum::<u64>();
+                }
+                let score = xw as f64 - ww as f64 / 2.0;
+                if best.is_none() || score > best.expect("set").1 {
+                    best = Some((c, score));
+                }
+            }
+            assert!(best.expect("classified").0 < protos.len());
+            mac.clear_activity();
+        }
+        cls_raw_rounds.push(t0.elapsed().as_secs_f64());
+    }
+    let cls_denom = (rounds * cls_per_round) as f64;
+    let classify_program_us = cls_prog_rounds.iter().sum::<f64>() * 1e6 / cls_denom;
+    let classify_raw_us = cls_raw_rounds.iter().sum::<f64>() * 1e6 / cls_denom;
+    let classify_ratio = median_ratio(&cls_prog_rounds, &cls_raw_rounds);
+
     // The headline Monte-Carlo workload at smoke scale: 200 fig2 samples
     // through the structure-of-arrays batch transient engine. Wall-gated
     // like the other host timings so the batched path cannot silently
@@ -209,17 +395,82 @@ fn micro_timings() -> (Vec<(String, f64)>, f64) {
     let fig2 = bpimc_bench::experiments::fig2::run(200, 2020);
     assert_eq!(fig2.samples, 200, "fig2 smoke ran");
     let fig2_us = t0.elapsed().as_secs_f64() * 1e6;
-    (
-        vec![
+
+    let served_req_per_s = serve_throughput();
+    MicroReport {
+        micro: vec![
             ("mult_p8_128col_us".into(), mult_us),
             ("reduce_add_8rows_us".into(), reduce_us),
             ("program_pipeline_us".into(), program_us),
             ("compiled_pipeline_us".into(), compiled_us),
             ("raw_pipeline_us".into(), raw_us),
+            ("classify_program_us".into(), classify_program_us),
+            ("classify_raw_us".into(), classify_raw_us),
             ("fig2_mc200_us".into(), fig2_us),
         ],
-        ratio_median,
-    )
+        compiled_ratio: ratio_median,
+        classify_ratio,
+        served_req_per_s,
+    }
+}
+
+/// Measures the compute service's mixed-stream throughput: an in-process
+/// server on an ephemeral port, 4 concurrent clients pipelining a window
+/// of 16 light dot/add requests each over real TCP. This is the
+/// `served_req_per_s` number check-bench gates against the PR-2 committed
+/// ~5k requests/sec baseline.
+fn serve_throughput() -> f64 {
+    use bpimc_core::{LaneOp, RequestBody, ResponseBody};
+    let handle = bpimc_server::Server::bind("127.0.0.1:0", bpimc_server::ServerConfig::default())
+        .expect("bind ephemeral serving bench");
+    let addr = handle.local_addr();
+    let clients = 4u64;
+    let per = 600u64;
+    let window = 16u64;
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = bpimc_server::Client::connect(addr).expect("connect");
+                let mut sent = 0u64;
+                let mut received = 0u64;
+                while received < per {
+                    while sent < per && sent - received < window {
+                        let k = (c * 97 + sent) % 256;
+                        let body = if sent.is_multiple_of(2) {
+                            RequestBody::Dot {
+                                precision: Precision::P8,
+                                x: vec![k, 2, 3, 4, 5, 6, 7, 8],
+                                w: vec![8, 7, 6, 5, 4, 3, 2, 1],
+                            }
+                        } else {
+                            RequestBody::Lanes {
+                                op: LaneOp::Add,
+                                precision: Precision::P8,
+                                a: vec![k, 20, 30, 40],
+                                b: vec![9, 9, 9, 9],
+                            }
+                        };
+                        client.send(body).expect("send");
+                        sent += 1;
+                    }
+                    let resp = client.recv().expect("recv");
+                    assert!(
+                        !matches!(resp.body, ResponseBody::Error(_)),
+                        "served an error: {:?}",
+                        resp.body
+                    );
+                    received += 1;
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("serving bench client");
+    }
+    let rate = (clients * per) as f64 / t0.elapsed().as_secs_f64();
+    handle.shutdown();
+    rate
 }
 
 /// `repro serve`: run the line-delimited-JSON compute service until a
@@ -331,11 +582,11 @@ fn check_bench(args: &[String]) {
     let cycle_names: Vec<String> = current_cycles.into_iter().map(|(n, _)| n).collect();
     orphaned_baseline_keys(cycles_base, "cycles ", &cycle_names, &mut failures);
 
-    let (current_micro, ratio_median) = micro_timings();
+    let report = micro_timings();
     let micro_base = baseline
         .get("micro_us")
         .unwrap_or_else(|| die("baseline has no micro_us"));
-    for (name, current) in &current_micro {
+    for (name, current) in &report.micro {
         match micro_base.get(name).and_then(|v| v.as_f64()) {
             Some(recorded) if *current <= recorded * TOLERANCE_FACTOR => {
                 println!("micro   {name:<22} {current:.3} us (baseline {recorded:.3}, limit {TOLERANCE_FACTOR}x)");
@@ -352,13 +603,14 @@ fn check_bench(args: &[String]) {
             }
         }
     }
-    // The executor-overhead gate is *relative*, measured within one
-    // process: the pre-resolved program path must stay close to raw method
-    // calls no matter the host. The gated value is the median over
+    // The executor-overhead gates are *relative*, measured within one
+    // process: the pre-resolved program paths must stay close to raw
+    // method calls no matter the host. The gated values are medians over
     // interleaved measurement rounds, so neither frequency drift nor a
-    // noisy-neighbor burst on a few rounds can flake it. (The absolute
+    // noisy-neighbor burst on a few rounds can flake them. (The absolute
     // 10x gates above still bound every timing against the baseline.)
     const COMPILED_OVERHEAD_FACTOR: f64 = 1.25;
+    let ratio_median = report.compiled_ratio;
     if ratio_median <= COMPILED_OVERHEAD_FACTOR {
         println!(
             "ratio   compiled/raw pipeline   {ratio_median:.2}x median (limit {COMPILED_OVERHEAD_FACTOR}x)"
@@ -369,8 +621,58 @@ fn check_bench(args: &[String]) {
         );
         failures += 1;
     }
-    let micro_names: Vec<String> = current_micro.into_iter().map(|(n, _)| n).collect();
+    // The one-program classify acceptance: a whole served classification
+    // through the compiled template must stay within 1.1x of raw ImcMacro
+    // method calls.
+    const CLASSIFY_OVERHEAD_FACTOR: f64 = 1.1;
+    let cls_ratio = report.classify_ratio;
+    if cls_ratio <= CLASSIFY_OVERHEAD_FACTOR {
+        println!(
+            "ratio   classify prog/raw       {cls_ratio:.2}x median (limit {CLASSIFY_OVERHEAD_FACTOR}x)"
+        );
+    } else {
+        println!(
+            "ratio   classify prog/raw       {cls_ratio:.2}x median > {CLASSIFY_OVERHEAD_FACTOR}x  FAIL"
+        );
+        failures += 1;
+    }
+    // Serving throughput: must hold the tentpole speedup over the PR-2
+    // committed ~5k req/s, and must not collapse an order of magnitude
+    // below its own recorded baseline.
+    let served = report.served_req_per_s;
+    let served_floor = PR2_SERVED_REQ_PER_S * SERVED_SPEEDUP_FLOOR;
+    if served >= served_floor {
+        println!(
+            "served  req/s                   {served:.0} (floor {served_floor:.0} = {SERVED_SPEEDUP_FLOOR}x PR-2 baseline {PR2_SERVED_REQ_PER_S:.0})"
+        );
+    } else {
+        println!("served  req/s                   {served:.0} < floor {served_floor:.0}  FAIL");
+        failures += 1;
+    }
+    match baseline
+        .get("throughput")
+        .and_then(|t| t.get("served_req_per_s"))
+        .and_then(|v| v.as_f64())
+    {
+        Some(recorded) if served >= recorded / TOLERANCE_FACTOR => {
+            println!(
+                "served  vs baseline             {served:.0} (baseline {recorded:.0}, floor /{TOLERANCE_FACTOR})"
+            );
+        }
+        Some(recorded) => {
+            println!(
+                "served  vs baseline             {served:.0} < baseline {recorded:.0} / {TOLERANCE_FACTOR}  FAIL"
+            );
+            failures += 1;
+        }
+        None => {
+            println!("served  req/s not in baseline  FAIL");
+            failures += 1;
+        }
+    }
+    let micro_names: Vec<String> = report.micro.iter().map(|(n, _)| n.clone()).collect();
     orphaned_baseline_keys(micro_base, "micro  ", &micro_names, &mut failures);
+    print_history_trend(&report, 5);
     if failures > 0 {
         die(&format!(
             "{failures} bench regression(s) against {baseline_path}"
@@ -460,10 +762,12 @@ fn main() {
     }
 
     if json {
+        let micro = micro_timings();
         let path = "BENCH_repro.json";
-        std::fs::write(path, report.to_json())
+        std::fs::write(path, report.to_json(&micro))
             .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("wrote {path}");
+        append_history(report.samples, report.ran_fig2, &micro);
     }
 }
 

@@ -59,8 +59,11 @@ pub use error::Error;
 pub use isa::OpKind;
 pub use macrobank::MacroBank;
 pub use macroblock::ImcMacro;
-pub use prog::{Instr, ProgError, Program, ProgramBuilder, ProgramRun, Reg};
-pub use wire::{LaneOp, ProgramReport, Request, RequestBody, Response, ResponseBody};
+pub use prog::{
+    CompiledProgram, Instr, PartitionedRun, ProgError, Program, ProgramBuilder, ProgramRun, Reg,
+    SubProgram,
+};
+pub use wire::{LaneOp, ProgramReport, Request, RequestBody, Response, ResponseBody, StoredMeta};
 
 // A failed batch job, as surfaced by `MacroBank::try_run_batch`.
 pub use bpimc_stats::parallel::JobPanic;

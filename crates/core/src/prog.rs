@@ -377,6 +377,26 @@ pub enum ProgError {
         /// Index of the offending instruction.
         instr: usize,
     },
+    /// A [`CompiledProgram::run_with_inputs`] call bound the wrong number
+    /// of input vectors: one entry per `write`/`write_mult` instruction is
+    /// required.
+    InputCount {
+        /// Write instructions in the program.
+        expected: usize,
+        /// Input entries supplied.
+        got: usize,
+    },
+    /// A bound input vector's length differs from the compiled write's
+    /// value count (the contract that keeps the static cost model and the
+    /// baked `read` lane counts valid).
+    InputLen {
+        /// Index of the write instruction (submitted order).
+        instr: usize,
+        /// Values the write was compiled with.
+        expected: usize,
+        /// Values the binding supplied.
+        got: usize,
+    },
     /// The macro rejected an instruction at execution time — unreachable
     /// for a validated program; kept for defensive containment.
     Exec {
@@ -436,6 +456,22 @@ impl fmt::Display for ProgError {
             }
             ProgError::EmptyReduce { instr } => {
                 write!(f, "instr {instr}: reduce_add needs at least one source")
+            }
+            ProgError::InputCount { expected, got } => {
+                write!(
+                    f,
+                    "program has {expected} write instruction(s) but {got} input vector(s) were bound"
+                )
+            }
+            ProgError::InputLen {
+                instr,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "instr {instr}: bound input has {got} values but the stored write has {expected}"
+                )
             }
             ProgError::Exec { instr, source } => {
                 write!(f, "instr {instr} failed on the macro: {source}")
@@ -785,10 +821,15 @@ impl Program {
         self.validate(config)?;
         let ops = self.lower_indexed();
         let predicted = ops.iter().map(|(i, _)| i.cycles()).sum();
+        let writes = ops
+            .iter()
+            .filter(|(i, _)| matches!(i, Instr::Write { .. } | Instr::WriteMult { .. }))
+            .count();
         Ok(CompiledProgram {
             ops,
             submitted: self.instrs.len(),
             reads: self.read_count(),
+            writes,
             predicted,
             config: *config,
         })
@@ -834,6 +875,9 @@ pub struct CompiledProgram {
     submitted: usize,
     /// Output vectors a run produces.
     reads: usize,
+    /// `write`/`write_mult` instructions (the bindable input slots of
+    /// [`CompiledProgram::run_with_inputs`]).
+    writes: usize,
     /// Static total-cycle prediction over the lowered stream.
     predicted: u64,
     /// The configuration the program was validated against.
@@ -849,6 +893,17 @@ impl CompiledProgram {
     /// Predicted total hardware cycles of a run (the static cost model).
     pub fn cycles(&self) -> u64 {
         self.predicted
+    }
+
+    /// Number of submitted instructions (per-instruction accounting slots).
+    pub fn submitted_len(&self) -> usize {
+        self.submitted
+    }
+
+    /// Number of `write`/`write_mult` instructions — the input slots a
+    /// [`CompiledProgram::run_with_inputs`] call binds, in submitted order.
+    pub fn write_count(&self) -> usize {
+        self.writes
     }
 
     /// Executes the pre-resolved op array on `mac` — no validation, no
@@ -874,6 +929,404 @@ impl CompiledProgram {
             state.step(mac, instr, *idx)?;
         }
         Ok(state.finish(mac, self.predicted))
+    }
+
+    /// Executes the pre-resolved op array with fresh *input bindings*: one
+    /// entry per `write`/`write_mult` instruction in submitted order, where
+    /// `Some(values)` replaces that write's values for this run and `None`
+    /// keeps the compiled ones. This is the stored-program hot path — the
+    /// same validated shape runs many times over new data with zero
+    /// re-validation, re-lowering or instruction cloning.
+    ///
+    /// A bound vector must have exactly as many values as the write was
+    /// compiled with (so the baked `read` lane counts and the static cost
+    /// model stay correct) and every value must fit the write's precision.
+    /// The cycle count and per-cycle activity of a bound run are identical
+    /// to the compiled run's — writes cost one cycle regardless of data.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgError::ConfigMismatch`] on a differently-configured macro,
+    /// [`ProgError::InputCount`] / [`ProgError::InputLen`] /
+    /// [`ProgError::WordTooWide`] on a bad binding (checked before any
+    /// array state changes), and [`ProgError::Exec`] as in
+    /// [`CompiledProgram::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executed cycle count diverges from the static cost
+    /// model (a `prog` bug, never a data-dependent condition).
+    pub fn run_with_inputs(
+        &self,
+        mac: &mut ImcMacro,
+        inputs: &[Option<&[u64]>],
+    ) -> Result<ProgramRun, ProgError> {
+        if *mac.config() != self.config {
+            return Err(ProgError::ConfigMismatch);
+        }
+        self.check_bindings(inputs)?;
+        let mut state = ExecState::new(mac, self.submitted, self.reads);
+        let mut slot = 0usize;
+        for (instr, idx) in &self.ops {
+            match instr {
+                Instr::Write { dst, precision, .. } => {
+                    let bound = inputs[slot];
+                    slot += 1;
+                    if let Some(values) = bound {
+                        state.step_write(mac, *idx, |m| {
+                            m.write_words(dst.row(), *precision, values)
+                        })?;
+                        continue;
+                    }
+                }
+                Instr::WriteMult { dst, precision, .. } => {
+                    let bound = inputs[slot];
+                    slot += 1;
+                    if let Some(values) = bound {
+                        state.step_write(mac, *idx, |m| {
+                            m.write_mult_operands(dst.row(), *precision, values)
+                        })?;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            state.step(mac, instr, *idx)?;
+        }
+        Ok(state.finish(mac, self.predicted))
+    }
+
+    /// [`CompiledProgram::run_with_inputs`] without the per-instruction
+    /// accounting: returns just the read outputs. For callers that bill
+    /// from the activity log's totals anyway (the serving classify path),
+    /// this skips the per-instruction cycle/span bookkeeping — the last
+    /// measurable executor overhead on many-instruction programs. The
+    /// total-cycle cost-model assertion still runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledProgram::run_with_inputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executed cycle count diverges from the static cost
+    /// model (a `prog` bug, never a data-dependent condition).
+    pub fn run_outputs(
+        &self,
+        mac: &mut ImcMacro,
+        inputs: &[Option<&[u64]>],
+    ) -> Result<Vec<Vec<u64>>, ProgError> {
+        if *mac.config() != self.config {
+            return Err(ProgError::ConfigMismatch);
+        }
+        self.check_bindings(inputs)?;
+        let log_start = mac.activity().total_cycles();
+        let mut outputs = Vec::with_capacity(self.reads);
+        let mut slot = 0usize;
+        for (instr, idx) in &self.ops {
+            let res = match instr {
+                Instr::Write { dst, precision, .. } => {
+                    let bound = inputs[slot];
+                    slot += 1;
+                    match bound {
+                        Some(values) => mac.write_words(dst.row(), *precision, values).map(|_| ()),
+                        None => exec_instr(instr, mac, &mut outputs),
+                    }
+                }
+                Instr::WriteMult { dst, precision, .. } => {
+                    let bound = inputs[slot];
+                    slot += 1;
+                    match bound {
+                        Some(values) => mac
+                            .write_mult_operands(dst.row(), *precision, values)
+                            .map(|_| ()),
+                        None => exec_instr(instr, mac, &mut outputs),
+                    }
+                }
+                _ => exec_instr(instr, mac, &mut outputs),
+            };
+            res.map_err(|source| ProgError::Exec {
+                instr: *idx,
+                source,
+            })?;
+        }
+        let executed = mac.activity().total_cycles() - log_start;
+        assert_eq!(
+            executed, self.predicted,
+            "static cost model diverged from the activity log"
+        );
+        Ok(outputs)
+    }
+
+    /// Checks a binding set against the compiled writes without touching
+    /// any macro: entry count, per-entry length, value ranges.
+    fn check_bindings(&self, inputs: &[Option<&[u64]>]) -> Result<(), ProgError> {
+        if inputs.len() != self.writes {
+            return Err(ProgError::InputCount {
+                expected: self.writes,
+                got: inputs.len(),
+            });
+        }
+        let mut slot = 0usize;
+        for (instr, idx) in &self.ops {
+            let (precision, baked) = match instr {
+                Instr::Write {
+                    precision, values, ..
+                }
+                | Instr::WriteMult {
+                    precision, values, ..
+                } => (*precision, values),
+                _ => continue,
+            };
+            if let Some(bound) = inputs[slot] {
+                if bound.len() != baked.len() {
+                    return Err(ProgError::InputLen {
+                        instr: *idx,
+                        expected: baked.len(),
+                        got: bound.len(),
+                    });
+                }
+                if let Some(&v) = bound.iter().find(|&&v| v > precision.max_value()) {
+                    return Err(ProgError::WordTooWide {
+                        value: v,
+                        bits: precision.bits(),
+                        instr: *idx,
+                    });
+                }
+            }
+            slot += 1;
+        }
+        Ok(())
+    }
+}
+
+/// One independent subgraph of a [`Program`], produced by
+/// [`Program::partition`]: a self-contained instruction subsequence whose
+/// every register read reaches a definition *inside* the subgraph, so it
+/// can run on any macro, in any order relative to its siblings, and still
+/// compute exactly what it computed in the original stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubProgram {
+    /// The component as a standalone runnable program (original
+    /// instruction order preserved within the component).
+    pub program: Program,
+    /// For each component instruction, the index of the submitted
+    /// instruction it came from.
+    pub submitted: Vec<usize>,
+    /// For each component `read`/`read_products` (in component order), the
+    /// output-slot index it fills in the original program's output list.
+    pub read_slots: Vec<usize>,
+}
+
+/// Disjoint-set forest over instruction indices (path-halving + union by
+/// size), for the dependence components.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self((0..n).collect())
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Root at the smaller index so component roots are stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.0[hi] = lo;
+        }
+    }
+}
+
+impl Program {
+    /// Splits the program into its independent dependence components.
+    ///
+    /// Two instructions belong to the same component when one reads a
+    /// register *value* the other defined (reaching definitions, not raw
+    /// register indices — a register recycled by `write_to` across loop
+    /// iterations starts a fresh value each time, so chunked pipelines
+    /// like `classify`'s per-prototype dots split apart even though they
+    /// share three physical registers). Within a component the original
+    /// instruction order is preserved, which also preserves the
+    /// `add`+`shl` fusion opportunities and therefore the component cycle
+    /// counts: the components' cycles always sum to [`Program::cycles`].
+    ///
+    /// Intended for validated programs; on an invalid program the split is
+    /// still well-defined (an unreachable source read simply does not link)
+    /// but the components may not validate individually.
+    pub fn partition(&self) -> Vec<SubProgram> {
+        let n = self.instrs.len();
+        let mut uf = UnionFind::new(n);
+        let mut last_def: Vec<Option<usize>> = vec![None; self.regs];
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            for src in instr.sources() {
+                if let Some(Some(def)) = last_def.get(src.row()) {
+                    uf.union(idx, *def);
+                }
+            }
+            if let Some(dst) = instr.dst() {
+                last_def[dst.row()] = Some(idx);
+            }
+        }
+        // Group by root, components ordered by their first instruction.
+        let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
+        let mut comps: Vec<(Vec<Instr>, Vec<usize>, Vec<usize>)> = Vec::new();
+        let mut read_slot = 0usize;
+        for idx in 0..n {
+            let root = uf.find(idx);
+            let c = *comp_of_root[root].get_or_insert_with(|| {
+                comps.push((Vec::new(), Vec::new(), Vec::new()));
+                comps.len() - 1
+            });
+            let instr = &self.instrs[idx];
+            if instr.is_read() {
+                comps[c].2.push(read_slot);
+                read_slot += 1;
+            }
+            comps[c].0.push(instr.clone());
+            comps[c].1.push(idx);
+        }
+        comps
+            .into_iter()
+            .map(|(instrs, submitted, read_slots)| SubProgram {
+                program: Program::new(instrs),
+                submitted,
+                read_slots,
+            })
+            .collect()
+    }
+
+    /// The static cost model's parallel-completion bound: the busiest
+    /// macro's cycle count when the program's dependence components are
+    /// spread over `macros` macros by the deterministic LPT schedule
+    /// [`MacroBank::run_partitioned`] uses. With one macro this equals
+    /// [`Program::cycles`]; total work is always exactly
+    /// [`Program::cycles`] regardless of the split.
+    pub fn predicted_makespan(&self, macros: usize) -> u64 {
+        let parts = self.partition();
+        let costs: Vec<u64> = parts.iter().map(|p| p.program.cycles()).collect();
+        lpt_schedule(&costs, macros.max(1))
+            .iter()
+            .map(|bin| bin.iter().map(|&c| costs[c]).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Deterministic longest-processing-time schedule: components sorted by
+/// (cost descending, index ascending), each assigned to the least-loaded
+/// bin (lowest index on ties). Returns the component indices per bin.
+fn lpt_schedule(costs: &[u64], bins: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut out = vec![Vec::new(); bins];
+    let mut load = vec![0u64; bins];
+    for i in order {
+        let b = (0..bins).min_by_key(|&b| (load[b], b)).expect("bins >= 1");
+        load[b] += costs[i];
+        out[b].push(i);
+    }
+    out
+}
+
+/// The result of a multi-macro partitioned execution
+/// ([`MacroBank::run_partitioned`]).
+///
+/// Outputs and per-instruction cycles are reassembled in *program order*,
+/// so they are identical to a single-macro [`Program::run`]; what changes
+/// is completion time, reported as [`PartitionedRun::makespan_cycles`]
+/// (the busiest macro) next to the unchanged total work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedRun {
+    /// One vector per `read`/`read_products` instruction, in program order.
+    pub outputs: Vec<Vec<u64>>,
+    /// Hardware cycles billed per submitted instruction (fused `shl`s bill
+    /// 0, exactly as in [`ProgramRun`]).
+    pub instr_cycles: Vec<u64>,
+    /// Total hardware work — identical to the single-macro run.
+    pub total_cycles: u64,
+    /// Parallel completion bound: the busiest macro's cycles this run.
+    pub makespan_cycles: u64,
+    /// Macros that executed at least one component.
+    pub macros_used: usize,
+}
+
+impl MacroBank {
+    /// Runs one program with its independent dependence components spread
+    /// across the bank's macros (deterministic LPT schedule over the
+    /// static per-component cycle costs) — the single-request latency
+    /// path: total cycles and all results are identical to
+    /// [`Program::run`] on one macro, while the completion bound drops to
+    /// [`PartitionedRun::makespan_cycles`].
+    ///
+    /// The extended cost model is asserted against the activity logs: each
+    /// macro must log exactly the cycles the schedule predicted for it
+    /// ([`Program::predicted_makespan`] reports the same schedule's
+    /// maximum).
+    ///
+    /// # Errors
+    ///
+    /// Forwards validation [`ProgError`]s (checked against the bank's
+    /// configuration before any macro is touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any macro's logged cycles diverge from the schedule's
+    /// prediction (a `prog` bug, never a data-dependent condition).
+    pub fn run_partitioned(&mut self, prog: &Program) -> Result<PartitionedRun, ProgError> {
+        let config = *self.macros().next().expect("banks are non-empty").config();
+        prog.validate(&config)?;
+        let parts = prog.partition();
+        let costs: Vec<u64> = parts.iter().map(|p| p.program.cycles()).collect();
+        let bins = lpt_schedule(&costs, self.len());
+        let starts: Vec<u64> = self.macros().map(|m| m.activity().total_cycles()).collect();
+        let mut results = self.dispatch(|i, mac| {
+            bins[i]
+                .iter()
+                .map(|&ci| (ci, parts[ci].program.run(mac)))
+                .collect::<Vec<_>>()
+        });
+        let deltas: Vec<u64> = self
+            .macros()
+            .zip(&starts)
+            .map(|(m, &s)| m.activity().total_cycles() - s)
+            .collect();
+        let mut per_part: Vec<Option<ProgramRun>> = (0..parts.len()).map(|_| None).collect();
+        for (i, macro_runs) in results.drain(..).enumerate() {
+            for (ci, run) in macro_runs {
+                per_part[ci] = Some(run?);
+            }
+            let predicted: u64 = bins[i].iter().map(|&c| costs[c]).sum();
+            assert_eq!(
+                deltas[i], predicted,
+                "macro {i}: partition cost model diverged from the activity log"
+            );
+        }
+        let mut outputs: Vec<Vec<u64>> = vec![Vec::new(); prog.read_count()];
+        let mut instr_cycles = vec![0u64; prog.instrs().len()];
+        for (part, run) in parts.iter().zip(per_part) {
+            let run = run.expect("every component was scheduled");
+            for (slot, out) in part.read_slots.iter().zip(run.outputs) {
+                outputs[*slot] = out;
+            }
+            for (sub_idx, cycles) in part.submitted.iter().zip(run.instr_cycles) {
+                instr_cycles[*sub_idx] = cycles;
+            }
+        }
+        Ok(PartitionedRun {
+            outputs,
+            instr_cycles,
+            total_cycles: deltas.iter().sum(),
+            makespan_cycles: deltas.iter().copied().max().unwrap_or(0),
+            macros_used: bins.iter().filter(|b| !b.is_empty()).count(),
+        })
     }
 }
 
@@ -902,6 +1355,23 @@ impl ExecState {
         let start = mac.activity().total_cycles() as usize;
         exec_instr(instr, mac, &mut self.outputs)
             .map_err(|source| ProgError::Exec { instr: idx, source })?;
+        let end = mac.activity().total_cycles() as usize;
+        self.instr_cycles[idx] = (end - start) as u64;
+        self.instr_spans[idx] = start..end;
+        Ok(())
+    }
+
+    /// Like [`ExecState::step`] for a write whose values are bound at run
+    /// time (`run_with_inputs`): the caller supplies the macro call so the
+    /// bound slice is written without cloning it into an [`Instr`].
+    fn step_write(
+        &mut self,
+        mac: &mut ImcMacro,
+        idx: usize,
+        write: impl FnOnce(&mut ImcMacro) -> Result<u64, Error>,
+    ) -> Result<(), ProgError> {
+        let start = mac.activity().total_cycles() as usize;
+        write(mac).map_err(|source| ProgError::Exec { instr: idx, source })?;
         let end = mac.activity().total_cycles() as usize;
         self.instr_cycles[idx] = (end - start) as u64;
         self.instr_spans[idx] = start..end;
@@ -1778,6 +2248,247 @@ mod tests {
         let lowered = prog.lowered();
         assert_eq!(lowered.len(), 2 + pairs);
         assert_eq!(prog.cycles(), 2 + pairs as u64);
+    }
+
+    #[test]
+    fn run_with_inputs_rebinds_write_values() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let x = b.write(p, vec![1, 2, 3]);
+        let y = b.write(p, vec![10, 10, 10]);
+        let s = b.add(x, y, p);
+        b.read(s, p, 3);
+        let prog = b.finish();
+        let compiled = prog.compile(&cfg()).unwrap();
+        assert_eq!(compiled.write_count(), 2);
+
+        let mut m = mac();
+        // Baked values.
+        let run = compiled.run_with_inputs(&mut m, &[None, None]).unwrap();
+        assert_eq!(run.outputs[0], vec![11, 12, 13]);
+        // Rebind one operand; the other stays baked.
+        let xs = [100u64, 200, 255];
+        let run = compiled
+            .run_with_inputs(&mut m, &[Some(&xs), None])
+            .unwrap();
+        assert_eq!(run.outputs[0], vec![110, 210, (255 + 10) & 0xFF]);
+        // Rebind both; identical accounting to the compiled run.
+        let ys = [1u64, 1, 1];
+        let run = compiled
+            .run_with_inputs(&mut m, &[Some(&xs), Some(&ys)])
+            .unwrap();
+        assert_eq!(run.outputs[0], vec![101, 201, 0]);
+        assert_eq!(run.total_cycles(), compiled.cycles());
+        assert_eq!(run.instr_cycles, prog.instr_cycles());
+    }
+
+    #[test]
+    fn run_with_inputs_matches_a_freshly_built_program_bit_for_bit() {
+        let p = Precision::P4;
+        let build = |x: &[u64], w: &[u64]| {
+            let mut b = ProgramBuilder::new();
+            let rx = b.write_mult(p, x.to_vec());
+            let rw = b.write_mult(p, w.to_vec());
+            let prod = b.mult(rx, rw, p);
+            b.read_products(prod, p, x.len());
+            b.finish()
+        };
+        let compiled = build(&[0, 0, 0], &[0, 0, 0]).compile(&cfg()).unwrap();
+        let (x, w) = ([3u64, 7, 15], [5u64, 2, 9]);
+        let mut m1 = mac();
+        let bound = compiled
+            .run_with_inputs(&mut m1, &[Some(&x), Some(&w)])
+            .unwrap();
+        let mut m2 = mac();
+        let fresh = build(&x, &w).run(&mut m2).unwrap();
+        assert_eq!(bound, fresh);
+        assert_eq!(m1.activity().cycles(), m2.activity().cycles());
+    }
+
+    #[test]
+    fn run_outputs_matches_run_with_inputs() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let x = b.write_mult(p, vec![0, 0]);
+        let w = b.write_mult(p, vec![7, 9]);
+        let prod = b.mult(x, w, p);
+        b.read_products(prod, p, 2);
+        let s = b.add_shift(x, w, p);
+        b.read(s, p, 2);
+        let compiled = b.finish().compile(&cfg()).unwrap();
+        let xs = [3u64, 5];
+        let mut m1 = mac();
+        let full = compiled
+            .run_with_inputs(&mut m1, &[Some(&xs), None])
+            .unwrap();
+        let mut m2 = mac();
+        let lean = compiled.run_outputs(&mut m2, &[Some(&xs), None]).unwrap();
+        assert_eq!(lean, full.outputs);
+        assert_eq!(m1.activity().cycles(), m2.activity().cycles());
+        // Same structured errors without touching the macro.
+        let mut m3 = mac();
+        assert_eq!(
+            compiled.run_outputs(&mut m3, &[]),
+            Err(ProgError::InputCount {
+                expected: 2,
+                got: 0
+            })
+        );
+        assert_eq!(m3.activity().total_cycles(), 0);
+    }
+
+    #[test]
+    fn run_with_inputs_rejects_bad_bindings_before_touching_the_macro() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let x = b.write(p, vec![1, 2]);
+        b.read(x, p, 2);
+        let compiled = b.finish().compile(&cfg()).unwrap();
+        let mut m = mac();
+        assert_eq!(
+            compiled.run_with_inputs(&mut m, &[]),
+            Err(ProgError::InputCount {
+                expected: 1,
+                got: 0
+            })
+        );
+        let short = [9u64];
+        assert_eq!(
+            compiled.run_with_inputs(&mut m, &[Some(&short)]),
+            Err(ProgError::InputLen {
+                instr: 0,
+                expected: 2,
+                got: 1
+            })
+        );
+        let wide = [300u64, 1];
+        assert_eq!(
+            compiled.run_with_inputs(&mut m, &[Some(&wide)]),
+            Err(ProgError::WordTooWide {
+                value: 300,
+                bits: 8,
+                instr: 0
+            })
+        );
+        // Nothing ran, nothing was billed.
+        assert_eq!(m.activity().total_cycles(), 0);
+        let mut other = ImcMacro::new(cfg().with_separator(false));
+        assert_eq!(
+            compiled.run_with_inputs(&mut other, &[None]),
+            Err(ProgError::ConfigMismatch)
+        );
+    }
+
+    #[test]
+    fn partition_splits_recycled_register_chunks_into_components() {
+        // A classify-shaped program: three working registers recycled
+        // across four independent write/write/mult/read chains. Reaching
+        // definitions (not raw register indices) must split them apart.
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let rx = b.alloc();
+        let rw = b.alloc();
+        let rp = b.alloc();
+        for k in 0..4u64 {
+            b.write_mult_to(rx, p, vec![k + 1, k + 2]);
+            b.write_mult_to(rw, p, vec![10, 20]);
+            b.push(Instr::Mult {
+                a: rx,
+                b: rw,
+                dst: rp,
+                precision: p,
+            });
+            b.read_products(rp, p, 2);
+        }
+        let prog = b.finish();
+        let parts = prog.partition();
+        assert_eq!(parts.len(), 4);
+        for (c, part) in parts.iter().enumerate() {
+            assert_eq!(part.program.instrs().len(), 4);
+            assert_eq!(part.read_slots, vec![c]);
+            assert_eq!(
+                part.submitted,
+                (4 * c..4 * c + 4).collect::<Vec<_>>(),
+                "component {c} instruction mapping"
+            );
+        }
+        // Component cycles sum to the whole program's cycles.
+        let sum: u64 = parts.iter().map(|s| s.program.cycles()).sum();
+        assert_eq!(sum, prog.cycles());
+        // With enough macros the makespan is one chain; with one macro it
+        // is the full program.
+        assert_eq!(prog.predicted_makespan(4), parts[0].program.cycles());
+        assert_eq!(prog.predicted_makespan(1), prog.cycles());
+    }
+
+    #[test]
+    fn partition_keeps_dependent_chains_together_and_preserves_fusion() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let x = b.write(p, vec![3]);
+        let y = b.write(p, vec![5]);
+        let s = b.add(x, y, p);
+        let d = b.shl(s, p); // fuses
+        b.read(d, p, 1);
+        let prog = b.finish();
+        let parts = prog.partition();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].program.cycles(), prog.cycles());
+        assert_eq!(prog.predicted_makespan(8), prog.cycles());
+    }
+
+    #[test]
+    fn run_partitioned_matches_single_macro_execution() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        let rx = b.alloc();
+        let rw = b.alloc();
+        let rp = b.alloc();
+        let mut expect = Vec::new();
+        for k in 0..5u64 {
+            let xs: Vec<u64> = (0..4).map(|i| (k * 13 + i * 7) % 256).collect();
+            let ws: Vec<u64> = (0..4).map(|i| (k * 29 + i + 1) % 256).collect();
+            expect.push(xs.iter().zip(&ws).map(|(a, c)| a * c).collect::<Vec<_>>());
+            b.write_mult_to(rx, p, xs);
+            b.write_mult_to(rw, p, ws);
+            b.push(Instr::Mult {
+                a: rx,
+                b: rw,
+                dst: rp,
+                precision: p,
+            });
+            b.read_products(rp, p, 4);
+        }
+        let prog = b.finish();
+
+        let mut single = mac();
+        let single_run = prog.run(&mut single).unwrap();
+
+        let mut bank = MacroBank::new(3, cfg());
+        let part_run = bank.run_partitioned(&prog).unwrap();
+        assert_eq!(part_run.outputs, expect);
+        assert_eq!(part_run.outputs, single_run.outputs);
+        assert_eq!(part_run.instr_cycles, single_run.instr_cycles);
+        assert_eq!(part_run.total_cycles, single.activity().total_cycles());
+        assert_eq!(part_run.total_cycles, bank.total_cycles());
+        assert!(part_run.makespan_cycles < part_run.total_cycles);
+        assert_eq!(part_run.makespan_cycles, prog.predicted_makespan(3));
+        assert_eq!(part_run.macros_used, 3);
+    }
+
+    #[test]
+    fn run_partitioned_validates_before_touching_the_bank() {
+        let prog = Program::new(vec![Instr::Read {
+            src: Reg(0),
+            precision: Precision::P8,
+            n: 1,
+        }]);
+        let mut bank = MacroBank::new(2, cfg());
+        assert!(matches!(
+            bank.run_partitioned(&prog),
+            Err(ProgError::UseBeforeDef { .. })
+        ));
+        assert_eq!(bank.total_cycles(), 0);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! | `load_model` | `precision`, `prototypes` | store quantized class prototypes in the session |
 //! | `classify` | `x` | nearest-prototype class of a quantized sample |
 //! | `exec_program` | `instrs` | run a whole [`Program`](crate::prog::Program) in one round trip |
+//! | `store_program` | `instrs` | validate + compile once into the session's stored-program cache |
+//! | `run_stored` | `pid`, `inputs?` | run a stored program, optionally binding fresh write values |
 //! | `stats` | — | the session's activity account so far |
 //! | `inject_panic` | — | fault injection (only if the server enables it) |
 //! | `shutdown` | — | ask the server to drain and stop |
@@ -43,7 +45,7 @@
 //! # Responses
 //!
 //! `{"id":N,"ok":true,"kind":K,"result":…}` on success, with `kind` one of
-//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`;
+//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`, `stored`;
 //! `{"id":N,"ok":false,"error":"…"}` on failure. A response's `id` matches
 //! its request; per connection, responses arrive in request order.
 //!
@@ -52,6 +54,18 @@
 //! `{"outputs":[[…]…],"cycles":[…],"energy_fj":[…]}` (one `cycles` /
 //! `energy_fj` entry per submitted instruction; an instruction fused away
 //! by the lowering pass bills 0).
+//!
+//! A `store_program` request validates, lowers and compiles its
+//! instruction stream **once** against the server's macro configuration
+//! and answers `{"kind":"stored","result":{"pid":P,"cycles":C,"writes":W}}`
+//! with a session-local id. Subsequent `run_stored` requests
+//! (`{"op":"run_stored","pid":P,"inputs":[[…],null,…]}`) skip parsing the
+//! instruction stream, validation and lowering entirely and answer with
+//! the same `program` result shape; `inputs` optionally rebinds the
+//! program's write values — one entry per `write`/`write_mult` in
+//! submitted order, `null` keeping the stored values, each bound vector
+//! exactly as long as the stored one. Stored ids are private to their
+//! session and die with the connection.
 //!
 //! # Examples
 //!
@@ -173,6 +187,21 @@ pub enum RequestBody {
         /// The program's instructions, in order.
         instrs: Vec<Instr>,
     },
+    /// Validates and compiles a program into the session's stored-program
+    /// cache — the validate-once half of the stored-program fast path.
+    StoreProgram {
+        /// The program's instructions, in order.
+        instrs: Vec<Instr>,
+    },
+    /// Runs a stored program by its session-local id, optionally binding
+    /// fresh values to its `write`/`write_mult` instructions.
+    RunStored {
+        /// The id `store_program` returned.
+        pid: u64,
+        /// One entry per write instruction in submitted order (`None` /
+        /// JSON `null` keeps the stored values); empty runs all-stored.
+        inputs: Vec<Option<Vec<u64>>>,
+    },
     /// The session's activity account (state *before* this request).
     Stats,
     /// Deliberately panics the executing job (fault injection; the server
@@ -209,8 +238,23 @@ pub enum ResponseBody {
     /// An executed program's outputs and per-instruction accounting
     /// (`exec_program`).
     Program(ProgramReport),
+    /// A stored program's id and compile-time facts (`store_program`).
+    Stored(StoredMeta),
     /// The request failed; human-readable reason.
     Error(String),
+}
+
+/// What `store_program` returns: the session-local id to pass to
+/// `run_stored`, plus the compiled program's static facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredMeta {
+    /// Session-local stored-program id.
+    pub pid: u64,
+    /// Predicted hardware cycles of one run (the static cost model).
+    pub cycles: u64,
+    /// `write`/`write_mult` instructions — the input slots a `run_stored`
+    /// binding covers, in submitted order.
+    pub writes: u64,
 }
 
 /// One response, tagged with the request's id.
@@ -491,6 +535,16 @@ fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
     })
 }
 
+/// Parses the `instrs` array shared by `exec_program` and `store_program`.
+fn instrs_field(v: &Json) -> Result<Vec<Instr>, WireError> {
+    field(v, "instrs")?
+        .as_array()
+        .ok_or_else(|| wire_err("field 'instrs' must be an array"))?
+        .iter()
+        .map(instr_from_json)
+        .collect()
+}
+
 impl Request {
     /// Extracts just the `id` of a line, for error responses to requests
     /// that do not parse fully. Returns `None` when the line has no
@@ -541,14 +595,31 @@ impl Request {
             "classify" => RequestBody::Classify {
                 x: words_field(&v, "x")?,
             },
-            "exec_program" => {
-                let instrs = field(&v, "instrs")?
-                    .as_array()
-                    .ok_or_else(|| wire_err("field 'instrs' must be an array"))?
-                    .iter()
-                    .map(instr_from_json)
-                    .collect::<Result<Vec<_>, _>>()?;
-                RequestBody::ExecProgram { instrs }
+            "exec_program" => RequestBody::ExecProgram {
+                instrs: instrs_field(&v)?,
+            },
+            "store_program" => RequestBody::StoreProgram {
+                instrs: instrs_field(&v)?,
+            },
+            "run_stored" => {
+                let inputs = match v.get("inputs") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(arr) => arr
+                        .as_array()
+                        .ok_or_else(|| wire_err("field 'inputs' must be an array"))?
+                        .iter()
+                        .map(|e| match e {
+                            Json::Null => Ok(None),
+                            other => other.as_u64_array().map(Some).ok_or_else(|| {
+                                wire_err("each input must be an array of integers or null")
+                            }),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                RequestBody::RunStored {
+                    pid: u64_field(&v, "pid")?,
+                    inputs,
+                }
             }
             "stats" => RequestBody::Stats,
             "inject_panic" => RequestBody::InjectPanic,
@@ -610,6 +681,31 @@ impl Request {
                     "instrs",
                     Json::Arr(instrs.iter().map(instr_to_json).collect()),
                 );
+            }
+            RequestBody::StoreProgram { instrs } => {
+                push("op", Json::Str("store_program".into()));
+                push(
+                    "instrs",
+                    Json::Arr(instrs.iter().map(instr_to_json).collect()),
+                );
+            }
+            RequestBody::RunStored { pid, inputs } => {
+                push("op", Json::Str("run_stored".into()));
+                push("pid", Json::UInt(*pid));
+                if !inputs.is_empty() {
+                    push(
+                        "inputs",
+                        Json::Arr(
+                            inputs
+                                .iter()
+                                .map(|e| match e {
+                                    None => Json::Null,
+                                    Some(ws) => words_json(ws),
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
             }
             RequestBody::Stats => push("op", Json::Str("stats".into())),
             RequestBody::InjectPanic => push("op", Json::Str("inject_panic".into())),
@@ -679,6 +775,14 @@ impl Response {
                     energy_fj,
                 })
             }
+            "stored" => {
+                let r = field(&v, "result")?;
+                ResponseBody::Stored(StoredMeta {
+                    pid: u64_field(r, "pid")?,
+                    cycles: u64_field(r, "cycles")?,
+                    writes: u64_field(r, "writes")?,
+                })
+            }
             "stats" => {
                 let r = field(&v, "result")?;
                 ResponseBody::Stats(SessionActivity {
@@ -724,6 +828,14 @@ impl Response {
                                 "energy_fj".to_string(),
                                 Json::Arr(r.energy_fj.iter().map(|&e| Json::Float(e)).collect()),
                             ),
+                        ])),
+                    ),
+                    ResponseBody::Stored(s) => (
+                        "stored",
+                        Some(Json::Obj(vec![
+                            ("pid".to_string(), Json::UInt(s.pid)),
+                            ("cycles".to_string(), Json::UInt(s.cycles)),
+                            ("writes".to_string(), Json::UInt(s.writes)),
                         ])),
                     ),
                     ResponseBody::Stats(s) => (
@@ -812,6 +924,26 @@ mod tests {
             id: 9,
             body: RequestBody::ExecProgram {
                 instrs: every_instr_kind(),
+            },
+        });
+        round_trip_request(Request {
+            id: 10,
+            body: RequestBody::StoreProgram {
+                instrs: every_instr_kind(),
+            },
+        });
+        round_trip_request(Request {
+            id: 11,
+            body: RequestBody::RunStored {
+                pid: 3,
+                inputs: vec![],
+            },
+        });
+        round_trip_request(Request {
+            id: 12,
+            body: RequestBody::RunStored {
+                pid: 7,
+                inputs: vec![Some(vec![1, 2, 3]), None, Some(vec![]), Some(vec![255])],
             },
         });
         round_trip_request(Request {
@@ -950,6 +1082,14 @@ mod tests {
             body: ResponseBody::Error("no model loaded".into()),
         });
         round_trip_response(Response {
+            id: 9,
+            body: ResponseBody::Stored(StoredMeta {
+                pid: 12,
+                cycles: 345,
+                writes: 6,
+            }),
+        });
+        round_trip_response(Response {
             id: 8,
             body: ResponseBody::Program(ProgramReport {
                 outputs: vec![vec![1, 2], vec![3]],
@@ -987,6 +1127,16 @@ mod tests {
             (
                 "{\"id\":1,\"op\":\"exec_program\",\"instrs\":[{\"i\":\"write\",\"dst\":0,\"precision\":5,\"values\":[]}]}",
                 "precision",
+            ),
+            ("{\"id\":1,\"op\":\"store_program\"}", "'instrs'"),
+            ("{\"id\":1,\"op\":\"run_stored\"}", "'pid'"),
+            (
+                "{\"id\":1,\"op\":\"run_stored\",\"pid\":1,\"inputs\":7}",
+                "'inputs' must be an array",
+            ),
+            (
+                "{\"id\":1,\"op\":\"run_stored\",\"pid\":1,\"inputs\":[\"x\"]}",
+                "array of integers or null",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();

@@ -88,6 +88,108 @@ pub fn imc_dot(mac: &mut ImcMacro, precision: Precision, x_q: &[u64], w_q: &[u64
     run.outputs.iter().flatten().sum()
 }
 
+/// Emits **one** fused program covering all `C` prototype dots of a
+/// nearest-prototype classification — `dot(x_q, w_c)` for every class `c`,
+/// concatenated with the same three recycled working registers — so a
+/// classification costs a single trip through the program executor instead
+/// of `C` (validation, lowering and per-run bookkeeping amortize `C`-fold).
+///
+/// The instruction stream is exactly the concatenation of the per-class
+/// [`dot_program`] streams: hardware cycles, per-cycle activity and scores
+/// are bit-identical to running the dots one program at a time.
+///
+/// Outputs group per class: with `k = chunks_per_class(...)` chunks per
+/// dot, output vectors `[c*k, (c+1)*k)` are class `c`'s partial products;
+/// [`classify_from_outputs`] folds them into the predicted class.
+///
+/// # Panics
+///
+/// Panics when `2P` exceeds `cols` (no product lanes exist) or
+/// `prototypes_q` is empty.
+pub fn classify_program(
+    precision: Precision,
+    prototypes_q: &[Vec<u64>],
+    x_q: &[u64],
+    cols: usize,
+) -> Program {
+    assert!(!prototypes_q.is_empty(), "at least one prototype");
+    let lanes = precision.product_lanes(cols);
+    assert!(lanes > 0, "{precision} products do not fit {cols} columns");
+    let mut b = ProgramBuilder::new();
+    let rx = b.alloc();
+    let rw = b.alloc();
+    let rp = b.alloc();
+    for w_q in prototypes_q {
+        for (xc, wc) in x_q.chunks(lanes).zip(w_q.chunks(lanes)) {
+            b.write_mult_to(rx, precision, xc.to_vec());
+            b.write_mult_to(rw, precision, wc.to_vec());
+            b.push(Instr::Mult {
+                a: rx,
+                b: rw,
+                dst: rp,
+                precision,
+            });
+            b.read_products(rp, precision, xc.len());
+        }
+    }
+    b.finish()
+}
+
+/// Chunks each prototype dot splits into at this precision and row width
+/// (the per-class output-group size of [`classify_program`]).
+pub fn chunks_per_class(precision: Precision, dim: usize, cols: usize) -> usize {
+    dim.div_ceil(precision.product_lanes(cols).max(1)).max(1)
+}
+
+/// The input bindings that run a compiled [`classify_program`] template on
+/// sample `x_q`: per class and chunk, the sample's product-lane chunk is
+/// rebound (`Some`) and the baked prototype chunk is kept (`None`) —
+/// matching the template's write interleave exactly. Lives here, next to
+/// the program layout it mirrors, so the serving path and the benchmarks
+/// cannot drift from it.
+pub fn classify_bindings(
+    precision: Precision,
+    classes: usize,
+    x_q: &[u64],
+    cols: usize,
+) -> Vec<Option<&[u64]>> {
+    let lanes = precision.product_lanes(cols).max(1);
+    let chunks = chunks_per_class(precision, x_q.len(), cols);
+    let mut inputs = Vec::with_capacity(2 * classes * chunks);
+    for _ in 0..classes {
+        for xc in x_q.chunks(lanes) {
+            inputs.push(Some(xc));
+            inputs.push(None);
+        }
+    }
+    inputs
+}
+
+/// Folds a [`classify_program`] run's outputs into the predicted class:
+/// `argmax_c Σ products_c - |w_c|^2 / 2`, with ties resolved to the lowest
+/// class index (the same rule the per-class loop used).
+///
+/// # Panics
+///
+/// Panics when the output count is not `norms.len() * chunks` or `norms`
+/// is empty.
+pub fn classify_from_outputs(outputs: &[Vec<u64>], chunks: usize, norms: &[u64]) -> usize {
+    assert_eq!(
+        outputs.len(),
+        norms.len() * chunks,
+        "one output group per class"
+    );
+    let mut best: Option<(usize, f64)> = None;
+    for (c, &ww) in norms.iter().enumerate() {
+        let xw: u64 = outputs[c * chunks..(c + 1) * chunks].iter().flatten().sum();
+        let score = xw as f64 - ww as f64 / 2.0;
+        if best.is_none() || score > best.expect("set").1 {
+            best = Some((c, score));
+        }
+    }
+    best.expect("at least one class").0
+}
+
 /// Computes every prototype's self-dot `|w_c|^2` on one macro.
 ///
 /// Nearest-prototype scoring needs these once per prototype set, not once
@@ -110,6 +212,12 @@ pub fn prototype_norms(
 /// distance; `norms` holds the precomputed `|w_c|^2` terms (see
 /// [`prototype_norms`]).
 ///
+/// All `C` prototype dots run as **one** fused [`classify_program`], so the
+/// per-sample executor overhead (validation, lowering, run bookkeeping) is
+/// paid once instead of once per class; the instruction stream — and
+/// therefore the cycle/energy accounting and the scores — is bit-identical
+/// to the per-class loop it replaces.
+///
 /// # Panics
 ///
 /// Panics when `norms` is shorter than `prototypes_q` or the prototype set
@@ -126,15 +234,40 @@ pub fn classify_quantized(
         norms.len(),
         "one precomputed |w|^2 per prototype"
     );
-    let mut best: Option<(usize, f64)> = None;
-    for (c, (w_q, &ww)) in prototypes_q.iter().zip(norms).enumerate() {
-        let xw = imc_dot(mac, precision, x_q, w_q) as f64;
-        let score = xw - ww as f64 / 2.0;
-        if best.is_none() || score > best.expect("set").1 {
-            best = Some((c, score));
-        }
-    }
-    best.expect("at least one class").0
+    let prog = classify_program(precision, prototypes_q, x_q, mac.cols());
+    let run = prog.run(mac).expect("classify pipeline validates");
+    let chunks = chunks_per_class(precision, x_q.len(), mac.cols());
+    classify_from_outputs(&run.outputs, chunks, norms)
+}
+
+/// [`classify_quantized`] with the fused program's independent per-class
+/// dot chains spread across a whole [`MacroBank`]
+/// ([`MacroBank::run_partitioned`]) — the single-sample latency path.
+/// Scores, predicted class and *total* cycles/energy are identical to the
+/// one-macro run; only the completion bound (the busiest macro) shrinks.
+///
+/// # Panics
+///
+/// As [`classify_quantized`].
+pub fn classify_quantized_banked(
+    bank: &mut MacroBank,
+    precision: Precision,
+    prototypes_q: &[Vec<u64>],
+    norms: &[u64],
+    x_q: &[u64],
+) -> usize {
+    assert_eq!(
+        prototypes_q.len(),
+        norms.len(),
+        "one precomputed |w|^2 per prototype"
+    );
+    let cols = bank.macro_at(0).cols();
+    let prog = classify_program(precision, prototypes_q, x_q, cols);
+    let run = bank
+        .run_partitioned(&prog)
+        .expect("classify pipeline validates");
+    let chunks = chunks_per_class(precision, x_q.len(), cols);
+    classify_from_outputs(&run.outputs, chunks, norms)
 }
 
 impl PrototypeClassifier {
@@ -179,12 +312,20 @@ impl PrototypeClassifier {
     ///
     /// Single-sample classification computes the prototype norms on the
     /// macro each call (there is no batch to amortize them over); use
-    /// [`PrototypeClassifier::evaluate`] for datasets.
+    /// [`PrototypeClassifier::evaluate`] for datasets. The per-class dot
+    /// chains of the fused classify program spread across the bank's
+    /// macros ([`classify_quantized_banked`]), so one sample's latency
+    /// bound drops toward a single dot while total work is unchanged.
     pub fn classify(&mut self, x: &[f64]) -> usize {
         let x_q = self.quant.quantize_all(x);
-        let mac = self.bank.macro_at(0);
-        let norms = prototype_norms(mac, self.precision, &self.prototypes_q);
-        classify_quantized(mac, self.precision, &self.prototypes_q, &norms, &x_q)
+        let norms = prototype_norms(self.bank.macro_at(0), self.precision, &self.prototypes_q);
+        classify_quantized_banked(
+            &mut self.bank,
+            self.precision,
+            &self.prototypes_q,
+            &norms,
+            &x_q,
+        )
     }
 
     /// Evaluates accuracy, cycles and energy over a dataset, batching the
@@ -309,6 +450,100 @@ mod tests {
             r.cycles,
             seed_cycles
         );
+    }
+
+    /// The pre-fusion reference: one [`dot_program`] per class, scored on
+    /// the host — the loop `classify_quantized` replaced.
+    fn classify_per_class_loop(
+        mac: &mut bpimc_core::ImcMacro,
+        precision: Precision,
+        prototypes_q: &[Vec<u64>],
+        norms: &[u64],
+        x_q: &[u64],
+    ) -> usize {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, (w_q, &ww)) in prototypes_q.iter().zip(norms).enumerate() {
+            let xw = imc_dot(mac, precision, x_q, w_q) as f64;
+            let score = xw - ww as f64 / 2.0;
+            if best.is_none() || score > best.expect("set").1 {
+                best = Some((c, score));
+            }
+        }
+        best.expect("at least one class").0
+    }
+
+    #[test]
+    fn fused_classify_matches_per_class_loop_bit_for_bit() {
+        // Same predicted class, same hardware cycles, same cycle-by-cycle
+        // activity log: the fused program is the concatenation of the
+        // per-class dot programs.
+        let d = data();
+        for p in [Precision::P2, Precision::P4, Precision::P8] {
+            let clf = PrototypeClassifier::fit(&d, p);
+            let mut fused_mac = bpimc_core::ImcMacro::new(MacroConfig::paper_macro());
+            let mut loop_mac = bpimc_core::ImcMacro::new(MacroConfig::paper_macro());
+            let norms = prototype_norms(&mut fused_mac, p, &clf.prototypes_q);
+            prototype_norms(&mut loop_mac, p, &clf.prototypes_q);
+            for x in d.samples.iter().take(12) {
+                let x_q = clf.quant.quantize_all(x);
+                let fused = classify_quantized(&mut fused_mac, p, &clf.prototypes_q, &norms, &x_q);
+                let looped =
+                    classify_per_class_loop(&mut loop_mac, p, &clf.prototypes_q, &norms, &x_q);
+                assert_eq!(fused, looped, "P{} sample mismatch", p.bits());
+            }
+            assert_eq!(
+                fused_mac.activity().total_cycles(),
+                loop_mac.activity().total_cycles(),
+                "P{} cycle accounting changed",
+                p.bits()
+            );
+            assert_eq!(fused_mac.activity().cycles(), loop_mac.activity().cycles());
+        }
+    }
+
+    #[test]
+    fn fused_classify_handles_multi_chunk_dimensions() {
+        // 24 features at P8 on a 128-column row = 3 product-lane chunks per
+        // class; the per-class output grouping must stay aligned.
+        let d = Dataset::synthetic_blobs(3, 24, 20, 7);
+        let clf = PrototypeClassifier::fit(&d, Precision::P8);
+        let mut mac = bpimc_core::ImcMacro::new(MacroConfig::paper_macro());
+        assert_eq!(chunks_per_class(Precision::P8, 24, mac.cols()), 3);
+        let norms = prototype_norms(&mut mac, Precision::P8, &clf.prototypes_q);
+        for x in d.samples.iter().take(8) {
+            let x_q = clf.quant.quantize_all(x);
+            let fused =
+                classify_quantized(&mut mac, Precision::P8, &clf.prototypes_q, &norms, &x_q);
+            let looped =
+                classify_per_class_loop(&mut mac, Precision::P8, &clf.prototypes_q, &norms, &x_q);
+            assert_eq!(fused, looped);
+        }
+    }
+
+    #[test]
+    fn banked_classify_matches_single_macro_and_splits_work() {
+        let d = data();
+        let clf = PrototypeClassifier::fit(&d, Precision::P4);
+        let mut mac = bpimc_core::ImcMacro::new(MacroConfig::paper_macro());
+        let norms = prototype_norms(&mut mac, Precision::P4, &clf.prototypes_q);
+        mac.clear_activity();
+        let mut bank = MacroBank::new(3, MacroConfig::paper_macro());
+        for x in d.samples.iter().take(6) {
+            let x_q = clf.quant.quantize_all(x);
+            let single =
+                classify_quantized(&mut mac, Precision::P4, &clf.prototypes_q, &norms, &x_q);
+            let banked = classify_quantized_banked(
+                &mut bank,
+                Precision::P4,
+                &clf.prototypes_q,
+                &norms,
+                &x_q,
+            );
+            assert_eq!(single, banked);
+        }
+        // Total work identical; spread across more than one macro.
+        assert_eq!(bank.total_cycles(), mac.activity().total_cycles());
+        assert!(bank.makespan_cycles() < bank.total_cycles());
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod dataset;
 pub mod quant;
 
 pub use classifier::{
-    classify_quantized, dot_program, imc_dot, prototype_norms, EvalReport, PrototypeClassifier,
+    chunks_per_class, classify_bindings, classify_from_outputs, classify_program,
+    classify_quantized, classify_quantized_banked, dot_program, imc_dot, prototype_norms,
+    EvalReport, PrototypeClassifier,
 };
 pub use dataset::Dataset;
 pub use quant::QuantParams;

@@ -3,7 +3,7 @@
 
 use bpimc_core::{
     LaneOp, Precision, Program, ProgramReport, Request, RequestBody, Response, ResponseBody,
-    SessionActivity,
+    SessionActivity, StoredMeta,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -64,12 +64,48 @@ impl Client {
     /// Returns the I/O error when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are complete lines the server acts on immediately;
+        // never let Nagle hold one back waiting for a delayed ACK.
+        let _ = stream.set_nodelay(true);
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
         })
+    }
+
+    /// Sends one request without waiting for its response, returning the
+    /// assigned id — the pipelining half: keep several requests in flight
+    /// and collect their responses with [`Client::recv`]. The protocol
+    /// answers in request order per connection, so responses match the
+    /// send order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = Request { id, body }.to_json_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Blocks for the next response line (pairs with [`Client::send`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unparseable line; a server-side
+    /// `Error` body is returned as a normal [`Response`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Response::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// Sends one request and blocks for its response. Ids are assigned
@@ -80,17 +116,8 @@ impl Client {
     /// Fails on transport errors or an id mismatch; a server-side `Error`
     /// body is returned as a normal [`Response`].
     pub fn call(&mut self, body: RequestBody) -> Result<Response, ClientError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let line = Request { id, body }.to_json_line();
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
-        }
-        let resp = Response::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let id = self.send(body)?;
+        let resp = self.recv()?;
         if resp.id != id {
             return Err(ClientError::Protocol(format!(
                 "response id {} does not match request id {id}",
@@ -206,6 +233,47 @@ impl Client {
     pub fn exec_program(&mut self, program: &Program) -> Result<ProgramReport, ClientError> {
         let body = RequestBody::ExecProgram {
             instrs: program.instrs().to_vec(),
+        };
+        match self.expect(body, "program")? {
+            ResponseBody::Program(r) => Ok(r),
+            other => Err(protocol_kind("program", &other)),
+        }
+    }
+
+    /// Stores a typed [`Program`] in this session: the server validates,
+    /// lowers and compiles it once, and returns the id (plus static cycle
+    /// cost and bindable write count) for [`Client::run_stored`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors; a program that does
+    /// not validate server-side is a server error.
+    pub fn store_program(&mut self, program: &Program) -> Result<StoredMeta, ClientError> {
+        let body = RequestBody::StoreProgram {
+            instrs: program.instrs().to_vec(),
+        };
+        match self.expect(body, "stored")? {
+            ResponseBody::Stored(meta) => Ok(meta),
+            other => Err(protocol_kind("stored", &other)),
+        }
+    }
+
+    /// Runs a stored program. `inputs` rebinds the program's write values
+    /// (one entry per `write`/`write_mult` in submitted order, `None`
+    /// keeping the stored values); pass `&[]` to run it exactly as stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors; an unknown id or a
+    /// bad binding is a server error.
+    pub fn run_stored(
+        &mut self,
+        pid: u64,
+        inputs: &[Option<Vec<u64>>],
+    ) -> Result<ProgramReport, ClientError> {
+        let body = RequestBody::RunStored {
+            pid,
+            inputs: inputs.to_vec(),
         };
         match self.expect(body, "program")? {
             ResponseBody::Program(r) => Ok(r),

@@ -6,10 +6,10 @@
 //! single program executor ([`Program::run`]), so there is exactly one
 //! execution path from the wire to the array.
 
-use bpimc_core::prog::{Instr, Program, ProgramBuilder};
+use bpimc_core::prog::{CompiledProgram, Instr, Program, ProgramBuilder};
 use bpimc_core::{ImcMacro, LaneOp, Precision, ProgramReport, RequestBody, ResponseBody};
 use bpimc_metrics::EnergyParams;
-use bpimc_nn::{classify_quantized, imc_dot};
+use bpimc_nn::{chunks_per_class, classify_bindings, classify_from_outputs, imc_dot};
 use std::sync::Arc;
 
 /// A classifier model loaded into a session by `load_model`.
@@ -22,16 +22,23 @@ pub(crate) struct Model {
     /// Precomputed `|w_c|^2` self-dots (computed on a macro at load time,
     /// billed to the `load_model` request).
     pub norms: Vec<u64>,
+    /// The fused all-prototypes classify program, validated and lowered
+    /// once at `load_model`; per request only the sample's chunks are
+    /// rebound ([`CompiledProgram::run_with_inputs`]).
+    pub template: CompiledProgram,
 }
 
 /// One queued compute request, ready to run on whichever macro claims it.
 ///
-/// The classifier model is snapshotted at job-build time (an `Arc` clone),
-/// so a `load_model` earlier in the same drained batch is visible and a
-/// concurrent one from the same session cannot race the job.
+/// Session state the request depends on (the classifier model, the stored
+/// program) is snapshotted at job-build time (`Arc` clones), so a
+/// `load_model`/`store_program` earlier in the same drained batch is
+/// visible and a concurrent change from the same session cannot race the
+/// job.
 pub(crate) struct ComputeJob {
     pub body: RequestBody,
     pub model: Option<Arc<Model>>,
+    pub stored: Option<Arc<CompiledProgram>>,
     pub fault_injection: bool,
 }
 
@@ -43,6 +50,7 @@ pub(crate) fn is_compute(body: &RequestBody) -> bool {
             | RequestBody::Lanes { .. }
             | RequestBody::Classify { .. }
             | RequestBody::ExecProgram { .. }
+            | RequestBody::RunStored { .. }
             | RequestBody::InjectPanic
     )
 }
@@ -138,29 +146,43 @@ fn compute_body(
                 ));
             }
             check_words_fit("x", x, model.precision)?;
-            Ok(ResponseBody::Class(classify_quantized(
-                mac,
-                model.precision,
-                &model.prototypes_q,
+            // The fused classify template was compiled at `load_model`;
+            // rebind just the sample's product-lane chunks (one fused
+            // program per call — C dots, one executor trip, zero
+            // validation/lowering). Instruction stream, cycles and scores
+            // are bit-identical to building the program fresh.
+            let classes = model.prototypes_q.len();
+            let chunks = chunks_per_class(model.precision, dim, mac.cols());
+            let inputs = classify_bindings(model.precision, classes, x, mac.cols());
+            let outputs = model
+                .template
+                .run_outputs(mac, &inputs)
+                .map_err(|e| e.to_string())?;
+            Ok(ResponseBody::Class(classify_from_outputs(
+                &outputs,
+                chunks,
                 &model.norms,
-                x,
             )))
         }
         RequestBody::ExecProgram { instrs } => {
             let prog = Program::new(instrs.clone());
             let run = prog.run(mac).map_err(|e| e.to_string())?;
-            // Per-instruction energy from the activity-log spans the run
-            // recorded — exact, not a per-cycle average.
-            let energy_fj = run
-                .instr_spans
-                .iter()
-                .map(|span| params.cycles_energy_fj(&mac.activity().cycles()[span.clone()]))
-                .collect();
-            Ok(ResponseBody::Program(ProgramReport {
-                outputs: run.outputs,
-                cycles: run.instr_cycles,
-                energy_fj,
-            }))
+            program_report(mac, params, run)
+        }
+        RequestBody::RunStored { pid, inputs } => {
+            let compiled = job
+                .stored
+                .as_deref()
+                .ok_or(format!("no stored program {pid} in this session"))?;
+            let bindings: Vec<Option<&[u64]>> = if inputs.is_empty() {
+                vec![None; compiled.write_count()]
+            } else {
+                inputs.iter().map(|e| e.as_deref()).collect()
+            };
+            let run = compiled
+                .run_with_inputs(mac, &bindings)
+                .map_err(|e| e.to_string())?;
+            program_report(mac, params, run)
         }
         RequestBody::InjectPanic => {
             if job.fault_injection {
@@ -170,6 +192,26 @@ fn compute_body(
         }
         other => Err(format!("not a compute request: {other:?}")),
     }
+}
+
+/// Folds a program run into the wire's `program` report, with exact
+/// per-instruction energy from the activity-log spans the run recorded —
+/// not a per-cycle average. Shared by `exec_program` and `run_stored`.
+fn program_report(
+    mac: &ImcMacro,
+    params: &EnergyParams,
+    run: bpimc_core::ProgramRun,
+) -> Result<ResponseBody, String> {
+    let energy_fj = run
+        .instr_spans
+        .iter()
+        .map(|span| params.cycles_energy_fj(&mac.activity().cycles()[span.clone()]))
+        .collect();
+    Ok(ResponseBody::Program(ProgramReport {
+        outputs: run.outputs,
+        cycles: run.instr_cycles,
+        energy_fj,
+    }))
 }
 
 /// Lowers one lane-wise two-operand request to a [`Program`], chunked to

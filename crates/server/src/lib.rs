@@ -12,22 +12,35 @@
 //! # Architecture
 //!
 //! * **One reader thread per connection** parses request lines and pushes
-//!   them into a **bounded queue**. When the queue is full the reader
-//!   blocks, which stops draining the socket — backpressure propagates to
-//!   the client through TCP flow control rather than through dropped or
-//!   rejected requests.
-//! * **One dispatcher thread** drains the queue in FIFO order. Runs of
-//!   consecutive *compute* requests (dot products, lane-wise macro ops at
-//!   P2–P32, classification, whole `exec_program` pipelines) become one
-//!   [`MacroBank::try_run_batch`] call, spreading independent requests
-//!   across the bank's macros; control requests (`ping`, `stats`,
-//!   `load_model`, `shutdown`) execute inline between runs, so every
-//!   session observes its own requests in order.
+//!   them into the request queue, which keeps one **bounded FIFO per
+//!   session** drained **round-robin** — fair scheduling: a client
+//!   pipelining thousands of requests cannot starve other sessions, and a
+//!   session at its queue share blocks only its own reader (backpressure
+//!   propagates to that client through TCP flow control rather than
+//!   through dropped or rejected requests).
+//! * **One dispatcher thread** drains the queue. Runs of consecutive
+//!   *compute* requests (dot products, lane-wise macro ops at P2–P32,
+//!   classification, whole `exec_program` pipelines, `run_stored` replays)
+//!   become one [`MacroBank::try_run_batch`] call, spreading independent
+//!   requests across the bank's macros; control requests (`ping`, `stats`,
+//!   `load_model`, `store_program`, `shutdown`) execute inline between
+//!   runs, so every session observes its own requests in order.
+//! * **Parallel response writers**: responses leave through a bounded
+//!   per-connection outbox — written inline while the client keeps up,
+//!   handed to the connection's writer thread once a backlog builds, so
+//!   fan-out to slow clients never serializes through the dispatcher. A
+//!   peer that stops reading is timed out and dropped instead of wedging
+//!   anything.
 //! * **One execution path**: every arithmetic request is lowered to a
 //!   typed [`Program`](bpimc_core::prog::Program) and run by the single
 //!   program executor, so wire ops, client pipelines and library callers
 //!   share validation, lowering (fused add+shift) and accounting.
-//! * **Per-connection sessions** hold a loaded classifier model and a
+//! * **Per-connection sessions** hold a loaded classifier model (with its
+//!   classify pipeline pre-compiled once into a
+//!   [`CompiledProgram`](bpimc_core::CompiledProgram) template), a
+//!   stored-program cache (`store_program` validates and compiles once;
+//!   `run_stored` replays with rebound write values and zero per-call
+//!   validation or lowering), and a
 //!   [`SessionActivity`](bpimc_core::SessionActivity) account: every
 //!   successful request is billed the exact hardware cycles and femtojoules
 //!   its job consumed, measured from the executing macro's activity log.

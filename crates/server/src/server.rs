@@ -3,10 +3,11 @@
 
 use crate::exec::{is_compute, run_compute, ComputeJob, Model};
 use bpimc_core::{
-    MacroBank, MacroConfig, Request, RequestBody, Response, ResponseBody, SessionActivity,
+    CompiledProgram, MacroBank, MacroConfig, Program, Request, RequestBody, Response, ResponseBody,
+    SessionActivity, StoredMeta,
 };
 use bpimc_metrics::{paper_calibrated_params, EnergyParams};
-use bpimc_nn::prototype_norms;
+use bpimc_nn::{classify_program, prototype_norms};
 use bpimc_stats::parallel::{lock_unpoisoned, worker_count};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
@@ -20,9 +21,10 @@ use std::thread::JoinHandle;
 pub struct ServerConfig {
     /// Macros in the shared bank (defaults to the host's parallelism).
     pub macros: usize,
-    /// Bound of the request queue. A full queue blocks connection readers,
-    /// pushing backpressure into TCP flow control instead of dropping or
-    /// rejecting requests.
+    /// Bound of each **session's** share of the request queue. A session
+    /// that fills its share blocks its own connection reader — the
+    /// backpressure lands on the chatty client through TCP flow control —
+    /// while other sessions keep queueing and being served.
     pub queue_capacity: usize,
     /// Most requests the dispatcher drains into one bank batch.
     pub batch_max: usize,
@@ -36,11 +38,38 @@ impl Default for ServerConfig {
         Self {
             macros,
             queue_capacity: 1024,
-            batch_max: 4 * macros.max(1),
+            batch_max: (16 * macros.max(1)).max(64),
             fault_injection: false,
         }
     }
 }
+
+/// Stored programs one session may hold at once (`store_program` beyond
+/// this answers an error; the cache is freed when the connection drops).
+const MAX_STORED_PROGRAMS: usize = 64;
+
+/// Responses one connection's outbox buffers before the dispatcher blocks
+/// on that connection (the bounded hand-off to its writer thread).
+const OUTBOX_CAPACITY: usize = 256;
+
+/// Socket write timeout: a peer that stops reading for this long mid-write
+/// is treated as gone (its responses are dropped and the outbox closes)
+/// instead of wedging the dispatcher, its writer thread, or graceful
+/// shutdown.
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// A response write stalling at least this long marks its connection
+/// `slow` (sticky): later responses always go through the connection's
+/// writer thread instead of the inline fast path, so a peer that reads
+/// sluggishly can stall the dispatcher at most once. Only writes whose
+/// *throughput* is also under [`SLOW_PEER_BYTES_PER_SEC`] count — a large
+/// coalesced drain to a healthy bandwidth-limited peer is not a stall.
+const SLOW_WRITE_THRESHOLD: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Below this write throughput a long write counts as a peer stall rather
+/// than a big transfer (1 MB/s — an order of magnitude under any link the
+/// service is meant for, far above a wedged peer's ~0).
+const SLOW_PEER_BYTES_PER_SEC: f64 = 1e6;
 
 /// Hard cap on one request line. Readers discard over-long lines (and
 /// answer with an error) instead of buffering them, so a client streaming
@@ -56,7 +85,15 @@ struct Item {
     body: Result<RequestBody, String>,
 }
 
-/// The bounded FIFO between connection readers and the dispatcher.
+/// The bounded queue between connection readers and the dispatcher.
+///
+/// Internally one FIFO **per session**, drained round-robin one request at
+/// a time — the fairness fix for the old single global FIFO, where one
+/// client pipelining thousands of requests made everyone else wait for the
+/// whole backlog. Per-connection FIFO order (the protocol's promise) is
+/// untouched; only the interleaving *between* sessions changes. The
+/// capacity bound applies per session, so a flooding client backpressures
+/// itself without consuming other sessions' queue space.
 struct Queue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -65,15 +102,29 @@ struct Queue {
 }
 
 struct QueueState {
-    items: VecDeque<Item>,
+    /// Connection ids with a non-empty FIFO, in rotation order.
+    ready: VecDeque<u64>,
+    /// The per-session FIFOs (entries removed when drained).
+    per_conn: HashMap<u64, VecDeque<Item>>,
+    /// Items across all sessions (the aggregate-memory bound).
+    total: usize,
     closed: bool,
 }
 
 impl Queue {
+    /// Aggregate bound: total queued items may reach this many session
+    /// shares, whatever the connection count — so N connections cannot
+    /// queue N full FIFOs of near-`MAX_LINE_BYTES` requests and grow
+    /// server memory without limit. At the aggregate bound every reader
+    /// blocks (the pre-fairness global behaviour, as the backstop).
+    const GLOBAL_SHARES: usize = 16;
+
     fn new(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                ready: VecDeque::new(),
+                per_conn: HashMap::new(),
+                total: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -82,11 +133,20 @@ impl Queue {
         }
     }
 
-    /// Blocks while the queue is full (the backpressure point). `Err(())`
-    /// means the server is shutting down and the item was not enqueued.
+    /// Blocks while this item's session is at its queue share, or the
+    /// queue as a whole is at its aggregate bound (the backpressure
+    /// points). `Err(())` means the server is shutting down and the item
+    /// was not enqueued.
     fn push(&self, item: Item) -> Result<(), ()> {
+        let conn_id = item.conn.id;
         let mut state = lock_unpoisoned(&self.state);
-        while state.items.len() >= self.capacity && !state.closed {
+        while !state.closed
+            && (state.total >= Self::GLOBAL_SHARES * self.capacity
+                || state
+                    .per_conn
+                    .get(&conn_id)
+                    .is_some_and(|q| q.len() >= self.capacity))
+        {
             state = self
                 .not_full
                 .wait(state)
@@ -95,28 +155,51 @@ impl Queue {
         if state.closed {
             return Err(());
         }
-        state.items.push_back(item);
+        let fifo = state.per_conn.entry(conn_id).or_default();
+        let was_empty = fifo.is_empty();
+        fifo.push_back(item);
+        state.total += 1;
+        if was_empty {
+            state.ready.push_back(conn_id);
+        }
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Blocks until items are available; drains up to `max` in FIFO order.
-    /// `None` means closed **and** fully drained — queued work always gets
-    /// responses before shutdown completes.
+    /// Blocks until items are available; drains up to `max`, taking one
+    /// request per ready session per rotation (round-robin). `None` means
+    /// closed **and** fully drained — queued work always gets responses
+    /// before shutdown completes.
     fn pop_batch(&self, max: usize) -> Option<Vec<Item>> {
         let mut state = lock_unpoisoned(&self.state);
-        while state.items.is_empty() && !state.closed {
+        while state.ready.is_empty() && !state.closed {
             state = self
                 .not_empty
                 .wait(state)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        if state.items.is_empty() {
+        if state.ready.is_empty() {
             return None;
         }
-        let take = state.items.len().min(max.max(1));
-        let batch: Vec<Item> = state.items.drain(..take).collect();
+        let mut batch = Vec::new();
+        while batch.len() < max.max(1) {
+            let Some(conn_id) = state.ready.pop_front() else {
+                break;
+            };
+            let fifo = state
+                .per_conn
+                .get_mut(&conn_id)
+                .expect("ready sessions have a FIFO");
+            batch.push(fifo.pop_front().expect("ready FIFOs are non-empty"));
+            let drained = fifo.is_empty();
+            state.total -= 1;
+            if drained {
+                state.per_conn.remove(&conn_id);
+            } else {
+                state.ready.push_back(conn_id);
+            }
+        }
         drop(state);
         self.not_full.notify_all();
         Some(batch)
@@ -129,29 +212,242 @@ impl Queue {
     }
 }
 
-/// Per-session state: the activity account plus the loaded model.
+/// Per-session state: the activity account, the loaded model and the
+/// stored-program cache. All of it dies with the connection.
 struct SessionState {
     stats: SessionActivity,
     model: Option<Arc<Model>>,
+    stored: HashMap<u64, Arc<CompiledProgram>>,
+    next_pid: u64,
+}
+
+impl SessionState {
+    fn new() -> Self {
+        Self {
+            stats: SessionActivity::new(),
+            model: None,
+            stored: HashMap::new(),
+            next_pid: 1,
+        }
+    }
+}
+
+/// The bounded response queue between response producers (the dispatcher,
+/// during shutdown also readers) and one connection's writer thread.
+///
+/// The hot path writes **inline**: when nothing is pending, no drain is in
+/// progress and the peer has never stalled a write, the responder takes
+/// the drainer role, writes its own serialized line and returns — no
+/// thread hand-off, which on hosts with slow futex wakes is worth hundreds
+/// of microseconds per response. The writer thread takes over when fan-out
+/// decouples from the dispatcher's pace: a backlog is pending, another
+/// drain is already in flight, or the connection has been marked `slow`.
+/// Either way at most one thread writes to the socket at a time
+/// (`draining`), so response bytes never interleave.
+///
+/// **Slow peers cannot hold the dispatcher.** Any drain whose socket write
+/// stalls past [`SLOW_WRITE_THRESHOLD`] marks the connection `slow` —
+/// sticky — after which every response is handed to the writer thread, so
+/// the dispatcher is exposed to at most one bounded stall per connection
+/// (`WRITE_TIMEOUT` caps even that). A slow connection whose bounded
+/// outbox then fills is declared wedged and dropped rather than letting
+/// its backpressure reach the dispatcher through the full-outbox wait.
+///
+/// `inflight` counts requests this connection has in the central queue
+/// whose response has not been produced yet; the writer thread exits only
+/// when the reader is gone **and** nothing is in flight **and** the
+/// backlog is drained, so a pipelining client that half-closes after its
+/// last request still receives every response.
+struct Outbox {
+    state: Mutex<OutboxState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct OutboxState {
+    /// Serialized response lines (each newline-terminated) not yet handed
+    /// to the kernel.
+    pending: VecDeque<String>,
+    /// One thread (writer or an inline responder) is currently writing.
+    draining: bool,
+    inflight: u64,
+    /// No further requests will arrive (reader exited, or server drained).
+    reader_gone: bool,
+    /// A write to this peer has stalled before (sticky): never write
+    /// inline again — fan-out goes through the writer thread only.
+    slow: bool,
+    /// Socket dead (error or `WRITE_TIMEOUT` stall): pushes are silently
+    /// dropped so producers can never block on a vanished client.
+    closed: bool,
+}
+
+impl Outbox {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(OutboxState {
+                pending: VecDeque::new(),
+                draining: false,
+                inflight: 0,
+                reader_gone: false,
+                slow: false,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers one request whose response is owed (called by the reader
+    /// before the central-queue push, so the writer never exits between a
+    /// request being queued and its response being produced).
+    fn expect_response(&self) {
+        lock_unpoisoned(&self.state).inflight += 1;
+    }
+
+    /// Queues one serialized line, blocking while the bounded backlog is
+    /// full; then either writes it inline (fast path, see the type docs)
+    /// or leaves it for the writer thread. Balances one `expect_response`.
+    fn push_line(&self, conn: &Conn, line: String) {
+        let mut state = lock_unpoisoned(&self.state);
+        state.inflight = state.inflight.saturating_sub(1);
+        while !state.closed && state.pending.len() >= self.capacity {
+            if state.slow {
+                // A peer that both stalled a write and let its bounded
+                // outbox fill is effectively not reading. Drop it rather
+                // than letting its backpressure block the producer (the
+                // dispatcher) behind the full-outbox wait.
+                state.closed = true;
+                state.pending.clear();
+                drop(state);
+                self.not_full.notify_all();
+                self.not_empty.notify_all();
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                return;
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.closed {
+            drop(state);
+            self.not_empty.notify_all();
+            return;
+        }
+        state.pending.push_back(line);
+        if state.draining || state.slow || state.pending.len() > 1 {
+            // A drain is active, the peer has stalled before, or a backlog
+            // exists: the writer thread owns the fan-out from here.
+            drop(state);
+            self.not_empty.notify_one();
+            return;
+        }
+        self.drain(conn, state);
+    }
+
+    /// Takes the drainer role: coalesces everything pending into one
+    /// buffer, writes it with a single syscall, repeats until the backlog
+    /// is empty. Called with the state lock held; writes happen unlocked.
+    fn drain<'a>(&'a self, conn: &Conn, mut state: std::sync::MutexGuard<'a, OutboxState>) {
+        state.draining = true;
+        loop {
+            let at_capacity = state.pending.len() >= self.capacity;
+            let buf: String = state.pending.drain(..).collect();
+            drop(state);
+            if at_capacity {
+                // Only a full backlog can have blocked producers waiting.
+                self.not_full.notify_all();
+            }
+            let t_write = std::time::Instant::now();
+            let ok = (&conn.stream).write_all(buf.as_bytes()).is_ok();
+            let elapsed = t_write.elapsed();
+            state = lock_unpoisoned(&self.state);
+            if elapsed >= SLOW_WRITE_THRESHOLD
+                && (buf.len() as f64) < SLOW_PEER_BYTES_PER_SEC * elapsed.as_secs_f64()
+            {
+                // This peer can stall a write (long wait, little data
+                // moved). Never again on the inline path: all further
+                // fan-out goes through the writer thread, bounding the
+                // dispatcher's exposure to one stall per connection.
+                state.slow = true;
+            }
+            if !ok {
+                state.draining = false;
+                state.closed = true;
+                state.pending.clear();
+                drop(state);
+                self.not_full.notify_all();
+                self.not_empty.notify_all();
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                return;
+            }
+            if state.pending.is_empty() {
+                state.draining = false;
+                // Wake the parked writer thread only when it may have to
+                // exit now — an unconditional wake here would cost a
+                // pointless context switch per response on the fast path.
+                let wake_writer = state.reader_gone && state.inflight == 0;
+                drop(state);
+                if wake_writer {
+                    self.not_empty.notify_all();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Marks that no further requests will arrive on this connection.
+    fn no_more_requests(&self) {
+        lock_unpoisoned(&self.state).reader_gone = true;
+        self.not_empty.notify_all();
+    }
+
+    /// The writer thread's wait: blocks until there is a backlog to drain
+    /// (returns the locked state, `draining` already claimed) or the
+    /// connection is finished (`None`: exit).
+    fn claim_backlog(&self) -> Option<std::sync::MutexGuard<'_, OutboxState>> {
+        let mut state = lock_unpoisoned(&self.state);
+        loop {
+            if state.closed {
+                return None;
+            }
+            if !state.pending.is_empty() && !state.draining {
+                return Some(state);
+            }
+            if state.pending.is_empty()
+                && !state.draining
+                && state.reader_gone
+                && state.inflight == 0
+            {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
 }
 
 /// One client connection.
 struct Conn {
     id: u64,
     stream: TcpStream,
-    writer: Mutex<TcpStream>,
+    outbox: Outbox,
     session: Mutex<SessionState>,
 }
 
 impl Conn {
-    /// Writes one response line; errors are ignored (a vanished client is
-    /// detected by its reader thread, not here).
+    /// Produces one response: serialized here, then written inline when
+    /// this connection is keeping up, or handed to its writer thread when
+    /// a backlog is pending (bounded at `OUTBOX_CAPACITY` lines — beyond
+    /// that the producer blocks, the per-connection backpressure point).
     fn respond(&self, id: u64, body: ResponseBody) {
-        let line = Response { id, body }.to_json_line();
-        let mut w = lock_unpoisoned(&self.writer);
-        let _ = w.write_all(line.as_bytes());
-        let _ = w.write_all(b"\n");
-        let _ = w.flush();
+        let mut line = Response { id, body }.to_json_line();
+        line.push('\n');
+        self.outbox.push_line(self, line);
     }
 
     fn record_ok(&self, cycles: u64, energy_fj: f64) {
@@ -165,13 +461,28 @@ impl Conn {
     }
 }
 
-/// State shared by the accept loop, readers, dispatcher and handle.
+/// The per-connection writer thread: parks until a response backlog
+/// appears (a client reading slower than the dispatcher answers), then
+/// drains it in coalesced writes — the response fan-out path that used to
+/// serialize through the dispatcher. `WRITE_TIMEOUT` (set on the socket at
+/// accept) bounds how long any drain — inline or here — can stall on a
+/// peer that stopped reading; a stalled peer's outbox closes and its
+/// remaining responses are dropped.
+fn writer_loop(conn: &Arc<Conn>) {
+    while let Some(state) = conn.outbox.claim_backlog() {
+        conn.outbox.drain(conn, state);
+    }
+}
+
+/// State shared by the accept loop, readers, writers, dispatcher and
+/// handle.
 struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     queue: Queue,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
     next_conn_id: AtomicU64,
     shutting_down: AtomicBool,
 }
@@ -216,6 +527,7 @@ impl Server {
             queue: Queue::new(config.queue_capacity),
             conns: Mutex::new(HashMap::new()),
             readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
             next_conn_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
         });
@@ -280,6 +592,10 @@ impl ServerHandle {
         for h in readers {
             let _ = h.join();
         }
+        let writers = std::mem::take(&mut *lock_unpoisoned(&self.shared.writers));
+        for h in writers {
+            let _ = h.join();
+        }
     }
 }
 
@@ -296,18 +612,19 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let Ok(write_half) = stream.try_clone() else {
-            continue;
-        };
+        // Responses are complete lines a client acts on immediately: send
+        // them now instead of letting Nagle pair small writes with delayed
+        // ACKs (which stalls pipelined streams for tens of milliseconds).
+        let _ = stream.set_nodelay(true);
+        // Bounds every response write — inline or on the writer thread —
+        // so a peer that stops reading cannot wedge a drain forever.
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let conn = Arc::new(Conn {
             id,
             stream,
-            writer: Mutex::new(write_half),
-            session: Mutex::new(SessionState {
-                stats: SessionActivity::new(),
-                model: None,
-            }),
+            outbox: Outbox::new(OUTBOX_CAPACITY),
+            session: Mutex::new(SessionState::new()),
         });
         lock_unpoisoned(&shared.conns).insert(id, conn.clone());
         // Re-check AFTER registering: if a shutdown slipped in between the
@@ -317,24 +634,35 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
+        let writer_conn = conn.clone();
+        let writer = std::thread::Builder::new()
+            .name(format!("bpimc-write-{id}"))
+            .spawn(move || writer_loop(&writer_conn))
+            .expect("spawning a connection writer");
+        reap_and_push(&shared.writers, writer);
         let reader_shared = shared.clone();
-        let handle = std::thread::Builder::new()
+        let reader = std::thread::Builder::new()
             .name(format!("bpimc-conn-{id}"))
             .spawn(move || reader_loop(conn, &reader_shared))
             .expect("spawning a connection reader");
-        let mut readers = lock_unpoisoned(&shared.readers);
-        // Reap finished readers so a long-running server does not
-        // accumulate one JoinHandle per connection it ever accepted.
-        let mut i = 0;
-        while i < readers.len() {
-            if readers[i].is_finished() {
-                let _ = readers.swap_remove(i).join();
-            } else {
-                i += 1;
-            }
-        }
-        readers.push(handle);
+        reap_and_push(&shared.readers, reader);
     }
+}
+
+/// Stores a per-connection thread handle, reaping finished ones so a
+/// long-running server does not accumulate one JoinHandle per connection
+/// it ever accepted.
+fn reap_and_push(slot: &Mutex<Vec<JoinHandle<()>>>, handle: JoinHandle<()>) {
+    let mut handles = lock_unpoisoned(slot);
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+    handles.push(handle);
 }
 
 /// How one capped line read ended.
@@ -406,6 +734,7 @@ fn read_line_capped(reader: &mut BufReader<TcpStream>, line: &mut String, cap: u
 
 fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     let Ok(read_half) = conn.stream.try_clone() else {
+        conn.outbox.no_more_requests();
         lock_unpoisoned(&shared.conns).remove(&conn.id);
         return;
     };
@@ -433,6 +762,9 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
                 }
             }
         };
+        // Register the owed response *before* queueing, so the writer
+        // thread cannot exit between the push and the dispatcher's answer.
+        conn.outbox.expect_response();
         if shared
             .queue
             .push(Item {
@@ -449,6 +781,8 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
             break;
         }
     }
+    // The writer finishes any in-flight responses, then exits.
+    conn.outbox.no_more_requests();
     lock_unpoisoned(&shared.conns).remove(&conn.id);
 }
 
@@ -459,7 +793,16 @@ fn dispatch_loop(shared: &Arc<Shared>) {
     while let Some(batch) = shared.queue.pop_batch(config.batch_max) {
         process_batch(batch, &mut bank, &params, shared);
     }
-    // Queue closed and drained: sever the connections so readers exit.
+    // Queue closed and drained: every queued request has its response in
+    // an outbox. Let the writers flush those, then sever the connections
+    // so readers exit.
+    for conn in lock_unpoisoned(&shared.conns).values() {
+        conn.outbox.no_more_requests();
+    }
+    let writers = std::mem::take(&mut *lock_unpoisoned(&shared.writers));
+    for w in writers {
+        let _ = w.join();
+    }
     shared.close_all_conns();
 }
 
@@ -490,14 +833,25 @@ fn process_batch(
                     },
                 };
                 let body = it.body.expect("compute items carry a parsed body");
-                let model = match &body {
-                    RequestBody::Classify { .. } => lock_unpoisoned(&it.conn.session).model.clone(),
-                    _ => None,
+                // Session state the job depends on is snapshotted at
+                // job-build time (Arc clones): a `load_model` or
+                // `store_program` earlier in the same drained batch is
+                // visible, and later session changes cannot race the job.
+                let (model, stored) = match &body {
+                    RequestBody::Classify { .. } => {
+                        (lock_unpoisoned(&it.conn.session).model.clone(), None)
+                    }
+                    RequestBody::RunStored { pid, .. } => (
+                        None,
+                        lock_unpoisoned(&it.conn.session).stored.get(pid).cloned(),
+                    ),
+                    _ => (None, None),
                 };
                 meta.push((it.conn, it.id));
                 jobs.push(ComputeJob {
                     body,
                     model,
+                    stored,
                     fault_injection: shared.config.fault_injection,
                 });
             }
@@ -563,6 +917,42 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                 conn.respond(id, ResponseBody::Error(msg));
             }
         },
+        RequestBody::StoreProgram { instrs } => {
+            let config = *bank.macro_at(0).config();
+            let prog = Program::new(instrs);
+            match prog.compile(&config) {
+                Ok(compiled) => {
+                    let mut session = lock_unpoisoned(&conn.session);
+                    if session.stored.len() >= MAX_STORED_PROGRAMS {
+                        session.stats.record_error();
+                        drop(session);
+                        conn.respond(
+                            id,
+                            ResponseBody::Error(format!(
+                                "stored-program limit reached ({MAX_STORED_PROGRAMS} per session)"
+                            )),
+                        );
+                        return;
+                    }
+                    let meta = StoredMeta {
+                        pid: session.next_pid,
+                        cycles: compiled.cycles(),
+                        writes: compiled.write_count() as u64,
+                    };
+                    session.next_pid += 1;
+                    session.stored.insert(meta.pid, Arc::new(compiled));
+                    // Validation and lowering are host work, not macro
+                    // work: a store bills zero hardware cycles.
+                    session.stats.record_ok(0, 0.0);
+                    drop(session);
+                    conn.respond(id, ResponseBody::Stored(meta));
+                }
+                Err(e) => {
+                    conn.record_error();
+                    conn.respond(id, ResponseBody::Error(e.to_string()));
+                }
+            }
+        }
         RequestBody::Shutdown => {
             conn.record_ok(0, 0.0);
             conn.respond(id, ResponseBody::Ok);
@@ -582,7 +972,10 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
 /// Validates and builds a session model, computing the prototype norms on
 /// macro 0 of the bank so the `load_model` request is billed the exact
 /// norm-precompute work (the per-batch half of the classifier's amortized
-/// accounting).
+/// accounting). The fused all-prototypes classify program is compiled
+/// **here, once per model** — every `classify` request then runs the
+/// pre-resolved op array with just the sample's chunks rebound, skipping
+/// per-call program building, validation and lowering entirely.
 fn build_model(
     bank: &mut MacroBank,
     params: &EnergyParams,
@@ -612,16 +1005,24 @@ fn build_model(
         }
     }
     let mac = bank.macro_at(0);
+    let config = *mac.config();
+    let cols = mac.cols();
     mac.clear_activity();
     let norms = prototype_norms(mac, precision, &prototypes_q);
     let cycles = mac.activity().total_cycles();
     let energy_fj = params.log_energy_fj(mac.activity());
     mac.clear_activity();
+    // Compile the classify template against an all-zero sample; the x
+    // writes are rebound per request (`CompiledProgram::run_with_inputs`).
+    let template = classify_program(precision, &prototypes_q, &vec![0u64; dim], cols)
+        .compile(&config)
+        .map_err(|e| format!("classify template failed to compile: {e}"))?;
     Ok((
         Model {
             precision,
             prototypes_q,
             norms,
+            template,
         },
         cycles,
         energy_fj,

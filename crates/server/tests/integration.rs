@@ -431,6 +431,267 @@ fn lines_without_a_readable_id_are_answered_with_id_zero() {
 }
 
 #[test]
+fn stored_programs_run_many_with_rebound_inputs() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Store once: a dot-style pipeline with two bindable writes.
+    let p = Precision::P8;
+    let mut b = ProgramBuilder::new();
+    let x = b.write_mult(p, vec![0, 0, 0]);
+    let w = b.write_mult(p, vec![0, 0, 0]);
+    let prod = b.mult(x, w, p);
+    b.read_products(prod, p, 3);
+    let prog = b.finish();
+    let meta = client.store_program(&prog).expect("store");
+    assert_eq!(meta.writes, 2);
+    assert_eq!(meta.cycles, prog.cycles());
+
+    // Run many: fresh inputs each time, host-verified, each run billed the
+    // same static cycle cost.
+    let mut direct = Direct::new();
+    for k in 0..6u64 {
+        let xs = vec![k + 1, 2 * k, (k * k) % 256];
+        let ws = vec![9, k + 3, 250 - k];
+        let report = client
+            .run_stored(meta.pid, &[Some(xs.clone()), Some(ws.clone())])
+            .expect("run_stored");
+        let want: Vec<u64> = xs.iter().zip(&ws).map(|(a, b)| a * b).collect();
+        assert_eq!(report.outputs, vec![want]);
+        assert_eq!(report.total_cycles(), meta.cycles);
+        // Ground truth energy/cycles: replay directly.
+        direct.mac.clear_activity();
+        direct.mac.write_mult_operands(0, p, &xs).unwrap();
+        direct.mac.write_mult_operands(1, p, &ws).unwrap();
+        direct.mac.mult(0, 1, 2, p).unwrap();
+        direct.mac.read_products(2, p, 3).unwrap();
+        assert_eq!(
+            report.total_cycles(),
+            direct.mac.activity().total_cycles(),
+            "rebound run costs exactly the direct replay"
+        );
+    }
+    // Partial binding: None keeps the stored values (zeros here).
+    let report = client
+        .run_stored(meta.pid, &[Some(vec![5, 5, 5]), None])
+        .expect("run_stored partial");
+    assert_eq!(report.outputs, vec![vec![0, 0, 0]]);
+    // No binding at all: runs exactly as stored.
+    let report = client.run_stored(meta.pid, &[]).expect("run_stored stored");
+    assert_eq!(report.outputs, vec![vec![0, 0, 0]]);
+
+    // The session account billed: store (0 cycles) + 8 runs.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 9);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.cycles, 8 * meta.cycles);
+    handle.shutdown();
+}
+
+#[test]
+fn stored_program_misuse_gets_structured_errors() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Cache miss: an id never stored.
+    match client.run_stored(42, &[]) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("no stored program 42"), "{msg}"),
+        other => panic!("expected a miss error, got {other:?}"),
+    }
+
+    // A program that does not validate is rejected at store time.
+    let bad = bpimc_core::Program::new(vec![bpimc_core::Instr::Read {
+        src: bpimc_core::Reg(2),
+        precision: Precision::P8,
+        n: 1,
+    }]);
+    match client.store_program(&bad) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("before any write"), "{msg}"),
+        other => panic!("expected a validation error, got {other:?}"),
+    }
+
+    // Bad bindings: wrong count, wrong length, value too wide.
+    let mut b = ProgramBuilder::new();
+    let x = b.write(Precision::P8, vec![1, 2]);
+    b.read(x, Precision::P8, 2);
+    let meta = client.store_program(&b.finish()).expect("store");
+    for (inputs, needle) in [
+        (
+            vec![Some(vec![1u64]), Some(vec![2u64])],
+            "1 write instruction(s) but 2",
+        ),
+        (vec![Some(vec![1u64, 2, 3])], "has 3 values"),
+        (vec![Some(vec![999u64, 0])], "does not fit 8 bits"),
+    ] {
+        match client.run_stored(meta.pid, &inputs) {
+            Err(ClientError::Server(msg)) => assert!(msg.contains(needle), "{msg}"),
+            other => panic!("expected a binding error, got {other:?}"),
+        }
+    }
+    // The session (and the stored program) survive every rejection.
+    let report = client.run_stored(meta.pid, &[]).expect("still stored");
+    assert_eq!(report.outputs, vec![vec![1, 2]]);
+    handle.shutdown();
+}
+
+#[test]
+fn stored_programs_are_isolated_and_die_with_their_session() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b_client = Client::connect(addr).expect("connect b");
+
+    let mut b = ProgramBuilder::new();
+    let x = b.write(Precision::P8, vec![7]);
+    b.read(x, Precision::P8, 1);
+    let prog = b.finish();
+    let meta = a.store_program(&prog).expect("store in A");
+
+    // Session B cannot run (or see) A's stored id.
+    match b_client.run_stored(meta.pid, &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("no stored program"), "{msg}")
+        }
+        other => panic!("expected isolation, got {other:?}"),
+    }
+    // A still can.
+    assert_eq!(
+        a.run_stored(meta.pid, &[]).expect("run").outputs[0],
+        vec![7]
+    );
+
+    // Eviction on session drop: reconnecting is a fresh session; the old
+    // id is gone even though pids restart from the same counter.
+    drop(a);
+    let mut a2 = Client::connect(addr).expect("reconnect");
+    match a2.run_stored(meta.pid, &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("no stored program"), "{msg}")
+        }
+        other => panic!("expected eviction, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn stored_program_cache_is_bounded_per_session() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let make = |v: u64| {
+        let mut b = ProgramBuilder::new();
+        let x = b.write(Precision::P8, vec![v % 256]);
+        b.read(x, Precision::P8, 1);
+        b.finish()
+    };
+    let mut last = 0;
+    for v in 0..64u64 {
+        last = client.store_program(&make(v)).expect("store").pid;
+    }
+    match client.store_program(&make(64)) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("limit"), "{msg}"),
+        other => panic!("expected the cache bound, got {other:?}"),
+    }
+    // Everything stored before the bound still runs.
+    assert_eq!(
+        client.run_stored(last, &[]).expect("run").outputs[0],
+        vec![63]
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn compiled_programs_reject_config_mismatch_at_run_time() {
+    // The session-cache guarantee the server relies on: a stored
+    // (compiled) program refuses to run against a macro whose
+    // configuration differs from the one it was validated for, instead of
+    // silently skipping the checks that made the compilation sound.
+    use bpimc_core::prog::ProgramBuilder;
+    use bpimc_core::MacroConfig;
+
+    let mut b = ProgramBuilder::new();
+    let x = b.write(Precision::P8, vec![1]);
+    b.read(x, Precision::P8, 1);
+    let prog = b.finish();
+    let compiled = prog.compile(&MacroConfig::paper_macro()).expect("compile");
+    let mut other = ImcMacro::new(MacroConfig::paper_macro().with_separator(false));
+    assert!(matches!(
+        compiled.run_with_inputs(&mut other, &[None]),
+        Err(bpimc_core::ProgError::ConfigMismatch)
+    ));
+}
+
+#[test]
+fn flooding_client_cannot_starve_a_latency_sensitive_one() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // One macro, small batches: the dispatcher is the contended resource.
+    let handle = start(ServerConfig {
+        macros: 1,
+        queue_capacity: 512,
+        batch_max: 8,
+        fault_injection: false,
+    });
+    let addr = handle.local_addr();
+
+    // The flooder pipelines a deep backlog without reading responses
+    // (raw socket writes), then keeps flooding until told to stop.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooder = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            use std::io::Write;
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect flooder");
+            let mut sent = 0u64;
+            while !stop.load(Ordering::Relaxed) && sent < 20_000 {
+                let line = format!(
+                    "{{\"id\":{sent},\"op\":\"add\",\"precision\":8,\"a\":[1,2,3,4],\"b\":[5,6,7,8]}}\n"
+                );
+                if stream.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+            drop(stream);
+        })
+    };
+
+    // Give the flood a head start so a backlog definitely exists.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // The latency-sensitive client: every request must be answered without
+    // waiting behind the flooder's whole backlog. The bound is generous —
+    // the point is "seconds, not the full 20k-deep queue" — and leaves
+    // room for one WRITE_TIMEOUT-bounded stall in case this host's socket
+    // buffers are too small to absorb the flooder's unread responses
+    // (after which the flooder is marked slow/wedged and dropped).
+    let mut client = Client::connect(addr).expect("connect");
+    let t0 = std::time::Instant::now();
+    for i in 0..20u64 {
+        let got = client
+            .dot(Precision::P8, &[i, 2], &[3, 4])
+            .expect("interactive dot");
+        assert_eq!(got, i * 3 + 8);
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    flooder.join().expect("flooder");
+    assert!(
+        elapsed < std::time::Duration::from_secs(15),
+        "20 interactive requests took {elapsed:?} behind a flooding session"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn client_initiated_shutdown_drains_and_joins() {
     let handle = start(ServerConfig::default());
     let addr = handle.local_addr();
