@@ -32,12 +32,20 @@
 //! one-at-a-time stream; higher windows measure the server's capacity
 //! instead of per-request wake-up latency. `--min-throughput R` exits
 //! non-zero when the measured requests/sec land below `R`.
+//!
+//! `--chaos [--chaos-seed S]` spawns the in-process server with a seeded
+//! deterministic [`FaultPlan`] (worker panics, delayed executions, stalled
+//! writers, severed connections) and drives it with a tolerant client:
+//! injected-fault errors are counted and tolerated, a severed connection
+//! is survived by reconnecting with backoff and resending (the chaos mix
+//! is all idempotent ops), and the run fails only on a *wrong* value — the
+//! correctness-under-fire smoke test.
 
 use bpimc_core::prog::ProgramBuilder;
 use bpimc_core::{LogicOp, Precision, Program, RequestBody, ResponseBody, StoredMeta};
-use bpimc_server::{Client, Server, ServerConfig};
+use bpimc_server::{Client, ClientError, FaultPlan, Server, ServerConfig};
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     clients: u64,
@@ -48,6 +56,8 @@ struct Args {
     stored: bool,
     pipeline: usize,
     min_throughput: Option<f64>,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +70,8 @@ fn parse_args() -> Args {
         stored: false,
         pipeline: 1,
         min_throughput: None,
+        chaos: false,
+        chaos_seed: 7,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,6 +91,8 @@ fn parse_args() -> Args {
             }
             "--programs" => args.programs = true,
             "--stored" => args.stored = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => args.chaos_seed = num("--chaos-seed"),
             other => die(&format!("unknown option '{other}'")),
         }
     }
@@ -220,7 +234,7 @@ fn check(expect: &Expect, body: &ResponseBody) -> bool {
         (Expect::Stored { writes }, ResponseBody::Stored(StoredMeta { writes: got, .. })) => {
             writes == got
         }
-        (Expect::Fault, ResponseBody::Error(msg)) => msg.contains("panicked"),
+        (Expect::Fault, ResponseBody::Error(msg)) => msg.message.contains("panicked"),
         (Expect::Stats { requests, errors }, ResponseBody::Stats(s)) => {
             s.requests == *requests && s.errors == *errors
         }
@@ -463,16 +477,94 @@ fn drive_client(
     (ok, bad)
 }
 
+/// One chaos client's run: the plain idempotent op mix driven
+/// synchronously against a faulting server. Tolerates injected-fault
+/// errors and severed connections (reconnect with capped backoff, resend);
+/// a *wrong* value is the only failure. Returns
+/// `(ok, bad, tolerated_faults, reconnects)`.
+fn drive_chaos_client(addr: SocketAddr, c: u64, requests: u64) -> (u64, u64, u64, u64) {
+    let mut stream = build_stream(c, requests, false, false, false, &[]);
+    // Session accounts do not survive a chaos reconnect (a new connection
+    // is a new session), so the trailing stats self-check comes off.
+    stream.pop();
+    let mut client = match Client::connect(addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("chaos client {c}: connect failed: {e}");
+            return (0, requests, 0, 0);
+        }
+    };
+    let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
+    for (body, expect) in &stream {
+        let mut attempt = 0u32;
+        loop {
+            match client.call(body.clone()) {
+                Ok(resp) => {
+                    match &resp.body {
+                        ResponseBody::Error(err) if err.message.contains("panicked") => faults += 1,
+                        got if check(expect, got) => ok += 1,
+                        got => {
+                            bad += 1;
+                            eprintln!("chaos client {c}: wrong value: {got:?}");
+                        }
+                    }
+                    break;
+                }
+                // A severed connection (chaos drop, or a stall the write
+                // timeout evicted): reconnect with capped backoff and
+                // resend — every op in the chaos mix is idempotent.
+                Err(ClientError::Io(_)) if attempt < 8 => {
+                    attempt += 1;
+                    reconnects += 1;
+                    std::thread::sleep(Duration::from_millis(2u64 << attempt.min(6)));
+                    let _ = client.reconnect();
+                }
+                Err(e) => {
+                    bad += 1;
+                    eprintln!("chaos client {c}: gave up after {attempt} reconnects: {e}");
+                    break;
+                }
+            }
+        }
+    }
+    (ok, bad, faults, reconnects)
+}
+
+/// The seeded chaos schedule `--chaos` serves under: every fault type in
+/// the plan fires at a few percent, plus explicit `inject_panic` support.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        panic_per_mille: 30,
+        delay_per_mille: 20,
+        delay_ms: 2,
+        stall_per_mille: 20,
+        stall_ms: 2,
+        drop_per_mille: 15,
+        inject_panic_op: true,
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.stored && args.programs {
         die("--stored already drives program pipelines; drop --programs");
     }
+    if args.chaos && args.addr.is_some() {
+        die("--chaos spawns its own in-process server; drop --addr");
+    }
+    if args.chaos && (args.stored || args.programs) {
+        die("--chaos drives the plain idempotent op mix; drop --stored/--programs");
+    }
     let spawned = match &args.addr {
         Some(_) => None,
         None => {
             let mut config = ServerConfig {
-                fault_injection: true,
+                faults: if args.chaos {
+                    chaos_plan(args.chaos_seed)
+                } else {
+                    FaultPlan::inject_panic_only()
+                },
                 ..ServerConfig::default()
             };
             if let Some(m) = args.macros {
@@ -482,9 +574,14 @@ fn main() {
             let handle =
                 Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| die(&format!("bind: {e}")));
             println!(
-                "spawned in-process server on {} ({} macros)",
+                "spawned in-process server on {} ({} macros{})",
                 handle.local_addr(),
-                config.macros
+                config.macros,
+                if args.chaos {
+                    format!(", chaos seed {}", args.chaos_seed)
+                } else {
+                    String::new()
+                }
             );
             Some(handle)
         }
@@ -496,6 +593,10 @@ fn main() {
         (None, Some(h)) => h.local_addr(),
         (None, None) => unreachable!(),
     };
+    if args.chaos {
+        run_chaos(addr, &args, spawned.expect("--chaos always spawns"));
+        return;
+    }
     // Against an external server we do not know whether faults are enabled,
     // so only the in-process run exercises injection.
     let expect_faults = spawned.is_some();
@@ -548,4 +649,40 @@ fn main() {
         }
         println!("throughput {rate:.0} requests/sec >= {min:.0} floor");
     }
+}
+
+/// The `--chaos` run: tolerant concurrent clients against the seeded fault
+/// plan, then a clean drain. Every response must be either correct or an
+/// injected fault; the exit code reflects wrong values only.
+fn run_chaos(addr: SocketAddr, args: &Args, handle: bpimc_server::ServerHandle) {
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let requests = args.requests;
+            std::thread::spawn(move || drive_chaos_client(addr, c, requests))
+        })
+        .collect();
+    let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
+    for w in workers {
+        let (o, b, f, r) = w.join().unwrap_or((0, 1, 0, 0));
+        ok += o;
+        bad += b;
+        faults += f;
+        reconnects += r;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = args.clients * args.requests;
+    println!(
+        "chaos: {} clients x {} requests in {elapsed:.3} s — {ok} correct, \
+         {faults} injected faults tolerated, {reconnects} reconnects",
+        args.clients, args.requests
+    );
+    handle.shutdown();
+    println!("server drained and shut down cleanly under chaos");
+    if bad > 0 || ok + faults != total {
+        die(&format!(
+            "{bad} wrong/lost responses out of {total} under chaos"
+        ));
+    }
+    println!("all {total} chaos responses accounted for, zero wrong values");
 }

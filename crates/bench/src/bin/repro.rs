@@ -7,7 +7,13 @@
 //! repro all --json          # also write BENCH_repro.json with wall-clock
 //!                           # and simulated-cycle numbers
 //! repro serve               # run the multi-client compute service
-//!     [--addr 127.0.0.1:7171] [--macros N] [--fault-injection]
+//!     [--addr 127.0.0.1:7171] [--macros N] [--write-timeout-ms MS]
+//!     [--max-cycles-per-sec N] [--max-energy-fj-per-sec N]
+//!     [--max-inflight N] [--max-program-instrs N] [--max-stored-programs N]
+//!     [--chaos-seed S] [--chaos-panic-pm N] [--chaos-delay-pm N]
+//!     [--chaos-delay-ms MS] [--chaos-stall-pm N] [--chaos-stall-ms MS]
+//!     [--chaos-drop-pm N]
+//!     [--fault-injection]   # honour explicit inject_panic requests only
 //! repro check-bench         # regression gate: compare current cycles and
 //!     [--baseline FILE]     # micro-timings against BENCH_repro.json
 //! ```
@@ -475,11 +481,25 @@ fn serve_throughput() -> f64 {
 
 /// `repro serve`: run the line-delimited-JSON compute service until a
 /// client sends `{"op":"shutdown"}` (see the README's Serving section).
+///
+/// Beyond `--addr`/`--macros`, the flags map onto the server's guardrail
+/// and chaos knobs: `--max-*` set per-session limits ([`SessionLimits`]),
+/// `--chaos-*` build a seeded deterministic [`FaultPlan`], and
+/// `--fault-injection` only makes the server honour explicit
+/// `inject_panic` requests (it injects nothing by itself).
+///
+/// [`SessionLimits`]: bpimc_server::SessionLimits
+/// [`FaultPlan`]: bpimc_server::FaultPlan
 fn serve(args: &[String]) {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut config = bpimc_server::ServerConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
         match a.as_str() {
             "--addr" => {
                 addr = it
@@ -495,20 +515,61 @@ fn serve(args: &[String]) {
                     .unwrap_or_else(|| die("--macros needs a positive number"));
                 config.batch_max = 4 * config.macros;
             }
-            "--fault-injection" => config.fault_injection = true,
+            // Honour explicit `inject_panic` requests; injects nothing by
+            // itself (for scheduled chaos use the `--chaos-*` flags).
+            "--fault-injection" => config.faults.inject_panic_op = true,
+            "--chaos-seed" => config.faults.seed = num("--chaos-seed"),
+            "--chaos-panic-pm" => config.faults.panic_per_mille = num("--chaos-panic-pm") as u16,
+            "--chaos-delay-pm" => config.faults.delay_per_mille = num("--chaos-delay-pm") as u16,
+            "--chaos-delay-ms" => config.faults.delay_ms = num("--chaos-delay-ms"),
+            "--chaos-stall-pm" => config.faults.stall_per_mille = num("--chaos-stall-pm") as u16,
+            "--chaos-stall-ms" => config.faults.stall_ms = num("--chaos-stall-ms"),
+            "--chaos-drop-pm" => config.faults.drop_per_mille = num("--chaos-drop-pm") as u16,
+            "--max-cycles-per-sec" => {
+                config.limits.max_cycles_per_sec = Some(num("--max-cycles-per-sec"))
+            }
+            "--max-energy-fj-per-sec" => {
+                config.limits.max_energy_fj_per_sec = Some(num("--max-energy-fj-per-sec") as f64)
+            }
+            "--max-inflight" => config.limits.max_inflight = Some(num("--max-inflight")),
+            "--max-program-instrs" => {
+                config.limits.max_program_instrs = Some(num("--max-program-instrs") as usize)
+            }
+            "--max-stored-programs" => {
+                config.limits.max_stored_programs = num("--max-stored-programs") as usize
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout =
+                    std::time::Duration::from_millis(num("--write-timeout-ms").max(1))
+            }
             other => die(&format!("unknown serve option '{other}'")),
         }
     }
     let handle = bpimc_server::Server::bind(addr.as_str(), config)
         .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!(
-        "serving on {} with {} macros (queue {}, batch {}, fault injection {})",
+        "serving on {} with {} macros (queue {}, batch {}, write timeout {:?})",
         handle.local_addr(),
         config.macros,
         config.queue_capacity,
         config.batch_max,
-        if config.fault_injection { "on" } else { "off" }
+        config.write_timeout,
     );
+    if config.faults.is_active() {
+        println!(
+            "chaos plan: seed {} panic {}‰ delay {}‰/{} ms stall {}‰/{} ms drop {}‰",
+            config.faults.seed,
+            config.faults.panic_per_mille,
+            config.faults.delay_per_mille,
+            config.faults.delay_ms,
+            config.faults.stall_per_mille,
+            config.faults.stall_ms,
+            config.faults.drop_per_mille,
+        );
+    }
+    if config.faults.inject_panic_op {
+        println!("explicit inject_panic requests are honoured");
+    }
     println!("send {{\"id\":1,\"op\":\"shutdown\"}} to stop");
     handle.join();
     println!("server stopped");
@@ -685,7 +746,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S] [--json]");
-        eprintln!("       repro serve [--addr HOST:PORT] [--macros N] [--fault-injection]");
+        eprintln!(
+            "       repro serve [--addr HOST:PORT] [--macros N] [--write-timeout-ms MS] [--max-* limits] [--chaos-* plan] [--fault-injection (honour inject_panic only)]"
+        );
         eprintln!("       repro check-bench [--baseline FILE]");
         std::process::exit(2);
     }

@@ -63,10 +63,14 @@ pub use prog::{
     CompiledProgram, Instr, PartitionedRun, ProgError, Program, ProgramBuilder, ProgramRun, Reg,
     SubProgram,
 };
-pub use wire::{LaneOp, ProgramReport, Request, RequestBody, Response, ResponseBody, StoredMeta};
+pub use wire::{
+    ErrorBody, ErrorKind, LaneOp, LimitKind, ProgramReport, Request, RequestBody, Response,
+    ResponseBody, StoredMeta,
+};
 
-// A failed batch job, as surfaced by `MacroBank::try_run_batch`.
-pub use bpimc_stats::parallel::JobPanic;
+// A failed batch job, as surfaced by `MacroBank::try_run_batch`, and the
+// cooperative cancellation token its `_cancellable` variants take.
+pub use bpimc_stats::parallel::{CancelToken, JobPanic};
 
 // The precision type is part of this crate's public vocabulary.
 pub use bpimc_periph::{LogicOp, Precision};

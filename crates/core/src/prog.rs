@@ -411,6 +411,10 @@ pub enum ProgError {
     /// A [`CompiledProgram`] was run on a macro whose configuration differs
     /// from the one it was compiled (validated) for.
     ConfigMismatch,
+    /// A cooperative cancellation token fired before the run completed
+    /// ([`MacroBank::run_partitioned_cancellable`]); some components were
+    /// abandoned unexecuted.
+    Cancelled,
 }
 
 impl fmt::Display for ProgError {
@@ -482,6 +486,9 @@ impl fmt::Display for ProgError {
                     f,
                     "compiled program run on a macro with a different configuration"
                 )
+            }
+            ProgError::Cancelled => {
+                write!(f, "execution cancelled before the program completed")
             }
         }
     }
@@ -1281,6 +1288,35 @@ impl MacroBank {
     /// Panics if any macro's logged cycles diverge from the schedule's
     /// prediction (a `prog` bug, never a data-dependent condition).
     pub fn run_partitioned(&mut self, prog: &Program) -> Result<PartitionedRun, ProgError> {
+        self.run_partitioned_inner(prog, None)
+    }
+
+    /// [`MacroBank::run_partitioned`] with **cooperative cancellation**:
+    /// the token is checked between component executions on every macro,
+    /// so a cancelled or deadline-expired run abandons its remaining
+    /// components mid-flight (each macro finishes only the component it is
+    /// currently executing) and returns [`ProgError::Cancelled`]. The
+    /// activity logs record exactly the components that ran — partial work
+    /// is billed, never invented.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as [`MacroBank::run_partitioned`], plus
+    /// [`ProgError::Cancelled`] when the token fired before every
+    /// component completed.
+    pub fn run_partitioned_cancellable(
+        &mut self,
+        prog: &Program,
+        cancel: &bpimc_stats::parallel::CancelToken,
+    ) -> Result<PartitionedRun, ProgError> {
+        self.run_partitioned_inner(prog, Some(cancel))
+    }
+
+    fn run_partitioned_inner(
+        &mut self,
+        prog: &Program,
+        cancel: Option<&bpimc_stats::parallel::CancelToken>,
+    ) -> Result<PartitionedRun, ProgError> {
         let config = *self.macros().next().expect("banks are non-empty").config();
         prog.validate(&config)?;
         let parts = prog.partition();
@@ -1288,10 +1324,17 @@ impl MacroBank {
         let bins = lpt_schedule(&costs, self.len());
         let starts: Vec<u64> = self.macros().map(|m| m.activity().total_cycles()).collect();
         let mut results = self.dispatch(|i, mac| {
-            bins[i]
-                .iter()
-                .map(|&ci| (ci, parts[ci].program.run(mac)))
-                .collect::<Vec<_>>()
+            let mut runs = Vec::new();
+            for &ci in &bins[i] {
+                // The cancellation check sits between whole components —
+                // the partitioned analogue of a claim-queue block — so a
+                // quiet token costs one atomic load per component.
+                if cancel.is_some_and(bpimc_stats::parallel::CancelToken::is_cancelled) {
+                    break;
+                }
+                runs.push((ci, parts[ci].program.run(mac)));
+            }
+            runs
         });
         let deltas: Vec<u64> = self
             .macros()
@@ -1300,14 +1343,20 @@ impl MacroBank {
             .collect();
         let mut per_part: Vec<Option<ProgramRun>> = (0..parts.len()).map(|_| None).collect();
         for (i, macro_runs) in results.drain(..).enumerate() {
+            // The cost model is asserted over the components that actually
+            // ran (all of them, unless the token fired mid-run).
+            let mut predicted = 0u64;
             for (ci, run) in macro_runs {
+                predicted += costs[ci];
                 per_part[ci] = Some(run?);
             }
-            let predicted: u64 = bins[i].iter().map(|&c| costs[c]).sum();
             assert_eq!(
                 deltas[i], predicted,
                 "macro {i}: partition cost model diverged from the activity log"
             );
+        }
+        if per_part.iter().any(Option::is_none) {
+            return Err(ProgError::Cancelled);
         }
         let mut outputs: Vec<Vec<u64>> = vec![Vec::new(); prog.read_count()];
         let mut instr_cycles = vec![0u64; prog.instrs().len()];
@@ -2474,6 +2523,55 @@ mod tests {
         assert!(part_run.makespan_cycles < part_run.total_cycles);
         assert_eq!(part_run.makespan_cycles, prog.predicted_makespan(3));
         assert_eq!(part_run.macros_used, 3);
+    }
+
+    #[test]
+    fn run_partitioned_cancellable_completes_when_the_token_is_quiet() {
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        for k in 0..4u64 {
+            let x = b.write(p, vec![k + 1]);
+            let y = b.write(p, vec![10 * (k + 1)]);
+            let s = b.add(x, y, p);
+            b.read(s, p, 1);
+        }
+        let prog = b.finish();
+        let mut bank = MacroBank::new(2, cfg());
+        let token = bpimc_stats::parallel::CancelToken::new();
+        let run = bank.run_partitioned_cancellable(&prog, &token).unwrap();
+        assert_eq!(
+            run.outputs,
+            vec![vec![11], vec![22], vec![33], vec![44]],
+            "a quiet token changes nothing"
+        );
+        assert_eq!(run.total_cycles, bank.total_cycles());
+    }
+
+    #[test]
+    fn run_partitioned_cancelled_abandons_remaining_components() {
+        // Many independent components; a pre-fired token means no macro
+        // claims any component: the run reports Cancelled and the activity
+        // logs stay empty (partial work is real, invented work never is).
+        let p = Precision::P8;
+        let mut b = ProgramBuilder::new();
+        for k in 0..6u64 {
+            let x = b.write(p, vec![k + 1]);
+            let y = b.write(p, vec![2 * (k + 1)]);
+            let s = b.add(x, y, p);
+            b.read(s, p, 1);
+        }
+        let prog = b.finish();
+        let mut bank = MacroBank::new(2, cfg());
+        let token = bpimc_stats::parallel::CancelToken::new();
+        token.cancel();
+        assert!(matches!(
+            bank.run_partitioned_cancellable(&prog, &token),
+            Err(ProgError::Cancelled)
+        ));
+        assert_eq!(bank.total_cycles(), 0, "no component may have executed");
+        // The bank still serves: the same program completes afterwards.
+        let ok = bank.run_partitioned(&prog).unwrap();
+        assert_eq!(ok.outputs.len(), 6);
     }
 
     #[test]

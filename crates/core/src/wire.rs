@@ -49,6 +49,21 @@
 //! `{"id":N,"ok":false,"error":"…"}` on failure. A response's `id` matches
 //! its request; per connection, responses arrive in request order.
 //!
+//! A failure may carry a machine-readable class beyond the human-readable
+//! `error` string ([`ErrorBody`]): `"kind"` is one of `limit_exceeded`
+//! (plus `"limit"` naming which per-session limit — `cycle_rate`,
+//! `energy_rate`, `inflight`, `program_length`, `stored_programs`),
+//! `overloaded` (the server is shedding load), or `deadline_exceeded`
+//! (the request's `timeout_ms` expired in queue or mid-execution).
+//! `limit_exceeded` and `overloaded` errors may add `"retry_after_ms"`,
+//! a hint for how long to back off before retrying. A failure without a
+//! `"kind"` field is a generic request error (bad argument, ISA error,
+//! unknown stored id, …) — retrying it unchanged will fail again.
+//!
+//! Any request may carry an optional `timeout_ms` field: a deadline,
+//! relative to the server reading the line, after which the server may
+//! answer `deadline_exceeded` instead of executing.
+//!
 //! A `program` result reports the outputs of the program's read
 //! instructions plus exact per-instruction accounting:
 //! `{"outputs":[[…]…],"cycles":[…],"energy_fj":[…]}` (one `cycles` /
@@ -75,6 +90,7 @@
 //!
 //! let req = Request {
 //!     id: 7,
+//!     timeout_ms: None,
 //!     body: RequestBody::Dot {
 //!         precision: Precision::P8,
 //!         x: vec![1, 2, 3],
@@ -216,6 +232,10 @@ pub enum RequestBody {
 pub struct Request {
     /// Echoed verbatim in the response.
     pub id: u64,
+    /// Optional deadline, milliseconds from the server reading the line.
+    /// Past it the server may answer `deadline_exceeded` instead of
+    /// executing.
+    pub timeout_ms: Option<u64>,
     /// What to do.
     pub body: RequestBody,
 }
@@ -240,8 +260,170 @@ pub enum ResponseBody {
     Program(ProgramReport),
     /// A stored program's id and compile-time facts (`store_program`).
     Stored(StoredMeta),
-    /// The request failed; human-readable reason.
-    Error(String),
+    /// The request failed; message plus optional machine-readable class.
+    Error(ErrorBody),
+}
+
+/// Machine-readable class of a failed request.
+///
+/// `Generic` failures (bad argument, ISA error, unknown stored id, …)
+/// carry no `"kind"` field on the wire; retrying them unchanged fails
+/// again. The other kinds are transient conditions a client can react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorKind {
+    /// A request error with no more specific class.
+    #[default]
+    Generic,
+    /// A per-session limit was exceeded; [`ErrorBody::limit`] says which
+    /// and [`ErrorBody::retry_after_ms`] hints when the budget refills.
+    LimitExceeded,
+    /// The server is shedding load; back off and retry.
+    Overloaded,
+    /// The request's `timeout_ms` expired in queue or mid-execution.
+    DeadlineExceeded,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind (`None` for `Generic`, which is encoded
+    /// by omitting the field).
+    pub fn name(&self) -> Option<&'static str> {
+        match self {
+            ErrorKind::Generic => None,
+            ErrorKind::LimitExceeded => Some("limit_exceeded"),
+            ErrorKind::Overloaded => Some("overloaded"),
+            ErrorKind::DeadlineExceeded => Some("deadline_exceeded"),
+        }
+    }
+
+    /// The kind for a wire name, if any.
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "limit_exceeded" => ErrorKind::LimitExceeded,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+/// Which per-session limit a `limit_exceeded` error tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// The session's hardware-cycles-per-second budget.
+    CycleRate,
+    /// The session's energy-per-second budget.
+    EnergyRate,
+    /// Too many requests in flight on the connection at once.
+    Inflight,
+    /// A submitted program has more instructions than allowed.
+    ProgramLength,
+    /// The session's stored-program cache is full.
+    StoredPrograms,
+}
+
+impl LimitKind {
+    /// The wire name of this limit.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LimitKind::CycleRate => "cycle_rate",
+            LimitKind::EnergyRate => "energy_rate",
+            LimitKind::Inflight => "inflight",
+            LimitKind::ProgramLength => "program_length",
+            LimitKind::StoredPrograms => "stored_programs",
+        }
+    }
+
+    /// The limit for a wire name, if any.
+    pub fn from_name(name: &str) -> Option<LimitKind> {
+        Some(match name {
+            "cycle_rate" => LimitKind::CycleRate,
+            "energy_rate" => LimitKind::EnergyRate,
+            "inflight" => LimitKind::Inflight,
+            "program_length" => LimitKind::ProgramLength,
+            "stored_programs" => LimitKind::StoredPrograms,
+            _ => return None,
+        })
+    }
+}
+
+/// A failed request: human-readable message plus optional machine class.
+///
+/// On the wire: `{"id":N,"ok":false,"error":MSG}` with `"kind"`,
+/// `"limit"` and `"retry_after_ms"` added only when set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBody {
+    /// Machine-readable class (`Generic` is encoded by omission).
+    pub kind: ErrorKind,
+    /// Which limit tripped, for `LimitExceeded` errors.
+    pub limit: Option<LimitKind>,
+    /// Back-off hint in milliseconds, for transient errors.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// A plain request error with no machine-readable class.
+    pub fn generic(message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::Generic,
+            limit: None,
+            retry_after_ms: None,
+            message: message.into(),
+        }
+    }
+
+    /// A `limit_exceeded` error naming the limit that tripped.
+    pub fn limit(
+        limit: LimitKind,
+        retry_after_ms: Option<u64>,
+        message: impl Into<String>,
+    ) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::LimitExceeded,
+            limit: Some(limit),
+            retry_after_ms,
+            message: message.into(),
+        }
+    }
+
+    /// An `overloaded` shed with a back-off hint.
+    pub fn overloaded(retry_after_ms: Option<u64>, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::Overloaded,
+            limit: None,
+            retry_after_ms,
+            message: message.into(),
+        }
+    }
+
+    /// A `deadline_exceeded` error.
+    pub fn deadline(message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::DeadlineExceeded,
+            limit: None,
+            retry_after_ms: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for ErrorBody {
+    fn from(message: String) -> ErrorBody {
+        ErrorBody::generic(message)
+    }
+}
+
+impl From<&str> for ErrorBody {
+    fn from(message: &str) -> ErrorBody {
+        ErrorBody::generic(message)
+    }
+}
+
+impl fmt::Display for ErrorBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
 }
 
 /// What `store_program` returns: the session-local id to pass to
@@ -566,6 +748,13 @@ impl Request {
     pub fn parse(line: &str) -> Result<Request, WireError> {
         let v = Json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
         let id = u64_field(&v, "id")?;
+        let timeout_ms = match v.get("timeout_ms") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(
+                t.as_u64()
+                    .ok_or_else(|| wire_err("field 'timeout_ms' must be a non-negative integer"))?,
+            ),
+        };
         let op = field(&v, "op")?
             .as_str()
             .ok_or_else(|| wire_err("field 'op' must be a string"))?;
@@ -634,12 +823,19 @@ impl Request {
                 None => return Err(wire_err(format!("unknown op '{other}'"))),
             },
         };
-        Ok(Request { id, body })
+        Ok(Request {
+            id,
+            timeout_ms,
+            body,
+        })
     }
 
     /// Serializes the request to one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut fields = vec![("id".to_string(), Json::UInt(self.id))];
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), Json::UInt(t)));
+        }
         let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
         match &self.body {
             RequestBody::Ping => push("op", Json::Str("ping".into())),
@@ -731,9 +927,26 @@ impl Response {
             let msg = field(&v, "error")?
                 .as_str()
                 .ok_or_else(|| wire_err("field 'error' must be a string"))?;
+            // Unknown kinds/limits from a newer server degrade to generic
+            // rather than failing the parse.
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::from_name)
+                .unwrap_or_default();
+            let limit = v
+                .get("limit")
+                .and_then(Json::as_str)
+                .and_then(LimitKind::from_name);
+            let retry_after_ms = v.get("retry_after_ms").and_then(Json::as_u64);
             return Ok(Response {
                 id,
-                body: ResponseBody::Error(msg.to_string()),
+                body: ResponseBody::Error(ErrorBody {
+                    kind,
+                    limit,
+                    retry_after_ms,
+                    message: msg.to_string(),
+                }),
             });
         }
         let kind = field(&v, "kind")?
@@ -804,9 +1017,18 @@ impl Response {
         let mut fields = vec![("id".to_string(), Json::UInt(self.id))];
         let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
         match &self.body {
-            ResponseBody::Error(msg) => {
+            ResponseBody::Error(e) => {
                 push("ok", Json::Bool(false));
-                push("error", Json::Str(msg.clone()));
+                push("error", Json::Str(e.message.clone()));
+                if let Some(kind) = e.kind.name() {
+                    push("kind", Json::Str(kind.into()));
+                }
+                if let Some(limit) = e.limit {
+                    push("limit", Json::Str(limit.name().into()));
+                }
+                if let Some(ms) = e.retry_after_ms {
+                    push("retry_after_ms", Json::UInt(ms));
+                }
             }
             body => {
                 push("ok", Json::Bool(true));
@@ -878,10 +1100,12 @@ mod tests {
     fn every_request_kind_round_trips() {
         round_trip_request(Request {
             id: 1,
+            timeout_ms: None,
             body: RequestBody::Ping,
         });
         round_trip_request(Request {
             id: 2,
+            timeout_ms: None,
             body: RequestBody::Dot {
                 precision: Precision::P8,
                 x: vec![1, 2, 3],
@@ -901,6 +1125,7 @@ mod tests {
         ] {
             round_trip_request(Request {
                 id: 3,
+                timeout_ms: None,
                 body: RequestBody::Lanes {
                     op,
                     precision: Precision::P4,
@@ -911,6 +1136,7 @@ mod tests {
         }
         round_trip_request(Request {
             id: 4,
+            timeout_ms: None,
             body: RequestBody::LoadModel {
                 precision: Precision::P2,
                 prototypes: vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]],
@@ -918,22 +1144,26 @@ mod tests {
         });
         round_trip_request(Request {
             id: 5,
+            timeout_ms: None,
             body: RequestBody::Classify { x: vec![1, 2] },
         });
         round_trip_request(Request {
             id: 9,
+            timeout_ms: None,
             body: RequestBody::ExecProgram {
                 instrs: every_instr_kind(),
             },
         });
         round_trip_request(Request {
             id: 10,
+            timeout_ms: None,
             body: RequestBody::StoreProgram {
                 instrs: every_instr_kind(),
             },
         });
         round_trip_request(Request {
             id: 11,
+            timeout_ms: None,
             body: RequestBody::RunStored {
                 pid: 3,
                 inputs: vec![],
@@ -941,6 +1171,7 @@ mod tests {
         });
         round_trip_request(Request {
             id: 12,
+            timeout_ms: None,
             body: RequestBody::RunStored {
                 pid: 7,
                 inputs: vec![Some(vec![1, 2, 3]), None, Some(vec![]), Some(vec![255])],
@@ -948,14 +1179,17 @@ mod tests {
         });
         round_trip_request(Request {
             id: 6,
+            timeout_ms: None,
             body: RequestBody::Stats,
         });
         round_trip_request(Request {
             id: 7,
+            timeout_ms: None,
             body: RequestBody::InjectPanic,
         });
         round_trip_request(Request {
             id: 8,
+            timeout_ms: None,
             body: RequestBody::Shutdown,
         });
     }
@@ -1145,6 +1379,80 @@ mod tests {
                 "{line} -> {err} (wanted {needle})"
             );
         }
+    }
+
+    #[test]
+    fn structured_errors_round_trip() {
+        round_trip_response(Response {
+            id: 20,
+            body: ResponseBody::Error(ErrorBody::limit(
+                LimitKind::CycleRate,
+                Some(750),
+                "session cycle budget exhausted",
+            )),
+        });
+        round_trip_response(Response {
+            id: 21,
+            body: ResponseBody::Error(ErrorBody::limit(
+                LimitKind::ProgramLength,
+                None,
+                "program too long",
+            )),
+        });
+        round_trip_response(Response {
+            id: 22,
+            body: ResponseBody::Error(ErrorBody::overloaded(Some(50), "server overloaded")),
+        });
+        round_trip_response(Response {
+            id: 23,
+            body: ResponseBody::Error(ErrorBody::deadline("deadline expired in queue")),
+        });
+        for limit in [
+            LimitKind::CycleRate,
+            LimitKind::EnergyRate,
+            LimitKind::Inflight,
+            LimitKind::ProgramLength,
+            LimitKind::StoredPrograms,
+        ] {
+            assert_eq!(LimitKind::from_name(limit.name()), Some(limit));
+        }
+    }
+
+    #[test]
+    fn generic_errors_stay_wire_compatible() {
+        // A generic error serializes exactly as before this protocol grew
+        // machine-readable kinds, and unknown kinds degrade to generic.
+        let line = Response {
+            id: 7,
+            body: ResponseBody::Error("no model loaded".into()),
+        }
+        .to_json_line();
+        assert_eq!(
+            line,
+            "{\"id\":7,\"ok\":false,\"error\":\"no model loaded\"}"
+        );
+        let parsed =
+            Response::parse("{\"id\":3,\"ok\":false,\"error\":\"boom\",\"kind\":\"brand_new\"}")
+                .unwrap();
+        assert_eq!(parsed.body, ResponseBody::Error(ErrorBody::generic("boom")));
+    }
+
+    #[test]
+    fn timeout_ms_rides_any_request() {
+        let req = Request {
+            id: 31,
+            timeout_ms: Some(250),
+            body: RequestBody::Ping,
+        };
+        let line = req.to_json_line();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        // Absent and null both mean "no deadline".
+        let bare = Request::parse("{\"id\":1,\"op\":\"ping\"}").unwrap();
+        assert_eq!(bare.timeout_ms, None);
+        let null = Request::parse("{\"id\":1,\"timeout_ms\":null,\"op\":\"ping\"}").unwrap();
+        assert_eq!(null.timeout_ms, None);
+        let err = Request::parse("{\"id\":1,\"timeout_ms\":\"soon\",\"op\":\"ping\"}").unwrap_err();
+        assert!(err.to_string().contains("timeout_ms"));
     }
 
     #[test]

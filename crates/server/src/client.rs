@@ -1,31 +1,62 @@
 //! A minimal blocking client for the wire protocol (tests, load
-//! generation, CLI tooling).
+//! generation, CLI tooling), with opt-in resilience: reconnect with
+//! capped exponential backoff and idempotent retry ([`RetryPolicy`]).
 
 use bpimc_core::{
-    LaneOp, Precision, Program, ProgramReport, Request, RequestBody, Response, ResponseBody,
-    SessionActivity, StoredMeta,
+    ErrorBody, ErrorKind, LaneOp, Precision, Program, ProgramReport, Request, RequestBody,
+    Response, ResponseBody, SessionActivity, StoredMeta,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
     /// The transport failed.
     Io(std::io::Error),
-    /// The server answered `ok:false` with this message.
-    Server(String),
+    /// The server answered `ok:false`; the body carries the
+    /// machine-readable kind (`overloaded`, `limit_exceeded`,
+    /// `deadline_exceeded`, or generic) alongside the message.
+    Server(ErrorBody),
     /// The server answered something the client cannot interpret (bad
     /// line, wrong id, wrong result kind).
     Protocol(String),
+}
+
+impl ClientError {
+    /// The server shed this request under overload (it never executed;
+    /// retrying after [`ClientError::retry_after`] is safe for any op).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Server(e) if e.kind == ErrorKind::Overloaded)
+    }
+
+    /// A per-session limit refused this request before it touched the
+    /// array.
+    pub fn is_limit_exceeded(&self) -> bool {
+        matches!(self, ClientError::Server(e) if e.kind == ErrorKind::LimitExceeded)
+    }
+
+    /// The request's `timeout_ms` expired before it executed.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, ClientError::Server(e) if e.kind == ErrorKind::DeadlineExceeded)
+    }
+
+    /// The server's back-off hint, when it sent one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Server(e) => e.retry_after_ms.map(Duration::from_millis),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport failed: {e}"),
-            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
@@ -46,14 +77,58 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Opt-in resilience for a [`Client`]: how many times to attempt an
+/// operation, with capped exponential backoff between attempts.
+///
+/// With a policy set, **any** op is retried after an `overloaded` shed
+/// (the server never executed it), and the read-only session-free ops
+/// (`ping`, `dot`, the lane-wise ops) are additionally retried across a
+/// reconnect on transport errors. Ops that depend on per-session state
+/// (`classify`, `run_stored`, `stats`, …) are never transparently
+/// retried across a reconnect — a new connection is a new session.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_delay * 2^n`, capped at
+    /// `max_delay`.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff (also caps a server `retry_after`
+    /// hint).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn delay(&self, attempt: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay)
+    }
+}
+
 /// A blocking connection to a compute server: one request, one response,
 /// in order.
 ///
 /// See the crate documentation for a usage example.
 pub struct Client {
+    /// The resolved address, kept for [`Client::reconnect`].
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Stamped on every request when set ([`Client::set_timeout_ms`]).
+    timeout_ms: Option<u64>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
@@ -63,16 +138,60 @@ impl Client {
     ///
     /// Returns the I/O error when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let (reader, writer) = Self::dial(addr)?;
+        Ok(Client {
+            addr,
+            reader,
+            writer,
+            next_id: 1,
+            timeout_ms: None,
+            retry: None,
+        })
+    }
+
+    fn dial(addr: SocketAddr) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
         let stream = TcpStream::connect(addr)?;
         // Requests are complete lines the server acts on immediately;
         // never let Nagle hold one back waiting for a delayed ACK.
         let _ = stream.set_nodelay(true);
         let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-            next_id: 1,
-        })
+        Ok((BufReader::new(stream), writer))
+    }
+
+    /// Sets the deadline stamped on every subsequent request (`None`
+    /// clears it). Past the deadline the server answers a
+    /// `deadline_exceeded` error instead of executing.
+    pub fn set_timeout_ms(&mut self, timeout_ms: Option<u64>) {
+        self.timeout_ms = timeout_ms;
+    }
+
+    /// Opts into resilience: retry `overloaded` sheds (any op) and
+    /// transport failures of session-free read-only ops across a
+    /// reconnect, per the policy's attempt/backoff schedule.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Drops the current connection and dials the server again.
+    ///
+    /// A new connection is a **new session**: the loaded model, stored
+    /// programs and activity account do not carry over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the new connection cannot be
+    /// established (the client keeps the old, likely dead, streams).
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = Self::dial(self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Sends one request without waiting for its response, returning the
@@ -87,7 +206,12 @@ impl Client {
     pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let mut line = Request { id, body }.to_json_line();
+        let mut line = Request {
+            id,
+            timeout_ms: self.timeout_ms,
+            body,
+        }
+        .to_json_line();
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
@@ -103,7 +227,12 @@ impl Client {
     pub fn recv(&mut self) -> Result<Response, ClientError> {
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+            // EOF is a transport failure (the peer vanished), not a
+            // protocol violation — reconnect/retry logic keys on `Io`.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
         }
         Response::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
     }
@@ -127,13 +256,40 @@ impl Client {
         Ok(resp)
     }
 
-    fn expect(&mut self, body: RequestBody, kind: &str) -> Result<ResponseBody, ClientError> {
-        match self.call(body)?.body {
-            ResponseBody::Error(msg) => Err(ClientError::Server(msg)),
-            other => {
-                let _ = kind; // the per-helper match below enforces the kind
-                Ok(other)
+    /// One request/response exchange with the configured resilience:
+    /// `overloaded` sheds are retried for any op (a shed request never
+    /// executed), transport failures only when `idempotent` (the op is
+    /// read-only and session-free, so replaying it on a fresh connection
+    /// cannot double-apply or lose session state).
+    fn expect(&mut self, body: RequestBody, idempotent: bool) -> Result<ResponseBody, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let can_retry = self
+                .retry
+                .is_some_and(|policy| attempt + 1 < policy.max_attempts);
+            match self.call(body.clone()) {
+                Ok(resp) => match resp.body {
+                    ResponseBody::Error(err) if err.kind == ErrorKind::Overloaded && can_retry => {
+                        let policy = self.retry.expect("can_retry implies a policy");
+                        let backoff = err
+                            .retry_after_ms
+                            .map_or_else(|| policy.delay(attempt), Duration::from_millis)
+                            .min(policy.max_delay);
+                        std::thread::sleep(backoff);
+                    }
+                    ResponseBody::Error(err) => return Err(ClientError::Server(err)),
+                    other => return Ok(other),
+                },
+                Err(ClientError::Io(_)) if idempotent && can_retry => {
+                    let policy = self.retry.expect("can_retry implies a policy");
+                    std::thread::sleep(policy.delay(attempt));
+                    // A failed reconnect surfaces as the next attempt's
+                    // transport error (or exhausts the attempt budget).
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
             }
+            attempt += 1;
         }
     }
 
@@ -143,7 +299,7 @@ impl Client {
     ///
     /// Fails on transport, server or protocol errors (also below).
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.expect(RequestBody::Ping, "pong")? {
+        match self.expect(RequestBody::Ping, true)? {
             ResponseBody::Pong => Ok(()),
             other => Err(protocol_kind("pong", &other)),
         }
@@ -160,7 +316,7 @@ impl Client {
             x: x.to_vec(),
             w: w.to_vec(),
         };
-        match self.expect(body, "scalar")? {
+        match self.expect(body, true)? {
             ResponseBody::Scalar(n) => Ok(n),
             other => Err(protocol_kind("scalar", &other)),
         }
@@ -184,7 +340,7 @@ impl Client {
             a: a.to_vec(),
             b: b.to_vec(),
         };
-        match self.expect(body, "words")? {
+        match self.expect(body, true)? {
             ResponseBody::Words(ws) => Ok(ws),
             other => Err(protocol_kind("words", &other)),
         }
@@ -204,7 +360,7 @@ impl Client {
             precision,
             prototypes: prototypes.to_vec(),
         };
-        match self.expect(body, "ok")? {
+        match self.expect(body, false)? {
             ResponseBody::Ok => Ok(()),
             other => Err(protocol_kind("ok", &other)),
         }
@@ -216,7 +372,7 @@ impl Client {
     ///
     /// Fails on transport, server or protocol errors.
     pub fn classify(&mut self, x: &[u64]) -> Result<usize, ClientError> {
-        match self.expect(RequestBody::Classify { x: x.to_vec() }, "class")? {
+        match self.expect(RequestBody::Classify { x: x.to_vec() }, false)? {
             ResponseBody::Class(c) => Ok(c),
             other => Err(protocol_kind("class", &other)),
         }
@@ -234,7 +390,7 @@ impl Client {
         let body = RequestBody::ExecProgram {
             instrs: program.instrs().to_vec(),
         };
-        match self.expect(body, "program")? {
+        match self.expect(body, false)? {
             ResponseBody::Program(r) => Ok(r),
             other => Err(protocol_kind("program", &other)),
         }
@@ -252,7 +408,7 @@ impl Client {
         let body = RequestBody::StoreProgram {
             instrs: program.instrs().to_vec(),
         };
-        match self.expect(body, "stored")? {
+        match self.expect(body, false)? {
             ResponseBody::Stored(meta) => Ok(meta),
             other => Err(protocol_kind("stored", &other)),
         }
@@ -275,7 +431,7 @@ impl Client {
             pid,
             inputs: inputs.to_vec(),
         };
-        match self.expect(body, "program")? {
+        match self.expect(body, false)? {
             ResponseBody::Program(r) => Ok(r),
             other => Err(protocol_kind("program", &other)),
         }
@@ -287,7 +443,7 @@ impl Client {
     ///
     /// Fails on transport, server or protocol errors.
     pub fn stats(&mut self) -> Result<SessionActivity, ClientError> {
-        match self.expect(RequestBody::Stats, "stats")? {
+        match self.expect(RequestBody::Stats, false)? {
             ResponseBody::Stats(s) => Ok(s),
             other => Err(protocol_kind("stats", &other)),
         }
@@ -301,7 +457,7 @@ impl Client {
     ///
     /// Fails on transport, server or protocol errors.
     pub fn inject_panic(&mut self) -> Result<(), ClientError> {
-        match self.expect(RequestBody::InjectPanic, "ok")? {
+        match self.expect(RequestBody::InjectPanic, false)? {
             ResponseBody::Ok => Ok(()),
             other => Err(protocol_kind("ok", &other)),
         }
@@ -313,7 +469,7 @@ impl Client {
     ///
     /// Fails on transport, server or protocol errors.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        match self.expect(RequestBody::Shutdown, "ok")? {
+        match self.expect(RequestBody::Shutdown, false)? {
             ResponseBody::Ok => Ok(()),
             other => Err(protocol_kind("ok", &other)),
         }

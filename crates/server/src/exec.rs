@@ -6,11 +6,15 @@
 //! single program executor ([`Program::run`]), so there is exactly one
 //! execution path from the wire to the array.
 
+use crate::fault::ComputeFault;
 use bpimc_core::prog::{CompiledProgram, Instr, Program, ProgramBuilder};
-use bpimc_core::{ImcMacro, LaneOp, Precision, ProgramReport, RequestBody, ResponseBody};
+use bpimc_core::{
+    ErrorBody, ImcMacro, LaneOp, LimitKind, Precision, ProgramReport, RequestBody, ResponseBody,
+};
 use bpimc_metrics::EnergyParams;
 use bpimc_nn::{chunks_per_class, classify_bindings, classify_from_outputs, imc_dot};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A classifier model loaded into a session by `load_model`.
 #[derive(Debug)]
@@ -39,7 +43,18 @@ pub(crate) struct ComputeJob {
     pub body: RequestBody,
     pub model: Option<Arc<Model>>,
     pub stored: Option<Arc<CompiledProgram>>,
-    pub fault_injection: bool,
+    /// The request's deadline, re-checked when the job starts: a request
+    /// whose deadline passed while earlier batch work ran is abandoned
+    /// before touching any array state (the mid-execution half of
+    /// cooperative cancellation; the in-queue half lives in the
+    /// dispatcher).
+    pub deadline: Option<Instant>,
+    /// Guardrail: longest accepted `exec_program` instruction stream.
+    pub max_program_instrs: Option<usize>,
+    /// Chaos: fault injected into this job's execution, if any.
+    pub fault: Option<ComputeFault>,
+    /// Honour an explicit `inject_panic` request.
+    pub inject_panic_allowed: bool,
 }
 
 /// True for request kinds that run on a macro via the batched executor.
@@ -59,11 +74,33 @@ pub(crate) fn is_compute(body: &RequestBody) -> bool {
 /// before and after, so the returned `(cycles, energy_fj)` are exactly this
 /// request's hardware work and the bank's logs stay bounded no matter how
 /// long the server runs.
+///
+/// The deadline re-check and any injected chaos fault fire here, on the
+/// worker thread, **before** `compute_body` touches the array — an
+/// expired or panicked job leaves the macro's state and activity log
+/// untouched for the next claimant.
 pub(crate) fn run_compute(
     mac: &mut ImcMacro,
     job: &ComputeJob,
     params: &EnergyParams,
-) -> (Result<ResponseBody, String>, u64, f64) {
+) -> (Result<ResponseBody, ErrorBody>, u64, f64) {
+    if job
+        .deadline
+        .is_some_and(|deadline| Instant::now() >= deadline)
+    {
+        return (
+            Err(ErrorBody::deadline(
+                "deadline expired mid-batch, before this request started executing",
+            )),
+            0,
+            0.0,
+        );
+    }
+    match job.fault {
+        Some(ComputeFault::Panic) => panic!("injected chaos fault (worker panic)"),
+        Some(ComputeFault::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
     mac.clear_activity();
     let out = compute_body(mac, job, params);
     let cycles = mac.activity().total_cycles();
@@ -99,15 +136,13 @@ fn compute_body(
     mac: &mut ImcMacro,
     job: &ComputeJob,
     params: &EnergyParams,
-) -> Result<ResponseBody, String> {
+) -> Result<ResponseBody, ErrorBody> {
     match &job.body {
         RequestBody::Dot { precision, x, w } => {
             if x.len() != w.len() {
-                return Err(format!(
-                    "'x' ({}) and 'w' ({}) differ in length",
-                    x.len(),
-                    w.len()
-                ));
+                return Err(
+                    format!("'x' ({}) and 'w' ({}) differ in length", x.len(), w.len()).into(),
+                );
             }
             check_words_fit("x", x, *precision)?;
             check_words_fit("w", w, *precision)?;
@@ -121,11 +156,9 @@ fn compute_body(
             b,
         } => {
             if a.len() != b.len() {
-                return Err(format!(
-                    "'a' ({}) and 'b' ({}) differ in length",
-                    a.len(),
-                    b.len()
-                ));
+                return Err(
+                    format!("'a' ({}) and 'b' ({}) differ in length", a.len(), b.len()).into(),
+                );
             }
             check_words_fit("a", a, *precision)?;
             check_words_fit("b", b, *precision)?;
@@ -143,7 +176,8 @@ fn compute_body(
                 return Err(format!(
                     "sample has {} features but the model expects {dim}",
                     x.len()
-                ));
+                )
+                .into());
             }
             check_words_fit("x", x, model.precision)?;
             // The fused classify template was compiled at `load_model`;
@@ -165,6 +199,19 @@ fn compute_body(
             )))
         }
         RequestBody::ExecProgram { instrs } => {
+            // The program-length guardrail fires before any array state
+            // changes — validation and execution never see an over-long
+            // stream.
+            if let Some(max) = job.max_program_instrs.filter(|&max| instrs.len() > max) {
+                return Err(ErrorBody::limit(
+                    LimitKind::ProgramLength,
+                    None,
+                    format!(
+                        "program has {} instructions but the limit is {max}",
+                        instrs.len()
+                    ),
+                ));
+            }
             let prog = Program::new(instrs.clone());
             let run = prog.run(mac).map_err(|e| e.to_string())?;
             program_report(mac, params, run)
@@ -185,12 +232,12 @@ fn compute_body(
             program_report(mac, params, run)
         }
         RequestBody::InjectPanic => {
-            if job.fault_injection {
+            if job.inject_panic_allowed {
                 panic!("injected fault (inject_panic request)");
             }
-            Err("fault injection is disabled on this server".to_string())
+            Err("fault injection is disabled on this server".into())
         }
-        other => Err(format!("not a compute request: {other:?}")),
+        other => Err(format!("not a compute request: {other:?}").into()),
     }
 }
 
@@ -201,7 +248,7 @@ fn program_report(
     mac: &ImcMacro,
     params: &EnergyParams,
     run: bpimc_core::ProgramRun,
-) -> Result<ResponseBody, String> {
+) -> Result<ResponseBody, ErrorBody> {
     let energy_fj = run
         .instr_spans
         .iter()

@@ -1,0 +1,220 @@
+//! Per-session guardrails: resource limits and their exact metering.
+//!
+//! The paper's fixed cost model (Table I cycles, Table II energy) is what
+//! makes these budgets *exact* rather than heuristic: every request is
+//! billed the precise hardware cycles and femtojoules its job consumed
+//! (from the executing macro's activity log), and [`RateWindow`] meters
+//! those same numbers against the session's per-second budgets. A tenant
+//! that exhausts its budget gets a structured `limit_exceeded` error with
+//! a retry-after hint instead of degrading every other session.
+
+use bpimc_core::{ErrorBody, LimitKind};
+use std::time::{Duration, Instant};
+
+/// The budget window: budgets are per second, metered over tumbling
+/// one-second windows.
+const WINDOW: Duration = Duration::from_secs(1);
+
+/// Per-session resource limits, enforced before a request touches any
+/// array state. All rate/size limits default to `None` (unlimited), so a
+/// default-configured server has zero guardrail cost on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Hardware cycles one session may bill per second, metered against
+    /// the exact per-request activity accounting.
+    pub max_cycles_per_sec: Option<u64>,
+    /// Energy (femtojoules) one session may bill per second.
+    pub max_energy_fj_per_sec: Option<f64>,
+    /// Most requests one connection may have in flight (queued or
+    /// executing, response not yet produced) at once.
+    pub max_inflight: Option<u64>,
+    /// Longest instruction stream accepted by `exec_program` and
+    /// `store_program`.
+    pub max_program_instrs: Option<usize>,
+    /// Stored programs one session may hold at once (`store_program`
+    /// beyond this answers `limit_exceeded`; the cache is freed when the
+    /// connection drops).
+    pub max_stored_programs: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        Self {
+            max_cycles_per_sec: None,
+            max_energy_fj_per_sec: None,
+            max_inflight: None,
+            max_program_instrs: None,
+            max_stored_programs: 64,
+        }
+    }
+}
+
+impl SessionLimits {
+    /// True when no per-second budget is configured — the admission check
+    /// can skip taking a timestamp entirely.
+    pub fn unmetered(&self) -> bool {
+        self.max_cycles_per_sec.is_none() && self.max_energy_fj_per_sec.is_none()
+    }
+
+    /// Checks a submitted program's instruction count.
+    ///
+    /// # Errors
+    ///
+    /// A structured `limit_exceeded` naming `program_length`.
+    pub fn check_program_len(&self, instrs: usize) -> Result<(), ErrorBody> {
+        match self.max_program_instrs {
+            Some(max) if instrs > max => Err(ErrorBody::limit(
+                LimitKind::ProgramLength,
+                None,
+                format!("program has {instrs} instructions but the limit is {max}"),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One session's cycle/energy spend inside the current one-second window.
+///
+/// `admit` rolls the window and answers whether the session may start
+/// another metered request; `charge` adds a finished request's exact
+/// cycles/energy. Checks happen **before** execution (so an over-budget
+/// session is refused before any array state changes) against work already
+/// billed — one request may overshoot the budget, but the overshoot is
+/// itself billed, so sustained throughput converges on the budget.
+#[derive(Debug)]
+pub struct RateWindow {
+    start: Instant,
+    cycles: u64,
+    energy_fj: f64,
+}
+
+impl RateWindow {
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            cycles: 0,
+            energy_fj: 0.0,
+        }
+    }
+
+    /// Admission check for one metered request at `now`.
+    ///
+    /// # Errors
+    ///
+    /// A structured `limit_exceeded` naming the exhausted budget, with a
+    /// retry-after hint of the window's remaining milliseconds.
+    pub fn admit(&mut self, limits: &SessionLimits, now: Instant) -> Result<(), ErrorBody> {
+        if limits.unmetered() {
+            return Ok(());
+        }
+        let elapsed = now.duration_since(self.start);
+        if elapsed >= WINDOW {
+            self.start = now;
+            self.cycles = 0;
+            self.energy_fj = 0.0;
+        }
+        let retry_ms = || {
+            Some(
+                WINDOW
+                    .saturating_sub(now.duration_since(self.start))
+                    .as_millis() as u64,
+            )
+        };
+        if let Some(max) = limits.max_cycles_per_sec {
+            if self.cycles >= max {
+                return Err(ErrorBody::limit(
+                    LimitKind::CycleRate,
+                    retry_ms(),
+                    format!(
+                        "session cycle budget exhausted ({} of {max} cycles this second)",
+                        self.cycles
+                    ),
+                ));
+            }
+        }
+        if let Some(max) = limits.max_energy_fj_per_sec {
+            if self.energy_fj >= max {
+                return Err(ErrorBody::limit(
+                    LimitKind::EnergyRate,
+                    retry_ms(),
+                    format!(
+                        "session energy budget exhausted ({:.1} of {max:.1} fJ this second)",
+                        self.energy_fj
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bills one finished request's exact activity into the window.
+    pub fn charge(&mut self, cycles: u64, energy_fj: f64) {
+        self.cycles += cycles;
+        self.energy_fj += energy_fj;
+    }
+}
+
+impl Default for RateWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpimc_core::ErrorKind;
+
+    #[test]
+    fn default_limits_are_unmetered() {
+        let limits = SessionLimits::default();
+        assert!(limits.unmetered());
+        assert_eq!(limits.max_stored_programs, 64);
+        let mut win = RateWindow::new();
+        win.charge(u64::MAX / 2, 1e30);
+        assert!(win.admit(&limits, Instant::now()).is_ok());
+        assert!(limits.check_program_len(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn cycle_budget_trips_and_refills_on_window_roll() {
+        let limits = SessionLimits {
+            max_cycles_per_sec: Some(100),
+            ..SessionLimits::default()
+        };
+        let mut win = RateWindow::new();
+        let t0 = Instant::now();
+        assert!(win.admit(&limits, t0).is_ok());
+        win.charge(100, 0.0);
+        let err = win.admit(&limits, t0).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::LimitExceeded);
+        assert_eq!(err.limit, Some(LimitKind::CycleRate));
+        assert!(err.retry_after_ms.is_some_and(|ms| ms <= 1000));
+        // The next window refills the budget.
+        assert!(win.admit(&limits, t0 + Duration::from_millis(1001)).is_ok());
+        assert_eq!(win.cycles, 0);
+    }
+
+    #[test]
+    fn energy_budget_trips_independently() {
+        let limits = SessionLimits {
+            max_energy_fj_per_sec: Some(500.0),
+            ..SessionLimits::default()
+        };
+        let mut win = RateWindow::new();
+        win.charge(0, 500.0);
+        let err = win.admit(&limits, Instant::now()).unwrap_err();
+        assert_eq!(err.limit, Some(LimitKind::EnergyRate));
+    }
+
+    #[test]
+    fn program_length_limit_names_itself() {
+        let limits = SessionLimits {
+            max_program_instrs: Some(8),
+            ..SessionLimits::default()
+        };
+        assert!(limits.check_program_len(8).is_ok());
+        let err = limits.check_program_len(9).unwrap_err();
+        assert_eq!(err.limit, Some(LimitKind::ProgramLength));
+    }
+}

@@ -44,10 +44,38 @@
 //!   [`SessionActivity`](bpimc_core::SessionActivity) account: every
 //!   successful request is billed the exact hardware cycles and femtojoules
 //!   its job consumed, measured from the executing macro's activity log.
-//! * **Panic containment**: a request that panics its job (a bug, or
-//!   `inject_panic` under fault injection) gets an error response; sibling
-//!   requests in the same batch, other sessions, and the worker pool are
-//!   unaffected.
+//! * **Per-session guardrails** ([`SessionLimits`]): optional per-second
+//!   cycle and energy budgets — metered against the same exact accounting
+//!   the session is billed, which the paper's fixed cost model makes
+//!   precise rather than heuristic — plus an in-flight request cap, a
+//!   program-length cap, and the stored-program cap. A request over a
+//!   limit answers a structured `limit_exceeded` error naming the limit,
+//!   with a retry-after hint, before any array state changes.
+//! * **Deadlines**: any request may carry `timeout_ms`; an expired
+//!   request is shed from the queue (or abandoned when its job starts)
+//!   with a structured `deadline_exceeded` error instead of consuming
+//!   macro time.
+//! * **Admission control**: when the total queued backlog crosses a
+//!   high watermark the server sheds new compute requests with a
+//!   structured `overloaded` error (hysteresis: shedding turns off at a
+//!   low watermark), instead of only backpressuring readers; control ops
+//!   (`ping`, `stats`) are always admitted so health checks survive
+//!   overload.
+//! * **Chaos harness** ([`FaultPlan`]): a seeded, deterministic schedule
+//!   of injected worker panics, delayed executions, stalled response
+//!   writers and mid-request connection drops — a pure function of
+//!   `(seed, connection, request)`, so tests can predict every fault and
+//!   assert exact accounting under fire. Replaces the old boolean
+//!   `fault_injection` flag; `inject_panic` requests are honoured when
+//!   the plan's `inject_panic_op` is set.
+//! * **Panic containment**: a request that panics its job (a bug, an
+//!   injected chaos panic, or `inject_panic`) gets an error response;
+//!   sibling requests in the same batch, other sessions, and the worker
+//!   pool are unaffected.
+//! * **Client resilience**: [`Client`] surfaces `overloaded` /
+//!   `limit_exceeded` / `deadline_exceeded` as typed errors, and can be
+//!   given a [`RetryPolicy`] to reconnect with capped exponential backoff
+//!   and retry idempotent read-only ops.
 //! * **Graceful shutdown** (client `shutdown` op or
 //!   [`ServerHandle::shutdown`]): the listener stops accepting, queued
 //!   requests drain and get responses, then connections close and all
@@ -74,7 +102,11 @@
 
 mod client;
 mod exec;
+mod fault;
+mod guard;
 mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::{ComputeFault, FaultPlan, ResponseFault};
+pub use guard::SessionLimits;
 pub use server::{Server, ServerConfig, ServerHandle};

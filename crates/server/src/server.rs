@@ -2,9 +2,11 @@
 //! request queue, and the dispatcher that batches onto the `MacroBank`.
 
 use crate::exec::{is_compute, run_compute, ComputeJob, Model};
+use crate::fault::{FaultPlan, ResponseFault};
+use crate::guard::{RateWindow, SessionLimits};
 use bpimc_core::{
-    CompiledProgram, MacroBank, MacroConfig, Program, Request, RequestBody, Response, ResponseBody,
-    SessionActivity, StoredMeta,
+    CompiledProgram, ErrorBody, LimitKind, MacroBank, MacroConfig, Program, Request, RequestBody,
+    Response, ResponseBody, SessionActivity, StoredMeta,
 };
 use bpimc_metrics::{paper_calibrated_params, EnergyParams};
 use bpimc_nn::{classify_program, prototype_norms};
@@ -15,6 +17,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone, Copy)]
@@ -28,35 +31,64 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Most requests the dispatcher drains into one bank batch.
     pub batch_max: usize,
-    /// Honour `inject_panic` requests (testing/chaos only).
-    pub fault_injection: bool,
+    /// The chaos schedule (defaults to [`FaultPlan::none`]; replaces the
+    /// old `fault_injection` boolean — use
+    /// [`FaultPlan::inject_panic_only`] for that behaviour).
+    pub faults: FaultPlan,
+    /// Per-session guardrails (defaults to unlimited rates, 64 stored
+    /// programs).
+    pub limits: SessionLimits,
+    /// Socket write timeout: a peer that stops reading for this long
+    /// mid-write is treated as gone (its responses are dropped and the
+    /// outbox closes) instead of wedging the dispatcher, its writer
+    /// thread, or graceful shutdown.
+    pub write_timeout: Duration,
+    /// Admission control: total queued items at or above this flips the
+    /// server into shedding (new compute requests answer `overloaded`;
+    /// control ops are always admitted). Must stay below the hard
+    /// aggregate bound (`GLOBAL_SHARES` x `queue_capacity`), which still
+    /// backstops by blocking readers.
+    pub shed_high: usize,
+    /// Shedding switches back off once total queued items drain to this
+    /// (hysteresis, so the server does not flap at the boundary).
+    pub shed_low: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let macros = worker_count(usize::MAX);
+        let queue_capacity = 1024;
         Self {
             macros,
-            queue_capacity: 1024,
+            queue_capacity,
             batch_max: (16 * macros.max(1)).max(64),
-            fault_injection: false,
+            faults: FaultPlan::none(),
+            limits: SessionLimits::default(),
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+            shed_high: Queue::GLOBAL_SHARES * queue_capacity * 3 / 4,
+            shed_low: Queue::GLOBAL_SHARES * queue_capacity / 2,
         }
     }
 }
 
-/// Stored programs one session may hold at once (`store_program` beyond
-/// this answers an error; the cache is freed when the connection drops).
-const MAX_STORED_PROGRAMS: usize = 64;
+impl ServerConfig {
+    /// Rescales the shed watermarks to a new queue capacity (3/4 and 1/2
+    /// of the hard aggregate bound) — call after changing
+    /// `queue_capacity` unless you set the watermarks yourself.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self.shed_high = Queue::GLOBAL_SHARES * capacity * 3 / 4;
+        self.shed_low = Queue::GLOBAL_SHARES * capacity / 2;
+        self
+    }
+}
 
 /// Responses one connection's outbox buffers before the dispatcher blocks
 /// on that connection (the bounded hand-off to its writer thread).
 const OUTBOX_CAPACITY: usize = 256;
 
-/// Socket write timeout: a peer that stops reading for this long mid-write
-/// is treated as gone (its responses are dropped and the outbox closes)
-/// instead of wedging the dispatcher, its writer thread, or graceful
-/// shutdown.
-const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+/// Default for [`ServerConfig::write_timeout`].
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A response write stalling at least this long marks its connection
 /// `slow` (sticky): later responses always go through the connection's
@@ -71,18 +103,28 @@ const SLOW_WRITE_THRESHOLD: std::time::Duration = std::time::Duration::from_mill
 /// service is meant for, far above a wedged peer's ~0).
 const SLOW_PEER_BYTES_PER_SEC: f64 = 1e6;
 
+/// Retry-after hint on `overloaded` sheds: long enough that a backing-off
+/// client skips the worst of the burst, short enough to find the queue
+/// drained (error items drain at memory speed, not macro speed).
+const SHED_RETRY_AFTER_MS: u64 = 50;
+
 /// Hard cap on one request line. Readers discard over-long lines (and
 /// answer with an error) instead of buffering them, so a client streaming
 /// an unterminated request cannot grow server memory without bound.
 const MAX_LINE_BYTES: usize = 4 << 20;
 
 /// One queued request with the connection it came from. Malformed lines
+/// — and requests refused at admission (shed, over the in-flight cap) —
 /// travel through the queue too (`body: Err`), so their error responses
 /// keep the per-connection FIFO ordering the protocol promises.
 struct Item {
     conn: Arc<Conn>,
     id: u64,
-    body: Result<RequestBody, String>,
+    /// Position in the connection's request stream (keys the fault plan).
+    seq: u64,
+    /// When the request's `timeout_ms` expires, if it carried one.
+    deadline: Option<Instant>,
+    body: Result<RequestBody, ErrorBody>,
 }
 
 /// The bounded queue between connection readers and the dispatcher.
@@ -99,6 +141,10 @@ struct Queue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Shedding flips on at this many total queued items…
+    shed_high: usize,
+    /// …and back off once the total drains to this (hysteresis).
+    shed_low: usize,
 }
 
 struct QueueState {
@@ -108,6 +154,9 @@ struct QueueState {
     per_conn: HashMap<u64, VecDeque<Item>>,
     /// Items across all sessions (the aggregate-memory bound).
     total: usize,
+    /// Admission control: while set, new compute requests are answered
+    /// `overloaded` instead of queued (control ops always pass).
+    shedding: bool,
     closed: bool,
 }
 
@@ -119,18 +168,37 @@ impl Queue {
     /// blocks (the pre-fairness global behaviour, as the backstop).
     const GLOBAL_SHARES: usize = 16;
 
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, shed_high: usize, shed_low: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
                 ready: VecDeque::new(),
                 per_conn: HashMap::new(),
                 total: 0,
+                shedding: false,
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            shed_high: shed_high.max(1),
+            shed_low: shed_low.min(shed_high.saturating_sub(1)),
         }
+    }
+
+    /// Admission check with hysteresis: shedding flips on when the total
+    /// backlog reaches `shed_high` and off once it drains to `shed_low`.
+    /// Readers call this per compute request; a `true` answer means the
+    /// request should be refused with `overloaded` (which still rides the
+    /// queue as an error item, preserving response order — error items
+    /// cost no macro time, so a shedding server drains them fast).
+    fn should_shed(&self) -> bool {
+        let mut state = lock_unpoisoned(&self.state);
+        if state.total >= self.shed_high {
+            state.shedding = true;
+        } else if state.total <= self.shed_low {
+            state.shedding = false;
+        }
+        state.shedding
     }
 
     /// Blocks while this item's session is at its queue share, or the
@@ -216,6 +284,8 @@ impl Queue {
 /// stored-program cache. All of it dies with the connection.
 struct SessionState {
     stats: SessionActivity,
+    /// Cycle/energy spend in the current budget window (guardrails).
+    rate: RateWindow,
     model: Option<Arc<Model>>,
     stored: HashMap<u64, Arc<CompiledProgram>>,
     next_pid: u64,
@@ -225,6 +295,7 @@ impl SessionState {
     fn new() -> Self {
         Self {
             stats: SessionActivity::new(),
+            rate: RateWindow::new(),
             model: None,
             stored: HashMap::new(),
             next_pid: 1,
@@ -249,7 +320,7 @@ impl SessionState {
 /// stalls past [`SLOW_WRITE_THRESHOLD`] marks the connection `slow` —
 /// sticky — after which every response is handed to the writer thread, so
 /// the dispatcher is exposed to at most one bounded stall per connection
-/// (`WRITE_TIMEOUT` caps even that). A slow connection whose bounded
+/// ([`ServerConfig::write_timeout`] caps even that). A slow connection whose bounded
 /// outbox then fills is declared wedged and dropped rather than letting
 /// its backpressure reach the dispatcher through the full-outbox wait.
 ///
@@ -277,7 +348,10 @@ struct OutboxState {
     /// A write to this peer has stalled before (sticky): never write
     /// inline again — fan-out goes through the writer thread only.
     slow: bool,
-    /// Socket dead (error or `WRITE_TIMEOUT` stall): pushes are silently
+    /// An injected chaos stall: the next drain sleeps this long (off the
+    /// dispatcher, on the writer thread) before writing.
+    stall: Option<Duration>,
+    /// Socket dead (error or a write-timeout stall): pushes are silently
     /// dropped so producers can never block on a vanished client.
     closed: bool,
 }
@@ -291,6 +365,7 @@ impl Outbox {
                 inflight: 0,
                 reader_gone: false,
                 slow: false,
+                stall: None,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -301,9 +376,35 @@ impl Outbox {
 
     /// Registers one request whose response is owed (called by the reader
     /// before the central-queue push, so the writer never exits between a
-    /// request being queued and its response being produced).
-    fn expect_response(&self) {
-        lock_unpoisoned(&self.state).inflight += 1;
+    /// request being queued and its response being produced). Returns the
+    /// new in-flight count so the reader can enforce the per-connection
+    /// cap without a second lock.
+    fn expect_response(&self) -> u64 {
+        let mut state = lock_unpoisoned(&self.state);
+        state.inflight += 1;
+        state.inflight
+    }
+
+    /// Injects a chaos stall: marks the connection `slow` (so the write
+    /// happens on the writer thread, not the dispatcher) and makes the
+    /// next drain sleep `d` before writing — a peer reading sluggishly.
+    fn inject_stall(&self, d: Duration) {
+        let mut state = lock_unpoisoned(&self.state);
+        state.slow = true;
+        state.stall = Some(d);
+    }
+
+    /// Severs the connection (chaos `Drop` fault): closes the outbox so
+    /// producers never block on it and the writer thread exits, then shuts
+    /// the socket down so the reader sees EOF.
+    fn force_close(&self, conn: &Conn) {
+        let mut state = lock_unpoisoned(&self.state);
+        state.closed = true;
+        state.pending.clear();
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        let _ = conn.stream.shutdown(Shutdown::Both);
     }
 
     /// Queues one serialized line, blocking while the bounded backlog is
@@ -354,11 +455,18 @@ impl Outbox {
         state.draining = true;
         loop {
             let at_capacity = state.pending.len() >= self.capacity;
+            let stall = state.stall.take();
             let buf: String = state.pending.drain(..).collect();
             drop(state);
             if at_capacity {
                 // Only a full backlog can have blocked producers waiting.
                 self.not_full.notify_all();
+            }
+            if let Some(d) = stall {
+                // Injected chaos stall: always consumed here, off the
+                // dispatcher (`inject_stall` marked the connection slow,
+                // so this drain runs on the writer thread).
+                std::thread::sleep(d);
             }
             let t_write = std::time::Instant::now();
             let ok = (&conn.stream).write_all(buf.as_bytes()).is_ok();
@@ -451,9 +559,10 @@ impl Conn {
     }
 
     fn record_ok(&self, cycles: u64, energy_fj: f64) {
-        lock_unpoisoned(&self.session)
-            .stats
-            .record_ok(cycles, energy_fj);
+        let mut session = lock_unpoisoned(&self.session);
+        session.stats.record_ok(cycles, energy_fj);
+        // The same exact numbers feed the guardrail budget window.
+        session.rate.charge(cycles, energy_fj);
     }
 
     fn record_error(&self) {
@@ -464,10 +573,10 @@ impl Conn {
 /// The per-connection writer thread: parks until a response backlog
 /// appears (a client reading slower than the dispatcher answers), then
 /// drains it in coalesced writes — the response fan-out path that used to
-/// serialize through the dispatcher. `WRITE_TIMEOUT` (set on the socket at
-/// accept) bounds how long any drain — inline or here — can stall on a
-/// peer that stopped reading; a stalled peer's outbox closes and its
-/// remaining responses are dropped.
+/// serialize through the dispatcher. [`ServerConfig::write_timeout`] (set
+/// on the socket at accept) bounds how long any drain — inline or here —
+/// can stall on a peer that stopped reading; a stalled peer's outbox
+/// closes and its remaining responses are dropped.
 fn writer_loop(conn: &Arc<Conn>) {
     while let Some(state) = conn.outbox.claim_backlog() {
         conn.outbox.drain(conn, state);
@@ -524,7 +633,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             addr,
-            queue: Queue::new(config.queue_capacity),
+            queue: Queue::new(config.queue_capacity, config.shed_high, config.shed_low),
             conns: Mutex::new(HashMap::new()),
             readers: Mutex::new(Vec::new()),
             writers: Mutex::new(Vec::new()),
@@ -618,7 +727,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         let _ = stream.set_nodelay(true);
         // Bounds every response write — inline or on the writer thread —
         // so a peer that stops reading cannot wedge a drain forever.
-        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let conn = Arc::new(Conn {
             id,
@@ -740,36 +849,73 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
+    let limits = shared.config.limits;
+    let mut seq: u64 = 0;
     loop {
-        let (id, body) = match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
-            LineRead::Eof => break,
-            LineRead::TooLong => (
-                0,
-                Err(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
-            ),
-            LineRead::Line => {
-                if line.trim().is_empty() {
-                    continue;
+        let (id, deadline, mut body) =
+            match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
+                LineRead::Eof => break,
+                LineRead::TooLong => (
+                    0,
+                    None,
+                    Err(ErrorBody::generic(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    ))),
+                ),
+                LineRead::Line => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match Request::parse(&line) {
+                        Ok(req) => {
+                            // The deadline clock starts when the line is read:
+                            // time spent queued counts against it.
+                            let deadline = req
+                                .timeout_ms
+                                .map(|ms| Instant::now() + Duration::from_millis(ms));
+                            (req.id, deadline, Ok(req.body))
+                        }
+                        // Malformed lines go through the queue like any other
+                        // request, so their error responses keep the
+                        // per-connection FIFO ordering. A line whose id is
+                        // unreadable is answered with the documented sentinel
+                        // id 0 (`peek_id` returns `None` for those).
+                        Err(e) => (
+                            Request::peek_id(&line).unwrap_or(0),
+                            None,
+                            Err(ErrorBody::generic(e.to_string())),
+                        ),
+                    }
                 }
-                match Request::parse(&line) {
-                    Ok(req) => (req.id, Ok(req.body)),
-                    // Malformed lines go through the queue like any other
-                    // request, so their error responses keep the
-                    // per-connection FIFO ordering. A line whose id is
-                    // unreadable is answered with the documented sentinel
-                    // id 0 (`peek_id` returns `None` for those).
-                    Err(e) => (Request::peek_id(&line).unwrap_or(0), Err(e.to_string())),
-                }
-            }
-        };
+            };
         // Register the owed response *before* queueing, so the writer
         // thread cannot exit between the push and the dispatcher's answer.
-        conn.outbox.expect_response();
+        let inflight = conn.outbox.expect_response();
+        // Admission control, compute requests only — control ops (ping,
+        // stats, shutdown, …) always pass so health checks survive
+        // overload. Refusals still ride the queue as error items, keeping
+        // the per-connection FIFO response order.
+        if matches!(&body, Ok(b) if is_compute(b)) {
+            if let Some(max) = limits.max_inflight.filter(|&max| inflight > max) {
+                body = Err(ErrorBody::limit(
+                    LimitKind::Inflight,
+                    None,
+                    format!("{inflight} requests in flight but the limit is {max}"),
+                ));
+            } else if shared.queue.should_shed() {
+                body = Err(ErrorBody::overloaded(
+                    Some(SHED_RETRY_AFTER_MS),
+                    "server overloaded: request queue is above its shed watermark",
+                ));
+            }
+        }
         if shared
             .queue
             .push(Item {
                 conn: conn.clone(),
                 id,
+                seq,
+                deadline,
                 body,
             })
             .is_err()
@@ -780,6 +926,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
             conn.respond(id, ResponseBody::Error("server is shutting down".into()));
             break;
         }
+        seq += 1;
     }
     // The writer finishes any in-flight responses, then exits.
     conn.outbox.no_more_requests();
@@ -806,17 +953,33 @@ fn dispatch_loop(shared: &Arc<Shared>) {
     shared.close_all_conns();
 }
 
+/// Whether one compute item in a drained run executes on the bank or was
+/// refused before touching any array state (deadline already expired in
+/// queue, rate budget exhausted). Refusals keep their slot in the
+/// response order.
+enum Prepared {
+    Run,
+    Refused(ErrorBody),
+}
+
 /// Processes one drained batch in FIFO order: runs of consecutive compute
 /// requests execute as one bank batch (requests spread across macros),
 /// control requests execute inline between runs. Responses and session
 /// accounting happen in arrival order, so each session observes its own
 /// requests sequentially.
+///
+/// Guardrails run here, at job-build time — before any array state
+/// changes: a request whose deadline already expired in queue, or whose
+/// session is over its cycle/energy budget, is answered with its
+/// structured error instead of becoming a job.
 fn process_batch(
     batch: Vec<Item>,
     bank: &mut MacroBank,
     params: &EnergyParams,
     shared: &Arc<Shared>,
 ) {
+    let limits = shared.config.limits;
+    let faults = shared.config.faults;
     let is_compute_item = |item: &Item| matches!(&item.body, Ok(body) if is_compute(body));
     let mut iter = batch.into_iter().peekable();
     while let Some(item) = iter.next() {
@@ -833,6 +996,28 @@ fn process_batch(
                     },
                 };
                 let body = it.body.expect("compute items carry a parsed body");
+                // Deadline + rate budget, checked before the job exists.
+                // `Instant::now` is skipped entirely when neither applies
+                // (the default config), keeping the hot path unchanged.
+                let refusal = if it.deadline.is_some() || !limits.unmetered() {
+                    let now = Instant::now();
+                    if it.deadline.is_some_and(|d| now >= d) {
+                        Some(ErrorBody::deadline(
+                            "deadline expired while the request was queued",
+                        ))
+                    } else {
+                        lock_unpoisoned(&it.conn.session)
+                            .rate
+                            .admit(&limits, now)
+                            .err()
+                    }
+                } else {
+                    None
+                };
+                if let Some(err) = refusal {
+                    meta.push((it.conn, it.id, it.seq, Prepared::Refused(err)));
+                    continue;
+                }
                 // Session state the job depends on is snapshotted at
                 // job-build time (Arc clones): a `load_model` or
                 // `store_program` earlier in the same drained batch is
@@ -847,30 +1032,47 @@ fn process_batch(
                     ),
                     _ => (None, None),
                 };
-                meta.push((it.conn, it.id));
+                let fault = if faults.is_active() {
+                    faults.compute_fault(it.conn.id, it.seq)
+                } else {
+                    None
+                };
+                meta.push((it.conn, it.id, it.seq, Prepared::Run));
                 jobs.push(ComputeJob {
                     body,
                     model,
                     stored,
-                    fault_injection: shared.config.fault_injection,
+                    deadline: it.deadline,
+                    max_program_instrs: limits.max_program_instrs,
+                    fault,
+                    inject_panic_allowed: faults.inject_panic_op,
                 });
             }
-            let results = bank.try_run_batch(&jobs, |mac, job| run_compute(mac, job, params));
-            for ((conn, id), result) in meta.into_iter().zip(results) {
-                match result {
-                    Ok((Ok(body), cycles, energy_fj)) => {
-                        conn.record_ok(cycles, energy_fj);
-                        conn.respond(id, body);
-                    }
-                    Ok((Err(msg), _, _)) => {
+            let mut results = bank
+                .try_run_batch(&jobs, |mac, job| run_compute(mac, job, params))
+                .into_iter();
+            for (conn, id, seq, prep) in meta {
+                let body = match prep {
+                    Prepared::Refused(err) => {
                         conn.record_error();
-                        conn.respond(id, ResponseBody::Error(msg));
+                        ResponseBody::Error(err)
                     }
-                    Err(panic) => {
-                        conn.record_error();
-                        conn.respond(id, ResponseBody::Error(panic.to_string()));
-                    }
-                }
+                    Prepared::Run => match results.next().expect("one result per job") {
+                        Ok((Ok(body), cycles, energy_fj)) => {
+                            conn.record_ok(cycles, energy_fj);
+                            body
+                        }
+                        Ok((Err(err), _, _)) => {
+                            conn.record_error();
+                            ResponseBody::Error(err)
+                        }
+                        Err(panic) => {
+                            conn.record_error();
+                            ResponseBody::Error(panic.to_string().into())
+                        }
+                    },
+                };
+                deliver(&conn, id, seq, body, &faults);
             }
         } else {
             handle_control(item, bank, params, shared);
@@ -878,14 +1080,37 @@ fn process_batch(
     }
 }
 
+/// Produces one compute response, applying the fault plan's
+/// response-delivery faults: a `Drop` severs the connection instead of
+/// responding (the response is lost, as it would be to a vanished
+/// client); a `Stall` makes the connection's writer sleep before the
+/// write (off the dispatcher). Session accounting already happened — a
+/// dropped response's work stays billed, exactly like real work a client
+/// disconnected from.
+fn deliver(conn: &Arc<Conn>, id: u64, seq: u64, body: ResponseBody, faults: &FaultPlan) {
+    if faults.is_active() {
+        match faults.response_fault(conn.id, seq) {
+            Some(ResponseFault::Drop) => {
+                conn.outbox.force_close(conn);
+                return;
+            }
+            Some(ResponseFault::Stall(d)) => conn.outbox.inject_stall(d),
+            None => {}
+        }
+    }
+    conn.respond(id, body);
+}
+
 fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, shared: &Arc<Shared>) {
-    let Item { conn, id, body } = item;
+    let Item { conn, id, body, .. } = item;
     let body = match body {
         Ok(body) => body,
-        Err(msg) => {
-            // A line that never parsed: answered here, in queue order.
+        Err(err) => {
+            // A line that never parsed, or a request refused at admission
+            // (shed, over the in-flight cap): answered here, in queue
+            // order.
             conn.record_error();
-            conn.respond(id, ResponseBody::Error(msg));
+            conn.respond(id, ResponseBody::Error(err));
             return;
         }
     };
@@ -904,32 +1129,60 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
         RequestBody::LoadModel {
             precision,
             prototypes,
-        } => match build_model(bank, params, precision, prototypes) {
-            Ok((model, cycles, energy_fj)) => {
-                let mut session = lock_unpoisoned(&conn.session);
-                session.model = Some(Arc::new(model));
-                session.stats.record_ok(cycles, energy_fj);
-                drop(session);
-                conn.respond(id, ResponseBody::Ok);
+        } => {
+            let limits = shared.config.limits;
+            if !limits.unmetered() {
+                // `load_model` bills real macro work (the norm
+                // precompute), so it is metered like any compute request.
+                let refusal = lock_unpoisoned(&conn.session)
+                    .rate
+                    .admit(&limits, Instant::now())
+                    .err();
+                if let Some(err) = refusal {
+                    conn.record_error();
+                    conn.respond(id, ResponseBody::Error(err));
+                    return;
+                }
             }
-            Err(msg) => {
-                conn.record_error();
-                conn.respond(id, ResponseBody::Error(msg));
+            match build_model(bank, params, precision, prototypes) {
+                Ok((model, cycles, energy_fj)) => {
+                    let mut session = lock_unpoisoned(&conn.session);
+                    session.model = Some(Arc::new(model));
+                    session.stats.record_ok(cycles, energy_fj);
+                    session.rate.charge(cycles, energy_fj);
+                    drop(session);
+                    conn.respond(id, ResponseBody::Ok);
+                }
+                Err(msg) => {
+                    conn.record_error();
+                    conn.respond(id, ResponseBody::Error(msg.into()));
+                }
             }
-        },
+        }
         RequestBody::StoreProgram { instrs } => {
+            let limits = shared.config.limits;
+            if let Err(err) = limits.check_program_len(instrs.len()) {
+                conn.record_error();
+                conn.respond(id, ResponseBody::Error(err));
+                return;
+            }
             let config = *bank.macro_at(0).config();
             let prog = Program::new(instrs);
             match prog.compile(&config) {
                 Ok(compiled) => {
                     let mut session = lock_unpoisoned(&conn.session);
-                    if session.stored.len() >= MAX_STORED_PROGRAMS {
+                    if session.stored.len() >= limits.max_stored_programs {
                         session.stats.record_error();
                         drop(session);
                         conn.respond(
                             id,
-                            ResponseBody::Error(format!(
-                                "stored-program limit reached ({MAX_STORED_PROGRAMS} per session)"
+                            ResponseBody::Error(ErrorBody::limit(
+                                LimitKind::StoredPrograms,
+                                None,
+                                format!(
+                                    "stored-program limit reached ({} per session)",
+                                    limits.max_stored_programs
+                                ),
                             )),
                         );
                         return;
@@ -949,7 +1202,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                 }
                 Err(e) => {
                     conn.record_error();
-                    conn.respond(id, ResponseBody::Error(e.to_string()));
+                    conn.respond(id, ResponseBody::Error(e.to_string().into()));
                 }
             }
         }
@@ -963,7 +1216,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             conn.record_error();
             conn.respond(
                 id,
-                ResponseBody::Error(format!("unexpected control request: {other:?}")),
+                ResponseBody::Error(format!("unexpected control request: {other:?}").into()),
             );
         }
     }

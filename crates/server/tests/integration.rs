@@ -189,7 +189,7 @@ fn concurrent_clients_get_correct_results_and_accounting() {
 fn injected_panic_fails_only_its_own_request() {
     let handle = start(ServerConfig {
         macros: 2,
-        fault_injection: true,
+        faults: bpimc_server::FaultPlan::inject_panic_only(),
         ..ServerConfig::default()
     });
     let addr = handle.local_addr();
@@ -213,8 +213,8 @@ fn injected_panic_fails_only_its_own_request() {
     for _ in 0..10 {
         match chaos.inject_panic() {
             Err(ClientError::Server(msg)) => {
-                assert!(msg.contains("panicked"), "{msg}");
-                assert!(msg.contains("injected fault"), "{msg}");
+                assert!(msg.message.contains("panicked"), "{msg}");
+                assert!(msg.message.contains("injected fault"), "{msg}");
             }
             other => panic!("expected a contained server error, got {other:?}"),
         }
@@ -237,9 +237,8 @@ fn tiny_queue_applies_backpressure_without_dropping() {
     // and every pipelined request must still be answered, in order.
     let handle = start(ServerConfig {
         macros: 1,
-        queue_capacity: 2,
         batch_max: 1,
-        fault_injection: false,
+        ..ServerConfig::default().with_queue_capacity(2)
     });
     let mut client = Client::connect(handle.local_addr()).expect("connect");
     for i in 0..200u64 {
@@ -276,7 +275,7 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
         let resp = bpimc_core::Response::parse(&reply).expect("parseable response");
         match resp.body {
             bpimc_core::ResponseBody::Error(msg) => {
-                assert!(msg.contains(expect_in_error), "{line:?} -> {msg}")
+                assert!(msg.message.contains(expect_in_error), "{line:?} -> {msg}")
             }
             other => panic!("expected an error for {line:?}, got {other:?}"),
         }
@@ -314,7 +313,7 @@ fn oversized_lines_are_discarded_not_buffered() {
     let mut reply = String::new();
     reader.read_line(&mut reply).expect("read");
     match bpimc_core::Response::parse(&reply).expect("parseable").body {
-        bpimc_core::ResponseBody::Error(msg) => assert!(msg.contains("exceeds"), "{msg}"),
+        bpimc_core::ResponseBody::Error(msg) => assert!(msg.message.contains("exceeds"), "{msg}"),
         other => panic!("expected an error, got {other:?}"),
     }
 
@@ -395,7 +394,7 @@ fn exec_program_round_trips_with_per_instruction_accounting() {
         n: 1,
     }]);
     match client.exec_program(&bad) {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("before any write"), "{msg}"),
+        Err(ClientError::Server(msg)) => assert!(msg.message.contains("before any write"), "{msg}"),
         other => panic!("expected a validation error, got {other:?}"),
     }
     client.ping().expect("session still alive");
@@ -499,7 +498,9 @@ fn stored_program_misuse_gets_structured_errors() {
 
     // Cache miss: an id never stored.
     match client.run_stored(42, &[]) {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("no stored program 42"), "{msg}"),
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.message.contains("no stored program 42"), "{msg}")
+        }
         other => panic!("expected a miss error, got {other:?}"),
     }
 
@@ -510,7 +511,7 @@ fn stored_program_misuse_gets_structured_errors() {
         n: 1,
     }]);
     match client.store_program(&bad) {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("before any write"), "{msg}"),
+        Err(ClientError::Server(msg)) => assert!(msg.message.contains("before any write"), "{msg}"),
         other => panic!("expected a validation error, got {other:?}"),
     }
 
@@ -528,7 +529,7 @@ fn stored_program_misuse_gets_structured_errors() {
         (vec![Some(vec![999u64, 0])], "does not fit 8 bits"),
     ] {
         match client.run_stored(meta.pid, &inputs) {
-            Err(ClientError::Server(msg)) => assert!(msg.contains(needle), "{msg}"),
+            Err(ClientError::Server(msg)) => assert!(msg.message.contains(needle), "{msg}"),
             other => panic!("expected a binding error, got {other:?}"),
         }
     }
@@ -556,7 +557,7 @@ fn stored_programs_are_isolated_and_die_with_their_session() {
     // Session B cannot run (or see) A's stored id.
     match b_client.run_stored(meta.pid, &[]) {
         Err(ClientError::Server(msg)) => {
-            assert!(msg.contains("no stored program"), "{msg}")
+            assert!(msg.message.contains("no stored program"), "{msg}")
         }
         other => panic!("expected isolation, got {other:?}"),
     }
@@ -572,7 +573,7 @@ fn stored_programs_are_isolated_and_die_with_their_session() {
     let mut a2 = Client::connect(addr).expect("reconnect");
     match a2.run_stored(meta.pid, &[]) {
         Err(ClientError::Server(msg)) => {
-            assert!(msg.contains("no stored program"), "{msg}")
+            assert!(msg.message.contains("no stored program"), "{msg}")
         }
         other => panic!("expected eviction, got {other:?}"),
     }
@@ -596,7 +597,7 @@ fn stored_program_cache_is_bounded_per_session() {
         last = client.store_program(&make(v)).expect("store").pid;
     }
     match client.store_program(&make(64)) {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("limit"), "{msg}"),
+        Err(ClientError::Server(msg)) => assert!(msg.message.contains("limit"), "{msg}"),
         other => panic!("expected the cache bound, got {other:?}"),
     }
     // Everything stored before the bound still runs.
@@ -636,9 +637,8 @@ fn flooding_client_cannot_starve_a_latency_sensitive_one() {
     // One macro, small batches: the dispatcher is the contended resource.
     let handle = start(ServerConfig {
         macros: 1,
-        queue_capacity: 512,
         batch_max: 8,
-        fault_injection: false,
+        ..ServerConfig::default().with_queue_capacity(512)
     });
     let addr = handle.local_addr();
 
@@ -719,7 +719,7 @@ fn sessions_are_isolated() {
         .expect("load");
     assert_eq!(a.classify(&[14, 15]).expect("classify"), 1);
     match b.classify(&[14, 15]) {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("no model"), "{msg}"),
+        Err(ClientError::Server(msg)) => assert!(msg.message.contains("no model"), "{msg}"),
         other => panic!("expected a missing-model error, got {other:?}"),
     }
 

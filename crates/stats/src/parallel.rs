@@ -20,8 +20,9 @@ use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, MutexGuard, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 /// A job that panicked inside a parallel batch.
 ///
@@ -56,6 +57,65 @@ impl fmt::Display for JobPanic {
 }
 
 impl std::error::Error for JobPanic {}
+
+/// A cooperative cancellation signal for claim-queue batches.
+///
+/// Cheap to clone (an `Arc` around one atomic) and checkable from any
+/// thread. A token fires either explicitly ([`CancelToken::cancel`]) or by
+/// passing its construction deadline ([`CancelToken::with_deadline`]) —
+/// after which [`par_queue_try_map_cancellable`] participants stop
+/// **claiming new blocks**; the block each lane is currently executing
+/// still completes. Cancellation granularity is therefore one claim-queue
+/// block per lane, with zero per-element overhead.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    fired: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that fires only on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that fires at `deadline` (or earlier, if cancelled).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                fired: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Fires the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline). Once true,
+    /// stays true. The deadline is latched into the flag on first expiry,
+    /// so repeated checks after expiry cost one atomic load, not a clock
+    /// read.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.fired.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.fired.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
 
 /// Locks a mutex, recovering from poisoning.
 ///
@@ -310,6 +370,15 @@ struct QueueShared {
     /// Claims currently being executed.
     active: AtomicUsize,
     caller: std::thread::Thread,
+    /// Checked between block claims; when fired, no further blocks are
+    /// claimed and unclaimed jobs stay unexecuted (`None` result slots).
+    cancel: Option<CancelToken>,
+}
+
+impl QueueShared {
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// Runs `f(&mut state, &jobs[i])` for every job, with the **caller and the
@@ -384,6 +453,57 @@ where
     T: Send,
     F: Fn(&mut S, &J) -> T + Sync,
 {
+    par_queue_run(states, jobs, f, None)
+        .into_iter()
+        .map(|x| x.expect("uncancellable batches fill every slot"))
+        .collect()
+}
+
+/// [`par_queue_try_map`] with **cooperative cancellation**: the token is
+/// checked between claim-queue block claims (never per element), and once
+/// it fires — explicitly or by deadline — no participant claims another
+/// block. Jobs never claimed return `None`; each lane's in-flight block
+/// still completes, so after cancellation at most one extra block per lane
+/// executes.
+///
+/// # Examples
+///
+/// ```
+/// use bpimc_stats::parallel::{par_queue_try_map_cancellable, CancelToken};
+///
+/// let token = CancelToken::new();
+/// token.cancel(); // fired before the batch: nothing runs
+/// let mut states = vec![(); 2];
+/// let out = par_queue_try_map_cancellable(&mut states, &[1u32, 2, 3], |_, &j| j, &token);
+/// assert!(out.iter().all(Option::is_none));
+/// ```
+pub fn par_queue_try_map_cancellable<S, J, T, F>(
+    states: &mut [S],
+    jobs: &[J],
+    f: F,
+    cancel: &CancelToken,
+) -> Vec<Option<Result<T, JobPanic>>>
+where
+    S: Send,
+    J: Sync,
+    T: Send,
+    F: Fn(&mut S, &J) -> T + Sync,
+{
+    par_queue_run(states, jobs, f, Some(cancel))
+}
+
+fn par_queue_run<S, J, T, F>(
+    states: &mut [S],
+    jobs: &[J],
+    f: F,
+    cancel: Option<&CancelToken>,
+) -> Vec<Option<Result<T, JobPanic>>>
+where
+    S: Send,
+    J: Sync,
+    T: Send,
+    F: Fn(&mut S, &J) -> T + Sync,
+{
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
@@ -396,7 +516,13 @@ where
         return jobs
             .iter()
             .map(|j| {
-                catch_unwind(AssertUnwindSafe(|| f(s0, j))).map_err(|p| JobPanic::from_payload(&*p))
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return None;
+                }
+                Some(
+                    catch_unwind(AssertUnwindSafe(|| f(s0, j)))
+                        .map_err(|p| JobPanic::from_payload(&*p)),
+                )
             })
             .collect();
     }
@@ -407,17 +533,22 @@ where
     // the claim overhead at a fraction of a percent while still giving
     // lanes * 16 units of load-balancing granularity.
     let block = (n / (lanes * 16)).clamp(1, 256);
-    let shared = std::sync::Arc::new(QueueShared {
+    let shared = Arc::new(QueueShared {
         next: AtomicUsize::new(0),
         len: n,
         active: AtomicUsize::new(0),
         caller: std::thread::current(),
+        cancel: cancel.cloned(),
     });
 
     // Raw-pointer captures: a worker that wakes only after this call has
     // returned must not hold live references into our stack. It re-creates
     // references ONLY after winning a claim, which the wait loop below
-    // guarantees cannot happen once we have returned.
+    // guarantees cannot happen once we have returned: the caller leaves
+    // either with the queue exhausted (`next` past `len`) or with the
+    // cancel token fired — and a fired token is sticky, so a late-waking
+    // worker observes it before claiming and exits without touching the
+    // pointers.
     let jobs_ptr = jobs.as_ptr() as usize;
     let f_ptr = &f as *const F as usize;
     let res_ptr = results.as_mut_ptr() as usize;
@@ -428,6 +559,12 @@ where
         let state_ptr = state as *mut S as usize;
         let sh = shared.clone();
         let task: Task = Box::new(move || loop {
+            // The cancellation check sits between block claims: one atomic
+            // load per block, zero per-element overhead.
+            if sh.cancelled() {
+                sh.caller.unpark();
+                break;
+            }
             // Claim protocol: raise `active` BEFORE taking a block so the
             // caller's wait loop can never observe "queue empty, nobody
             // active" while jobs are being executed.
@@ -466,6 +603,9 @@ where
     // through the same raw pointer the workers use, so no `&mut` to the
     // vector is formed while they might also be writing disjoint slots.
     loop {
+        if shared.cancelled() {
+            break;
+        }
         let start = shared.next.fetch_add(block, Ordering::AcqRel);
         if start >= n {
             break;
@@ -490,9 +630,6 @@ where
         }
     }
     results
-        .into_iter()
-        .map(|x| x.expect("all jobs filled"))
-        .collect()
 }
 
 /// Runs `f(i, &mut state[i])` for every `i`, mutating each state slot on
@@ -685,6 +822,114 @@ mod tests {
             .expect("message payload")
             .clone();
         assert!(msg.contains("specific failure detail"), "{msg}");
+    }
+
+    #[test]
+    fn cancellable_map_without_firing_completes_everything() {
+        let mut states = vec![(); 4];
+        let jobs: Vec<usize> = (0..150).collect();
+        let token = CancelToken::new();
+        let out = par_queue_try_map_cancellable(&mut states, &jobs, |_, &j| j * 2, &token);
+        assert_eq!(out.len(), 150);
+        for (j, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("not cancelled").as_ref().unwrap(), j * 2);
+        }
+    }
+
+    #[test]
+    fn pre_fired_token_abandons_the_whole_batch() {
+        let mut states = vec![(); 4];
+        let jobs: Vec<usize> = (0..64).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let calls = AtomicUsize::new(0);
+        let out = par_queue_try_map_cancellable(
+            &mut states,
+            &jobs,
+            |_, &j| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                j
+            },
+            &token,
+        );
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mid_batch_cancellation_stops_within_one_block_per_lane() {
+        // 64 jobs with <=64 states gives block size 1; job 10 fires the
+        // token from inside the batch. Jobs run ~1 ms each, so the cancel
+        // store is visible to every lane well before its next claim check:
+        // once the token fires, each lane may finish only the one block it
+        // already holds. Executed jobs are therefore bounded by the claims
+        // issued up to job 10 plus one in-flight block per lane.
+        let mut states = vec![(); 8];
+        let jobs: Vec<usize> = (0..64).collect();
+        let token = CancelToken::new();
+        let calls = AtomicUsize::new(0);
+        let out = par_queue_try_map_cancellable(
+            &mut states,
+            &jobs,
+            |_, &j| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if j == 10 {
+                    token.cancel();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                j
+            },
+            &token,
+        );
+        let lanes = worker_count(jobs.len()).min(8);
+        let executed = out.iter().filter(|r| r.is_some()).count();
+        assert_eq!(executed, calls.load(Ordering::Relaxed));
+        assert!(
+            executed <= 11 + lanes,
+            "cancellation leaked past one block per lane: {executed} of 64 ran ({lanes} lanes)"
+        );
+        // Claims are handed out in index order and a claimed block always
+        // executes, so everything up to the cancelling job still ran.
+        assert!(out[..11].iter().all(Option::is_some), "pre-cancel jobs ran");
+    }
+
+    #[test]
+    fn deadline_token_fires_by_itself() {
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() + std::time::Duration::from_millis(20),
+        );
+        assert!(!token.is_cancelled());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(token.is_cancelled());
+        // Latched: stays fired.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_batches_keep_panic_containment() {
+        let mut states = vec![(); 4];
+        let jobs: Vec<usize> = (0..40).collect();
+        let token = CancelToken::new();
+        let out = par_queue_try_map_cancellable(
+            &mut states,
+            &jobs,
+            |_, &j| {
+                if j == 3 {
+                    panic!("early fault");
+                }
+                if j == 20 {
+                    token.cancel();
+                }
+                j
+            },
+            &token,
+        );
+        let fault = out[3].as_ref().expect("job 3 ran before the cancel");
+        assert!(fault.as_ref().unwrap_err().message.contains("early fault"));
+        // The pool still serves later batches.
+        let ok = par_queue_map(&mut states, &jobs, |_, &j| j + 1);
+        assert_eq!(ok[5], 6);
     }
 
     #[test]
