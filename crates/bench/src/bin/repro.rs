@@ -16,6 +16,10 @@
 //!     [--fault-injection]   # honour explicit inject_panic requests only
 //! repro check-bench         # regression gate: compare current cycles and
 //!     [--baseline FILE]     # micro-timings against BENCH_repro.json
+//! repro lint --builtin      # static program-quality gate: lint the
+//!     [FILE|-]              # canonical load_gen shapes + nn templates,
+//!                           # and/or programs in wire request lines;
+//!                           # non-zero exit on error/warn diagnostics
 //! ```
 
 use bpimc_bench::experiments::{
@@ -240,6 +244,9 @@ struct MicroReport {
     micro: Vec<(String, f64)>,
     /// Compiled-program / raw-method-call pipeline time (16-feature dot).
     compiled_ratio: f64,
+    /// Compiled-optimized / compiled-unoptimized pipeline time on the
+    /// same dot — proof that `optimize()` never slows a tight program.
+    optimized_ratio: f64,
     /// Classify-via-compiled-template / raw-method-call classify time.
     classify_ratio: f64,
     /// Pipelined mixed-stream requests/sec against an in-process server.
@@ -285,6 +292,24 @@ fn micro_timings() -> MicroReport {
     // into a flat op array, so repeat runs skip validation and lowering
     // entirely.
     let compiled = prog.compile(mac.config()).expect("pipeline validates");
+    // The optimizer on the same canonical pipeline: it is already tight,
+    // so the pass pipeline finds nothing — this times the analysis cost a
+    // `store_program` pays when `optimize_programs` is on, and yields the
+    // compiled-optimized variant check-bench gates against the
+    // unoptimized compile.
+    let t0 = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(prog.optimize());
+    }
+    let optimize_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    let optimized = prog.optimize();
+    assert!(
+        optimized.cycles() <= prog.cycles(),
+        "optimize never adds cycles"
+    );
+    let compiled_opt = optimized
+        .compile(mac.config())
+        .expect("optimized pipeline validates");
     let lanes = p.product_lanes(mac.cols());
     // The three pipeline variants are measured in interleaved rounds so
     // host frequency drift (common on shared CI machines) lands on all of
@@ -295,6 +320,7 @@ fn micro_timings() -> MicroReport {
     let per_round = n / rounds;
     let mut program_s = 0.0f64;
     let mut compiled_rounds = Vec::with_capacity(rounds);
+    let mut opt_rounds = Vec::with_capacity(rounds);
     let mut raw_rounds = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let t0 = Instant::now();
@@ -311,6 +337,12 @@ fn micro_timings() -> MicroReport {
         compiled_rounds.push(t0.elapsed().as_secs_f64());
         let t0 = Instant::now();
         for _ in 0..per_round {
+            compiled_opt.run(&mut mac).expect("optimized program runs");
+            mac.clear_activity();
+        }
+        opt_rounds.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for _ in 0..per_round {
             for (xc, wc) in x.chunks(lanes).zip(w.chunks(lanes)) {
                 mac.write_mult_operands(0, p, xc).expect("fits");
                 mac.write_mult_operands(1, p, wc).expect("fits");
@@ -324,6 +356,7 @@ fn micro_timings() -> MicroReport {
     let denom = (rounds * per_round) as f64;
     let program_us = program_s * 1e6 / denom;
     let compiled_us = compiled_rounds.iter().sum::<f64>() * 1e6 / denom;
+    let compiled_opt_us = opt_rounds.iter().sum::<f64>() * 1e6 / denom;
     let raw_us = raw_rounds.iter().sum::<f64>() * 1e6 / denom;
     let median_ratio = |a: &[f64], b: &[f64]| -> f64 {
         let mut ratios: Vec<f64> = a.iter().zip(b).map(|(x, y)| x / y).collect();
@@ -331,6 +364,7 @@ fn micro_timings() -> MicroReport {
         ratios[ratios.len() / 2]
     };
     let ratio_median = median_ratio(&compiled_rounds, &raw_rounds);
+    let optimized_ratio = median_ratio(&opt_rounds, &compiled_rounds);
 
     // The serving hot path: one whole classification (all C prototype
     // dots) through the per-model compiled template with the sample's
@@ -408,13 +442,16 @@ fn micro_timings() -> MicroReport {
             ("mult_p8_128col_us".into(), mult_us),
             ("reduce_add_8rows_us".into(), reduce_us),
             ("program_pipeline_us".into(), program_us),
+            ("program_optimize_us".into(), optimize_us),
             ("compiled_pipeline_us".into(), compiled_us),
+            ("compiled_pipeline_opt_us".into(), compiled_opt_us),
             ("raw_pipeline_us".into(), raw_us),
             ("classify_program_us".into(), classify_program_us),
             ("classify_raw_us".into(), classify_raw_us),
             ("fig2_mc200_us".into(), fig2_us),
         ],
         compiled_ratio: ratio_median,
+        optimized_ratio,
         classify_ratio,
         served_req_per_s,
     }
@@ -580,6 +617,103 @@ fn serve(args: &[String]) {
 /// micro-timings vary with the machine, so they only fail when more than
 /// `TOLERANCE_FACTOR` slower than the recorded baseline (catching
 /// order-of-magnitude regressions without flaking on slower CI hosts).
+/// `repro lint` — the static program-quality gate.
+///
+/// Lints the canonical benchmark pipelines (`--builtin`: the four
+/// `load_gen --programs` shapes plus the `bpimc_nn` dot and classify
+/// templates) and/or the programs embedded in a file of wire request
+/// lines (`store_program` / `exec_program` / `lint_program` ops; `-`
+/// reads stdin, other lines are skipped). Prints every diagnostic and
+/// exits non-zero if any carries error or warn severity — perf notes
+/// are advisory and do not fail the gate.
+fn lint_cmd(args: &[String]) {
+    use bpimc_core::{Program, Request, RequestBody, Severity};
+
+    let mut builtin = false;
+    let mut path: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--builtin" => builtin = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => die(&format!("unknown lint option '{other}'")),
+        }
+    }
+    if !builtin && path.is_none() {
+        die("lint needs --builtin and/or a FILE of wire request lines ('-' for stdin)");
+    }
+    let mac = ImcMacro::new(MacroConfig::paper_macro());
+    let config = *mac.config();
+    let mut programs: Vec<(String, Program)> = Vec::new();
+    if builtin {
+        for variant in 0..bpimc_bench::shapes::SHAPE_COUNT {
+            let (prog, _) = bpimc_bench::shapes::program_request(31 + variant, variant);
+            programs.push((format!("shape/{variant}"), prog));
+        }
+        let p = Precision::P8;
+        let x: Vec<u64> = (0..24).map(|i| (i * 11) % 256).collect();
+        let w: Vec<u64> = (0..24).map(|i| (i * 7 + 3) % 256).collect();
+        let protos: Vec<Vec<u64>> = (0..3)
+            .map(|c| (0..24).map(|i| (i * 5 + c * 17) % 256).collect())
+            .collect();
+        programs.push(("nn/dot".into(), dot_program(p, &x, &w, mac.cols())));
+        programs.push((
+            "nn/classify".into(),
+            classify_program(p, &protos, &x, mac.cols()),
+        ));
+    }
+    if let Some(p) = &path {
+        let text = if p == "-" {
+            use std::io::Read as _;
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .unwrap_or_else(|e| die(&format!("reading stdin: {e}")));
+            s
+        } else {
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("reading {p}: {e}")))
+        };
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = Request::parse(line).unwrap_or_else(|e| die(&format!("{p}:{}: {e}", ln + 1)));
+            let instrs = match req.body {
+                RequestBody::StoreProgram { instrs }
+                | RequestBody::ExecProgram { instrs }
+                | RequestBody::LintProgram { instrs } => instrs,
+                _ => continue,
+            };
+            programs.push((format!("{p}:{}", ln + 1), Program::new(instrs)));
+        }
+    }
+
+    let (mut errors, mut warns, mut perfs) = (0usize, 0usize, 0usize);
+    for (name, prog) in &programs {
+        for d in prog.lint(&config) {
+            println!(
+                "{name}: {} {} [{}..{}] {}",
+                d.severity.name(),
+                d.code,
+                d.span.start,
+                d.span.end,
+                d.message
+            );
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warn => warns += 1,
+                Severity::Perf => perfs += 1,
+            }
+        }
+    }
+    println!(
+        "linted {} program(s): {errors} error(s), {warns} warning(s), {perfs} perf note(s)",
+        programs.len()
+    );
+    if errors + warns > 0 {
+        die("lint gate failed: error- or warn-severity diagnostics present");
+    }
+}
+
 fn check_bench(args: &[String]) {
     const TOLERANCE_FACTOR: f64 = 10.0;
     let mut baseline_path = "BENCH_repro.json".to_string();
@@ -682,6 +816,21 @@ fn check_bench(args: &[String]) {
         );
         failures += 1;
     }
+    // Opt-in program optimization must never cost runtime: the canonical
+    // dot pipeline is already tight, so its optimized compile has to run
+    // within measurement noise of the unoptimized one.
+    const OPTIMIZED_PIPELINE_FACTOR: f64 = 1.05;
+    let opt_ratio = report.optimized_ratio;
+    if opt_ratio <= OPTIMIZED_PIPELINE_FACTOR {
+        println!(
+            "ratio   optimized/compiled      {opt_ratio:.2}x median (limit {OPTIMIZED_PIPELINE_FACTOR}x)"
+        );
+    } else {
+        println!(
+            "ratio   optimized/compiled      {opt_ratio:.2}x median > {OPTIMIZED_PIPELINE_FACTOR}x  FAIL"
+        );
+        failures += 1;
+    }
     // The one-program classify acceptance: a whole served classification
     // through the compiled template must stay within 1.1x of raw ImcMacro
     // method calls.
@@ -750,6 +899,7 @@ fn main() {
             "       repro serve [--addr HOST:PORT] [--macros N] [--write-timeout-ms MS] [--max-* limits] [--chaos-* plan] [--fault-injection (honour inject_panic only)]"
         );
         eprintln!("       repro check-bench [--baseline FILE]");
+        eprintln!("       repro lint [--builtin] [FILE|-]");
         std::process::exit(2);
     }
     if args[0] == "serve" {
@@ -758,6 +908,10 @@ fn main() {
     }
     if args[0] == "check-bench" {
         check_bench(&args[1..]);
+        return;
+    }
+    if args[0] == "lint" {
+        lint_cmd(&args[1..]);
         return;
     }
     let mut samples = 800usize;

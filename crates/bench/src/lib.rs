@@ -27,4 +27,5 @@
 //! | [`experiments::vrange`] | circuit-level 0.6-1.1 V supply-range validation |
 
 pub mod experiments;
+pub mod shapes;
 pub mod textfmt;

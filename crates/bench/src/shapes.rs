@@ -1,0 +1,91 @@
+//! The canonical benchmark pipeline shapes.
+//!
+//! One deterministic multi-instruction [`Program`] per shape, plus its
+//! host-computed expected outputs. The `load_gen` example drives them at
+//! the server as `exec_program` / stored-program traffic, and
+//! `repro lint --builtin` holds every shape to a zero-error, zero-warning
+//! lint bar — the shapes are the reference corpus for "programs the
+//! toolchain should never complain about".
+
+use bpimc_core::prog::ProgramBuilder;
+use bpimc_core::{LogicOp, Precision, Program};
+
+/// Number of distinct pipeline shapes [`program_request`] cycles through.
+pub const SHAPE_COUNT: u64 = 4;
+
+/// Builds one deterministic multi-instruction pipeline plus its expected
+/// outputs (host-computed), keyed by the request counter so every client
+/// exercises dot, fused add+shl / sub, reduction and logic pipelines. Each
+/// variant's *shape* (instruction kinds, vector lengths) is independent of
+/// `k` — only the write values change — which is what makes the shapes
+/// storable once and rebound per request in `load_gen --stored` mode.
+pub fn program_request(k: u64, variant: u64) -> (Program, Vec<Vec<u64>>) {
+    let mut b = ProgramBuilder::new();
+    match variant {
+        0 => {
+            // Dot-style: two staging writes, one MULT, products out.
+            let p = Precision::P8;
+            let x: Vec<u64> = (0..8).map(|i| (k + i * 3) % 256).collect();
+            let w: Vec<u64> = (0..8).map(|i| (k * 5 + i + 1) % 256).collect();
+            let rx = b.write_mult(p, x.clone());
+            let rw = b.write_mult(p, w.clone());
+            let prod = b.mult(rx, rw, p);
+            b.read_products(prod, p, 8);
+            let expect = x.iter().zip(&w).map(|(a, c)| a * c).collect();
+            (b.finish(), vec![expect])
+        }
+        1 => {
+            // Fused add+shl (lowered to the hardware add_shift) plus SUB.
+            let p = Precision::P8;
+            let x: Vec<u64> = (0..16).map(|i| (k + i) % 256).collect();
+            let y: Vec<u64> = (0..16).map(|i| (k * 3 + i) % 256).collect();
+            let rx = b.write(p, x.clone());
+            let ry = b.write(p, y.clone());
+            let s = b.add(rx, ry, p);
+            let d = b.shl(s, p);
+            b.read(d, p, 16);
+            let e = b.sub(rx, ry, p);
+            b.read(e, p, 16);
+            let doubled = x
+                .iter()
+                .zip(&y)
+                .map(|(a, c)| ((a + c) << 1) & 0xFF)
+                .collect();
+            let diff = x
+                .iter()
+                .zip(&y)
+                .map(|(a, c)| a.wrapping_sub(*c) & 0xFF)
+                .collect();
+            (b.finish(), vec![doubled, diff])
+        }
+        2 => {
+            // In-memory reduction over four staged rows.
+            let p = Precision::P8;
+            let rows: Vec<Vec<u64>> = (0..4)
+                .map(|j| (0..16).map(|i| (k * (j + 2) + i * 7) % 256).collect())
+                .collect();
+            let regs: Vec<_> = rows.iter().map(|r| b.write(p, r.clone())).collect();
+            let total = b.reduce_add(&regs, p);
+            b.read(total, p, 16);
+            let expect = (0..16)
+                .map(|i| rows.iter().map(|r| r[i]).sum::<u64>() & 0xFF)
+                .collect();
+            (b.finish(), vec![expect])
+        }
+        _ => {
+            // 2-bit logic with an inversion chained on.
+            let p = Precision::P2;
+            let x: Vec<u64> = (0..32).map(|i| (k + i * 3) % 4).collect();
+            let y: Vec<u64> = (0..32).map(|i| (k * 7 + i) % 4).collect();
+            let rx = b.write(p, x.clone());
+            let ry = b.write(p, y.clone());
+            let xo = b.logic(LogicOp::Xor, rx, ry);
+            let inv = b.not(xo);
+            b.read(xo, p, 32);
+            b.read(inv, p, 32);
+            let xor: Vec<u64> = x.iter().zip(&y).map(|(a, c)| a ^ c).collect();
+            let nxor = xor.iter().map(|v| !v & 3).collect();
+            (b.finish(), vec![xor, nxor])
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub use error::Error;
 pub use isa::OpKind;
 pub use macrobank::MacroBank;
 pub use macroblock::ImcMacro;
+pub use prog::analysis::{Dataflow, Diagnostic, Severity, ValueRange};
 pub use prog::{
     CompiledProgram, Instr, PartitionedRun, ProgError, Program, ProgramBuilder, ProgramRun, Reg,
     SubProgram,

@@ -60,6 +60,8 @@ use bpimc_periph::{LogicOp, Precision};
 use std::fmt;
 use std::ops::Range;
 
+pub mod analysis;
+
 /// A virtual row register. The executor maps register `i` to main-array
 /// row `i`; a program may use at most as many registers as the macro has
 /// rows (dummy rows stay internal to the ops that use them).
@@ -499,6 +501,48 @@ impl std::error::Error for ProgError {
         match self {
             ProgError::Exec { source, .. } => Some(source),
             _ => None,
+        }
+    }
+}
+
+impl ProgError {
+    /// The stable diagnostic code for this error kind (`E001`–`E013`, one
+    /// per variant), carried by `invalid_program` wire errors and
+    /// [`analysis::Diagnostic`]s.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProgError::TooManyRegs { .. } => "E001",
+            ProgError::UseBeforeDef { .. } => "E002",
+            ProgError::OperandsAlias { .. } => "E003",
+            ProgError::PrecisionTooWide { .. } => "E004",
+            ProgError::TooManyWords { .. } => "E005",
+            ProgError::WordTooWide { .. } => "E006",
+            ProgError::EmptyReduce { .. } => "E007",
+            ProgError::InputCount { .. } => "E008",
+            ProgError::InputLen { .. } => "E009",
+            ProgError::Exec { .. } => "E010",
+            ProgError::Panicked(_) => "E011",
+            ProgError::ConfigMismatch => "E012",
+            ProgError::Cancelled => "E013",
+        }
+    }
+
+    /// The index of the offending instruction, for variants that name one.
+    pub fn instr(&self) -> Option<usize> {
+        match self {
+            ProgError::UseBeforeDef { instr, .. }
+            | ProgError::OperandsAlias { instr, .. }
+            | ProgError::PrecisionTooWide { instr, .. }
+            | ProgError::TooManyWords { instr, .. }
+            | ProgError::WordTooWide { instr, .. }
+            | ProgError::EmptyReduce { instr }
+            | ProgError::InputLen { instr, .. }
+            | ProgError::Exec { instr, .. } => Some(*instr),
+            ProgError::TooManyRegs { .. }
+            | ProgError::InputCount { .. }
+            | ProgError::Panicked(_)
+            | ProgError::ConfigMismatch
+            | ProgError::Cancelled => None,
         }
     }
 }
@@ -1125,33 +1169,6 @@ pub struct SubProgram {
     pub read_slots: Vec<usize>,
 }
 
-/// Disjoint-set forest over instruction indices (path-halving + union by
-/// size), for the dependence components.
-struct UnionFind(Vec<usize>);
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        Self((0..n).collect())
-    }
-
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.0[x] != x {
-            self.0[x] = self.0[self.0[x]];
-            x = self.0[x];
-        }
-        x
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            // Root at the smaller index so component roots are stable.
-            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-            self.0[hi] = lo;
-        }
-    }
-}
-
 impl Program {
     /// Splits the program into its independent dependence components.
     ///
@@ -1169,30 +1186,16 @@ impl Program {
     /// still well-defined (an unreachable source read simply does not link)
     /// but the components may not validate individually.
     pub fn partition(&self) -> Vec<SubProgram> {
-        let n = self.instrs.len();
-        let mut uf = UnionFind::new(n);
-        let mut last_def: Vec<Option<usize>> = vec![None; self.regs];
-        for (idx, instr) in self.instrs.iter().enumerate() {
-            for src in instr.sources() {
-                if let Some(Some(def)) = last_def.get(src.row()) {
-                    uf.union(idx, *def);
-                }
-            }
-            if let Some(dst) = instr.dst() {
-                last_def[dst.row()] = Some(idx);
-            }
-        }
-        // Group by root, components ordered by their first instruction.
-        let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
-        let mut comps: Vec<(Vec<Instr>, Vec<usize>, Vec<usize>)> = Vec::new();
+        // The shared dataflow framework resolves every read to its
+        // reaching definition; components are the connected closure of
+        // those value edges, numbered by first instruction.
+        let comp = analysis::Dataflow::of(self).components();
+        let count = comp.iter().copied().max().map_or(0, |m| m + 1);
+        let mut comps: Vec<(Vec<Instr>, Vec<usize>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new(), Vec::new()); count];
         let mut read_slot = 0usize;
-        for idx in 0..n {
-            let root = uf.find(idx);
-            let c = *comp_of_root[root].get_or_insert_with(|| {
-                comps.push((Vec::new(), Vec::new(), Vec::new()));
-                comps.len() - 1
-            });
-            let instr = &self.instrs[idx];
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            let c = comp[idx];
             if instr.is_read() {
                 comps[c].2.push(read_slot);
                 read_slot += 1;

@@ -17,6 +17,7 @@
 //! | `exec_program` | `instrs` | run a whole [`Program`](crate::prog::Program) in one round trip |
 //! | `store_program` | `instrs` | validate + compile once into the session's stored-program cache |
 //! | `run_stored` | `pid`, `inputs?` | run a stored program, optionally binding fresh write values |
+//! | `lint_program` | `instrs` | static analysis only: answer the program's [`Diagnostic`]s without executing |
 //! | `stats` | — | the session's activity account so far |
 //! | `inject_panic` | — | fault injection (only if the server enables it) |
 //! | `shutdown` | — | ask the server to drain and stop |
@@ -45,16 +46,20 @@
 //! # Responses
 //!
 //! `{"id":N,"ok":true,"kind":K,"result":…}` on success, with `kind` one of
-//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`, `stored`;
-//! `{"id":N,"ok":false,"error":"…"}` on failure. A response's `id` matches
-//! its request; per connection, responses arrive in request order.
+//! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`, `stored`,
+//! `diagnostics`; `{"id":N,"ok":false,"error":"…"}` on failure. A
+//! response's `id` matches its request; per connection, responses arrive
+//! in request order.
 //!
 //! A failure may carry a machine-readable class beyond the human-readable
 //! `error` string ([`ErrorBody`]): `"kind"` is one of `limit_exceeded`
 //! (plus `"limit"` naming which per-session limit — `cycle_rate`,
 //! `energy_rate`, `inflight`, `program_length`, `stored_programs`),
-//! `overloaded` (the server is shedding load), or `deadline_exceeded`
-//! (the request's `timeout_ms` expired in queue or mid-execution).
+//! `overloaded` (the server is shedding load), `deadline_exceeded`
+//! (the request's `timeout_ms` expired in queue or mid-execution), or
+//! `invalid_program` (a submitted instruction stream failed validation;
+//! `"code"` carries the stable [`ProgError`] code such as `E002` and
+//! `"index"` the offending instruction's position when one is known).
 //! `limit_exceeded` and `overloaded` errors may add `"retry_after_ms"`,
 //! a hint for how long to back off before retrying. A failure without a
 //! `"kind"` field is a generic request error (bad argument, ISA error,
@@ -73,7 +78,12 @@
 //! A `store_program` request validates, lowers and compiles its
 //! instruction stream **once** against the server's macro configuration
 //! and answers `{"kind":"stored","result":{"pid":P,"cycles":C,"writes":W}}`
-//! with a session-local id. Subsequent `run_stored` requests
+//! with a session-local id. When the linter has something to say the
+//! result adds a `"diagnostics"` array (one
+//! `{"code","severity","start","end","message"}` object per finding, see
+//! [`Diagnostic`]); a `lint_program` request answers the same array under
+//! `{"kind":"diagnostics","result":[…]}` without storing or executing
+//! anything. Subsequent `run_stored` requests
 //! (`{"op":"run_stored","pid":P,"inputs":[[…],null,…]}`) skip parsing the
 //! instruction stream, validation and lowering entirely and answer with
 //! the same `program` result shape; `inputs` optionally rebinds the
@@ -109,7 +119,8 @@
 
 use crate::activity::SessionActivity;
 use crate::json::Json;
-use crate::prog::{Instr, Reg};
+use crate::prog::analysis::{Diagnostic, Severity};
+use crate::prog::{Instr, ProgError, Reg};
 use bpimc_periph::{LogicOp, Precision};
 use std::fmt;
 
@@ -218,6 +229,12 @@ pub enum RequestBody {
         /// JSON `null` keeps the stored values); empty runs all-stored.
         inputs: Vec<Option<Vec<u64>>>,
     },
+    /// Statically analyzes a program — validation plus lint — and answers
+    /// its diagnostics without storing or executing anything.
+    LintProgram {
+        /// The program's instructions, in order.
+        instrs: Vec<Instr>,
+    },
     /// The session's activity account (state *before* this request).
     Stats,
     /// Deliberately panics the executing job (fault injection; the server
@@ -260,6 +277,8 @@ pub enum ResponseBody {
     Program(ProgramReport),
     /// A stored program's id and compile-time facts (`store_program`).
     Stored(StoredMeta),
+    /// A linted program's findings (`lint_program`).
+    Diagnostics(Vec<Diagnostic>),
     /// The request failed; message plus optional machine-readable class.
     Error(ErrorBody),
 }
@@ -281,6 +300,10 @@ pub enum ErrorKind {
     Overloaded,
     /// The request's `timeout_ms` expired in queue or mid-execution.
     DeadlineExceeded,
+    /// A submitted instruction stream failed validation;
+    /// [`ErrorBody::code`] carries the stable [`ProgError`] code and
+    /// [`ErrorBody::index`] the offending instruction when known.
+    InvalidProgram,
 }
 
 impl ErrorKind {
@@ -292,6 +315,7 @@ impl ErrorKind {
             ErrorKind::LimitExceeded => Some("limit_exceeded"),
             ErrorKind::Overloaded => Some("overloaded"),
             ErrorKind::DeadlineExceeded => Some("deadline_exceeded"),
+            ErrorKind::InvalidProgram => Some("invalid_program"),
         }
     }
 
@@ -301,6 +325,7 @@ impl ErrorKind {
             "limit_exceeded" => ErrorKind::LimitExceeded,
             "overloaded" => ErrorKind::Overloaded,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "invalid_program" => ErrorKind::InvalidProgram,
             _ => return None,
         })
     }
@@ -349,7 +374,8 @@ impl LimitKind {
 /// A failed request: human-readable message plus optional machine class.
 ///
 /// On the wire: `{"id":N,"ok":false,"error":MSG}` with `"kind"`,
-/// `"limit"` and `"retry_after_ms"` added only when set.
+/// `"limit"`, `"retry_after_ms"`, `"code"` and `"index"` added only when
+/// set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ErrorBody {
     /// Machine-readable class (`Generic` is encoded by omission).
@@ -358,6 +384,11 @@ pub struct ErrorBody {
     pub limit: Option<LimitKind>,
     /// Back-off hint in milliseconds, for transient errors.
     pub retry_after_ms: Option<u64>,
+    /// Stable [`ProgError`] code (`E001`…), for `InvalidProgram` errors.
+    pub code: Option<String>,
+    /// Offending instruction index, for `InvalidProgram` errors that
+    /// implicate one instruction.
+    pub index: Option<u64>,
     /// Human-readable reason.
     pub message: String,
 }
@@ -369,6 +400,8 @@ impl ErrorBody {
             kind: ErrorKind::Generic,
             limit: None,
             retry_after_ms: None,
+            code: None,
+            index: None,
             message: message.into(),
         }
     }
@@ -383,6 +416,8 @@ impl ErrorBody {
             kind: ErrorKind::LimitExceeded,
             limit: Some(limit),
             retry_after_ms,
+            code: None,
+            index: None,
             message: message.into(),
         }
     }
@@ -393,6 +428,8 @@ impl ErrorBody {
             kind: ErrorKind::Overloaded,
             limit: None,
             retry_after_ms,
+            code: None,
+            index: None,
             message: message.into(),
         }
     }
@@ -403,8 +440,33 @@ impl ErrorBody {
             kind: ErrorKind::DeadlineExceeded,
             limit: None,
             retry_after_ms: None,
+            code: None,
+            index: None,
             message: message.into(),
         }
+    }
+
+    /// An `invalid_program` error carrying the stable [`ProgError`] code
+    /// and, when one instruction is implicated, its index.
+    pub fn invalid_program(
+        code: impl Into<String>,
+        index: Option<u64>,
+        message: impl Into<String>,
+    ) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::InvalidProgram,
+            limit: None,
+            retry_after_ms: None,
+            code: Some(code.into()),
+            index,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<&ProgError> for ErrorBody {
+    fn from(e: &ProgError) -> ErrorBody {
+        ErrorBody::invalid_program(e.code(), e.instr().map(|i| i as u64), e.to_string())
     }
 }
 
@@ -428,7 +490,7 @@ impl fmt::Display for ErrorBody {
 
 /// What `store_program` returns: the session-local id to pass to
 /// `run_stored`, plus the compiled program's static facts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredMeta {
     /// Session-local stored-program id.
     pub pid: u64,
@@ -437,6 +499,9 @@ pub struct StoredMeta {
     /// `write`/`write_mult` instructions — the input slots a `run_stored`
     /// binding covers, in submitted order.
     pub writes: u64,
+    /// Lint findings for the submitted stream (empty when the linter is
+    /// silent; omitted from the wire encoding then).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// One response, tagged with the request's id.
@@ -717,13 +782,57 @@ fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
     })
 }
 
-/// Parses the `instrs` array shared by `exec_program` and `store_program`.
+/// Parses the `instrs` array shared by `exec_program`, `store_program`
+/// and `lint_program`.
 fn instrs_field(v: &Json) -> Result<Vec<Instr>, WireError> {
     field(v, "instrs")?
         .as_array()
         .ok_or_else(|| wire_err("field 'instrs' must be an array"))?
         .iter()
         .map(instr_from_json)
+        .collect()
+}
+
+/// Serializes one lint diagnostic to its wire object.
+fn diag_to_json(d: &Diagnostic) -> Json {
+    Json::Obj(vec![
+        ("code".to_string(), Json::Str(d.code.clone())),
+        ("severity".to_string(), Json::Str(d.severity.name().into())),
+        ("start".to_string(), Json::UInt(d.span.start as u64)),
+        ("end".to_string(), Json::UInt(d.span.end as u64)),
+        ("message".to_string(), Json::Str(d.message.clone())),
+    ])
+}
+
+/// Parses one lint diagnostic from its wire object.
+fn diag_from_json(v: &Json) -> Result<Diagnostic, WireError> {
+    let severity = field(v, "severity")?
+        .as_str()
+        .and_then(Severity::from_name)
+        .ok_or_else(|| wire_err("diagnostic field 'severity' must be error/warn/perf"))?;
+    Ok(Diagnostic {
+        code: field(v, "code")?
+            .as_str()
+            .ok_or_else(|| wire_err("diagnostic field 'code' must be a string"))?
+            .to_string(),
+        severity,
+        span: usize_field(v, "start")?..usize_field(v, "end")?,
+        message: field(v, "message")?
+            .as_str()
+            .ok_or_else(|| wire_err("diagnostic field 'message' must be a string"))?
+            .to_string(),
+    })
+}
+
+fn diags_json(diags: &[Diagnostic]) -> Json {
+    Json::Arr(diags.iter().map(diag_to_json).collect())
+}
+
+fn diags_from_json(v: &Json, what: &str) -> Result<Vec<Diagnostic>, WireError> {
+    v.as_array()
+        .ok_or_else(|| wire_err(format!("{what} must be an array")))?
+        .iter()
+        .map(diag_from_json)
         .collect()
 }
 
@@ -788,6 +897,9 @@ impl Request {
                 instrs: instrs_field(&v)?,
             },
             "store_program" => RequestBody::StoreProgram {
+                instrs: instrs_field(&v)?,
+            },
+            "lint_program" => RequestBody::LintProgram {
                 instrs: instrs_field(&v)?,
             },
             "run_stored" => {
@@ -885,6 +997,13 @@ impl Request {
                     Json::Arr(instrs.iter().map(instr_to_json).collect()),
                 );
             }
+            RequestBody::LintProgram { instrs } => {
+                push("op", Json::Str("lint_program".into()));
+                push(
+                    "instrs",
+                    Json::Arr(instrs.iter().map(instr_to_json).collect()),
+                );
+            }
             RequestBody::RunStored { pid, inputs } => {
                 push("op", Json::Str("run_stored".into()));
                 push("pid", Json::UInt(*pid));
@@ -939,12 +1058,16 @@ impl Response {
                 .and_then(Json::as_str)
                 .and_then(LimitKind::from_name);
             let retry_after_ms = v.get("retry_after_ms").and_then(Json::as_u64);
+            let code = v.get("code").and_then(Json::as_str).map(|s| s.to_string());
+            let index = v.get("index").and_then(Json::as_u64);
             return Ok(Response {
                 id,
                 body: ResponseBody::Error(ErrorBody {
                     kind,
                     limit,
                     retry_after_ms,
+                    code,
+                    index,
                     message: msg.to_string(),
                 }),
             });
@@ -994,7 +1117,14 @@ impl Response {
                     pid: u64_field(r, "pid")?,
                     cycles: u64_field(r, "cycles")?,
                     writes: u64_field(r, "writes")?,
+                    diagnostics: match r.get("diagnostics") {
+                        None | Some(Json::Null) => Vec::new(),
+                        Some(d) => diags_from_json(d, "field 'diagnostics'")?,
+                    },
                 })
+            }
+            "diagnostics" => {
+                ResponseBody::Diagnostics(diags_from_json(field(&v, "result")?, "field 'result'")?)
             }
             "stats" => {
                 let r = field(&v, "result")?;
@@ -1029,6 +1159,12 @@ impl Response {
                 if let Some(ms) = e.retry_after_ms {
                     push("retry_after_ms", Json::UInt(ms));
                 }
+                if let Some(code) = &e.code {
+                    push("code", Json::Str(code.clone()));
+                }
+                if let Some(index) = e.index {
+                    push("index", Json::UInt(index));
+                }
             }
             body => {
                 push("ok", Json::Bool(true));
@@ -1052,14 +1188,18 @@ impl Response {
                             ),
                         ])),
                     ),
-                    ResponseBody::Stored(s) => (
-                        "stored",
-                        Some(Json::Obj(vec![
+                    ResponseBody::Stored(s) => {
+                        let mut fields = vec![
                             ("pid".to_string(), Json::UInt(s.pid)),
                             ("cycles".to_string(), Json::UInt(s.cycles)),
                             ("writes".to_string(), Json::UInt(s.writes)),
-                        ])),
-                    ),
+                        ];
+                        if !s.diagnostics.is_empty() {
+                            fields.push(("diagnostics".to_string(), diags_json(&s.diagnostics)));
+                        }
+                        ("stored", Some(Json::Obj(fields)))
+                    }
+                    ResponseBody::Diagnostics(ds) => ("diagnostics", Some(diags_json(ds))),
                     ResponseBody::Stats(s) => (
                         "stats",
                         Some(Json::Obj(vec![
@@ -1158,6 +1298,13 @@ mod tests {
             id: 10,
             timeout_ms: None,
             body: RequestBody::StoreProgram {
+                instrs: every_instr_kind(),
+            },
+        });
+        round_trip_request(Request {
+            id: 13,
+            timeout_ms: None,
+            body: RequestBody::LintProgram {
                 instrs: every_instr_kind(),
             },
         });
@@ -1321,7 +1468,43 @@ mod tests {
                 pid: 12,
                 cycles: 345,
                 writes: 6,
+                diagnostics: Vec::new(),
             }),
+        });
+        round_trip_response(Response {
+            id: 10,
+            body: ResponseBody::Stored(StoredMeta {
+                pid: 13,
+                cycles: 7,
+                writes: 2,
+                diagnostics: vec![Diagnostic {
+                    code: "L001".into(),
+                    severity: Severity::Warn,
+                    span: 1..2,
+                    message: "dead store".into(),
+                }],
+            }),
+        });
+        round_trip_response(Response {
+            id: 11,
+            body: ResponseBody::Diagnostics(vec![
+                Diagnostic {
+                    code: "L004".into(),
+                    severity: Severity::Perf,
+                    span: 2..4,
+                    message: "missed fusion".into(),
+                },
+                Diagnostic {
+                    code: "E002".into(),
+                    severity: Severity::Error,
+                    span: 0..1,
+                    message: "use before def".into(),
+                },
+            ]),
+        });
+        round_trip_response(Response {
+            id: 12,
+            body: ResponseBody::Diagnostics(Vec::new()),
         });
         round_trip_response(Response {
             id: 8,
@@ -1406,6 +1589,22 @@ mod tests {
         round_trip_response(Response {
             id: 23,
             body: ResponseBody::Error(ErrorBody::deadline("deadline expired in queue")),
+        });
+        round_trip_response(Response {
+            id: 24,
+            body: ResponseBody::Error(ErrorBody::invalid_program(
+                "E002",
+                Some(3),
+                "instruction 3 reads register r1 before any write",
+            )),
+        });
+        round_trip_response(Response {
+            id: 25,
+            body: ResponseBody::Error(ErrorBody::invalid_program(
+                "E001",
+                None,
+                "program needs 200 registers but the macro has 125 rows",
+            )),
         });
         for limit in [
             LimitKind::CycleRate,

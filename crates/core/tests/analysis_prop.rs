@@ -1,0 +1,355 @@
+//! Differential property suite for the program analyzer
+//! (`bpimc_core::prog::analysis`): over random valid programs at every
+//! precision P2–P32,
+//!
+//! * `Program::optimize` is semantics-preserving — read outputs are
+//!   bit-identical to the original and `Program::cycles` never increases
+//!   (and `Program::run` asserts the static cost model against the
+//!   execution log for both, so the activity accounting stays exact);
+//! * `Program::partition` (now built on the shared reaching-definitions
+//!   framework) groups instructions exactly as the original last-writer
+//!   union-find did, with the same submitted indices and read slots.
+//!
+//! The generator is adversarial on purpose: it injects dead overwrites,
+//! copies, and duplicate multi-cycle ops so the DSE/copy-propagation/CSE
+//! passes all get real work, and it grows independent chains so
+//! partitions are non-trivial.
+
+use bpimc_core::prog::{Instr, Program, Reg};
+use bpimc_core::{ImcMacro, LogicOp, MacroConfig, Precision};
+use proptest::prelude::*;
+
+/// One generator step: an op selector plus raw operand/value entropy the
+/// builder folds into whatever instruction is currently constructible.
+type Step = (u8, u16, u16, u64);
+
+fn set_dst(instr: &mut Instr, reg: Reg) {
+    match instr {
+        Instr::Read { .. } | Instr::ReadProducts { .. } => unreachable!("reads define nothing"),
+        Instr::Write { dst, .. }
+        | Instr::WriteMult { dst, .. }
+        | Instr::Logic { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::Copy { dst, .. }
+        | Instr::Shl { dst, .. }
+        | Instr::Add { dst, .. }
+        | Instr::AddShift { dst, .. }
+        | Instr::Sub { dst, .. }
+        | Instr::Mult { dst, .. }
+        | Instr::ReduceAdd { dst, .. } => *dst = reg,
+    }
+}
+
+/// Builds a random valid program from proptest-driven steps. `dense`
+/// tracks rows holding P-bit lane values, `prods` rows holding 2P-bit
+/// product lanes; every constructed instruction only reads defined rows,
+/// keeps dual-WL operands distinct, and masks values to the lane width —
+/// so the result always passes `Program::validate`.
+fn build_program(p: Precision, steps: &[Step]) -> Program {
+    let cols = 128;
+    let lanes = p.lanes(cols).min(4);
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut dense: Vec<Reg> = Vec::new();
+    let mut prods: Vec<Reg> = Vec::new();
+    let mut next = 0u16;
+    let fresh = |next: &mut u16| {
+        let r = Reg(*next);
+        *next += 1;
+        r
+    };
+    // Multi-cycle ops emitted so far, as (index) — fodder for duplicate
+    // re-emission (the CSE pass's food).
+    let mut multi: Vec<usize> = Vec::new();
+    for &(op, s1, s2, value) in steps {
+        let pick = |pool: &[Reg], sel: u16| pool[sel as usize % pool.len()];
+        let pick2 = |pool: &[Reg], sel1: u16, sel2: u16| {
+            let i = sel1 as usize % pool.len();
+            let j = (i + 1 + sel2 as usize % (pool.len() - 1)) % pool.len();
+            (pool[i], pool[j])
+        };
+        let values: Vec<u64> = (0..lanes as u64)
+            .map(|k| (value.rotate_left(k as u32 * 7)) & p.max_value())
+            .collect();
+        match op % 12 {
+            0 => {
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Write {
+                    dst,
+                    precision: p,
+                    values,
+                });
+                dense.push(dst);
+            }
+            // Overwrite an existing row: the previous value may become a
+            // dead store for DSE to collect.
+            1 if !dense.is_empty() => {
+                let dst = pick(&dense, s1);
+                instrs.push(Instr::Write {
+                    dst,
+                    precision: p,
+                    values,
+                });
+            }
+            2 if !dense.is_empty() => {
+                let src = pick(&dense, s1);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Copy { src, dst });
+                dense.push(dst);
+            }
+            3 if dense.len() >= 2 => {
+                let (a, b) = pick2(&dense, s1, s2);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Add {
+                    a,
+                    b,
+                    dst,
+                    precision: p,
+                });
+                dense.push(dst);
+            }
+            4 if dense.len() >= 2 => {
+                let (a, b) = pick2(&dense, s1, s2);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Sub {
+                    a,
+                    b,
+                    dst,
+                    precision: p,
+                });
+                multi.push(instrs.len() - 1);
+                dense.push(dst);
+            }
+            5 if !dense.is_empty() => {
+                let src = pick(&dense, s1);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Shl {
+                    src,
+                    dst,
+                    precision: p,
+                });
+                dense.push(dst);
+            }
+            6 if dense.len() >= 2 => {
+                let (a, b) = pick2(&dense, s1, s2);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Logic {
+                    op: LogicOp::Xor,
+                    a,
+                    b,
+                    dst,
+                });
+                dense.push(dst);
+            }
+            // Re-emit an earlier multi-cycle op verbatim with a fresh
+            // destination: a guaranteed common subexpression *if* its
+            // operand rows still hold the same values.
+            7 if !multi.is_empty() => {
+                let mut dup = instrs[multi[s1 as usize % multi.len()]].clone();
+                let dst = fresh(&mut next);
+                set_dst(&mut dup, dst);
+                let is_mult = matches!(dup, Instr::Mult { .. });
+                instrs.push(dup);
+                if is_mult {
+                    prods.push(dst);
+                } else {
+                    dense.push(dst);
+                }
+            }
+            8 => {
+                let (wa, wb) = (fresh(&mut next), fresh(&mut next));
+                let dst = fresh(&mut next);
+                let ops: Vec<u64> = values.iter().take(2).copied().collect();
+                instrs.push(Instr::WriteMult {
+                    dst: wa,
+                    precision: p,
+                    values: ops.clone(),
+                });
+                instrs.push(Instr::WriteMult {
+                    dst: wb,
+                    precision: p,
+                    values: ops,
+                });
+                instrs.push(Instr::Mult {
+                    a: wa,
+                    b: wb,
+                    dst,
+                    precision: p,
+                });
+                multi.push(instrs.len() - 1);
+                prods.push(dst);
+            }
+            9 if dense.len() >= 2 => {
+                let (a, b) = pick2(&dense, s1, s2);
+                let dst = fresh(&mut next);
+                instrs.push(Instr::ReduceAdd {
+                    srcs: vec![a, b],
+                    dst,
+                    precision: p,
+                });
+                multi.push(instrs.len() - 1);
+                dense.push(dst);
+            }
+            10 if !dense.is_empty() => {
+                instrs.push(Instr::Read {
+                    src: pick(&dense, s1),
+                    precision: p,
+                    n: lanes,
+                });
+            }
+            11 if !prods.is_empty() => {
+                instrs.push(Instr::ReadProducts {
+                    src: pick(&prods, s1),
+                    precision: p,
+                    n: 2,
+                });
+            }
+            _ => {
+                // The selected op is not constructible yet; seed a write
+                // instead so the stream keeps growing.
+                let dst = fresh(&mut next);
+                instrs.push(Instr::Write {
+                    dst,
+                    precision: p,
+                    values,
+                });
+                dense.push(dst);
+            }
+        }
+    }
+    // Always observe the final state of the newest rows, so optimization
+    // has bits it must preserve.
+    if let Some(&src) = dense.last() {
+        instrs.push(Instr::Read {
+            src,
+            precision: p,
+            n: lanes,
+        });
+    }
+    if let Some(&src) = prods.last() {
+        instrs.push(Instr::ReadProducts {
+            src,
+            precision: p,
+            n: 2,
+        });
+    }
+    Program::new(instrs)
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (any::<u8>(), any::<u16>(), any::<u16>(), any::<u64>()),
+        4..24,
+    )
+}
+
+/// The pre-framework `Program::partition` logic, reimplemented
+/// independently: union instructions with the last writer of each source
+/// register (resolved in submitted order, sources before the destination
+/// update), then group by component in order of first appearance.
+fn reference_partition(prog: &Program) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let instrs = prog.instrs();
+    let n = instrs.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut last_def: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (idx, instr) in instrs.iter().enumerate() {
+        for src in instr.sources() {
+            if let Some(&def) = last_def.get(&src.row()) {
+                let (ra, rb) = (find(&mut parent, idx), find(&mut parent, def));
+                if ra != rb {
+                    let (lo, hi) = (ra.min(rb), ra.max(rb));
+                    parent[hi] = lo;
+                }
+            }
+        }
+        if let Some(dst) = instr.dst() {
+            last_def.insert(dst.row(), idx);
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    let mut group_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut read_slot = 0usize;
+    for (idx, instr) in instrs.iter().enumerate() {
+        let root = find(&mut parent, idx);
+        let g = *group_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            slots.push(Vec::new());
+            groups.len() - 1
+        });
+        if instr.is_read() {
+            slots[g].push(read_slot);
+            read_slot += 1;
+        }
+        groups[g].push(idx);
+    }
+    (groups, slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `optimize()` output bits == original, cycles ≤ original, and both
+    /// runs satisfy the executor's internal predicted-activity assertion,
+    /// at every precision.
+    #[test]
+    fn optimize_is_semantics_preserving(p_pick in 0usize..5, steps in steps()) {
+        let p = Precision::ALL[p_pick];
+        let prog = build_program(p, &steps);
+        let cfg = MacroConfig::paper_macro();
+        prop_assert!(prog.validate(&cfg).is_ok(), "generator must emit valid programs");
+
+        let opt = prog.optimize();
+        prop_assert!(opt.validate(&cfg).is_ok(), "optimizer must emit valid programs");
+        prop_assert!(
+            opt.cycles() <= prog.cycles(),
+            "optimize went from {} to {} cycles",
+            prog.cycles(),
+            opt.cycles()
+        );
+
+        // `Program::run` asserts the static cost model against the
+        // execution log internally for both sides.
+        let mut m1 = ImcMacro::new(cfg);
+        let mut m2 = ImcMacro::new(cfg);
+        let orig = prog.run(&mut m1).unwrap();
+        let fast = opt.run(&mut m2).unwrap();
+        prop_assert_eq!(&orig.outputs, &fast.outputs);
+        prop_assert_eq!(m2.activity().total_cycles(), opt.cycles());
+        prop_assert_eq!(fast.total_cycles(), opt.cycles());
+    }
+
+    /// Optimizing twice changes nothing more: the optimizer is
+    /// idempotent up to cycle count (a second pass finds no new wins).
+    #[test]
+    fn optimize_is_stable_under_reapplication(p_pick in 0usize..5, steps in steps()) {
+        let p = Precision::ALL[p_pick];
+        let opt = build_program(p, &steps).optimize();
+        prop_assert_eq!(opt.optimize().cycles(), opt.cycles());
+    }
+
+    /// The refactored partition (shared reaching-definitions framework)
+    /// groups exactly as the original last-writer union-find did.
+    #[test]
+    fn partition_matches_the_original_grouping(p_pick in 0usize..5, steps in steps()) {
+        let p = Precision::ALL[p_pick];
+        let prog = build_program(p, &steps);
+        let (ref_groups, ref_slots) = reference_partition(&prog);
+        let parts = prog.partition();
+        prop_assert_eq!(parts.len(), ref_groups.len());
+        for (part, (group, slots)) in parts.iter().zip(ref_groups.iter().zip(&ref_slots)) {
+            prop_assert_eq!(&part.submitted, group);
+            prop_assert_eq!(&part.read_slots, slots);
+            let expected: Vec<_> =
+                group.iter().map(|&i| prog.instrs()[i].clone()).collect();
+            prop_assert_eq!(part.program.instrs(), &expected[..]);
+        }
+    }
+}

@@ -388,6 +388,33 @@ mod tests {
     }
 
     #[test]
+    fn generated_programs_lint_clean() {
+        // The emitted dot/classify pipelines must carry no error- or
+        // warn-severity diagnostics (perf notes — e.g. recycled-register
+        // headroom on tiny inputs — are fine): every store is read, no
+        // work is recomputed, nothing is provably wasted.
+        use bpimc_core::{MacroConfig, Severity};
+        let cfg = MacroConfig::paper_macro();
+        let p = Precision::P8;
+        let x: Vec<u64> = (0..24).map(|i| (i * 11) % 256).collect();
+        let w: Vec<u64> = (0..24).map(|i| (i * 7 + 3) % 256).collect();
+        let protos: Vec<Vec<u64>> = (0..3)
+            .map(|c| (0..24).map(|i| (i * 5 + c * 17) % 256).collect())
+            .collect();
+        for prog in [
+            dot_program(p, &x, &w, 128),
+            classify_program(p, &protos, &x, 128),
+        ] {
+            let bad: Vec<_> = prog
+                .lint(&cfg)
+                .into_iter()
+                .filter(|d| d.severity != Severity::Perf)
+                .collect();
+            assert!(bad.is_empty(), "generated program lints dirty: {bad:?}");
+        }
+    }
+
+    #[test]
     fn imc_dot_matches_host_arithmetic() {
         let d = data();
         let mut clf = PrototypeClassifier::fit(&d, Precision::P4);

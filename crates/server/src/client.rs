@@ -3,8 +3,8 @@
 //! capped exponential backoff and idempotent retry ([`RetryPolicy`]).
 
 use bpimc_core::{
-    ErrorBody, ErrorKind, LaneOp, Precision, Program, ProgramReport, Request, RequestBody,
-    Response, ResponseBody, SessionActivity, StoredMeta,
+    Diagnostic, ErrorBody, ErrorKind, LaneOp, Precision, Program, ProgramReport, Request,
+    RequestBody, Response, ResponseBody, SessionActivity, StoredMeta,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -411,6 +411,26 @@ impl Client {
         match self.expect(body, false)? {
             ResponseBody::Stored(meta) => Ok(meta),
             other => Err(protocol_kind("stored", &other)),
+        }
+    }
+
+    /// Statically analyzes a typed [`Program`] server-side — validation
+    /// plus lint — and returns its diagnostics without storing or
+    /// executing anything. An empty vector means the stream is valid and
+    /// the linter found nothing to say; a validation failure comes back
+    /// as an `error`-severity diagnostic, not a request error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors (the request is
+    /// idempotent and retried like other read-only ops).
+    pub fn lint_program(&mut self, program: &Program) -> Result<Vec<Diagnostic>, ClientError> {
+        let body = RequestBody::LintProgram {
+            instrs: program.instrs().to_vec(),
+        };
+        match self.expect(body, true)? {
+            ResponseBody::Diagnostics(diags) => Ok(diags),
+            other => Err(protocol_kind("diagnostics", &other)),
         }
     }
 

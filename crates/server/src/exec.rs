@@ -55,6 +55,9 @@ pub(crate) struct ComputeJob {
     pub fault: Option<ComputeFault>,
     /// Honour an explicit `inject_panic` request.
     pub inject_panic_allowed: bool,
+    /// Run [`Program::optimize`] on `exec_program` streams before
+    /// executing ([`crate::ServerConfig::optimize_programs`]).
+    pub optimize: bool,
 }
 
 /// True for request kinds that run on a macro via the batched executor.
@@ -163,7 +166,7 @@ fn compute_body(
             check_words_fit("a", a, *precision)?;
             check_words_fit("b", b, *precision)?;
             let prog = lanes_program(*op, *precision, a, b, mac.cols())?;
-            let run = prog.run(mac).map_err(|e| e.to_string())?;
+            let run = prog.run(mac).map_err(|e| ErrorBody::from(&e))?;
             Ok(ResponseBody::Words(run.outputs.concat()))
         }
         RequestBody::Classify { x } => {
@@ -191,7 +194,7 @@ fn compute_body(
             let outputs = model
                 .template
                 .run_outputs(mac, &inputs)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| ErrorBody::from(&e))?;
             Ok(ResponseBody::Class(classify_from_outputs(
                 &outputs,
                 chunks,
@@ -213,7 +216,15 @@ fn compute_body(
                 ));
             }
             let prog = Program::new(instrs.clone());
-            let run = prog.run(mac).map_err(|e| e.to_string())?;
+            // Optimizing an invalid stream would mask the real error, so
+            // only valid programs are rewritten (optimize() itself is a
+            // no-op on anything it cannot prove safe).
+            let prog = if job.optimize && prog.validate(mac.config()).is_ok() {
+                prog.optimize()
+            } else {
+                prog
+            };
+            let run = prog.run(mac).map_err(|e| ErrorBody::from(&e))?;
             program_report(mac, params, run)
         }
         RequestBody::RunStored { pid, inputs } => {
@@ -228,7 +239,7 @@ fn compute_body(
             };
             let run = compiled
                 .run_with_inputs(mac, &bindings)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| ErrorBody::from(&e))?;
             program_report(mac, params, run)
         }
         RequestBody::InjectPanic => {

@@ -52,6 +52,12 @@ pub struct ServerConfig {
     /// Shedding switches back off once total queued items drain to this
     /// (hysteresis, so the server does not flap at the boundary).
     pub shed_low: usize,
+    /// Run [`Program::optimize`] on `store_program` / `exec_program`
+    /// streams before compiling them (off by default). The optimizer is
+    /// semantics-preserving — identical output bits, cycles no worse —
+    /// but per-instruction accounting and `run_stored` input slots follow
+    /// the optimized stream, so clients opt in via the operator.
+    pub optimize_programs: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +73,7 @@ impl Default for ServerConfig {
             write_timeout: DEFAULT_WRITE_TIMEOUT,
             shed_high: Queue::GLOBAL_SHARES * queue_capacity * 3 / 4,
             shed_low: Queue::GLOBAL_SHARES * queue_capacity / 2,
+            optimize_programs: false,
         }
     }
 }
@@ -1046,6 +1053,7 @@ fn process_batch(
                     max_program_instrs: limits.max_program_instrs,
                     fault,
                     inject_panic_allowed: faults.inject_panic_op,
+                    optimize: shared.config.optimize_programs,
                 });
             }
             let mut results = bank
@@ -1168,6 +1176,21 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             }
             let config = *bank.macro_at(0).config();
             let prog = Program::new(instrs);
+            // Lint the stream as submitted (diagnostic spans index the
+            // client's instruction list, not the optimized one); on a
+            // validation error the structured `invalid_program` response
+            // carries the same code/index detail instead.
+            if let Err(e) = prog.validate(&config) {
+                conn.record_error();
+                conn.respond(id, ResponseBody::Error(ErrorBody::from(&e)));
+                return;
+            }
+            let diagnostics = prog.lint(&config);
+            let prog = if shared.config.optimize_programs {
+                prog.optimize()
+            } else {
+                prog
+            };
             match prog.compile(&config) {
                 Ok(compiled) => {
                     let mut session = lock_unpoisoned(&conn.session);
@@ -1191,20 +1214,34 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                         pid: session.next_pid,
                         cycles: compiled.cycles(),
                         writes: compiled.write_count() as u64,
+                        diagnostics,
                     };
                     session.next_pid += 1;
                     session.stored.insert(meta.pid, Arc::new(compiled));
-                    // Validation and lowering are host work, not macro
-                    // work: a store bills zero hardware cycles.
+                    // Validation, lint and lowering are host work, not
+                    // macro work: a store bills zero hardware cycles.
                     session.stats.record_ok(0, 0.0);
                     drop(session);
                     conn.respond(id, ResponseBody::Stored(meta));
                 }
                 Err(e) => {
                     conn.record_error();
-                    conn.respond(id, ResponseBody::Error(e.to_string().into()));
+                    conn.respond(id, ResponseBody::Error(ErrorBody::from(&e)));
                 }
             }
+        }
+        RequestBody::LintProgram { instrs } => {
+            let limits = shared.config.limits;
+            if let Err(err) = limits.check_program_len(instrs.len()) {
+                conn.record_error();
+                conn.respond(id, ResponseBody::Error(err));
+                return;
+            }
+            let config = *bank.macro_at(0).config();
+            let diagnostics = Program::new(instrs).lint(&config);
+            // Static analysis is pure host work: zero hardware cycles.
+            conn.record_ok(0, 0.0);
+            conn.respond(id, ResponseBody::Diagnostics(diagnostics));
         }
         RequestBody::Shutdown => {
             conn.record_ok(0, 0.0);

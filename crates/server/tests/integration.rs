@@ -540,6 +540,128 @@ fn stored_program_misuse_gets_structured_errors() {
 }
 
 #[test]
+fn lint_and_diagnostics_flow_over_the_wire() {
+    use bpimc_core::prog::ProgramBuilder;
+    use bpimc_core::{ErrorKind, Instr, Program, Reg, Severity};
+
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let p = Precision::P8;
+
+    // A dead store: row 0 is overwritten before it is ever read.
+    let dead = Program::new(vec![
+        Instr::Write {
+            dst: Reg(0),
+            precision: p,
+            values: vec![7],
+        },
+        Instr::Write {
+            dst: Reg(0),
+            precision: p,
+            values: vec![9],
+        },
+        Instr::Read {
+            src: Reg(0),
+            precision: p,
+            n: 1,
+        },
+    ]);
+    let diags = client.lint_program(&dead).expect("lint");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "L001" && d.severity == Severity::Warn && d.span == (0..1)),
+        "expected a dead-store warning, got {diags:?}"
+    );
+
+    // The same diagnostics ride along on the store_program response.
+    let meta = client.store_program(&dead).expect("store");
+    assert_eq!(meta.diagnostics, diags);
+
+    // A clean program lints empty, on both paths. (255 saturates the
+    // P8 lane so the over-wide-precision perf note stays quiet.)
+    let mut b = ProgramBuilder::new();
+    let x = b.write(p, vec![1, 255]);
+    b.read(x, p, 2);
+    let clean = b.finish();
+    assert!(client.lint_program(&clean).expect("lint clean").is_empty());
+    let meta = client.store_program(&clean).expect("store clean");
+    assert!(meta.diagnostics.is_empty());
+
+    // Invalid programs get a structured error: the invalid_program kind
+    // plus the stable code and offending instruction index.
+    let bad = Program::new(vec![Instr::Read {
+        src: Reg(2),
+        precision: p,
+        n: 1,
+    }]);
+    match client.store_program(&bad) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ErrorKind::InvalidProgram);
+            assert_eq!(e.code.as_deref(), Some("E002"));
+            assert_eq!(e.index, Some(0));
+            assert!(e.message.contains("before any write"), "{e}");
+        }
+        other => panic!("expected an invalid_program error, got {other:?}"),
+    }
+    // lint_program reports the same failure as a diagnostic, not an error:
+    // linting never rejects the request.
+    let diags = client.lint_program(&bad).expect("lint invalid");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "E002");
+    assert_eq!(diags[0].severity, Severity::Error);
+    handle.shutdown();
+}
+
+#[test]
+fn optimizing_server_preserves_program_semantics() {
+    use bpimc_core::prog::ProgramBuilder;
+
+    let plain = start(ServerConfig::default());
+    let opt = start(ServerConfig {
+        optimize_programs: true,
+        ..ServerConfig::default()
+    });
+    let mut on_plain = Client::connect(plain.local_addr()).expect("connect plain");
+    let mut on_opt = Client::connect(opt.local_addr()).expect("connect opt");
+
+    // A pipeline with a dead store and a recomputed product: the
+    // optimizing server strips the waste but must return the exact same
+    // output bits.
+    let p = Precision::P8;
+    let mut b = ProgramBuilder::new();
+    let _dead = b.write(p, vec![1, 1]);
+    let x = b.write_mult(p, vec![3, 5]);
+    let w = b.write_mult(p, vec![7, 9]);
+    let m1 = b.mult(x, w, p);
+    b.read_products(m1, p, 2);
+    let m2 = b.mult(x, w, p);
+    b.read_products(m2, p, 2);
+    let prog = b.finish();
+
+    let r_plain = on_plain.exec_program(&prog).expect("plain exec");
+    let r_opt = on_opt.exec_program(&prog).expect("opt exec");
+    assert_eq!(r_plain.outputs, r_opt.outputs);
+    assert_eq!(r_opt.outputs, vec![vec![21, 45], vec![21, 45]]);
+    assert!(
+        r_opt.total_cycles() < r_plain.total_cycles(),
+        "optimizer should drop the dead store and the duplicate mult: {} vs {}",
+        r_opt.total_cycles(),
+        r_plain.total_cycles()
+    );
+
+    // Stored programs take the same path: cheaper cycles, same bits.
+    let meta = on_opt.store_program(&prog).expect("store on opt");
+    assert!(meta.cycles < prog.cycles());
+    let report = on_opt.run_stored(meta.pid, &[]).expect("run stored");
+    assert_eq!(report.outputs, r_plain.outputs);
+    assert_eq!(report.total_cycles(), meta.cycles);
+
+    plain.shutdown();
+    opt.shutdown();
+}
+
+#[test]
 fn stored_programs_are_isolated_and_die_with_their_session() {
     use bpimc_core::prog::ProgramBuilder;
 
