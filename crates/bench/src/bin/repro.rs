@@ -891,6 +891,90 @@ fn check_bench(args: &[String]) {
     println!("bench check passed against {baseline_path}");
 }
 
+/// `repro model-check`: explores every registered concurrency model (the
+/// stats claim-queue suite and the server queue/outbox/rate-window suite)
+/// under the deterministic schedule explorer. Each model runs `--seeds`
+/// seeded schedules (even seeds random, odd seeds PCT at `--depth`);
+/// `--seed S` pins a single schedule — the replay knob printed by every
+/// failure — and `--model NAME` restricts the run to one model. Failing
+/// schedules print their replay line and full trace, and write a trace
+/// artifact under `$BPIMC_MODEL_TRACE_DIR` when set.
+#[cfg(feature = "model")]
+fn model_check(args: &[String]) {
+    use bpimc_stats::sync::model::{explore, write_trace_artifact, ExploreConfig};
+    let mut cfg = ExploreConfig::from_env(16);
+    let mut only: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
+        match a.as_str() {
+            "--seeds" => cfg.seeds = num("--seeds"),
+            "--depth" => cfg.depth = num("--depth") as u32,
+            "--max-steps" => cfg.max_steps = num("--max-steps"),
+            "--exhaustive" => cfg.exhaustive = Some(num("--exhaustive")),
+            "--seed" => {
+                // Pin the matrix to exactly this seed: byte-identical
+                // replay of a reported failure.
+                cfg.base_seed = num("--seed");
+                cfg.seeds = 1;
+            }
+            "--model" => {
+                only = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--model needs a model NAME")),
+                );
+            }
+            other => die(&format!("unknown model-check option '{other}'")),
+        }
+    }
+    let specs: Vec<_> = bpimc_stats::sync::models::MODELS
+        .iter()
+        .chain(bpimc_server::models::MODELS.iter())
+        .filter(|s| only.as_deref().is_none_or(|n| n == s.name))
+        .collect();
+    if specs.is_empty() {
+        die(&format!(
+            "no model named '{}' (try model-check with no --model to list all)",
+            only.unwrap_or_default()
+        ));
+    }
+    let mut failed = 0usize;
+    for spec in &specs {
+        match explore(spec.name, &cfg, spec.run) {
+            Ok(stats) => println!(
+                "ok    {:<38} {} schedules, {} points (longest {})  [{}]",
+                spec.name, stats.executions, stats.steps, stats.max_steps_seen, spec.invariant
+            ),
+            Err(failure) => {
+                failed += 1;
+                write_trace_artifact(&failure);
+                println!("FAIL  {:<38} [{}]", spec.name, spec.invariant);
+                eprintln!("{failure}");
+            }
+        }
+    }
+    if failed > 0 {
+        die(&format!("{failed} of {} model(s) failed", specs.len()));
+    }
+    println!("model check passed ({} models)", specs.len());
+}
+
+/// Without the `model` feature the deterministic scheduler is compiled
+/// out (the sync shim is plain `std::sync`), so there is nothing to
+/// explore — point at the right build instead of silently passing.
+#[cfg(not(feature = "model"))]
+fn model_check(_args: &[String]) {
+    die(
+        "this binary was built without the 'model' feature; rebuild with:\n  \
+         cargo run -p bpimc-bench --features model --bin repro -- model-check",
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -900,10 +984,15 @@ fn main() {
         );
         eprintln!("       repro check-bench [--baseline FILE]");
         eprintln!("       repro lint [--builtin] [FILE|-]");
+        eprintln!("       repro model-check [--seeds N] [--depth D] [--model NAME] [--seed S] [--exhaustive BUDGET] [--max-steps N]  (needs --features model)");
         std::process::exit(2);
     }
     if args[0] == "serve" {
         serve(&args[1..]);
+        return;
+    }
+    if args[0] == "model-check" {
+        model_check(&args[1..]);
         return;
     }
     if args[0] == "check-bench" {

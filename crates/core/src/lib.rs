@@ -71,7 +71,7 @@ pub use wire::{
 
 // A failed batch job, as surfaced by `MacroBank::try_run_batch`, and the
 // cooperative cancellation token its `_cancellable` variants take.
-pub use bpimc_stats::parallel::{CancelToken, JobPanic};
+pub use bpimc_stats::parallel::{CancelToken, CancellableBatch, JobPanic};
 
 // The precision type is part of this crate's public vocabulary.
 pub use bpimc_periph::{LogicOp, Precision};

@@ -36,7 +36,7 @@ use crate::config::MacroConfig;
 use crate::macroblock::ImcMacro;
 use bpimc_stats::parallel::{
     par_queue_map, par_queue_try_map, par_queue_try_map_cancellable, par_state_map, worker_count,
-    CancelToken, JobPanic,
+    CancelToken, CancellableBatch, JobPanic,
 };
 
 /// Cache-line-aligned macro slot: neighbouring macros are mutated by
@@ -155,12 +155,15 @@ impl MacroBank {
     /// per-element overhead while the token is quiet. Jobs never claimed
     /// return `None`; jobs already claimed when the token fires still
     /// complete (their macro work and activity-log entries are real).
+    /// The returned [`CancellableBatch::cancelled`] flag reflects the
+    /// token's state when the batch finished — a token that fires after
+    /// the final block is claimed (every slot `Some`) still sets it.
     pub fn try_run_batch_cancellable<J, T, F>(
         &mut self,
         jobs: &[J],
         f: F,
         cancel: &CancelToken,
-    ) -> Vec<Option<Result<T, JobPanic>>>
+    ) -> CancellableBatch<T>
     where
         J: Sync,
         T: Send,
@@ -308,8 +311,9 @@ mod tests {
             },
             &token,
         );
-        let executed = out.iter().filter(|r| r.is_some()).count();
-        let abandoned = out.iter().filter(|r| r.is_none()).count();
+        assert!(out.cancelled, "the fired token must be reported");
+        let executed = out.results.iter().filter(|r| r.is_some()).count();
+        let abandoned = out.results.iter().filter(|r| r.is_none()).count();
         // Block size is 1 at this batch shape, so after the cancel each
         // lane may finish only the single job it already claimed.
         let max_jobs = CANCEL_AT as usize + 1 + lanes;

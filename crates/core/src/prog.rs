@@ -1305,8 +1305,9 @@ impl MacroBank {
     /// # Errors
     ///
     /// Validation errors as [`MacroBank::run_partitioned`], plus
-    /// [`ProgError::Cancelled`] when the token fired before every
-    /// component completed.
+    /// [`ProgError::Cancelled`] whenever the token fired during the run —
+    /// including after the final component was already claimed, so a
+    /// cancelled request never masquerades as a complete one.
     pub fn run_partitioned_cancellable(
         &mut self,
         prog: &Program,
@@ -1358,7 +1359,13 @@ impl MacroBank {
                 "macro {i}: partition cost model diverged from the activity log"
             );
         }
-        if per_part.iter().any(Option::is_none) {
+        // A fired token means a cancelled run even when every component
+        // happened to finish first (the token can fire after the final
+        // component is claimed): the caller asked for the work to stop, so
+        // a full result set must not masquerade as an uncancelled run.
+        if per_part.iter().any(Option::is_none)
+            || cancel.is_some_and(bpimc_stats::parallel::CancelToken::is_cancelled)
+        {
             return Err(ProgError::Cancelled);
         }
         let mut outputs: Vec<Vec<u64>> = vec![Vec::new(); prog.read_count()];
@@ -2575,6 +2582,32 @@ mod tests {
         // The bank still serves: the same program completes afterwards.
         let ok = bank.run_partitioned(&prog).unwrap();
         assert_eq!(ok.outputs.len(), 6);
+    }
+
+    #[test]
+    fn token_fired_after_the_last_component_still_reports_cancelled() {
+        // Regression: a token that fires only once every component is
+        // already claimed fills every result slot, and the run used to
+        // return Ok from that complete result set. The deterministic
+        // distillation of "every slot filled + token fired": a component
+        // set that is complete from the start (no components at all) with a
+        // fired token. The old code returned a full (empty) Ok run here;
+        // the end-of-run token check must report Cancelled instead.
+        let prog = ProgramBuilder::new().finish();
+        let mut bank = MacroBank::new(1, cfg());
+        let quiet = bpimc_stats::parallel::CancelToken::new();
+        assert!(
+            bank.run_partitioned_cancellable(&prog, &quiet).is_ok(),
+            "a quiet token leaves the degenerate run alone"
+        );
+        let fired = bpimc_stats::parallel::CancelToken::new();
+        fired.cancel();
+        let run = bank.run_partitioned_cancellable(&prog, &fired);
+        assert!(
+            matches!(run, Err(ProgError::Cancelled)),
+            "a fired token must mark the run cancelled even though every \
+             component slot is filled, got {run:?}"
+        );
     }
 
     #[test]

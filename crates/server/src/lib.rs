@@ -104,6 +104,8 @@ mod client;
 mod exec;
 mod fault;
 mod guard;
+#[cfg(feature = "model")]
+pub mod models;
 mod server;
 
 pub use client::{Client, ClientError, RetryPolicy};

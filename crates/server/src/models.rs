@@ -1,0 +1,249 @@
+//! Concurrency models for the serving stack (`model` feature).
+//!
+//! Each [`ModelSpec`] drives the **production** [`Queue`] / [`Outbox`]
+//! protocol objects — the same waits, wakeups, shed hysteresis and
+//! drainer-role hand-offs the server runs — inside a deterministic model
+//! execution, with an in-memory [`ResponseSink`] standing in for the TCP
+//! peer. Harness bookkeeping (counters, transcripts) deliberately uses
+//! `std` primitives so it observes the schedule without perturbing it.
+//!
+//! Run via `cargo test --features model` (the root `concurrency_models`
+//! test) or `repro model-check`; replay any failure with the printed seed.
+
+use crate::guard::{RateWindow, SessionLimits};
+use crate::server::{Outbox, Queue, ResponseSink};
+use bpimc_stats::sync::model::ModelSpec;
+use bpimc_stats::sync::thread;
+use bpimc_stats::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// In-memory peer: records every drained buffer, never blocks. The model
+/// analogue of a healthy client socket.
+#[derive(Default)]
+struct MemPeer {
+    written: std::sync::Mutex<String>,
+    severed: AtomicBool,
+}
+
+impl ResponseSink for MemPeer {
+    fn write_all(&self, buf: &[u8]) -> bool {
+        let mut written = self.written.lock().expect("harness lock");
+        written.push_str(std::str::from_utf8(buf).expect("responses are UTF-8"));
+        true
+    }
+
+    fn sever(&self) {
+        self.severed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Per-session FIFO order survives the round-robin drain and shed
+/// refusals: with two sessions pushing concurrently into one-slot shares
+/// (so producers hit the `not_full` wait) and shed admission racing the
+/// drain, each session's items still pop in submission order.
+fn queue_session_fifo_survives_round_robin() {
+    const PER_CONN: u64 = 3;
+    const CONNS: u64 = 2;
+    let queue = Arc::new(Queue::new(1, 3, 1));
+    let producers: Vec<_> = (1..=CONNS)
+        .map(|conn| {
+            let queue = queue.clone();
+            thread::spawn(move || {
+                for seq in 0..PER_CONN {
+                    // A shed refusal still rides the queue (as an error
+                    // item in production), keeping its FIFO slot.
+                    let refused = queue.should_shed();
+                    queue
+                        .push(conn, (conn, seq, refused))
+                        .expect("queue open while producing");
+                }
+            })
+        })
+        .collect();
+    let mut seen: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut total = 0usize;
+    while total < (CONNS * PER_CONN) as usize {
+        let batch = queue.pop_batch(2).expect("queue open while draining");
+        for (conn, seq, _refused) in batch {
+            seen.entry(conn).or_default().push(seq);
+            total += 1;
+        }
+    }
+    for p in producers {
+        p.join().expect("producer exits");
+    }
+    queue.close();
+    assert!(
+        queue.pop_batch(4).is_none(),
+        "a closed, drained queue reports None"
+    );
+    for (conn, seqs) in seen {
+        assert_eq!(
+            seqs,
+            (0..PER_CONN).collect::<Vec<_>>(),
+            "session {conn} must observe its own requests in order"
+        );
+    }
+}
+
+/// Drain-then-stop shutdown terminates from every explored schedule, and
+/// every successfully enqueued item is drained before the consumer sees
+/// `None` — queued work always gets responses before shutdown completes.
+fn queue_drain_then_stop_shutdown() {
+    const PER_CONN: u64 = 3;
+    let queue = Arc::new(Queue::<u64>::new(2, 100, 50));
+    let pushed_ok = Arc::new(AtomicUsize::new(0));
+    let producers: Vec<_> = (1..=2u64)
+        .map(|conn| {
+            let queue = queue.clone();
+            let pushed_ok = pushed_ok.clone();
+            thread::spawn(move || {
+                for seq in 0..PER_CONN {
+                    if queue.push(conn, seq).is_err() {
+                        break; // shutdown refused the rest of the stream
+                    }
+                    pushed_ok.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    let closer = {
+        let queue = queue.clone();
+        thread::spawn(move || queue.close())
+    };
+    let mut drained = 0usize;
+    while let Some(batch) = queue.pop_batch(2) {
+        drained += batch.len();
+    }
+    for p in producers {
+        p.join().expect("producer exits");
+    }
+    closer.join().expect("closer exits");
+    assert_eq!(
+        drained,
+        pushed_ok.load(Ordering::SeqCst),
+        "every accepted item must drain before shutdown completes"
+    );
+}
+
+/// The outbox never drops or reorders a response: a producer pushing more
+/// lines than the backlog capacity (so it blocks on `not_full`) and a
+/// writer thread racing for the drainer role still deliver every line,
+/// in order, exactly once.
+fn outbox_never_drops_or_reorders() {
+    const LINES: usize = 5;
+    let outbox = Arc::new(Outbox::new(2));
+    let peer = Arc::new(MemPeer::default());
+    let writer = {
+        let outbox = outbox.clone();
+        let peer = peer.clone();
+        thread::spawn(move || {
+            while let Some(state) = outbox.claim_backlog() {
+                outbox.drain(peer.as_ref(), state);
+            }
+        })
+    };
+    for i in 0..LINES {
+        outbox.expect_response();
+        outbox.push_line(peer.as_ref(), format!("{i}\n"));
+    }
+    outbox.no_more_requests();
+    writer
+        .join()
+        .expect("writer exits once the backlog is settled");
+    let written = peer.written.lock().expect("harness lock").clone();
+    let expected: String = (0..LINES).map(|i| format!("{i}\n")).collect();
+    assert_eq!(
+        written, expected,
+        "responses must arrive complete and in production order"
+    );
+    assert!(
+        !peer.severed.load(Ordering::SeqCst),
+        "a healthy peer is never severed"
+    );
+}
+
+/// Budget metering never double-bills (or loses a charge) under
+/// contention: two sessions' worth of racing requests against one shared
+/// window admit exactly budget/cost requests — fewer means a charge was
+/// applied twice, more means one was lost.
+fn rate_window_never_double_bills() {
+    const COST: u64 = 10;
+    const BUDGET: u64 = 40;
+    let limits = SessionLimits {
+        max_cycles_per_sec: Some(BUDGET),
+        ..SessionLimits::default()
+    };
+    let window = Arc::new(Mutex::named("server.conn.session", RateWindow::new()));
+    let t0 = Instant::now();
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let window = window.clone();
+            let admitted = admitted.clone();
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    let mut win = window.lock();
+                    if win.admit(&limits, t0).is_ok() {
+                        win.charge(COST, 0.0);
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker exits");
+    }
+    assert_eq!(
+        admitted.load(Ordering::SeqCst) as u64,
+        BUDGET / COST,
+        "exactly budget/cost requests admit in one window"
+    );
+    assert!(
+        window.lock().admit(&limits, t0).is_err(),
+        "the exhausted budget stays visible"
+    );
+}
+
+/// The serving stack's model suite, in the shape `repro model-check` and
+/// the root `concurrency_models` test both consume.
+pub const MODELS: &[ModelSpec] = &[
+    ModelSpec {
+        name: "server-queue-session-fifo",
+        invariant: "per-session FIFO order survives round-robin drain and shed refusals",
+        run: queue_session_fifo_survives_round_robin,
+    },
+    ModelSpec {
+        name: "server-queue-drain-then-stop",
+        invariant: "shutdown drains every accepted item, then terminates, in every schedule",
+        run: queue_drain_then_stop_shutdown,
+    },
+    ModelSpec {
+        name: "server-outbox-no-drop-no-reorder",
+        invariant: "the outbox delivers every response exactly once, in order, under backpressure",
+        run: outbox_never_drops_or_reorders,
+    },
+    ModelSpec {
+        name: "server-rate-window-no-double-billing",
+        invariant: "budget metering admits exactly budget/cost racing requests per window",
+        run: rate_window_never_double_bills,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpimc_stats::sync::model::{check, ExploreConfig};
+
+    #[test]
+    fn server_models_hold_across_the_default_matrix() {
+        let cfg = ExploreConfig::from_env(8);
+        for spec in MODELS {
+            check(spec.name, &cfg, spec.run);
+        }
+    }
+}

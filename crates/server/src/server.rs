@@ -10,12 +10,14 @@ use bpimc_core::{
 };
 use bpimc_metrics::{paper_calibrated_params, EnergyParams};
 use bpimc_nn::{classify_program, prototype_norms};
-use bpimc_stats::parallel::{lock_unpoisoned, worker_count};
+use bpimc_stats::parallel::worker_count;
+use bpimc_stats::sync::atomic::{AtomicBool, AtomicU64};
+use bpimc_stats::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,8 +73,8 @@ impl Default for ServerConfig {
             faults: FaultPlan::none(),
             limits: SessionLimits::default(),
             write_timeout: DEFAULT_WRITE_TIMEOUT,
-            shed_high: Queue::GLOBAL_SHARES * queue_capacity * 3 / 4,
-            shed_low: Queue::GLOBAL_SHARES * queue_capacity / 2,
+            shed_high: GLOBAL_SHARES * queue_capacity * 3 / 4,
+            shed_low: GLOBAL_SHARES * queue_capacity / 2,
             optimize_programs: false,
         }
     }
@@ -84,8 +86,8 @@ impl ServerConfig {
     /// `queue_capacity` unless you set the watermarks yourself.
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
-        self.shed_high = Queue::GLOBAL_SHARES * capacity * 3 / 4;
-        self.shed_low = Queue::GLOBAL_SHARES * capacity / 2;
+        self.shed_high = GLOBAL_SHARES * capacity * 3 / 4;
+        self.shed_low = GLOBAL_SHARES * capacity / 2;
         self
     }
 }
@@ -134,6 +136,13 @@ struct Item {
     body: Result<RequestBody, ErrorBody>,
 }
 
+/// Aggregate bound: total queued items may reach this many session
+/// shares, whatever the connection count — so N connections cannot
+/// queue N full FIFOs of near-`MAX_LINE_BYTES` requests and grow
+/// server memory without limit. At the aggregate bound every reader
+/// blocks (the pre-fairness global behaviour, as the backstop).
+pub(crate) const GLOBAL_SHARES: usize = 16;
+
 /// The bounded queue between connection readers and the dispatcher.
 ///
 /// Internally one FIFO **per session**, drained round-robin one request at
@@ -143,8 +152,13 @@ struct Item {
 /// untouched; only the interleaving *between* sessions changes. The
 /// capacity bound applies per session, so a flooding client backpressures
 /// itself without consuming other sessions' queue space.
-struct Queue {
-    state: Mutex<QueueState>,
+///
+/// Generic over the queued payload so the concurrency models (`model`
+/// feature) can drive the exact production protocol — the same waits,
+/// wakeups, shed hysteresis and round-robin drain — with plain values
+/// instead of live connections. The server instantiates `Queue<Item>`.
+pub(crate) struct Queue<T> {
+    state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
@@ -154,11 +168,11 @@ struct Queue {
     shed_low: usize,
 }
 
-struct QueueState {
+struct QueueState<T> {
     /// Connection ids with a non-empty FIFO, in rotation order.
     ready: VecDeque<u64>,
     /// The per-session FIFOs (entries removed when drained).
-    per_conn: HashMap<u64, VecDeque<Item>>,
+    per_conn: HashMap<u64, VecDeque<T>>,
     /// Items across all sessions (the aggregate-memory bound).
     total: usize,
     /// Admission control: while set, new compute requests are answered
@@ -167,23 +181,19 @@ struct QueueState {
     closed: bool,
 }
 
-impl Queue {
-    /// Aggregate bound: total queued items may reach this many session
-    /// shares, whatever the connection count — so N connections cannot
-    /// queue N full FIFOs of near-`MAX_LINE_BYTES` requests and grow
-    /// server memory without limit. At the aggregate bound every reader
-    /// blocks (the pre-fairness global behaviour, as the backstop).
-    const GLOBAL_SHARES: usize = 16;
-
-    fn new(capacity: usize, shed_high: usize, shed_low: usize) -> Self {
+impl<T> Queue<T> {
+    pub(crate) fn new(capacity: usize, shed_high: usize, shed_low: usize) -> Self {
         Self {
-            state: Mutex::new(QueueState {
-                ready: VecDeque::new(),
-                per_conn: HashMap::new(),
-                total: 0,
-                shedding: false,
-                closed: false,
-            }),
+            state: Mutex::named(
+                "server.queue.state",
+                QueueState {
+                    ready: VecDeque::new(),
+                    per_conn: HashMap::new(),
+                    total: 0,
+                    shedding: false,
+                    closed: false,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
@@ -198,8 +208,8 @@ impl Queue {
     /// request should be refused with `overloaded` (which still rides the
     /// queue as an error item, preserving response order — error items
     /// cost no macro time, so a shedding server drains them fast).
-    fn should_shed(&self) -> bool {
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn should_shed(&self) -> bool {
+        let mut state = self.state.lock();
         if state.total >= self.shed_high {
             state.shedding = true;
         } else if state.total <= self.shed_low {
@@ -212,20 +222,16 @@ impl Queue {
     /// queue as a whole is at its aggregate bound (the backpressure
     /// points). `Err(())` means the server is shutting down and the item
     /// was not enqueued.
-    fn push(&self, item: Item) -> Result<(), ()> {
-        let conn_id = item.conn.id;
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn push(&self, conn_id: u64, item: T) -> Result<(), ()> {
+        let mut state = self.state.lock();
         while !state.closed
-            && (state.total >= Self::GLOBAL_SHARES * self.capacity
+            && (state.total >= GLOBAL_SHARES * self.capacity
                 || state
                     .per_conn
                     .get(&conn_id)
                     .is_some_and(|q| q.len() >= self.capacity))
         {
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = self.not_full.wait(state);
         }
         if state.closed {
             return Err(());
@@ -246,13 +252,10 @@ impl Queue {
     /// request per ready session per rotation (round-robin). `None` means
     /// closed **and** fully drained — queued work always gets responses
     /// before shutdown completes.
-    fn pop_batch(&self, max: usize) -> Option<Vec<Item>> {
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let mut state = self.state.lock();
         while state.ready.is_empty() && !state.closed {
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = self.not_empty.wait(state);
         }
         if state.ready.is_empty() {
             return None;
@@ -280,8 +283,8 @@ impl Queue {
         Some(batch)
     }
 
-    fn close(&self) {
-        lock_unpoisoned(&self.state).closed = true;
+    pub(crate) fn close(&self) {
+        self.state.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -336,14 +339,25 @@ impl SessionState {
 /// when the reader is gone **and** nothing is in flight **and** the
 /// backlog is drained, so a pipelining client that half-closes after its
 /// last request still receives every response.
-struct Outbox {
+pub(crate) struct Outbox {
     state: Mutex<OutboxState>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
 }
 
-struct OutboxState {
+/// The transport an [`Outbox`] drains into. Production code implements it
+/// on [`Conn`] (a `TcpStream`); the concurrency models substitute an
+/// in-memory peer, so the exact drain/backpressure/wedge protocol runs
+/// under the deterministic scheduler.
+pub(crate) trait ResponseSink {
+    /// Writes one coalesced buffer; `false` means the peer is gone.
+    fn write_all(&self, buf: &[u8]) -> bool;
+    /// Severs the underlying transport in both directions.
+    fn sever(&self);
+}
+
+pub(crate) struct OutboxState {
     /// Serialized response lines (each newline-terminated) not yet handed
     /// to the kernel.
     pending: VecDeque<String>,
@@ -364,17 +378,20 @@ struct OutboxState {
 }
 
 impl Outbox {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(OutboxState {
-                pending: VecDeque::new(),
-                draining: false,
-                inflight: 0,
-                reader_gone: false,
-                slow: false,
-                stall: None,
-                closed: false,
-            }),
+            state: Mutex::named(
+                "server.outbox.state",
+                OutboxState {
+                    pending: VecDeque::new(),
+                    draining: false,
+                    inflight: 0,
+                    reader_gone: false,
+                    slow: false,
+                    stall: None,
+                    closed: false,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
@@ -386,8 +403,8 @@ impl Outbox {
     /// request being queued and its response being produced). Returns the
     /// new in-flight count so the reader can enforce the per-connection
     /// cap without a second lock.
-    fn expect_response(&self) -> u64 {
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn expect_response(&self) -> u64 {
+        let mut state = self.state.lock();
         state.inflight += 1;
         state.inflight
     }
@@ -396,7 +413,7 @@ impl Outbox {
     /// happens on the writer thread, not the dispatcher) and makes the
     /// next drain sleep `d` before writing — a peer reading sluggishly.
     fn inject_stall(&self, d: Duration) {
-        let mut state = lock_unpoisoned(&self.state);
+        let mut state = self.state.lock();
         state.slow = true;
         state.stall = Some(d);
     }
@@ -404,21 +421,21 @@ impl Outbox {
     /// Severs the connection (chaos `Drop` fault): closes the outbox so
     /// producers never block on it and the writer thread exits, then shuts
     /// the socket down so the reader sees EOF.
-    fn force_close(&self, conn: &Conn) {
-        let mut state = lock_unpoisoned(&self.state);
+    fn force_close(&self, sink: &impl ResponseSink) {
+        let mut state = self.state.lock();
         state.closed = true;
         state.pending.clear();
         drop(state);
         self.not_full.notify_all();
         self.not_empty.notify_all();
-        let _ = conn.stream.shutdown(Shutdown::Both);
+        sink.sever();
     }
 
     /// Queues one serialized line, blocking while the bounded backlog is
     /// full; then either writes it inline (fast path, see the type docs)
     /// or leaves it for the writer thread. Balances one `expect_response`.
-    fn push_line(&self, conn: &Conn, line: String) {
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn push_line(&self, sink: &impl ResponseSink, line: String) {
+        let mut state = self.state.lock();
         state.inflight = state.inflight.saturating_sub(1);
         while !state.closed && state.pending.len() >= self.capacity {
             if state.slow {
@@ -431,13 +448,10 @@ impl Outbox {
                 drop(state);
                 self.not_full.notify_all();
                 self.not_empty.notify_all();
-                let _ = conn.stream.shutdown(Shutdown::Both);
+                sink.sever();
                 return;
             }
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = self.not_full.wait(state);
         }
         if state.closed {
             drop(state);
@@ -452,13 +466,17 @@ impl Outbox {
             self.not_empty.notify_one();
             return;
         }
-        self.drain(conn, state);
+        self.drain(sink, state);
     }
 
     /// Takes the drainer role: coalesces everything pending into one
     /// buffer, writes it with a single syscall, repeats until the backlog
     /// is empty. Called with the state lock held; writes happen unlocked.
-    fn drain<'a>(&'a self, conn: &Conn, mut state: std::sync::MutexGuard<'a, OutboxState>) {
+    pub(crate) fn drain<'a>(
+        &'a self,
+        sink: &impl ResponseSink,
+        mut state: MutexGuard<'a, OutboxState>,
+    ) {
         state.draining = true;
         loop {
             let at_capacity = state.pending.len() >= self.capacity;
@@ -476,9 +494,9 @@ impl Outbox {
                 std::thread::sleep(d);
             }
             let t_write = std::time::Instant::now();
-            let ok = (&conn.stream).write_all(buf.as_bytes()).is_ok();
+            let ok = sink.write_all(buf.as_bytes());
             let elapsed = t_write.elapsed();
-            state = lock_unpoisoned(&self.state);
+            state = self.state.lock();
             if elapsed >= SLOW_WRITE_THRESHOLD
                 && (buf.len() as f64) < SLOW_PEER_BYTES_PER_SEC * elapsed.as_secs_f64()
             {
@@ -495,7 +513,7 @@ impl Outbox {
                 drop(state);
                 self.not_full.notify_all();
                 self.not_empty.notify_all();
-                let _ = conn.stream.shutdown(Shutdown::Both);
+                sink.sever();
                 return;
             }
             if state.pending.is_empty() {
@@ -514,16 +532,16 @@ impl Outbox {
     }
 
     /// Marks that no further requests will arrive on this connection.
-    fn no_more_requests(&self) {
-        lock_unpoisoned(&self.state).reader_gone = true;
+    pub(crate) fn no_more_requests(&self) {
+        self.state.lock().reader_gone = true;
         self.not_empty.notify_all();
     }
 
     /// The writer thread's wait: blocks until there is a backlog to drain
     /// (returns the locked state, `draining` already claimed) or the
     /// connection is finished (`None`: exit).
-    fn claim_backlog(&self) -> Option<std::sync::MutexGuard<'_, OutboxState>> {
-        let mut state = lock_unpoisoned(&self.state);
+    pub(crate) fn claim_backlog(&self) -> Option<MutexGuard<'_, OutboxState>> {
+        let mut state = self.state.lock();
         loop {
             if state.closed {
                 return None;
@@ -538,10 +556,7 @@ impl Outbox {
             {
                 return None;
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = self.not_empty.wait(state);
         }
     }
 }
@@ -566,14 +581,24 @@ impl Conn {
     }
 
     fn record_ok(&self, cycles: u64, energy_fj: f64) {
-        let mut session = lock_unpoisoned(&self.session);
+        let mut session = self.session.lock();
         session.stats.record_ok(cycles, energy_fj);
         // The same exact numbers feed the guardrail budget window.
         session.rate.charge(cycles, energy_fj);
     }
 
     fn record_error(&self) {
-        lock_unpoisoned(&self.session).stats.record_error();
+        self.session.lock().stats.record_error();
+    }
+}
+
+impl ResponseSink for Conn {
+    fn write_all(&self, buf: &[u8]) -> bool {
+        Write::write_all(&mut &self.stream, buf).is_ok()
+    }
+
+    fn sever(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -586,7 +611,7 @@ impl Conn {
 /// closes and its remaining responses are dropped.
 fn writer_loop(conn: &Arc<Conn>) {
     while let Some(state) = conn.outbox.claim_backlog() {
-        conn.outbox.drain(conn, state);
+        conn.outbox.drain(conn.as_ref(), state);
     }
 }
 
@@ -595,7 +620,7 @@ fn writer_loop(conn: &Arc<Conn>) {
 struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
-    queue: Queue,
+    queue: Queue<Item>,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
@@ -617,7 +642,7 @@ impl Shared {
 
     /// Closes every live connection so reader threads see EOF and exit.
     fn close_all_conns(&self) {
-        for conn in lock_unpoisoned(&self.conns).values() {
+        for conn in self.conns.lock().values() {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
     }
@@ -641,11 +666,11 @@ impl Server {
             config,
             addr,
             queue: Queue::new(config.queue_capacity, config.shed_high, config.shed_low),
-            conns: Mutex::new(HashMap::new()),
-            readers: Mutex::new(Vec::new()),
-            writers: Mutex::new(Vec::new()),
-            next_conn_id: AtomicU64::new(1),
-            shutting_down: AtomicBool::new(false),
+            conns: Mutex::named("server.conns", HashMap::new()),
+            readers: Mutex::named("server.readers", Vec::new()),
+            writers: Mutex::named("server.writers", Vec::new()),
+            next_conn_id: AtomicU64::named("server.conn.next-id", 1),
+            shutting_down: AtomicBool::named("server.shutting-down", false),
         });
 
         let accept = {
@@ -704,11 +729,11 @@ impl ServerHandle {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        let readers = std::mem::take(&mut *lock_unpoisoned(&self.shared.readers));
+        let readers = std::mem::take(&mut *self.shared.readers.lock());
         for h in readers {
             let _ = h.join();
         }
-        let writers = std::mem::take(&mut *lock_unpoisoned(&self.shared.writers));
+        let writers = std::mem::take(&mut *self.shared.writers.lock());
         for h in writers {
             let _ = h.join();
         }
@@ -740,9 +765,9 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             id,
             stream,
             outbox: Outbox::new(OUTBOX_CAPACITY),
-            session: Mutex::new(SessionState::new()),
+            session: Mutex::named("server.conn.session", SessionState::new()),
         });
-        lock_unpoisoned(&shared.conns).insert(id, conn.clone());
+        shared.conns.lock().insert(id, conn.clone());
         // Re-check AFTER registering: if a shutdown slipped in between the
         // loop-top check and the insert, `close_all_conns` may already have
         // run without seeing this connection — sever it here so its reader
@@ -769,7 +794,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 /// long-running server does not accumulate one JoinHandle per connection
 /// it ever accepted.
 fn reap_and_push(slot: &Mutex<Vec<JoinHandle<()>>>, handle: JoinHandle<()>) {
-    let mut handles = lock_unpoisoned(slot);
+    let mut handles = slot.lock();
     let mut i = 0;
     while i < handles.len() {
         if handles[i].is_finished() {
@@ -851,7 +876,7 @@ fn read_line_capped(reader: &mut BufReader<TcpStream>, line: &mut String, cap: u
 fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     let Ok(read_half) = conn.stream.try_clone() else {
         conn.outbox.no_more_requests();
-        lock_unpoisoned(&shared.conns).remove(&conn.id);
+        shared.conns.lock().remove(&conn.id);
         return;
     };
     let mut reader = BufReader::new(read_half);
@@ -918,13 +943,16 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
         }
         if shared
             .queue
-            .push(Item {
-                conn: conn.clone(),
-                id,
-                seq,
-                deadline,
-                body,
-            })
+            .push(
+                conn.id,
+                Item {
+                    conn: conn.clone(),
+                    id,
+                    seq,
+                    deadline,
+                    body,
+                },
+            )
             .is_err()
         {
             // Queue closed: the dispatcher will never answer. This is the
@@ -937,7 +965,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     }
     // The writer finishes any in-flight responses, then exits.
     conn.outbox.no_more_requests();
-    lock_unpoisoned(&shared.conns).remove(&conn.id);
+    shared.conns.lock().remove(&conn.id);
 }
 
 fn dispatch_loop(shared: &Arc<Shared>) {
@@ -950,10 +978,10 @@ fn dispatch_loop(shared: &Arc<Shared>) {
     // Queue closed and drained: every queued request has its response in
     // an outbox. Let the writers flush those, then sever the connections
     // so readers exit.
-    for conn in lock_unpoisoned(&shared.conns).values() {
+    for conn in shared.conns.lock().values() {
         conn.outbox.no_more_requests();
     }
-    let writers = std::mem::take(&mut *lock_unpoisoned(&shared.writers));
+    let writers = std::mem::take(&mut *shared.writers.lock());
     for w in writers {
         let _ = w.join();
     }
@@ -1013,10 +1041,7 @@ fn process_batch(
                             "deadline expired while the request was queued",
                         ))
                     } else {
-                        lock_unpoisoned(&it.conn.session)
-                            .rate
-                            .admit(&limits, now)
-                            .err()
+                        it.conn.session.lock().rate.admit(&limits, now).err()
                     }
                 } else {
                     None
@@ -1030,13 +1055,10 @@ fn process_batch(
                 // `store_program` earlier in the same drained batch is
                 // visible, and later session changes cannot race the job.
                 let (model, stored) = match &body {
-                    RequestBody::Classify { .. } => {
-                        (lock_unpoisoned(&it.conn.session).model.clone(), None)
+                    RequestBody::Classify { .. } => (it.conn.session.lock().model.clone(), None),
+                    RequestBody::RunStored { pid, .. } => {
+                        (None, it.conn.session.lock().stored.get(pid).cloned())
                     }
-                    RequestBody::RunStored { pid, .. } => (
-                        None,
-                        lock_unpoisoned(&it.conn.session).stored.get(pid).cloned(),
-                    ),
                     _ => (None, None),
                 };
                 let fault = if faults.is_active() {
@@ -1099,7 +1121,7 @@ fn deliver(conn: &Arc<Conn>, id: u64, seq: u64, body: ResponseBody, faults: &Fau
     if faults.is_active() {
         match faults.response_fault(conn.id, seq) {
             Some(ResponseFault::Drop) => {
-                conn.outbox.force_close(conn);
+                conn.outbox.force_close(conn.as_ref());
                 return;
             }
             Some(ResponseFault::Stall(d)) => conn.outbox.inject_stall(d),
@@ -1130,7 +1152,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
         RequestBody::Stats => {
             // Reports the account *before* this request, then bills the
             // stats request itself as zero-cycle work.
-            let stats = lock_unpoisoned(&conn.session).stats;
+            let stats = conn.session.lock().stats;
             conn.record_ok(0, 0.0);
             conn.respond(id, ResponseBody::Stats(stats));
         }
@@ -1142,7 +1164,9 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             if !limits.unmetered() {
                 // `load_model` bills real macro work (the norm
                 // precompute), so it is metered like any compute request.
-                let refusal = lock_unpoisoned(&conn.session)
+                let refusal = conn
+                    .session
+                    .lock()
                     .rate
                     .admit(&limits, Instant::now())
                     .err();
@@ -1154,7 +1178,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             }
             match build_model(bank, params, precision, prototypes) {
                 Ok((model, cycles, energy_fj)) => {
-                    let mut session = lock_unpoisoned(&conn.session);
+                    let mut session = conn.session.lock();
                     session.model = Some(Arc::new(model));
                     session.stats.record_ok(cycles, energy_fj);
                     session.rate.charge(cycles, energy_fj);
@@ -1193,7 +1217,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             };
             match prog.compile(&config) {
                 Ok(compiled) => {
-                    let mut session = lock_unpoisoned(&conn.session);
+                    let mut session = conn.session.lock();
                     if session.stored.len() >= limits.max_stored_programs {
                         session.stats.record_error();
                         drop(session);

@@ -1,0 +1,35 @@
+//! Lock-order hygiene: one real served workload acquires every long-lived
+//! server lock (queue state, per-connection outboxes and sessions, the
+//! connection/reader/writer registries), and the runtime lock-order
+//! analyzer — active in debug builds — must observe an **acyclic**
+//! acquisition-order graph. A cycle here is a potential deadlock reported
+//! from a single benign run, without needing the bad interleaving.
+
+use bpimc_core::Precision;
+use bpimc_server::{Client, Server, ServerConfig, SessionLimits};
+
+#[test]
+fn served_workload_has_acyclic_lock_order() {
+    // Metered limits so the admission path (session lock inside the
+    // dispatch path) runs too.
+    let config = ServerConfig {
+        limits: SessionLimits {
+            max_cycles_per_sec: Some(u64::MAX),
+            ..SessionLimits::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for _ in 0..4 {
+        let dot = client
+            .dot(Precision::P8, &[1, 2, 3], &[4, 5, 6])
+            .expect("dot");
+        assert_eq!(dot, 32);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 4);
+    drop(client);
+    handle.shutdown();
+    bpimc_stats::sync::lockorder::assert_acyclic("server.");
+}

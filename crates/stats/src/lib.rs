@@ -29,6 +29,7 @@ pub mod histogram;
 pub mod normal;
 pub mod parallel;
 pub mod summary;
+pub mod sync;
 pub mod tail;
 
 pub use gauss::{inv_norm_cdf, norm_cdf};

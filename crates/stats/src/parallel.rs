@@ -16,11 +16,13 @@
 //! offline, so this is a dependency-free implementation on `std::sync`
 //! primitives.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize};
 use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -72,10 +74,19 @@ pub struct CancelToken {
     inner: Arc<CancelInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CancelInner {
     fired: AtomicBool,
     deadline: Option<Instant>,
+}
+
+impl Default for CancelInner {
+    fn default() -> Self {
+        Self {
+            fired: AtomicBool::named("claim.cancel", false),
+            deadline: None,
+        }
+    }
 }
 
 impl CancelToken {
@@ -88,7 +99,7 @@ impl CancelToken {
     pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             inner: Arc::new(CancelInner {
-                fired: AtomicBool::new(false),
+                fired: AtomicBool::named("claim.cancel", false),
                 deadline: Some(deadline),
             }),
         }
@@ -201,15 +212,18 @@ fn pool() -> &'static Pool {
 struct BatchState {
     /// Tasks still running; checked lock-free by the caller.
     remaining: AtomicUsize,
-    /// First panic observed in the batch, if any.
-    panic: Mutex<Option<JobPanic>>,
+    /// First panic observed in the batch, if any. A shim lock (named, and
+    /// a schedule point under the model scheduler) because it is protocol
+    /// state: first-fault-wins is one of the invariants the concurrency
+    /// models assert.
+    panic: crate::sync::Mutex<Option<JobPanic>>,
     /// The caller's thread, unparked by whichever task finishes last.
     caller: std::thread::Thread,
 }
 
 impl BatchState {
     fn record_panic(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = lock_unpoisoned(&self.panic);
+        let mut slot = self.panic.lock();
         if slot.is_none() {
             *slot = Some(JobPanic::from_payload(&*payload));
         }
@@ -233,7 +247,7 @@ fn run_tasks<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
     let inline = tasks.pop().expect("len checked above");
     let state = BatchState {
         remaining: AtomicUsize::new(tasks.len()),
-        panic: Mutex::new(None),
+        panic: crate::sync::Mutex::named("pool.batch.panic", None),
         caller: std::thread::current(),
     };
     let state_ref: &BatchState = &state;
@@ -276,7 +290,7 @@ fn run_tasks<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
             std::thread::park_timeout(std::time::Duration::from_millis(1));
         }
     }
-    let first_panic = lock_unpoisoned(&state.panic).take();
+    let first_panic = state.panic.lock().take();
     if let Some(p) = first_panic {
         panic!("a parallel task panicked: {}", p.message);
     }
@@ -360,25 +374,95 @@ where
     par_queue_map(&mut states, &jobs, |_, &i| f(i))
 }
 
-/// Shared state of one claim-queue batch (see [`par_queue_map`]). Arc'd so
-/// late-waking workers can inspect it safely after the caller has returned.
-struct QueueShared {
+/// The claim-queue protocol itself, factored out of [`par_queue_run`] so
+/// the concurrency models (`sync::models`) can explore exactly the
+/// production claim/cancel/drain logic under the deterministic scheduler.
+///
+/// Invariants the protocol maintains (and the models assert):
+///
+/// * every index in `0..len` is claimed by exactly one participant, or by
+///   nobody once the cancel token fires;
+/// * `active` is raised before a worker touches a claimed block and
+///   lowered after, so `active == 0` with the queue exhausted means no
+///   worker will ever touch batch memory again;
+/// * after the token fires, each lane claims at most the one block it is
+///   currently executing — cancellation granularity is one block per lane.
+pub(crate) struct ClaimQueue {
     /// Next unclaimed job index.
     next: AtomicUsize,
+    /// Claims currently being executed by pool workers.
+    active: AtomicUsize,
     /// Total job count.
     len: usize,
-    /// Claims currently being executed.
-    active: AtomicUsize,
-    caller: std::thread::Thread,
+    /// Contiguous indices handed out per claim.
+    block: usize,
     /// Checked between block claims; when fired, no further blocks are
     /// claimed and unclaimed jobs stay unexecuted (`None` result slots).
     cancel: Option<CancelToken>,
 }
 
-impl QueueShared {
-    fn cancelled(&self) -> bool {
+impl ClaimQueue {
+    pub(crate) fn new(len: usize, block: usize, cancel: Option<CancelToken>) -> Self {
+        Self {
+            next: AtomicUsize::named("claim.next", 0),
+            active: AtomicUsize::named("claim.active", 0),
+            len,
+            block: block.max(1),
+            cancel,
+        }
+    }
+
+    pub(crate) fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
+
+    /// A worker's claim: raises `active` *before* taking a block so an
+    /// observer can never see "queue empty, nobody active" while jobs are
+    /// still being executed; lowers it again (and returns `None`) when the
+    /// queue is exhausted or the token has fired.
+    pub(crate) fn worker_claim(&self) -> Option<Range<usize>> {
+        if self.cancelled() {
+            return None;
+        }
+        self.active.fetch_add(1, Ordering::AcqRel);
+        let start = self.next.fetch_add(self.block, Ordering::AcqRel);
+        if start >= self.len {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(start..(start + self.block).min(self.len))
+    }
+
+    /// Marks a worker's claimed block finished (pairs with a `Some` return
+    /// from [`ClaimQueue::worker_claim`]).
+    pub(crate) fn worker_done(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// The caller's claim: no `active` bookkeeping — the caller waits for
+    /// the workers, never for itself.
+    pub(crate) fn caller_claim(&self) -> Option<Range<usize>> {
+        if self.cancelled() {
+            return None;
+        }
+        let start = self.next.fetch_add(self.block, Ordering::AcqRel);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.block).min(self.len))
+    }
+
+    /// Worker claims currently in flight.
+    pub(crate) fn active_claims(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+/// Shared state of one claim-queue batch (see [`par_queue_map`]). Arc'd so
+/// late-waking workers can inspect it safely after the caller has returned.
+struct QueueShared {
+    queue: ClaimQueue,
+    caller: std::thread::Thread,
 }
 
 /// Runs `f(&mut state, &jobs[i])` for every job, with the **caller and the
@@ -454,9 +538,26 @@ where
     F: Fn(&mut S, &J) -> T + Sync,
 {
     par_queue_run(states, jobs, f, None)
+        .results
         .into_iter()
         .map(|x| x.expect("uncancellable batches fill every slot"))
         .collect()
+}
+
+/// Outcome of a cancellable claim-queue batch.
+///
+/// `cancelled` reflects the token's state when the batch **finished**, not
+/// when the last block was claimed: a token that fires after the final
+/// block is already claimed (so every slot is `Some`) still yields
+/// `cancelled == true`. Callers deciding "did this request complete or was
+/// it cut short?" must consult the flag, never infer it from `None` slots.
+#[derive(Debug, Clone)]
+pub struct CancellableBatch<T> {
+    /// Per-job outcomes in job order; `None` for jobs never claimed after
+    /// the token fired.
+    pub results: Vec<Option<Result<T, JobPanic>>>,
+    /// Whether the cancel token had fired by the time the batch finished.
+    pub cancelled: bool,
 }
 
 /// [`par_queue_try_map`] with **cooperative cancellation**: the token is
@@ -475,14 +576,15 @@ where
 /// token.cancel(); // fired before the batch: nothing runs
 /// let mut states = vec![(); 2];
 /// let out = par_queue_try_map_cancellable(&mut states, &[1u32, 2, 3], |_, &j| j, &token);
-/// assert!(out.iter().all(Option::is_none));
+/// assert!(out.cancelled);
+/// assert!(out.results.iter().all(Option::is_none));
 /// ```
 pub fn par_queue_try_map_cancellable<S, J, T, F>(
     states: &mut [S],
     jobs: &[J],
     f: F,
     cancel: &CancelToken,
-) -> Vec<Option<Result<T, JobPanic>>>
+) -> CancellableBatch<T>
 where
     S: Send,
     J: Sync,
@@ -497,23 +599,30 @@ fn par_queue_run<S, J, T, F>(
     jobs: &[J],
     f: F,
     cancel: Option<&CancelToken>,
-) -> Vec<Option<Result<T, JobPanic>>>
+) -> CancellableBatch<T>
 where
     S: Send,
     J: Sync,
     T: Send,
     F: Fn(&mut S, &J) -> T + Sync,
 {
+    // The cancelled flag is read when the batch FINISHES: a token raised
+    // after the final block was claimed must still mark the batch
+    // cancelled even though every slot carries a result.
+    let finish = |results: Vec<Option<Result<T, JobPanic>>>| CancellableBatch {
+        results,
+        cancelled: cancel.is_some_and(CancelToken::is_cancelled),
+    };
     let n = jobs.len();
     if n == 0 {
-        return Vec::new();
+        return finish(Vec::new());
     }
     assert!(!states.is_empty(), "need at least one state slot");
     let lanes = worker_count(n).min(states.len());
     let nested = IS_WORKER.with(|w| w.get());
     if lanes <= 1 || nested {
         let s0 = &mut states[0];
-        return jobs
+        let results = jobs
             .iter()
             .map(|j| {
                 if cancel.is_some_and(CancelToken::is_cancelled) {
@@ -525,6 +634,7 @@ where
                 )
             })
             .collect();
+        return finish(results);
     }
 
     let mut results: Vec<Option<Result<T, JobPanic>>> = (0..n).map(|_| None).collect();
@@ -534,11 +644,8 @@ where
     // lanes * 16 units of load-balancing granularity.
     let block = (n / (lanes * 16)).clamp(1, 256);
     let shared = Arc::new(QueueShared {
-        next: AtomicUsize::new(0),
-        len: n,
-        active: AtomicUsize::new(0),
+        queue: ClaimQueue::new(n, block, cancel.cloned()),
         caller: std::thread::current(),
-        cancel: cancel.cloned(),
     });
 
     // Raw-pointer captures: a worker that wakes only after this call has
@@ -559,22 +666,13 @@ where
         let state_ptr = state as *mut S as usize;
         let sh = shared.clone();
         let task: Task = Box::new(move || loop {
-            // The cancellation check sits between block claims: one atomic
-            // load per block, zero per-element overhead.
-            if sh.cancelled() {
+            // The cancellation check inside `worker_claim` sits between
+            // block claims: one atomic load per block, zero per-element
+            // overhead.
+            let Some(claim) = sh.queue.worker_claim() else {
                 sh.caller.unpark();
                 break;
-            }
-            // Claim protocol: raise `active` BEFORE taking a block so the
-            // caller's wait loop can never observe "queue empty, nobody
-            // active" while jobs are being executed.
-            sh.active.fetch_add(1, Ordering::AcqRel);
-            let start = sh.next.fetch_add(block, Ordering::AcqRel);
-            if start >= sh.len {
-                sh.active.fetch_sub(1, Ordering::AcqRel);
-                sh.caller.unpark();
-                break;
-            }
+            };
             // SAFETY: the claimed block is unique, so the job reads and the
             // result slot writes are unaliased; the caller cannot have
             // returned (it waits for `active` to drain and `next` to pass
@@ -584,7 +682,7 @@ where
             // is always filled.
             unsafe {
                 let f = &*(f_ptr as *const F);
-                for i in start..(start + block).min(sh.len) {
+                for i in claim {
                     let job = &*(jobs_ptr as *const J).add(i);
                     let state = &mut *(state_ptr as *mut S);
                     let out = catch_unwind(AssertUnwindSafe(|| f(state, job)))
@@ -592,7 +690,7 @@ where
                     *(res_ptr as *mut Option<Result<T, JobPanic>>).add(i) = Some(out);
                 }
             }
-            sh.active.fetch_sub(1, Ordering::AcqRel);
+            sh.queue.worker_done();
         });
         senders[w % senders.len()]
             .send(task)
@@ -602,16 +700,9 @@ where
     // The caller drains the queue with the first state slot. Results go
     // through the same raw pointer the workers use, so no `&mut` to the
     // vector is formed while they might also be writing disjoint slots.
-    loop {
-        if shared.cancelled() {
-            break;
-        }
-        let start = shared.next.fetch_add(block, Ordering::AcqRel);
-        if start >= n {
-            break;
-        }
+    while let Some(claim) = shared.queue.caller_claim() {
         #[allow(clippy::needless_range_loop)] // `i` also addresses the raw result slot
-        for i in start..(start + block).min(n) {
+        for i in claim {
             let out = catch_unwind(AssertUnwindSafe(|| f(first, &jobs[i])))
                 .map_err(|p| JobPanic::from_payload(&*p));
             // SAFETY: the claimed block is unique across participants.
@@ -623,13 +714,13 @@ where
     // Wait until no worker is executing a claim. Workers that never woke
     // see an exhausted queue later and exit without touching our stack.
     let mut spins = 0u32;
-    while shared.active.load(Ordering::Acquire) > 0 {
+    while shared.queue.active_claims() > 0 {
         spins += 1;
         if spins > 4_096 {
             std::thread::park_timeout(std::time::Duration::from_millis(1));
         }
     }
-    results
+    finish(results)
 }
 
 /// Runs `f(i, &mut state[i])` for every `i`, mutating each state slot on
@@ -830,8 +921,9 @@ mod tests {
         let jobs: Vec<usize> = (0..150).collect();
         let token = CancelToken::new();
         let out = par_queue_try_map_cancellable(&mut states, &jobs, |_, &j| j * 2, &token);
-        assert_eq!(out.len(), 150);
-        for (j, r) in out.iter().enumerate() {
+        assert!(!out.cancelled);
+        assert_eq!(out.results.len(), 150);
+        for (j, r) in out.results.iter().enumerate() {
             assert_eq!(*r.as_ref().expect("not cancelled").as_ref().unwrap(), j * 2);
         }
     }
@@ -852,8 +944,9 @@ mod tests {
             },
             &token,
         );
-        assert_eq!(out.len(), 64);
-        assert!(out.iter().all(Option::is_none));
+        assert!(out.cancelled);
+        assert_eq!(out.results.len(), 64);
+        assert!(out.results.iter().all(Option::is_none));
         assert_eq!(calls.load(Ordering::Relaxed), 0);
     }
 
@@ -883,7 +976,8 @@ mod tests {
             &token,
         );
         let lanes = worker_count(jobs.len()).min(8);
-        let executed = out.iter().filter(|r| r.is_some()).count();
+        let executed = out.results.iter().filter(|r| r.is_some()).count();
+        assert!(out.cancelled);
         assert_eq!(executed, calls.load(Ordering::Relaxed));
         assert!(
             executed <= 11 + lanes,
@@ -891,7 +985,68 @@ mod tests {
         );
         // Claims are handed out in index order and a claimed block always
         // executes, so everything up to the cancelling job still ran.
-        assert!(out[..11].iter().all(Option::is_some), "pre-cancel jobs ran");
+        assert!(
+            out.results[..11].iter().all(Option::is_some),
+            "pre-cancel jobs ran"
+        );
+    }
+
+    #[test]
+    fn token_fired_by_the_final_job_still_marks_the_batch_cancelled() {
+        // Regression: a token raised after the final claim-queue block is
+        // claimed used to be invisible — every slot came back `Some`, so
+        // the batch looked complete. The `cancelled` flag is read at batch
+        // END precisely so this cannot happen. Single state slot forces the
+        // sequential path, making the schedule deterministic.
+        let mut states = vec![(); 1];
+        let jobs: Vec<usize> = (0..8).collect();
+        let token = CancelToken::new();
+        let out = par_queue_try_map_cancellable(
+            &mut states,
+            &jobs,
+            |_, &j| {
+                if j == 7 {
+                    token.cancel(); // fires while executing the LAST job
+                }
+                j
+            },
+            &token,
+        );
+        assert!(
+            out.results.iter().all(Option::is_some),
+            "every job ran: the token fired after the last claim"
+        );
+        assert!(
+            out.cancelled,
+            "a full result set must still be marked cancelled"
+        );
+    }
+
+    #[test]
+    fn token_fired_by_the_final_job_is_seen_by_the_parallel_path() {
+        // Same regression through the multi-lane path: claims are handed
+        // out in index order, so by the time the last job executes every
+        // block is claimed and will complete — all slots `Some`, flag set.
+        let mut states = vec![(); 4];
+        let jobs: Vec<usize> = (0..64).collect();
+        let token = CancelToken::new();
+        let last = jobs.len() - 1;
+        let out = par_queue_try_map_cancellable(
+            &mut states,
+            &jobs,
+            |_, &j| {
+                if j == last {
+                    token.cancel();
+                }
+                j
+            },
+            &token,
+        );
+        assert!(out.cancelled, "late-firing token must be reported");
+        assert!(
+            out.results[last].is_some(),
+            "the firing job itself completed"
+        );
     }
 
     #[test]
@@ -925,8 +1080,11 @@ mod tests {
             },
             &token,
         );
-        let fault = out[3].as_ref().expect("job 3 ran before the cancel");
+        let fault = out.results[3]
+            .as_ref()
+            .expect("job 3 ran before the cancel");
         assert!(fault.as_ref().unwrap_err().message.contains("early fault"));
+        assert!(out.cancelled);
         // The pool still serves later batches.
         let ok = par_queue_map(&mut states, &jobs, |_, &j| j + 1);
         assert_eq!(ok[5], 6);

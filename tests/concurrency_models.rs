@@ -1,0 +1,29 @@
+//! Tier-1 coverage of the concurrency models: runs every model in the
+//! stats and server suites under a small seed matrix, so a plain
+//! `cargo test -q` exercises the same invariants CI's dedicated
+//! model-check job explores more deeply (16 seeds; see `repro
+//! model-check`). Failures print a replay seed — rerun with
+//! `BPIMC_MODEL_SEED=<seed>` (or `repro model-check --model <name>
+//! --seed <seed>`) for a byte-identical schedule.
+
+use bpimc_stats::sync::model::{check, ExploreConfig};
+
+/// Seeds per model for the light tier-1 pass (CI's model-check job runs
+/// the full matrix; `BPIMC_MODEL_SEEDS` overrides both).
+const LIGHT_SEEDS: u64 = 4;
+
+#[test]
+fn stats_models_hold() {
+    let cfg = ExploreConfig::from_env(LIGHT_SEEDS);
+    for spec in bpimc_stats::sync::models::MODELS {
+        check(spec.name, &cfg, spec.run);
+    }
+}
+
+#[test]
+fn server_models_hold() {
+    let cfg = ExploreConfig::from_env(LIGHT_SEEDS);
+    for spec in bpimc_server::models::MODELS {
+        check(spec.name, &cfg, spec.run);
+    }
+}
