@@ -35,15 +35,21 @@
 //!
 //! `--chaos [--chaos-seed S]` spawns the in-process server with a seeded
 //! deterministic [`FaultPlan`] (worker panics, delayed executions, stalled
-//! writers, severed connections) and drives it with a tolerant client:
-//! injected-fault errors are counted and tolerated, a severed connection
-//! is survived by reconnecting with backoff and resending (the chaos mix
-//! is all idempotent ops), and the run fails only on a *wrong* value — the
-//! correctness-under-fire smoke test.
+//! writers, severed connections) and drives it with tolerant clients, each
+//! holding a **durable session**: injected-fault errors are counted and
+//! tolerated, and a severed connection is survived by reconnecting,
+//! resuming the session by token, and resending the same seq-stamped
+//! request (the server's replay guard makes every resend exactly-once).
+//! The run fails on a *wrong* value, a lost session, or a final account
+//! that is not byte-identical to replaying the executed ops through a
+//! fault-free server — the correctness-under-fire smoke test.
 
 use bpimc_bench::shapes::program_request;
-use bpimc_core::{LogicOp, Precision, Program, RequestBody, ResponseBody, StoredMeta};
-use bpimc_server::{Client, ClientError, FaultPlan, Server, ServerConfig};
+use bpimc_core::{
+    LogicOp, Precision, Program, RequestBody, ResponseBody, SessionActivity, StoredMeta,
+    StoredTarget,
+};
+use bpimc_server::{Client, ClientError, FaultPlan, RetryPolicy, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -188,7 +194,7 @@ fn build_stream(
             let (prog, outputs) = program_request(k, variant);
             stream.push((
                 RequestBody::RunStored {
-                    pid: stored_pids[variant as usize],
+                    target: StoredTarget::Pid(stored_pids[variant as usize]),
                     inputs: write_bindings(&prog),
                 },
                 Expect::Report {
@@ -331,6 +337,7 @@ fn drive_client(
             let writes = write_bindings(&shape).len() as u64;
             let body = RequestBody::StoreProgram {
                 instrs: shape.instrs().to_vec(),
+                name: None,
             };
             match pipe.call(body) {
                 Ok(resp) if check(&Expect::Stored { writes }, &resp.body) => {
@@ -400,15 +407,24 @@ fn drive_client(
     (ok, bad)
 }
 
-/// One chaos client's run: the plain idempotent op mix driven
-/// synchronously against a faulting server. Tolerates injected-fault
-/// errors and severed connections (reconnect with capped backoff, resend);
-/// a *wrong* value is the only failure. Returns
+/// One chaos client's run: a durable session driven synchronously
+/// through the op mix against a faulting server. The client opens a
+/// session up front and lets the [`RetryPolicy`] machinery survive
+/// severed connections — reconnect, resume by token, resend the same
+/// seq; the server's replay guard makes every resend exactly-once.
+/// Injected-fault errors are counted and tolerated; a *wrong* value, a
+/// lost session, or a final account that disagrees with a fault-free
+/// replay of the executed ops is a failure. Returns
 /// `(ok, bad, tolerated_faults, reconnects)`.
-fn drive_chaos_client(addr: SocketAddr, c: u64, requests: u64) -> (u64, u64, u64, u64) {
+fn drive_chaos_client(
+    addr: SocketAddr,
+    replay_addr: SocketAddr,
+    c: u64,
+    requests: u64,
+) -> (u64, u64, u64, u64) {
     let mut stream = build_stream(c, requests, false, false, false, &[]);
-    // Session accounts do not survive a chaos reconnect (a new connection
-    // is a new session), so the trailing stats self-check comes off.
+    // The trailing stats self-check is replaced below by the stronger
+    // exact-replay assertion.
     stream.pop();
     let mut client = match Client::connect(addr) {
         Ok(cl) => cl,
@@ -417,40 +433,121 @@ fn drive_chaos_client(addr: SocketAddr, c: u64, requests: u64) -> (u64, u64, u64
             return (0, requests, 0, 0);
         }
     };
-    let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
+    client.set_retry_policy(Some(RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(100),
+    }));
+    let token = match client.open_session() {
+        Ok(info) => info.token,
+        Err(e) => {
+            eprintln!("chaos client {c}: open_session failed: {e}");
+            return (0, requests, 0, 0);
+        }
+    };
+    let (mut ok, mut bad, mut faults) = (0u64, 0u64, 0u64);
+    let mut executed: Vec<RequestBody> = Vec::new();
     for (body, expect) in &stream {
-        let mut attempt = 0u32;
-        loop {
-            match client.call(body.clone()) {
-                Ok(resp) => {
-                    match &resp.body {
-                        ResponseBody::Error(err) if err.message.contains("panicked") => faults += 1,
-                        got if check(expect, got) => ok += 1,
-                        got => {
-                            bad += 1;
-                            eprintln!("chaos client {c}: wrong value: {got:?}");
-                        }
-                    }
-                    break;
-                }
-                // A severed connection (chaos drop, or a stall the write
-                // timeout evicted): reconnect with capped backoff and
-                // resend — every op in the chaos mix is idempotent.
-                Err(ClientError::Io(_)) if attempt < 8 => {
-                    attempt += 1;
-                    reconnects += 1;
-                    std::thread::sleep(Duration::from_millis(2u64 << attempt.min(6)));
-                    let _ = client.reconnect();
-                }
-                Err(e) => {
-                    bad += 1;
-                    eprintln!("chaos client {c}: gave up after {attempt} reconnects: {e}");
-                    break;
-                }
+        let outcome = match body.clone() {
+            RequestBody::Dot { precision, x, w } => {
+                client.dot(precision, &x, &w).map(ResponseBody::Scalar)
+            }
+            RequestBody::Lanes {
+                op,
+                precision,
+                a,
+                b,
+            } => client.lanes(op, precision, &a, &b).map(ResponseBody::Words),
+            other => unreachable!("chaos mix is dot/lanes only, got {other:?}"),
+        };
+        match outcome {
+            Ok(got) if check(expect, &got) => {
+                ok += 1;
+                executed.push(body.clone());
+            }
+            Ok(got) => {
+                bad += 1;
+                eprintln!("chaos client {c}: wrong value: {got:?}");
+            }
+            Err(ClientError::Server(err)) if err.message.contains("panicked") => faults += 1,
+            Err(e) => {
+                bad += 1;
+                eprintln!("chaos client {c}: op failed: {e}");
             }
         }
     }
-    (ok, bad, faults, reconnects)
+    // Zero lost sessions: however many drops hit, this client must still
+    // hold the token it opened (a failed resume clears it).
+    if client.session_token() != Some(token.as_str()) {
+        bad += 1;
+        eprintln!("chaos client {c}: session lost across reconnects");
+    }
+    // Exact accounting across every drop and resend: the durable account
+    // must show each op executed (and billed) exactly once — the counts
+    // match the observed outcomes, and the cycle/energy totals are
+    // byte-identical to replaying the successful ops through a pristine
+    // fault-free server (the same execution path down to the ImcMacro,
+    // summed in the same order).
+    match client.stats() {
+        Ok(stats) if stats.requests == ok + faults && stats.errors == faults => {
+            match replay_account(replay_addr, &executed) {
+                Ok(replay)
+                    if replay.cycles == stats.cycles && replay.energy_fj == stats.energy_fj => {}
+                Ok(replay) => {
+                    bad += 1;
+                    eprintln!(
+                        "chaos client {c}: account diverged from fault-free replay: \
+                         billed {} cycles / {} fJ, replay says {} / {}",
+                        stats.cycles, stats.energy_fj, replay.cycles, replay.energy_fj
+                    );
+                }
+                Err(e) => {
+                    bad += 1;
+                    eprintln!("chaos client {c}: replay failed: {e}");
+                }
+            }
+        }
+        Ok(stats) => {
+            bad += 1;
+            eprintln!(
+                "chaos client {c}: account counts off: {} requests / {} errors billed, \
+                 observed {} + {} faults",
+                stats.requests,
+                stats.errors,
+                ok + faults,
+                faults
+            );
+        }
+        Err(e) => {
+            bad += 1;
+            eprintln!("chaos client {c}: final stats failed: {e}");
+        }
+    }
+    (ok, bad, faults, client.reconnects())
+}
+
+/// Replays an executed op stream against a pristine fault-free server and
+/// returns the resulting session account — the ground truth the chaos
+/// session's billing must match byte-for-byte.
+fn replay_account(addr: SocketAddr, ops: &[RequestBody]) -> Result<SessionActivity, ClientError> {
+    let mut client = Client::connect(addr)?;
+    for body in ops {
+        match body.clone() {
+            RequestBody::Dot { precision, x, w } => {
+                client.dot(precision, &x, &w)?;
+            }
+            RequestBody::Lanes {
+                op,
+                precision,
+                a,
+                b,
+            } => {
+                client.lanes(op, precision, &a, &b)?;
+            }
+            other => unreachable!("chaos mix is dot/lanes only, got {other:?}"),
+        }
+    }
+    client.stats()
 }
 
 /// The seeded chaos schedule `--chaos` serves under: every fault type in
@@ -574,15 +671,22 @@ fn main() {
     }
 }
 
-/// The `--chaos` run: tolerant concurrent clients against the seeded fault
-/// plan, then a clean drain. Every response must be either correct or an
-/// injected fault; the exit code reflects wrong values only.
+/// The `--chaos` run: tolerant concurrent clients — each holding a
+/// durable session that survives every injected connection drop — against
+/// the seeded fault plan, then a clean drain. Every response must be
+/// either correct or an injected fault, every session must survive to the
+/// end, and every account must match a fault-free replay exactly.
 fn run_chaos(addr: SocketAddr, args: &Args, handle: bpimc_server::ServerHandle) {
+    // The accounting ground truth comes from a second, fault-free server:
+    // the same executed ops replayed there must bill identical totals.
+    let replay = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .unwrap_or_else(|e| die(&format!("replay bind: {e}")));
+    let replay_addr = replay.local_addr();
     let t0 = Instant::now();
     let workers: Vec<_> = (0..args.clients)
         .map(|c| {
             let requests = args.requests;
-            std::thread::spawn(move || drive_chaos_client(addr, c, requests))
+            std::thread::spawn(move || drive_chaos_client(addr, replay_addr, c, requests))
         })
         .collect();
     let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
@@ -597,15 +701,19 @@ fn run_chaos(addr: SocketAddr, args: &Args, handle: bpimc_server::ServerHandle) 
     let total = args.clients * args.requests;
     println!(
         "chaos: {} clients x {} requests in {elapsed:.3} s — {ok} correct, \
-         {faults} injected faults tolerated, {reconnects} reconnects",
+         {faults} injected faults tolerated, {reconnects} reconnects survived by resumption",
         args.clients, args.requests
     );
     handle.shutdown();
+    replay.shutdown();
     println!("server drained and shut down cleanly under chaos");
     if bad > 0 || ok + faults != total {
         die(&format!(
             "{bad} wrong/lost responses out of {total} under chaos"
         ));
     }
-    println!("all {total} chaos responses accounted for, zero wrong values");
+    println!(
+        "all {total} chaos responses accounted for: zero wrong values, zero lost sessions, \
+         every account byte-identical to its fault-free replay"
+    );
 }

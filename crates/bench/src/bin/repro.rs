@@ -521,9 +521,13 @@ fn serve_throughput() -> f64 {
 ///
 /// Beyond `--addr`/`--macros`, the flags map onto the server's guardrail
 /// and chaos knobs: `--max-*` set per-session limits ([`SessionLimits`]),
-/// `--chaos-*` build a seeded deterministic [`FaultPlan`], and
+/// `--chaos-*` build a seeded deterministic [`FaultPlan`],
 /// `--fault-injection` only makes the server honour explicit
-/// `inject_panic` requests (it injects nothing by itself).
+/// `inject_panic` requests (it injects nothing by itself), and
+/// `--session-ttl-ms` / `--max-sessions` / `--max-registry-programs`
+/// bound the durable-session registry (how long a detached session
+/// lingers before the sweeper collects it, and the global caps on
+/// sessions and registry-wide stored programs).
 ///
 /// [`SessionLimits`]: bpimc_server::SessionLimits
 /// [`FaultPlan`]: bpimc_server::FaultPlan
@@ -578,6 +582,14 @@ fn serve(args: &[String]) {
             "--write-timeout-ms" => {
                 config.write_timeout =
                     std::time::Duration::from_millis(num("--write-timeout-ms").max(1))
+            }
+            "--session-ttl-ms" => {
+                config.session_ttl =
+                    std::time::Duration::from_millis(num("--session-ttl-ms").max(1))
+            }
+            "--max-sessions" => config.max_sessions = num("--max-sessions").max(1) as usize,
+            "--max-registry-programs" => {
+                config.max_registry_programs = num("--max-registry-programs").max(1) as usize
             }
             other => die(&format!("unknown serve option '{other}'")),
         }
@@ -678,7 +690,7 @@ fn lint_cmd(args: &[String]) {
             }
             let req = Request::parse(line).unwrap_or_else(|e| die(&format!("{p}:{}: {e}", ln + 1)));
             let instrs = match req.body {
-                RequestBody::StoreProgram { instrs }
+                RequestBody::StoreProgram { instrs, .. }
                 | RequestBody::ExecProgram { instrs }
                 | RequestBody::LintProgram { instrs } => instrs,
                 _ => continue,

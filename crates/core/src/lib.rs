@@ -65,8 +65,8 @@ pub use prog::{
     SubProgram,
 };
 pub use wire::{
-    ErrorBody, ErrorKind, LaneOp, LimitKind, ProgramReport, Request, RequestBody, Response,
-    ResponseBody, StoredMeta,
+    ErrorBody, ErrorKind, LaneOp, LimitKind, ProgramEntry, ProgramReport, Request, RequestBody,
+    Response, ResponseBody, RunStatus, SessionInfo, StoredMeta, StoredTarget,
 };
 
 // A failed batch job, as surfaced by `MacroBank::try_run_batch`, and the

@@ -15,9 +15,13 @@
 //! | `load_model` | `precision`, `prototypes` | store quantized class prototypes in the session |
 //! | `classify` | `x` | nearest-prototype class of a quantized sample |
 //! | `exec_program` | `instrs` | run a whole [`Program`](crate::prog::Program) in one round trip |
-//! | `store_program` | `instrs` | validate + compile once into the session's stored-program cache |
-//! | `run_stored` | `pid`, `inputs?` | run a stored program, optionally binding fresh write values |
+//! | `store_program` | `instrs`, `name?` | validate + compile once into the session's stored-program registry |
+//! | `run_stored` | `pid`\|`name`, `inputs?` | run a stored program, optionally binding fresh write values |
+//! | `list_programs` | — | the session's stored-program registry with per-entry run history |
+//! | `delete_program` | `pid`\|`name` | drop one stored program from the registry |
 //! | `lint_program` | `instrs` | static analysis only: answer the program's [`Diagnostic`]s without executing |
+//! | `open_session` | — | mint a durable session keyed by an unguessable token |
+//! | `resume_session` | `token` | re-attach a later connection to a durable session |
 //! | `stats` | — | the session's activity account so far |
 //! | `inject_panic` | — | fault injection (only if the server enables it) |
 //! | `shutdown` | — | ask the server to drain and stop |
@@ -47,7 +51,8 @@
 //!
 //! `{"id":N,"ok":true,"kind":K,"result":…}` on success, with `kind` one of
 //! `pong`, `scalar`, `words`, `class`, `ok`, `stats`, `program`, `stored`,
-//! `diagnostics`; `{"id":N,"ok":false,"error":"…"}` on failure. A
+//! `diagnostics`, `session`, `programs`; `{"id":N,"ok":false,"error":"…"}`
+//! on failure. A
 //! response's `id` matches its request; per connection, responses arrive
 //! in request order.
 //!
@@ -56,18 +61,44 @@
 //! (plus `"limit"` naming which per-session limit — `cycle_rate`,
 //! `energy_rate`, `inflight`, `program_length`, `stored_programs`),
 //! `overloaded` (the server is shedding load), `deadline_exceeded`
-//! (the request's `timeout_ms` expired in queue or mid-execution), or
+//! (the request's `timeout_ms` expired in queue or mid-execution),
 //! `invalid_program` (a submitted instruction stream failed validation;
 //! `"code"` carries the stable [`ProgError`] code such as `E002` and
-//! `"index"` the offending instruction's position when one is known).
-//! `limit_exceeded` and `overloaded` errors may add `"retry_after_ms"`,
-//! a hint for how long to back off before retrying. A failure without a
-//! `"kind"` field is a generic request error (bad argument, ISA error,
-//! unknown stored id, …) — retrying it unchanged will fail again.
+//! `"index"` the offending instruction's position when one is known),
+//! `session_expired` (the presented session token was valid once but its
+//! session has been garbage-collected past the server's TTL), or
+//! `bad_token` (the presented token never named a session here — forged,
+//! truncated, or from another server). `limit_exceeded` and `overloaded`
+//! errors may add `"retry_after_ms"`, a hint for how long to back off
+//! before retrying. A failure without a `"kind"` field is a generic
+//! request error (bad argument, ISA error, unknown stored id, …) —
+//! retrying it unchanged will fail again.
 //!
 //! Any request may carry an optional `timeout_ms` field: a deadline,
 //! relative to the server reading the line, after which the server may
 //! answer `deadline_exceeded` instead of executing.
+//!
+//! # Sessions, tokens and idempotent retries
+//!
+//! By default a connection is an *ephemeral* session: its state dies with
+//! the socket. `open_session` upgrades it to a durable one, answering
+//! `{"kind":"session","result":{"token":T,…}}` with an unguessable token.
+//! After a disconnect, a new connection presents the token via
+//! `resume_session` and gets the whole session back — model, stored
+//! programs, accounting totals, in-window rate budgets. At most one
+//! connection is attached to a token at a time; a second `resume_session`
+//! of a live token is refused (generic error with a `retry_after_ms`
+//! hint) until the holder detaches. Detached sessions linger for the
+//! server's TTL, then are swept; resuming after that answers
+//! `session_expired`, while a token the server never minted answers
+//! `bad_token`.
+//!
+//! Requests on a durable session may carry a `seq` field — a strictly
+//! increasing per-session sequence number. The server remembers the last
+//! `seq` it executed (plus a bounded window of recent responses), so a
+//! client that resends a request after a mid-request drop gets the
+//! original response replayed instead of a second execution: seq-stamped
+//! ops are retry-safe end to end, never double-executed or double-billed.
 //!
 //! A `program` result reports the outputs of the program's read
 //! instructions plus exact per-instruction accounting:
@@ -90,7 +121,18 @@
 //! program's write values — one entry per `write`/`write_mult` in
 //! submitted order, `null` keeping the stored values, each bound vector
 //! exactly as long as the stored one. Stored ids are private to their
-//! session and die with the connection.
+//! session; on an ephemeral session they die with the connection, on a
+//! durable one they survive reconnects until deleted or the session is
+//! swept.
+//!
+//! `store_program` may also carry a `"name"`: a session-unique registry
+//! name under which `run_stored` and `delete_program` can address the
+//! entry instead of by pid. `list_programs` answers the registry under
+//! `{"kind":"programs","result":[…]}`, one object per entry with its
+//! compile-time facts plus run history: `{"pid","name"?,"cycles",
+//! "writes","runs","errors","total_cycles","total_energy_fj",
+//! "last_status"?,"last_error"?}` (`last_status` is `"success"` or
+//! `"error"`, absent until the first run).
 //!
 //! # Examples
 //!
@@ -101,6 +143,7 @@
 //! let req = Request {
 //!     id: 7,
 //!     timeout_ms: None,
+//!     seq: None,
 //!     body: RequestBody::Dot {
 //!         precision: Precision::P8,
 //!         x: vec![1, 2, 3],
@@ -171,6 +214,27 @@ impl LaneOp {
     }
 }
 
+/// How `run_stored` / `delete_program` address a stored program: by the
+/// session-local id `store_program` returned, or by the registry name it
+/// was stored under. On the wire exactly one of `"pid"` / `"name"` is
+/// present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoredTarget {
+    /// The id `store_program` returned.
+    Pid(u64),
+    /// The registry name the program was stored under.
+    Name(String),
+}
+
+impl fmt::Display for StoredTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoredTarget::Pid(pid) => write!(f, "stored program {pid}"),
+            StoredTarget::Name(name) => write!(f, "stored program '{name}'"),
+        }
+    }
+}
+
 /// What a request asks the service to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -215,19 +279,39 @@ pub enum RequestBody {
         instrs: Vec<Instr>,
     },
     /// Validates and compiles a program into the session's stored-program
-    /// cache — the validate-once half of the stored-program fast path.
+    /// registry — the validate-once half of the stored-program fast path.
     StoreProgram {
         /// The program's instructions, in order.
         instrs: Vec<Instr>,
+        /// Optional session-unique registry name; `run_stored` and
+        /// `delete_program` can then address the entry by name.
+        name: Option<String>,
     },
-    /// Runs a stored program by its session-local id, optionally binding
+    /// Runs a stored program by id or registry name, optionally binding
     /// fresh values to its `write`/`write_mult` instructions.
     RunStored {
-        /// The id `store_program` returned.
-        pid: u64,
+        /// Which stored program to run.
+        target: StoredTarget,
         /// One entry per write instruction in submitted order (`None` /
         /// JSON `null` keeps the stored values); empty runs all-stored.
         inputs: Vec<Option<Vec<u64>>>,
+    },
+    /// Lists the session's stored-program registry, one [`ProgramEntry`]
+    /// per stored program with compile-time facts and run history.
+    ListPrograms,
+    /// Deletes one stored program from the session's registry.
+    DeleteProgram {
+        /// Which stored program to delete.
+        target: StoredTarget,
+    },
+    /// Mints a durable session keyed by an unguessable token; the reply
+    /// is `kind:"session"` carrying the token to present on resume.
+    OpenSession,
+    /// Re-attaches this connection to the durable session a token names,
+    /// restoring its model, stored programs, accounting and rate budgets.
+    ResumeSession {
+        /// The token `open_session` returned.
+        token: String,
     },
     /// Statically analyzes a program — validation plus lint — and answers
     /// its diagnostics without storing or executing anything.
@@ -253,6 +337,11 @@ pub struct Request {
     /// Past it the server may answer `deadline_exceeded` instead of
     /// executing.
     pub timeout_ms: Option<u64>,
+    /// Optional per-session sequence number (strictly increasing). On a
+    /// durable session the server executes each `seq` at most once and
+    /// replays the recorded response for a resent one, making the request
+    /// retry-safe across reconnects. Ignored on ephemeral sessions.
+    pub seq: Option<u64>,
     /// What to do.
     pub body: RequestBody,
 }
@@ -279,8 +368,74 @@ pub enum ResponseBody {
     Stored(StoredMeta),
     /// A linted program's findings (`lint_program`).
     Diagnostics(Vec<Diagnostic>),
+    /// A durable session's token and restored state facts
+    /// (`open_session`, `resume_session`).
+    Session(SessionInfo),
+    /// The session's stored-program registry (`list_programs`).
+    Programs(Vec<ProgramEntry>),
     /// The request failed; message plus optional machine-readable class.
     Error(ErrorBody),
+}
+
+/// What `open_session` / `resume_session` return: the durable session's
+/// token plus a snapshot of the state the token now commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// The unguessable token that names the session; present it via
+    /// `resume_session` on a later connection to get the session back.
+    pub token: String,
+    /// The session's accounting totals at this moment — fresh zeros from
+    /// `open_session`, the restored account from `resume_session`.
+    pub stats: SessionActivity,
+    /// How many compiled programs the session's registry holds.
+    pub stored_programs: u64,
+    /// The highest request `seq` the session has executed, if any — a
+    /// resuming client continues its idempotency sequence from the next
+    /// value.
+    pub last_seq: Option<u64>,
+}
+
+/// Outcome of a stored program's most recent run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The last run completed and was billed.
+    Success,
+    /// The last run failed; the message says why.
+    Error {
+        /// The error message of the failed run.
+        message: String,
+    },
+}
+
+impl RunStatus {
+    /// Whether the last run succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, RunStatus::Success)
+    }
+}
+
+/// One stored program in the session's registry (`list_programs`):
+/// compile-time facts plus cumulative run history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramEntry {
+    /// Session-local stored-program id.
+    pub pid: u64,
+    /// Registry name, when the program was stored with one.
+    pub name: Option<String>,
+    /// Predicted hardware cycles of one run (the static cost model).
+    pub cycles: u64,
+    /// Input slots a `run_stored` binding covers.
+    pub writes: u64,
+    /// Completed `run_stored` executions of this entry.
+    pub runs: u64,
+    /// Failed `run_stored` attempts at this entry.
+    pub errors: u64,
+    /// Hardware cycles billed across every run of this entry.
+    pub total_cycles: u64,
+    /// Energy billed across every run of this entry, femtojoules.
+    pub total_energy_fj: f64,
+    /// Outcome of the most recent run (`None` until the first).
+    pub last_status: Option<RunStatus>,
 }
 
 /// Machine-readable class of a failed request.
@@ -304,6 +459,13 @@ pub enum ErrorKind {
     /// [`ErrorBody::code`] carries the stable [`ProgError`] code and
     /// [`ErrorBody::index`] the offending instruction when known.
     InvalidProgram,
+    /// The presented token once named a session, but it sat detached past
+    /// the server's TTL and was garbage-collected. The state is gone;
+    /// open a fresh session.
+    SessionExpired,
+    /// The presented token never named a session on this server —
+    /// forged, truncated, or minted elsewhere.
+    BadToken,
 }
 
 impl ErrorKind {
@@ -316,6 +478,8 @@ impl ErrorKind {
             ErrorKind::Overloaded => Some("overloaded"),
             ErrorKind::DeadlineExceeded => Some("deadline_exceeded"),
             ErrorKind::InvalidProgram => Some("invalid_program"),
+            ErrorKind::SessionExpired => Some("session_expired"),
+            ErrorKind::BadToken => Some("bad_token"),
         }
     }
 
@@ -326,6 +490,8 @@ impl ErrorKind {
             "overloaded" => ErrorKind::Overloaded,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             "invalid_program" => ErrorKind::InvalidProgram,
+            "session_expired" => ErrorKind::SessionExpired,
+            "bad_token" => ErrorKind::BadToken,
             _ => return None,
         })
     }
@@ -344,6 +510,11 @@ pub enum LimitKind {
     ProgramLength,
     /// The session's stored-program cache is full.
     StoredPrograms,
+    /// The server's durable-session registry is full.
+    Sessions,
+    /// The server-wide cap on stored programs across every durable
+    /// session (orphans included) is full.
+    RegistryPrograms,
 }
 
 impl LimitKind {
@@ -355,6 +526,8 @@ impl LimitKind {
             LimitKind::Inflight => "inflight",
             LimitKind::ProgramLength => "program_length",
             LimitKind::StoredPrograms => "stored_programs",
+            LimitKind::Sessions => "sessions",
+            LimitKind::RegistryPrograms => "registry_programs",
         }
     }
 
@@ -366,6 +539,8 @@ impl LimitKind {
             "inflight" => LimitKind::Inflight,
             "program_length" => LimitKind::ProgramLength,
             "stored_programs" => LimitKind::StoredPrograms,
+            "sessions" => LimitKind::Sessions,
+            "registry_programs" => LimitKind::RegistryPrograms,
             _ => return None,
         })
     }
@@ -438,6 +613,31 @@ impl ErrorBody {
     pub fn deadline(message: impl Into<String>) -> ErrorBody {
         ErrorBody {
             kind: ErrorKind::DeadlineExceeded,
+            limit: None,
+            retry_after_ms: None,
+            code: None,
+            index: None,
+            message: message.into(),
+        }
+    }
+
+    /// A `session_expired` error: the token was real but its session sat
+    /// detached past the TTL and was garbage-collected.
+    pub fn session_expired(message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::SessionExpired,
+            limit: None,
+            retry_after_ms: None,
+            code: None,
+            index: None,
+            message: message.into(),
+        }
+    }
+
+    /// A `bad_token` error: the token never named a session here.
+    pub fn bad_token(message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind: ErrorKind::BadToken,
             limit: None,
             retry_after_ms: None,
             code: None,
@@ -782,6 +982,31 @@ fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
     })
 }
 
+/// Parses the `pid`-or-`name` address shared by `run_stored` and
+/// `delete_program` (exactly one must be present).
+fn stored_target_field(v: &Json) -> Result<StoredTarget, WireError> {
+    match (v.get("pid"), v.get("name")) {
+        (Some(p), None) => p
+            .as_u64()
+            .map(StoredTarget::Pid)
+            .ok_or_else(|| wire_err("field 'pid' must be a non-negative integer")),
+        (None, Some(n)) => n
+            .as_str()
+            .map(|s| StoredTarget::Name(s.to_string()))
+            .ok_or_else(|| wire_err("field 'name' must be a string")),
+        _ => Err(wire_err(
+            "exactly one of 'pid' or 'name' must address the stored program",
+        )),
+    }
+}
+
+fn stored_target_json(target: &StoredTarget, push: &mut impl FnMut(&str, Json)) {
+    match target {
+        StoredTarget::Pid(pid) => push("pid", Json::UInt(*pid)),
+        StoredTarget::Name(name) => push("name", Json::Str(name.clone())),
+    }
+}
+
 /// Parses the `instrs` array shared by `exec_program`, `store_program`
 /// and `lint_program`.
 fn instrs_field(v: &Json) -> Result<Vec<Instr>, WireError> {
@@ -836,6 +1061,85 @@ fn diags_from_json(v: &Json, what: &str) -> Result<Vec<Diagnostic>, WireError> {
         .collect()
 }
 
+/// Parses the flat `requests`/`errors`/`cycles`/`energy_fj` account shape
+/// shared by `stats` and `session` results.
+fn activity_from_json(r: &Json) -> Result<SessionActivity, WireError> {
+    Ok(SessionActivity {
+        requests: u64_field(r, "requests")?,
+        errors: u64_field(r, "errors")?,
+        cycles: u64_field(r, "cycles")?,
+        energy_fj: field(r, "energy_fj")?
+            .as_f64()
+            .ok_or_else(|| wire_err("field 'energy_fj' must be a number"))?,
+    })
+}
+
+fn activity_json_fields(s: &SessionActivity, fields: &mut Vec<(String, Json)>) {
+    fields.push(("requests".to_string(), Json::UInt(s.requests)));
+    fields.push(("errors".to_string(), Json::UInt(s.errors)));
+    fields.push(("cycles".to_string(), Json::UInt(s.cycles)));
+    fields.push(("energy_fj".to_string(), Json::Float(s.energy_fj)));
+}
+
+/// Serializes one registry entry to its wire object.
+fn program_entry_to_json(e: &ProgramEntry) -> Json {
+    let mut fields = vec![("pid".to_string(), Json::UInt(e.pid))];
+    if let Some(name) = &e.name {
+        fields.push(("name".to_string(), Json::Str(name.clone())));
+    }
+    fields.push(("cycles".to_string(), Json::UInt(e.cycles)));
+    fields.push(("writes".to_string(), Json::UInt(e.writes)));
+    fields.push(("runs".to_string(), Json::UInt(e.runs)));
+    fields.push(("errors".to_string(), Json::UInt(e.errors)));
+    fields.push(("total_cycles".to_string(), Json::UInt(e.total_cycles)));
+    fields.push((
+        "total_energy_fj".to_string(),
+        Json::Float(e.total_energy_fj),
+    ));
+    match &e.last_status {
+        None => {}
+        Some(RunStatus::Success) => {
+            fields.push(("last_status".to_string(), Json::Str("success".into())));
+        }
+        Some(RunStatus::Error { message }) => {
+            fields.push(("last_status".to_string(), Json::Str("error".into())));
+            fields.push(("last_error".to_string(), Json::Str(message.clone())));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Parses one registry entry from its wire object.
+fn program_entry_from_json(v: &Json) -> Result<ProgramEntry, WireError> {
+    let last_status = match v.get("last_status") {
+        None | Some(Json::Null) => None,
+        Some(s) => match s.as_str() {
+            Some("success") => Some(RunStatus::Success),
+            Some("error") => Some(RunStatus::Error {
+                message: v
+                    .get("last_error")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            _ => return Err(wire_err("field 'last_status' must be success or error")),
+        },
+    };
+    Ok(ProgramEntry {
+        pid: u64_field(v, "pid")?,
+        name: v.get("name").and_then(Json::as_str).map(|s| s.to_string()),
+        cycles: u64_field(v, "cycles")?,
+        writes: u64_field(v, "writes")?,
+        runs: u64_field(v, "runs")?,
+        errors: u64_field(v, "errors")?,
+        total_cycles: u64_field(v, "total_cycles")?,
+        total_energy_fj: field(v, "total_energy_fj")?
+            .as_f64()
+            .ok_or_else(|| wire_err("field 'total_energy_fj' must be a number"))?,
+        last_status,
+    })
+}
+
 impl Request {
     /// Extracts just the `id` of a line, for error responses to requests
     /// that do not parse fully. Returns `None` when the line has no
@@ -862,6 +1166,13 @@ impl Request {
             Some(t) => Some(
                 t.as_u64()
                     .ok_or_else(|| wire_err("field 'timeout_ms' must be a non-negative integer"))?,
+            ),
+        };
+        let seq = match v.get("seq") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(
+                s.as_u64()
+                    .ok_or_else(|| wire_err("field 'seq' must be a non-negative integer"))?,
             ),
         };
         let op = field(&v, "op")?
@@ -898,6 +1209,14 @@ impl Request {
             },
             "store_program" => RequestBody::StoreProgram {
                 instrs: instrs_field(&v)?,
+                name: match v.get("name") {
+                    None | Some(Json::Null) => None,
+                    Some(n) => Some(
+                        n.as_str()
+                            .ok_or_else(|| wire_err("field 'name' must be a string"))?
+                            .to_string(),
+                    ),
+                },
             },
             "lint_program" => RequestBody::LintProgram {
                 instrs: instrs_field(&v)?,
@@ -918,10 +1237,21 @@ impl Request {
                         .collect::<Result<Vec<_>, _>>()?,
                 };
                 RequestBody::RunStored {
-                    pid: u64_field(&v, "pid")?,
+                    target: stored_target_field(&v)?,
                     inputs,
                 }
             }
+            "list_programs" => RequestBody::ListPrograms,
+            "delete_program" => RequestBody::DeleteProgram {
+                target: stored_target_field(&v)?,
+            },
+            "open_session" => RequestBody::OpenSession,
+            "resume_session" => RequestBody::ResumeSession {
+                token: field(&v, "token")?
+                    .as_str()
+                    .ok_or_else(|| wire_err("field 'token' must be a string"))?
+                    .to_string(),
+            },
             "stats" => RequestBody::Stats,
             "inject_panic" => RequestBody::InjectPanic,
             "shutdown" => RequestBody::Shutdown,
@@ -938,6 +1268,7 @@ impl Request {
         Ok(Request {
             id,
             timeout_ms,
+            seq,
             body,
         })
     }
@@ -947,6 +1278,9 @@ impl Request {
         let mut fields = vec![("id".to_string(), Json::UInt(self.id))];
         if let Some(t) = self.timeout_ms {
             fields.push(("timeout_ms".to_string(), Json::UInt(t)));
+        }
+        if let Some(s) = self.seq {
+            fields.push(("seq".to_string(), Json::UInt(s)));
         }
         let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
         match &self.body {
@@ -990,12 +1324,15 @@ impl Request {
                     Json::Arr(instrs.iter().map(instr_to_json).collect()),
                 );
             }
-            RequestBody::StoreProgram { instrs } => {
+            RequestBody::StoreProgram { instrs, name } => {
                 push("op", Json::Str("store_program".into()));
                 push(
                     "instrs",
                     Json::Arr(instrs.iter().map(instr_to_json).collect()),
                 );
+                if let Some(name) = name {
+                    push("name", Json::Str(name.clone()));
+                }
             }
             RequestBody::LintProgram { instrs } => {
                 push("op", Json::Str("lint_program".into()));
@@ -1004,9 +1341,9 @@ impl Request {
                     Json::Arr(instrs.iter().map(instr_to_json).collect()),
                 );
             }
-            RequestBody::RunStored { pid, inputs } => {
+            RequestBody::RunStored { target, inputs } => {
                 push("op", Json::Str("run_stored".into()));
-                push("pid", Json::UInt(*pid));
+                stored_target_json(target, &mut push);
                 if !inputs.is_empty() {
                     push(
                         "inputs",
@@ -1021,6 +1358,16 @@ impl Request {
                         ),
                     );
                 }
+            }
+            RequestBody::ListPrograms => push("op", Json::Str("list_programs".into())),
+            RequestBody::DeleteProgram { target } => {
+                push("op", Json::Str("delete_program".into()));
+                stored_target_json(target, &mut push);
+            }
+            RequestBody::OpenSession => push("op", Json::Str("open_session".into())),
+            RequestBody::ResumeSession { token } => {
+                push("op", Json::Str("resume_session".into()));
+                push("token", Json::Str(token.clone()));
             }
             RequestBody::Stats => push("op", Json::Str("stats".into())),
             RequestBody::InjectPanic => push("op", Json::Str("inject_panic".into())),
@@ -1126,17 +1473,33 @@ impl Response {
             "diagnostics" => {
                 ResponseBody::Diagnostics(diags_from_json(field(&v, "result")?, "field 'result'")?)
             }
-            "stats" => {
+            "stats" => ResponseBody::Stats(activity_from_json(field(&v, "result")?)?),
+            "session" => {
                 let r = field(&v, "result")?;
-                ResponseBody::Stats(SessionActivity {
-                    requests: u64_field(r, "requests")?,
-                    errors: u64_field(r, "errors")?,
-                    cycles: u64_field(r, "cycles")?,
-                    energy_fj: field(r, "energy_fj")?
-                        .as_f64()
-                        .ok_or_else(|| wire_err("field 'energy_fj' must be a number"))?,
+                ResponseBody::Session(SessionInfo {
+                    token: field(r, "token")?
+                        .as_str()
+                        .ok_or_else(|| wire_err("field 'token' must be a string"))?
+                        .to_string(),
+                    stats: activity_from_json(r)?,
+                    stored_programs: u64_field(r, "stored_programs")?,
+                    last_seq: match r.get("last_seq") {
+                        None | Some(Json::Null) => None,
+                        Some(s) => Some(
+                            s.as_u64()
+                                .ok_or_else(|| wire_err("field 'last_seq' must be a u64"))?,
+                        ),
+                    },
                 })
             }
+            "programs" => ResponseBody::Programs(
+                field(&v, "result")?
+                    .as_array()
+                    .ok_or_else(|| wire_err("field 'result' must be an array"))?
+                    .iter()
+                    .map(program_entry_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
             other => return Err(wire_err(format!("unknown response kind '{other}'"))),
         };
         Ok(Response { id, body })
@@ -1200,14 +1563,28 @@ impl Response {
                         ("stored", Some(Json::Obj(fields)))
                     }
                     ResponseBody::Diagnostics(ds) => ("diagnostics", Some(diags_json(ds))),
-                    ResponseBody::Stats(s) => (
-                        "stats",
-                        Some(Json::Obj(vec![
-                            ("requests".to_string(), Json::UInt(s.requests)),
-                            ("errors".to_string(), Json::UInt(s.errors)),
-                            ("cycles".to_string(), Json::UInt(s.cycles)),
-                            ("energy_fj".to_string(), Json::Float(s.energy_fj)),
-                        ])),
+                    ResponseBody::Stats(s) => {
+                        let mut fields = Vec::new();
+                        activity_json_fields(s, &mut fields);
+                        ("stats", Some(Json::Obj(fields)))
+                    }
+                    ResponseBody::Session(info) => {
+                        let mut fields = vec![("token".to_string(), Json::Str(info.token.clone()))];
+                        activity_json_fields(&info.stats, &mut fields);
+                        fields.push((
+                            "stored_programs".to_string(),
+                            Json::UInt(info.stored_programs),
+                        ));
+                        if let Some(seq) = info.last_seq {
+                            fields.push(("last_seq".to_string(), Json::UInt(seq)));
+                        }
+                        ("session", Some(Json::Obj(fields)))
+                    }
+                    ResponseBody::Programs(entries) => (
+                        "programs",
+                        Some(Json::Arr(
+                            entries.iter().map(program_entry_to_json).collect(),
+                        )),
                     ),
                     ResponseBody::Error(_) => unreachable!("handled above"),
                 };
@@ -1241,11 +1618,13 @@ mod tests {
         round_trip_request(Request {
             id: 1,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::Ping,
         });
         round_trip_request(Request {
             id: 2,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::Dot {
                 precision: Precision::P8,
                 x: vec![1, 2, 3],
@@ -1266,6 +1645,7 @@ mod tests {
             round_trip_request(Request {
                 id: 3,
                 timeout_ms: None,
+                seq: None,
                 body: RequestBody::Lanes {
                     op,
                     precision: Precision::P4,
@@ -1277,6 +1657,7 @@ mod tests {
         round_trip_request(Request {
             id: 4,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::LoadModel {
                 precision: Precision::P2,
                 prototypes: vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]],
@@ -1285,11 +1666,13 @@ mod tests {
         round_trip_request(Request {
             id: 5,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::Classify { x: vec![1, 2] },
         });
         round_trip_request(Request {
             id: 9,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::ExecProgram {
                 instrs: every_instr_kind(),
             },
@@ -1297,13 +1680,25 @@ mod tests {
         round_trip_request(Request {
             id: 10,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::StoreProgram {
                 instrs: every_instr_kind(),
+                name: None,
+            },
+        });
+        round_trip_request(Request {
+            id: 14,
+            timeout_ms: None,
+            seq: Some(3),
+            body: RequestBody::StoreProgram {
+                instrs: every_instr_kind(),
+                name: Some("conv3x3".into()),
             },
         });
         round_trip_request(Request {
             id: 13,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::LintProgram {
                 instrs: every_instr_kind(),
             },
@@ -1311,32 +1706,82 @@ mod tests {
         round_trip_request(Request {
             id: 11,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::RunStored {
-                pid: 3,
+                target: StoredTarget::Pid(3),
                 inputs: vec![],
             },
         });
         round_trip_request(Request {
             id: 12,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::RunStored {
-                pid: 7,
+                target: StoredTarget::Pid(7),
                 inputs: vec![Some(vec![1, 2, 3]), None, Some(vec![]), Some(vec![255])],
+            },
+        });
+        round_trip_request(Request {
+            id: 15,
+            timeout_ms: None,
+            seq: Some(9),
+            body: RequestBody::RunStored {
+                target: StoredTarget::Name("conv3x3".into()),
+                inputs: vec![None, Some(vec![4])],
+            },
+        });
+        round_trip_request(Request {
+            id: 16,
+            timeout_ms: None,
+            seq: None,
+            body: RequestBody::ListPrograms,
+        });
+        round_trip_request(Request {
+            id: 17,
+            timeout_ms: None,
+            seq: Some(1),
+            body: RequestBody::DeleteProgram {
+                target: StoredTarget::Name("conv3x3".into()),
+            },
+        });
+        round_trip_request(Request {
+            id: 18,
+            timeout_ms: None,
+            seq: None,
+            body: RequestBody::DeleteProgram {
+                target: StoredTarget::Pid(2),
+            },
+        });
+        round_trip_request(Request {
+            id: 19,
+            timeout_ms: None,
+            seq: None,
+            body: RequestBody::OpenSession,
+        });
+        round_trip_request(Request {
+            id: 20,
+            timeout_ms: None,
+            seq: None,
+            body: RequestBody::ResumeSession {
+                token: "a1b2c3d4e5f60718293a4b5c6d7e8f90".into(),
             },
         });
         round_trip_request(Request {
             id: 6,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::Stats,
         });
         round_trip_request(Request {
             id: 7,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::InjectPanic,
         });
         round_trip_request(Request {
             id: 8,
             timeout_ms: None,
+            seq: None,
             body: RequestBody::Shutdown,
         });
     }
@@ -1507,6 +1952,73 @@ mod tests {
             body: ResponseBody::Diagnostics(Vec::new()),
         });
         round_trip_response(Response {
+            id: 13,
+            body: ResponseBody::Session(SessionInfo {
+                token: "00ff00ff00ff00ff00ff00ff00ff00ff".into(),
+                stats: SessionActivity {
+                    requests: 40,
+                    errors: 2,
+                    cycles: 999,
+                    energy_fj: 1.5,
+                },
+                stored_programs: 3,
+                last_seq: Some(39),
+            }),
+        });
+        round_trip_response(Response {
+            id: 13,
+            body: ResponseBody::Session(SessionInfo {
+                token: "aa".repeat(16),
+                stats: SessionActivity::new(),
+                stored_programs: 0,
+                last_seq: None,
+            }),
+        });
+        round_trip_response(Response {
+            id: 14,
+            body: ResponseBody::Programs(vec![
+                ProgramEntry {
+                    pid: 0,
+                    name: Some("conv3x3".into()),
+                    cycles: 120,
+                    writes: 2,
+                    runs: 7,
+                    errors: 1,
+                    total_cycles: 840,
+                    total_energy_fj: 123.25,
+                    last_status: Some(RunStatus::Error {
+                        message: "input 0 must have 9 values".into(),
+                    }),
+                },
+                ProgramEntry {
+                    pid: 1,
+                    name: None,
+                    cycles: 3,
+                    writes: 0,
+                    runs: 2,
+                    errors: 0,
+                    total_cycles: 6,
+                    total_energy_fj: 0.5,
+                    last_status: Some(RunStatus::Success),
+                },
+                ProgramEntry {
+                    pid: 2,
+                    name: Some("idle".into()),
+                    cycles: 1,
+                    writes: 1,
+                    runs: 0,
+                    errors: 0,
+                    total_cycles: 0,
+                    total_energy_fj: 0.0,
+                    last_status: None,
+                },
+            ]),
+        });
+        round_trip_response(Response {
+            id: 15,
+            body: ResponseBody::Programs(Vec::new()),
+        });
+        round_trip_response(Response {
             id: 8,
             body: ResponseBody::Program(ProgramReport {
                 outputs: vec![vec![1, 2], vec![3]],
@@ -1554,6 +2066,27 @@ mod tests {
             (
                 "{\"id\":1,\"op\":\"run_stored\",\"pid\":1,\"inputs\":[\"x\"]}",
                 "array of integers or null",
+            ),
+            (
+                "{\"id\":1,\"op\":\"run_stored\",\"pid\":1,\"name\":\"x\"}",
+                "exactly one of 'pid' or 'name'",
+            ),
+            ("{\"id\":1,\"op\":\"delete_program\"}", "'pid' or 'name'"),
+            (
+                "{\"id\":1,\"op\":\"resume_session\"}",
+                "missing field 'token'",
+            ),
+            (
+                "{\"id\":1,\"op\":\"resume_session\",\"token\":7}",
+                "'token' must be a string",
+            ),
+            (
+                "{\"id\":1,\"op\":\"store_program\",\"instrs\":[],\"name\":7}",
+                "'name' must be a string",
+            ),
+            (
+                "{\"id\":1,\"seq\":\"x\",\"op\":\"ping\"}",
+                "'seq' must be a non-negative integer",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();
@@ -1606,14 +2139,29 @@ mod tests {
                 "program needs 200 registers but the macro has 125 rows",
             )),
         });
+        round_trip_response(Response {
+            id: 26,
+            body: ResponseBody::Error(ErrorBody::session_expired(
+                "session expired 31s ago; open a fresh one",
+            )),
+        });
+        round_trip_response(Response {
+            id: 27,
+            body: ResponseBody::Error(ErrorBody::bad_token("unknown session token")),
+        });
         for limit in [
             LimitKind::CycleRate,
             LimitKind::EnergyRate,
             LimitKind::Inflight,
             LimitKind::ProgramLength,
             LimitKind::StoredPrograms,
+            LimitKind::Sessions,
+            LimitKind::RegistryPrograms,
         ] {
             assert_eq!(LimitKind::from_name(limit.name()), Some(limit));
+        }
+        for kind in [ErrorKind::SessionExpired, ErrorKind::BadToken] {
+            assert_eq!(ErrorKind::from_name(kind.name().unwrap()), Some(kind));
         }
     }
 
@@ -1641,6 +2189,7 @@ mod tests {
         let req = Request {
             id: 31,
             timeout_ms: Some(250),
+            seq: None,
             body: RequestBody::Ping,
         };
         let line = req.to_json_line();
@@ -1652,6 +2201,27 @@ mod tests {
         assert_eq!(null.timeout_ms, None);
         let err = Request::parse("{\"id\":1,\"timeout_ms\":\"soon\",\"op\":\"ping\"}").unwrap_err();
         assert!(err.to_string().contains("timeout_ms"));
+    }
+
+    #[test]
+    fn seq_rides_any_request() {
+        let req = Request {
+            id: 32,
+            timeout_ms: Some(100),
+            seq: Some(17),
+            body: RequestBody::Dot {
+                precision: Precision::P8,
+                x: vec![1],
+                w: vec![2],
+            },
+        };
+        let line = req.to_json_line();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        // Absent and null both mean "not seq-guarded".
+        let bare = Request::parse("{\"id\":1,\"op\":\"ping\"}").unwrap();
+        assert_eq!(bare.seq, None);
+        let null = Request::parse("{\"id\":1,\"seq\":null,\"op\":\"ping\"}").unwrap();
+        assert_eq!(null.seq, None);
     }
 
     #[test]

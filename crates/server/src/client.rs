@@ -1,10 +1,13 @@
 //! A minimal blocking client for the wire protocol (tests, load
 //! generation, CLI tooling), with opt-in resilience: reconnect with
-//! capped exponential backoff and idempotent retry ([`RetryPolicy`]).
+//! capped exponential backoff and safe retry ([`RetryPolicy`]), plus
+//! durable sessions ([`Client::open_session`]) that survive reconnects
+//! with exactly-once execution of every retried op.
 
 use bpimc_core::{
-    Diagnostic, ErrorBody, ErrorKind, LaneOp, Precision, Program, ProgramReport, Request,
-    RequestBody, Response, ResponseBody, SessionActivity, StoredMeta,
+    Diagnostic, ErrorBody, ErrorKind, LaneOp, Precision, Program, ProgramEntry, ProgramReport,
+    Request, RequestBody, Response, ResponseBody, SessionActivity, SessionInfo, StoredMeta,
+    StoredTarget,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -80,12 +83,33 @@ impl From<std::io::Error> for ClientError {
 /// Opt-in resilience for a [`Client`]: how many times to attempt an
 /// operation, with capped exponential backoff between attempts.
 ///
-/// With a policy set, **any** op is retried after an `overloaded` shed
-/// (the server never executed it), and the read-only session-free ops
-/// (`ping`, `dot`, the lane-wise ops) are additionally retried across a
-/// reconnect on transport errors. Ops that depend on per-session state
-/// (`classify`, `run_stored`, `stats`, …) are never transparently
-/// retried across a reconnect — a new connection is a new session.
+/// # The retry contract
+///
+/// With a policy set, **any** op is retried after an `overloaded` shed —
+/// the server refuses sheds before executing anything, so a retry can
+/// never double-apply.
+///
+/// Across **transport errors** (connection reset, EOF mid-exchange) the
+/// safe set depends on the session:
+///
+/// - Without a durable session, only the read-only session-free ops
+///   (`ping`, `dot`, the lane-wise ops, `lint_program`) are retried
+///   across a reconnect. A mid-exchange drop leaves it unknowable
+///   whether the server executed the request, so anything stateful
+///   (`load_model`, `store_program`, `run_stored`, even `stats`, whose
+///   answer bills the account) is *not* replayed — and a plain reconnect
+///   is a fresh session anyway.
+/// - With a durable session ([`Client::open_session`]), the client
+///   stamps every request with a per-session `seq` number and the server
+///   keeps a replay window: a retried request whose original already
+///   executed gets the **recorded response replayed** — never a second
+///   execution, never a second bill. That guard makes *every* seq-stamped
+///   op transport-retryable, so the client reconnects, resumes the
+///   session by token inside the retry path, and resends the same seq.
+///
+/// Transient server refusals (sheds, rate-budget and inflight limits)
+/// never consume a seq server-side, so a retried refusal re-admits fresh
+/// rather than replaying the refusal.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total attempts (the first try included).
@@ -129,6 +153,14 @@ pub struct Client {
     /// Stamped on every request when set ([`Client::set_timeout_ms`]).
     timeout_ms: Option<u64>,
     retry: Option<RetryPolicy>,
+    /// The durable-session token, once [`Client::open_session`] or
+    /// [`Client::resume_session`] succeeded.
+    token: Option<String>,
+    /// The next idempotency seq to stamp (durable sessions only).
+    next_seq: u64,
+    /// Successful re-dials ([`Client::reconnect`]) over this client's
+    /// lifetime.
+    reconnects: u64,
 }
 
 impl Client {
@@ -152,6 +184,9 @@ impl Client {
             next_id: 1,
             timeout_ms: None,
             retry: None,
+            token: None,
+            next_seq: 0,
+            reconnects: 0,
         })
     }
 
@@ -172,42 +207,92 @@ impl Client {
     }
 
     /// Opts into resilience: retry `overloaded` sheds (any op) and
-    /// transport failures of session-free read-only ops across a
-    /// reconnect, per the policy's attempt/backoff schedule.
+    /// transport failures across a reconnect — for session-free
+    /// read-only ops always, and for **every** op once a durable session
+    /// is open (its seq guard makes replays exactly-once; see
+    /// [`RetryPolicy`] for the full contract) — per the policy's
+    /// attempt/backoff schedule.
     pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
         self.retry = policy;
     }
 
+    /// The durable-session token this client holds, if any.
+    pub fn session_token(&self) -> Option<&str> {
+        self.token.as_deref()
+    }
+
+    /// How many times this client successfully re-dialed the server
+    /// ([`Client::reconnect`] — explicit calls and the automatic retry
+    /// path alike). Chaos harnesses use this to confirm connection drops
+    /// actually happened and were survived.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Drops the current connection and dials the server again.
     ///
-    /// A new connection is a **new session**: the loaded model, stored
-    /// programs and activity account do not carry over.
+    /// Without a durable session, a new connection is a **new session**:
+    /// the loaded model, stored programs and activity account do not
+    /// carry over. With one ([`Client::open_session`]), the session is
+    /// resumed by token on the new connection before this returns, so
+    /// all of that state carries over intact.
     ///
     /// # Errors
     ///
     /// Returns the I/O error when the new connection cannot be
-    /// established (the client keeps the old, likely dead, streams).
+    /// established (the client keeps the old, likely dead, streams), or
+    /// the server's error when the held token no longer resumes
+    /// (`session_expired` after the TTL ran out).
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
         let (reader, writer) = Self::dial(self.addr)?;
         self.reader = reader;
         self.writer = writer;
+        self.reconnects += 1;
+        if self.token.is_some() {
+            self.resume_attached()?;
+        }
         Ok(())
+    }
+
+    /// Stamps the next idempotency seq onto `body`'s request, when one
+    /// applies: the client holds a durable session and the op is not
+    /// itself session management (`open_session` / `resume_session`
+    /// address session identity and are natural-idempotent without one).
+    fn assign_seq(&mut self, body: &RequestBody) -> Option<u64> {
+        if self.token.is_none()
+            || matches!(
+                body,
+                RequestBody::OpenSession | RequestBody::ResumeSession { .. }
+            )
+        {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(seq)
     }
 
     /// Sends one request without waiting for its response, returning the
     /// assigned id — the pipelining half: keep several requests in flight
     /// and collect their responses with [`Client::recv`]. The protocol
     /// answers in request order per connection, so responses match the
-    /// send order.
+    /// send order. On a durable session each send is stamped with a fresh
+    /// idempotency seq.
     ///
     /// # Errors
     ///
     /// Fails on transport errors.
     pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
+        let seq = self.assign_seq(&body);
+        self.send_with(body, seq)
+    }
+
+    fn send_with(&mut self, body: RequestBody, seq: Option<u64>) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let mut line = Request {
             id,
+            seq,
             timeout_ms: self.timeout_ms,
             body,
         }
@@ -245,7 +330,12 @@ impl Client {
     /// Fails on transport errors or an id mismatch; a server-side `Error`
     /// body is returned as a normal [`Response`].
     pub fn call(&mut self, body: RequestBody) -> Result<Response, ClientError> {
-        let id = self.send(body)?;
+        let seq = self.assign_seq(&body);
+        self.call_with(body, seq)
+    }
+
+    fn call_with(&mut self, body: RequestBody, seq: Option<u64>) -> Result<Response, ClientError> {
+        let id = self.send_with(body, seq)?;
         let resp = self.recv()?;
         if resp.id != id {
             return Err(ClientError::Protocol(format!(
@@ -258,16 +348,19 @@ impl Client {
 
     /// One request/response exchange with the configured resilience:
     /// `overloaded` sheds are retried for any op (a shed request never
-    /// executed), transport failures only when `idempotent` (the op is
-    /// read-only and session-free, so replaying it on a fresh connection
-    /// cannot double-apply or lose session state).
+    /// executed); transport failures are retried across a reconnect when
+    /// the op is `idempotent` (read-only and session-free) **or**
+    /// seq-stamped on a durable session (the server's replay guard makes
+    /// the resend exactly-once). The same seq rides every resend of one
+    /// logical op.
     fn expect(&mut self, body: RequestBody, idempotent: bool) -> Result<ResponseBody, ClientError> {
+        let seq = self.assign_seq(&body);
         let mut attempt: u32 = 0;
         loop {
             let can_retry = self
                 .retry
                 .is_some_and(|policy| attempt + 1 < policy.max_attempts);
-            match self.call(body.clone()) {
+            match self.call_with(body.clone(), seq) {
                 Ok(resp) => match resp.body {
                     ResponseBody::Error(err) if err.kind == ErrorKind::Overloaded && can_retry => {
                         let policy = self.retry.expect("can_retry implies a policy");
@@ -280,12 +373,20 @@ impl Client {
                     ResponseBody::Error(err) => return Err(ClientError::Server(err)),
                     other => return Ok(other),
                 },
-                Err(ClientError::Io(_)) if idempotent && can_retry => {
+                Err(ClientError::Io(_)) if (idempotent || seq.is_some()) && can_retry => {
                     let policy = self.retry.expect("can_retry implies a policy");
                     std::thread::sleep(policy.delay(attempt));
-                    // A failed reconnect surfaces as the next attempt's
-                    // transport error (or exhausts the attempt budget).
-                    let _ = self.reconnect();
+                    // Reconnect (and auto-resume the session, if durable).
+                    // A resume the server refuses outright — the session
+                    // expired or the token is bad — ends the retry loop:
+                    // resending the op without its session would execute
+                    // it against fresh state. A failed dial just surfaces
+                    // as the next attempt's transport error (or exhausts
+                    // the attempt budget).
+                    match self.reconnect() {
+                        Ok(()) | Err(ClientError::Io(_)) => {}
+                        Err(e) => return Err(e),
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -407,10 +508,63 @@ impl Client {
     pub fn store_program(&mut self, program: &Program) -> Result<StoredMeta, ClientError> {
         let body = RequestBody::StoreProgram {
             instrs: program.instrs().to_vec(),
+            name: None,
         };
         match self.expect(body, false)? {
             ResponseBody::Stored(meta) => Ok(meta),
             other => Err(protocol_kind("stored", &other)),
+        }
+    }
+
+    /// [`Client::store_program`] under a registry name: later calls can
+    /// address the program by name ([`Client::run_stored_named`],
+    /// [`Client::delete_program`]) instead of remembering the pid. Names
+    /// are unique per session; storing a second program under a live name
+    /// is a server error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn store_program_named(
+        &mut self,
+        program: &Program,
+        name: impl Into<String>,
+    ) -> Result<StoredMeta, ClientError> {
+        let body = RequestBody::StoreProgram {
+            instrs: program.instrs().to_vec(),
+            name: Some(name.into()),
+        };
+        match self.expect(body, false)? {
+            ResponseBody::Stored(meta) => Ok(meta),
+            other => Err(protocol_kind("stored", &other)),
+        }
+    }
+
+    /// The session's stored-program registry: every entry with its name
+    /// (if any), static cost facts, and cumulative run history (runs,
+    /// errors, total cycles/energy, last status), ordered by pid.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors.
+    pub fn list_programs(&mut self) -> Result<Vec<ProgramEntry>, ClientError> {
+        match self.expect(RequestBody::ListPrograms, true)? {
+            ResponseBody::Programs(entries) => Ok(entries),
+            other => Err(protocol_kind("programs", &other)),
+        }
+    }
+
+    /// Deletes a stored program (by pid or name), freeing its
+    /// per-session and registry-wide slots.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors; an unknown target
+    /// is a server error.
+    pub fn delete_program(&mut self, target: StoredTarget) -> Result<(), ClientError> {
+        match self.expect(RequestBody::DeleteProgram { target }, false)? {
+            ResponseBody::Ok => Ok(()),
+            other => Err(protocol_kind("ok", &other)),
         }
     }
 
@@ -448,7 +602,29 @@ impl Client {
         inputs: &[Option<Vec<u64>>],
     ) -> Result<ProgramReport, ClientError> {
         let body = RequestBody::RunStored {
-            pid,
+            target: StoredTarget::Pid(pid),
+            inputs: inputs.to_vec(),
+        };
+        match self.expect(body, false)? {
+            ResponseBody::Program(r) => Ok(r),
+            other => Err(protocol_kind("program", &other)),
+        }
+    }
+
+    /// [`Client::run_stored`], addressing the program by its registry
+    /// name instead of its pid.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors; an unknown name or
+    /// a bad binding is a server error.
+    pub fn run_stored_named(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[Option<Vec<u64>>],
+    ) -> Result<ProgramReport, ClientError> {
+        let body = RequestBody::RunStored {
+            target: StoredTarget::Name(name.into()),
             inputs: inputs.to_vec(),
         };
         match self.expect(body, false)? {
@@ -480,6 +656,106 @@ impl Client {
         match self.expect(RequestBody::InjectPanic, false)? {
             ResponseBody::Ok => Ok(()),
             other => Err(protocol_kind("ok", &other)),
+        }
+    }
+
+    /// Upgrades this connection's session to a **durable** one: the
+    /// server registers it under an unguessable token (returned in the
+    /// [`SessionInfo`]) and the client holds that token from here on —
+    /// stamping every request with an idempotency seq, auto-resuming the
+    /// session inside [`Client::reconnect`], and safely retrying all
+    /// seq-guarded ops across transport errors (see [`RetryPolicy`]).
+    ///
+    /// State accumulated on the connection so far (model, stored
+    /// programs, account) moves into the durable session. Calling this
+    /// on an already-durable connection returns the existing session's
+    /// info rather than a second token.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors — a full registry
+    /// answers `limit_exceeded` naming `sessions`. A transport retry of
+    /// this op may leave an orphaned session behind on the server; it is
+    /// swept after the TTL.
+    pub fn open_session(&mut self) -> Result<SessionInfo, ClientError> {
+        match self.expect(RequestBody::OpenSession, true)? {
+            ResponseBody::Session(info) => {
+                self.token = Some(info.token.clone());
+                self.next_seq = info.last_seq.map_or(0, |s| s + 1);
+                Ok(info)
+            }
+            other => Err(protocol_kind("session", &other)),
+        }
+    }
+
+    /// Attaches this connection to an existing durable session by token,
+    /// restoring its model, stored programs, account and in-window rate
+    /// budgets. On success the client continues the session's
+    /// idempotency sequence where it left off (`last_seq + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport, server or protocol errors: `session_expired`
+    /// when the session sat detached past the server's TTL and was
+    /// collected, `bad_token` for a token the server never issued, and a
+    /// busy refusal while another live connection holds the session
+    /// (retried with the server's back-off hint when a [`RetryPolicy`]
+    /// is set). On failure the client holds no session.
+    pub fn resume_session(&mut self, token: impl Into<String>) -> Result<SessionInfo, ClientError> {
+        self.token = Some(token.into());
+        match self.resume_attached() {
+            Ok(info) => Ok(info),
+            Err(e) => {
+                self.token = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Resumes the held token on the current connection, retrying busy
+    /// refusals (the old connection's reader has not let go yet — a
+    /// transient server-side race) per the retry policy.
+    fn resume_attached(&mut self) -> Result<SessionInfo, ClientError> {
+        let token = self
+            .token
+            .clone()
+            .expect("resume_attached requires a held token");
+        let mut attempt: u32 = 0;
+        loop {
+            let resp = self.call_with(
+                RequestBody::ResumeSession {
+                    token: token.clone(),
+                },
+                None,
+            )?;
+            match resp.body {
+                ResponseBody::Session(info) => {
+                    // Never rewind: the server's watermark can trail our
+                    // counter when recent stamped ops were all refused
+                    // (refusals do not consume a seq).
+                    if let Some(last) = info.last_seq {
+                        self.next_seq = self.next_seq.max(last + 1);
+                    }
+                    return Ok(info);
+                }
+                ResponseBody::Error(err) => {
+                    let can_retry = self
+                        .retry
+                        .is_some_and(|policy| attempt + 1 < policy.max_attempts);
+                    let busy = err.kind == ErrorKind::Generic && err.retry_after_ms.is_some();
+                    if !(busy && can_retry) {
+                        return Err(ClientError::Server(err));
+                    }
+                    let policy = self.retry.expect("can_retry implies a policy");
+                    let backoff = err
+                        .retry_after_ms
+                        .map_or_else(|| policy.delay(attempt), Duration::from_millis)
+                        .min(policy.max_delay);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                other => return Err(protocol_kind("session", &other)),
+            }
         }
     }
 

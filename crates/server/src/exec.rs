@@ -227,11 +227,11 @@ fn compute_body(
             let run = prog.run(mac).map_err(|e| ErrorBody::from(&e))?;
             program_report(mac, params, run)
         }
-        RequestBody::RunStored { pid, inputs } => {
+        RequestBody::RunStored { target, inputs } => {
             let compiled = job
                 .stored
                 .as_deref()
-                .ok_or(format!("no stored program {pid} in this session"))?;
+                .ok_or(format!("no {target} in this session"))?;
             let bindings: Vec<Option<&[u64]>> = if inputs.is_empty() {
                 vec![None; compiled.write_count()]
             } else {

@@ -35,15 +35,30 @@
 //!   typed [`Program`](bpimc_core::prog::Program) and run by the single
 //!   program executor, so wire ops, client pipelines and library callers
 //!   share validation, lowering (fused add+shift) and accounting.
-//! * **Per-connection sessions** hold a loaded classifier model (with its
+//! * **Sessions** hold a loaded classifier model (with its
 //!   classify pipeline pre-compiled once into a
 //!   [`CompiledProgram`](bpimc_core::CompiledProgram) template), a
-//!   stored-program cache (`store_program` validates and compiles once;
-//!   `run_stored` replays with rebound write values and zero per-call
-//!   validation or lowering), and a
+//!   *named* stored-program registry (`store_program` validates and
+//!   compiles once, optionally under a name; `run_stored` replays by pid
+//!   or name with rebound write values and zero per-call validation or
+//!   lowering; `list_programs` reports each entry's cumulative run
+//!   history; `delete_program` frees a slot), and a
 //!   [`SessionActivity`](bpimc_core::SessionActivity) account: every
 //!   successful request is billed the exact hardware cycles and femtojoules
 //!   its job consumed, measured from the executing macro's activity log.
+//! * **Durable sessions**: `open_session` upgrades the connection's
+//!   session to a registry-owned object keyed by an unguessable token;
+//!   after a connection drop, `resume_session` on a new connection
+//!   restores the model, program registry, account and in-window rate
+//!   budgets intact. Detached sessions linger under
+//!   [`ServerConfig::session_ttl`] and are then garbage-collected by a
+//!   sweeper thread (a late resume answers `session_expired`; a forged
+//!   token answers `bad_token`), with global caps on sessions and
+//!   registry-wide stored programs so orphans cannot exhaust memory. At
+//!   most one live connection holds a token at a time. Requests may carry
+//!   a per-session `seq` number: a retry of an executed seq replays the
+//!   recorded response instead of executing again, so reconnect-and-retry
+//!   can never double-execute or double-bill.
 //! * **Per-session guardrails** ([`SessionLimits`]): optional per-second
 //!   cycle and energy budgets — metered against the same exact accounting
 //!   the session is billed, which the paper's fixed cost model makes
@@ -74,8 +89,11 @@
 //!   pool are unaffected.
 //! * **Client resilience**: [`Client`] surfaces `overloaded` /
 //!   `limit_exceeded` / `deadline_exceeded` as typed errors, and can be
-//!   given a [`RetryPolicy`] to reconnect with capped exponential backoff
-//!   and retry idempotent read-only ops.
+//!   given a [`RetryPolicy`] to reconnect with capped exponential backoff.
+//!   With a durable session open, the client stamps every request with a
+//!   seq number, auto-resumes its session inside the reconnect path, and
+//!   safely retries *all* seq-guarded ops across transport errors — not
+//!   just idempotent read-only ones.
 //! * **Graceful shutdown** (client `shutdown` op or
 //!   [`ServerHandle::shutdown`]): the listener stops accepting, queued
 //!   requests drain and get responses, then connections close and all
@@ -107,6 +125,7 @@ mod guard;
 #[cfg(feature = "model")]
 pub mod models;
 mod server;
+mod session;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{ComputeFault, FaultPlan, ResponseFault};

@@ -12,13 +12,15 @@
 
 use crate::guard::{RateWindow, SessionLimits};
 use crate::server::{Outbox, Queue, ResponseSink};
+use crate::session::{Billing, RegistryCaps, Session, SessionRegistry};
+use bpimc_core::{ErrorKind, ResponseBody};
 use bpimc_stats::sync::model::ModelSpec;
 use bpimc_stats::sync::thread;
 use bpimc_stats::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// In-memory peer: records every drained buffer, never blocks. The model
 /// analogue of a healthy client socket.
@@ -177,7 +179,7 @@ fn rate_window_never_double_bills() {
         max_cycles_per_sec: Some(BUDGET),
         ..SessionLimits::default()
     };
-    let window = Arc::new(Mutex::named("server.conn.session", RateWindow::new()));
+    let window = Arc::new(Mutex::named("server.session.inner", RateWindow::new()));
     let t0 = Instant::now();
     let admitted = Arc::new(AtomicUsize::new(0));
     let workers: Vec<_> = (0..2)
@@ -209,6 +211,162 @@ fn rate_window_never_double_bills() {
     );
 }
 
+/// Registry sizing for the session models: room to spare, so only the
+/// modelled race — never an incidental cap — decides the outcome.
+fn model_caps(ttl: Duration) -> RegistryCaps {
+    RegistryCaps {
+        ttl,
+        max_sessions: 4,
+        max_programs: 16,
+    }
+}
+
+/// A dying reader's detach racing a reconnecting client's resume hands
+/// the session to **exactly one** holder in every schedule: a resume that
+/// beats the detach is busy-refused (with a retry hint) and succeeds once
+/// the detach lands; a resume that loses blocks nothing and leaves the
+/// session attached for the new connection. The session itself survives
+/// either way.
+fn session_resume_vs_drain_exclusive() {
+    let registry = Arc::new(SessionRegistry::new(model_caps(Duration::from_secs(60))));
+    let now = Instant::now();
+    let session = registry
+        .open(&Session::ephemeral(), now)
+        .expect("registry has room");
+    let token = session
+        .token
+        .clone()
+        .expect("durable sessions carry a token");
+    // T1: the old connection's reader exits and lets go of the session.
+    let drainer = {
+        let session = session.clone();
+        thread::spawn(move || session.detach(now))
+    };
+    // T2: the reconnecting client races the detach with one resume.
+    let racer = {
+        let registry = registry.clone();
+        let token = token.clone();
+        thread::spawn(move || registry.resume(&token, now).is_ok())
+    };
+    let raced_in = racer.join().expect("racer exits");
+    drainer.join().expect("drainer exits");
+    let second = registry.resume(&token, now).map(|_| ());
+    match (raced_in, &second) {
+        // The racer attached; any further resume must be busy-refused.
+        (true, Err(err)) => assert!(
+            err.retry_after_ms.is_some(),
+            "a busy refusal carries a retry hint: {err:?}"
+        ),
+        // The racer was busy-refused; after the detach the session is
+        // free, so the retry attaches cleanly.
+        (false, Ok(())) => {}
+        _ => panic!("attach must be exclusive: raced_in={raced_in}, second={second:?}"),
+    }
+    assert_eq!(registry.len(), 1, "the session survives the race");
+}
+
+/// The per-session seq guard makes delivery exactly-once under races: an
+/// original execution and a post-reconnect resend of the same logical
+/// request (same seq) settle **one** bill in every schedule — the loser
+/// observes the claimed seq and answers from the replay window instead of
+/// executing again.
+fn session_seq_guard_never_double_bills() {
+    const COST: u64 = 7;
+    const SEQ: u64 = 0;
+    let session = Session::ephemeral();
+    let billed = Arc::new(AtomicUsize::new(0));
+    let attempts: Vec<_> = (0..2)
+        .map(|_| {
+            let session = session.clone();
+            let billed = billed.clone();
+            thread::spawn(move || {
+                // One delivery attempt of the same logical request: the
+                // replay check and the settle are atomic under the
+                // session lock, exactly as the dispatcher does it.
+                let mut inner = session.inner.lock();
+                if inner.is_replay(SEQ) {
+                    assert!(
+                        inner.replayed(SEQ).is_some(),
+                        "a claimed seq answers from the replay window"
+                    );
+                } else {
+                    inner.settle(
+                        Billing::Ok {
+                            cycles: COST,
+                            energy_fj: 1.0,
+                        },
+                        None,
+                        Some(SEQ),
+                        &ResponseBody::Ok,
+                    );
+                    billed.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for a in attempts {
+        a.join().expect("attempt exits");
+    }
+    let inner = session.inner.lock();
+    assert_eq!(
+        billed.load(Ordering::SeqCst),
+        1,
+        "exactly one attempt executes"
+    );
+    assert_eq!(inner.stats.requests, 1, "the account sees one request");
+    assert_eq!(inner.stats.cycles, COST, "the op is billed exactly once");
+    assert_eq!(
+        inner.last_seq(),
+        Some(SEQ),
+        "the seq watermark advanced once"
+    );
+}
+
+/// The TTL sweeper racing a resume of the same expired session resolves
+/// exclusively in every schedule: either the resume wins (the session
+/// attaches and the sweep must spare it) or the sweep wins (the session
+/// is collected and the resume answers `session_expired`) — never both,
+/// and the registry count agrees with whichever happened.
+fn session_gc_vs_resume_exclusive() {
+    // A zero TTL makes the detached session collectible immediately.
+    let registry = Arc::new(SessionRegistry::new(model_caps(Duration::ZERO)));
+    let now = Instant::now();
+    let session = registry
+        .open(&Session::ephemeral(), now)
+        .expect("registry has room");
+    let token = session
+        .token
+        .clone()
+        .expect("durable sessions carry a token");
+    session.detach(now);
+    let sweeper = {
+        let registry = registry.clone();
+        thread::spawn(move || registry.sweep(now))
+    };
+    let resumer = {
+        let registry = registry.clone();
+        let token = token.clone();
+        thread::spawn(move || registry.resume(&token, now).map(|_| ()))
+    };
+    let swept = sweeper.join().expect("sweeper exits");
+    let resumed = resumer.join().expect("resumer exits");
+    match resumed {
+        Ok(()) => {
+            assert_eq!(swept, 0, "a resumed session is never collected");
+            assert_eq!(registry.len(), 1, "the resumed session stays registered");
+        }
+        Err(err) => {
+            assert_eq!(
+                err.kind,
+                ErrorKind::SessionExpired,
+                "a swept token answers session_expired: {err:?}"
+            );
+            assert_eq!(swept, 1, "the losing resume implies the sweep collected it");
+            assert_eq!(registry.len(), 0, "the collected session is gone");
+        }
+    }
+}
+
 /// The serving stack's model suite, in the shape `repro model-check` and
 /// the root `concurrency_models` test both consume.
 pub const MODELS: &[ModelSpec] = &[
@@ -231,6 +389,21 @@ pub const MODELS: &[ModelSpec] = &[
         name: "server-rate-window-no-double-billing",
         invariant: "budget metering admits exactly budget/cost racing requests per window",
         run: rate_window_never_double_bills,
+    },
+    ModelSpec {
+        name: "server-session-resume-vs-drain",
+        invariant: "a resume racing a reader's detach attaches exactly one holder, never two",
+        run: session_resume_vs_drain_exclusive,
+    },
+    ModelSpec {
+        name: "server-session-seq-no-double-billing",
+        invariant: "an original and its seq-stamped resend settle exactly one bill",
+        run: session_seq_guard_never_double_bills,
+    },
+    ModelSpec {
+        name: "server-session-gc-vs-resume",
+        invariant: "a sweep racing a resume resolves exclusively: attach or session_expired",
+        run: session_gc_vs_resume_exclusive,
     },
 ];
 

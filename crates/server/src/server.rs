@@ -1,12 +1,14 @@
 //! The threaded TCP service: accept loop, per-connection readers, bounded
-//! request queue, and the dispatcher that batches onto the `MacroBank`.
+//! request queue, the dispatcher that batches onto the `MacroBank`, and
+//! the durable-session registry with its TTL sweeper.
 
 use crate::exec::{is_compute, run_compute, ComputeJob, Model};
 use crate::fault::{FaultPlan, ResponseFault};
-use crate::guard::{RateWindow, SessionLimits};
+use crate::guard::SessionLimits;
+use crate::session::{Billing, RegistryCaps, Session, SessionRegistry, StoredEntry};
 use bpimc_core::{
-    CompiledProgram, ErrorBody, LimitKind, MacroBank, MacroConfig, Program, Request, RequestBody,
-    Response, ResponseBody, SessionActivity, StoredMeta,
+    ErrorBody, ErrorKind, LimitKind, MacroBank, MacroConfig, Program, Request, RequestBody,
+    Response, ResponseBody, StoredMeta,
 };
 use bpimc_metrics::{paper_calibrated_params, EnergyParams};
 use bpimc_nn::{classify_program, prototype_norms};
@@ -60,6 +62,18 @@ pub struct ServerConfig {
     /// but per-instruction accounting and `run_stored` input slots follow
     /// the optimized stream, so clients opt in via the operator.
     pub optimize_programs: bool,
+    /// How long a detached durable session (its connection dropped, no
+    /// resume yet) lingers before the sweeper garbage-collects it.
+    pub session_ttl: Duration,
+    /// Most durable sessions — attached or detached — the registry holds
+    /// at once; `open_session` past this answers `limit_exceeded`
+    /// (`sessions`).
+    pub max_sessions: usize,
+    /// Global cap on stored programs summed across every durable session
+    /// (`limit_exceeded` naming `registry_programs`) — so orphaned
+    /// sessions each under the per-session cap cannot together exhaust
+    /// server memory while they wait out the TTL.
+    pub max_registry_programs: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +90,9 @@ impl Default for ServerConfig {
             shed_high: GLOBAL_SHARES * queue_capacity * 3 / 4,
             shed_low: GLOBAL_SHARES * queue_capacity / 2,
             optimize_programs: false,
+            session_ttl: DEFAULT_SESSION_TTL,
+            max_sessions: 1024,
+            max_registry_programs: 4096,
         }
     }
 }
@@ -98,6 +115,11 @@ const OUTBOX_CAPACITY: usize = 256;
 
 /// Default for [`ServerConfig::write_timeout`].
 const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default for [`ServerConfig::session_ttl`]: long enough to ride out any
+/// realistic reconnect backoff, short enough that orphaned sessions never
+/// pile up meaningfully.
+const DEFAULT_SESSION_TTL: Duration = Duration::from_secs(60);
 
 /// A response write stalling at least this long marks its connection
 /// `slow` (sticky): later responses always go through the connection's
@@ -131,6 +153,9 @@ struct Item {
     id: u64,
     /// Position in the connection's request stream (keys the fault plan).
     seq: u64,
+    /// The client-stamped idempotency sequence number, if the request
+    /// carried one (meaningful only on durable sessions).
+    req_seq: Option<u64>,
     /// When the request's `timeout_ms` expires, if it carried one.
     deadline: Option<Instant>,
     body: Result<RequestBody, ErrorBody>,
@@ -287,29 +312,6 @@ impl<T> Queue<T> {
         self.state.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
-    }
-}
-
-/// Per-session state: the activity account, the loaded model and the
-/// stored-program cache. All of it dies with the connection.
-struct SessionState {
-    stats: SessionActivity,
-    /// Cycle/energy spend in the current budget window (guardrails).
-    rate: RateWindow,
-    model: Option<Arc<Model>>,
-    stored: HashMap<u64, Arc<CompiledProgram>>,
-    next_pid: u64,
-}
-
-impl SessionState {
-    fn new() -> Self {
-        Self {
-            stats: SessionActivity::new(),
-            rate: RateWindow::new(),
-            model: None,
-            stored: HashMap::new(),
-            next_pid: 1,
-        }
     }
 }
 
@@ -561,15 +563,24 @@ impl Outbox {
     }
 }
 
-/// One client connection.
+/// One client connection. Its session lives behind a *slot*: every
+/// connection starts with a fresh ephemeral [`Session`], and
+/// `open_session` / `resume_session` swap a durable one in. The slot lock
+/// is only ever held long enough to clone or swap the `Arc` — all real
+/// state sits behind the session's own lock — so it nests inside nothing.
 struct Conn {
     id: u64,
     stream: TcpStream,
     outbox: Outbox,
-    session: Mutex<SessionState>,
+    session: Mutex<Arc<Session>>,
 }
 
 impl Conn {
+    /// The session currently attached to this connection.
+    fn session(&self) -> Arc<Session> {
+        self.session.lock().clone()
+    }
+
     /// Produces one response: serialized here, then written inline when
     /// this connection is keeping up, or handed to its writer thread when
     /// a backlog is pending (bounded at `OUTBOX_CAPACITY` lines — beyond
@@ -578,17 +589,6 @@ impl Conn {
         let mut line = Response { id, body }.to_json_line();
         line.push('\n');
         self.outbox.push_line(self, line);
-    }
-
-    fn record_ok(&self, cycles: u64, energy_fj: f64) {
-        let mut session = self.session.lock();
-        session.stats.record_ok(cycles, energy_fj);
-        // The same exact numbers feed the guardrail budget window.
-        session.rate.charge(cycles, energy_fj);
-    }
-
-    fn record_error(&self) {
-        self.session.lock().stats.record_error();
     }
 }
 
@@ -622,6 +622,7 @@ struct Shared {
     addr: SocketAddr,
     queue: Queue<Item>,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    sessions: Arc<SessionRegistry>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
     next_conn_id: AtomicU64,
@@ -629,13 +630,15 @@ struct Shared {
 }
 
 impl Shared {
-    /// Idempotent: stops the accept loop and closes the queue. Already
-    /// queued requests still drain and get responses; new pushes fail.
+    /// Idempotent: stops the accept loop, closes the queue and stops the
+    /// session sweeper. Already queued requests still drain and get
+    /// responses; new pushes fail.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.close();
+        self.sessions.stop_sweeper();
         // Unblock the accept loop with a throwaway connection to ourselves.
         let _ = TcpStream::connect(self.addr);
     }
@@ -662,17 +665,27 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let sessions = Arc::new(SessionRegistry::new(RegistryCaps {
+            ttl: config.session_ttl,
+            max_sessions: config.max_sessions,
+            max_programs: config.max_registry_programs,
+        }));
         let shared = Arc::new(Shared {
             config,
             addr,
             queue: Queue::new(config.queue_capacity, config.shed_high, config.shed_low),
             conns: Mutex::named("server.conns", HashMap::new()),
+            sessions: sessions.clone(),
             readers: Mutex::named("server.readers", Vec::new()),
             writers: Mutex::named("server.writers", Vec::new()),
             next_conn_id: AtomicU64::named("server.conn.next-id", 1),
             shutting_down: AtomicBool::named("server.shutting-down", false),
         });
 
+        let sweeper = std::thread::Builder::new()
+            .name("bpimc-session-gc".into())
+            .spawn(move || sessions.run_sweeper())
+            .expect("spawning the session sweeper thread");
         let accept = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -692,6 +705,7 @@ impl Server {
             shared,
             accept: Some(accept),
             dispatcher: Some(dispatcher),
+            sweeper: Some(sweeper),
         })
     }
 }
@@ -701,6 +715,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -727,6 +742,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
             let _ = h.join();
         }
         let readers = std::mem::take(&mut *self.shared.readers.lock());
@@ -765,7 +783,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             id,
             stream,
             outbox: Outbox::new(OUTBOX_CAPACITY),
-            session: Mutex::named("server.conn.session", SessionState::new()),
+            session: Mutex::named("server.conn.session-slot", Session::ephemeral()),
         });
         shared.conns.lock().insert(id, conn.clone());
         // Re-check AFTER registering: if a shutdown slipped in between the
@@ -877,6 +895,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     let Ok(read_half) = conn.stream.try_clone() else {
         conn.outbox.no_more_requests();
         shared.conns.lock().remove(&conn.id);
+        conn.session().detach(Instant::now());
         return;
     };
     let mut reader = BufReader::new(read_half);
@@ -884,11 +903,12 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     let limits = shared.config.limits;
     let mut seq: u64 = 0;
     loop {
-        let (id, deadline, mut body) =
+        let (id, req_seq, deadline, mut body) =
             match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
                 LineRead::Eof => break,
                 LineRead::TooLong => (
                     0,
+                    None,
                     None,
                     Err(ErrorBody::generic(format!(
                         "request line exceeds {MAX_LINE_BYTES} bytes"
@@ -905,7 +925,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
                             let deadline = req
                                 .timeout_ms
                                 .map(|ms| Instant::now() + Duration::from_millis(ms));
-                            (req.id, deadline, Ok(req.body))
+                            (req.id, req.seq, deadline, Ok(req.body))
                         }
                         // Malformed lines go through the queue like any other
                         // request, so their error responses keep the
@@ -914,6 +934,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
                         // id 0 (`peek_id` returns `None` for those).
                         Err(e) => (
                             Request::peek_id(&line).unwrap_or(0),
+                            None,
                             None,
                             Err(ErrorBody::generic(e.to_string())),
                         ),
@@ -949,6 +970,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
                     conn: conn.clone(),
                     id,
                     seq,
+                    req_seq,
                     deadline,
                     body,
                 },
@@ -957,7 +979,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
         {
             // Queue closed: the dispatcher will never answer. This is the
             // one response written off-order, and only during shutdown.
-            conn.record_error();
+            conn.session().record_error();
             conn.respond(id, ResponseBody::Error("server is shutting down".into()));
             break;
         }
@@ -965,7 +987,13 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     }
     // The writer finishes any in-flight responses, then exits.
     conn.outbox.no_more_requests();
+    // Deregister this connection *before* detaching its session: a
+    // concurrent `resume_session` that attaches a session to this
+    // connection re-checks `conns` after the swap and detaches again if
+    // we are already gone, so this ordering leaves no window in which a
+    // session stays attached to a dead connection (see `handle_control`).
     shared.conns.lock().remove(&conn.id);
+    conn.session().detach(Instant::now());
 }
 
 fn dispatch_loop(shared: &Arc<Shared>) {
@@ -988,13 +1016,53 @@ fn dispatch_loop(shared: &Arc<Shared>) {
     shared.close_all_conns();
 }
 
-/// Whether one compute item in a drained run executes on the bank or was
+/// Whether one compute item in a drained run executes on the bank, was
 /// refused before touching any array state (deadline already expired in
-/// queue, rate budget exhausted). Refusals keep their slot in the
-/// response order.
+/// queue, rate budget exhausted), or is an idempotent-retry duplicate.
+/// Every variant keeps its slot in the response order.
 enum Prepared {
+    /// Executes as a bank job; its seq (if stamped) was claimed at
+    /// job-build time, so a same-batch duplicate already resolves to
+    /// `Replay`.
     Run,
+    /// Refused before execution. Transient by construction — the op never
+    /// ran — so a stamped seq is deliberately *not* claimed: the client's
+    /// retry of the same seq gets re-admitted fresh.
     Refused(ErrorBody),
+    /// The stamped seq was already claimed by an earlier request: answer
+    /// from the session's replay window at record time (by then the
+    /// original — which precedes this slot in response order — has cached
+    /// its response), executing and billing nothing.
+    Replay(u64),
+}
+
+/// One slot of a drained compute run: the connection and session it
+/// settles against, response-ordering keys, and how it was prepared.
+struct MetaItem {
+    conn: Arc<Conn>,
+    /// Snapshotted at job-build time: control ops that swap the
+    /// connection's session slot cannot race a compute run (they execute
+    /// between runs), so this is the session the request was admitted
+    /// under — the one its outcome must settle against.
+    session: Arc<Session>,
+    id: u64,
+    /// Conn-stream position (keys the fault plan).
+    seq: u64,
+    /// The claimed idempotency seq to record the response under, if the
+    /// request was stamped, durable and actually executed.
+    claimed: Option<u64>,
+    /// The stored program a `run_stored` resolved to (run history).
+    ran_pid: Option<u64>,
+    prep: Prepared,
+}
+
+/// The canned answer for a stamped seq that was claimed but has fallen
+/// out of the bounded replay window (a retry arriving implausibly late).
+fn stale_seq_error(seq: u64) -> ErrorBody {
+    ErrorBody::generic(format!(
+        "request seq {seq} was already executed but its response left the replay window; \
+         do not reuse seq numbers"
+    ))
 }
 
 /// Processes one drained batch in FIFO order: runs of consecutive compute
@@ -1019,7 +1087,7 @@ fn process_batch(
     let mut iter = batch.into_iter().peekable();
     while let Some(item) = iter.next() {
         if is_compute_item(&item) {
-            let mut meta = Vec::new();
+            let mut meta: Vec<MetaItem> = Vec::new();
             let mut jobs = Vec::new();
             let mut next = Some(item);
             loop {
@@ -1031,42 +1099,101 @@ fn process_batch(
                     },
                 };
                 let body = it.body.expect("compute items carry a parsed body");
-                // Deadline + rate budget, checked before the job exists.
-                // `Instant::now` is skipped entirely when neither applies
-                // (the default config), keeping the hot path unchanged.
-                let refusal = if it.deadline.is_some() || !limits.unmetered() {
-                    let now = Instant::now();
-                    if it.deadline.is_some_and(|d| now >= d) {
-                        Some(ErrorBody::deadline(
-                            "deadline expired while the request was queued",
-                        ))
-                    } else {
-                        it.conn.session.lock().rate.admit(&limits, now).err()
+                let session = it.conn.session();
+                // The idempotency guard applies to requests that carry a
+                // seq on a durable session (ephemeral sessions cannot
+                // reconnect, so there is nothing to guard).
+                let guarded = it.req_seq.filter(|_| session.is_durable());
+                let needs_snapshot = matches!(
+                    &body,
+                    RequestBody::Classify { .. } | RequestBody::RunStored { .. }
+                );
+                let needs_meter = it.deadline.is_some() || !limits.unmetered();
+                // `Instant::now` and the session lock are skipped entirely
+                // when nothing needs them (the default config's dot/lanes
+                // path), keeping the hot path unchanged.
+                let (mut model, mut stored, mut ran_pid, mut claimed) = (None, None, None, None);
+                let refusal = if guarded.is_some() || needs_meter || needs_snapshot {
+                    let mut inner = session.inner.lock();
+                    if let Some(rseq) = guarded.filter(|&rseq| inner.is_replay(rseq)) {
+                        drop(inner);
+                        meta.push(MetaItem {
+                            conn: it.conn,
+                            session,
+                            id: it.id,
+                            seq: it.seq,
+                            claimed: None,
+                            ran_pid: None,
+                            prep: Prepared::Replay(rseq),
+                        });
+                        continue;
                     }
+                    // Deadline + rate budget, checked before the job
+                    // exists — and before the seq is claimed, so these
+                    // transient refusals stay retryable.
+                    let refusal = if needs_meter {
+                        let now = Instant::now();
+                        if it.deadline.is_some_and(|d| now >= d) {
+                            Some(ErrorBody::deadline(
+                                "deadline expired while the request was queued",
+                            ))
+                        } else {
+                            inner.rate.admit(&limits, now).err()
+                        }
+                    } else {
+                        None
+                    };
+                    if refusal.is_none() {
+                        if let Some(rseq) = guarded {
+                            inner.claim_seq(rseq);
+                            claimed = Some(rseq);
+                        }
+                        // Session state the job depends on is snapshotted
+                        // at job-build time (Arc clones): a `load_model`
+                        // or `store_program` earlier in the same drained
+                        // batch is visible, and later session changes
+                        // cannot race the job.
+                        match &body {
+                            RequestBody::Classify { .. } => model = inner.model.clone(),
+                            RequestBody::RunStored { target, .. } => {
+                                if let Some((pid, compiled)) = inner.resolve(target) {
+                                    ran_pid = Some(pid);
+                                    stored = Some(compiled);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    refusal
                 } else {
                     None
                 };
                 if let Some(err) = refusal {
-                    meta.push((it.conn, it.id, it.seq, Prepared::Refused(err)));
+                    meta.push(MetaItem {
+                        conn: it.conn,
+                        session,
+                        id: it.id,
+                        seq: it.seq,
+                        claimed: None,
+                        ran_pid: None,
+                        prep: Prepared::Refused(err),
+                    });
                     continue;
                 }
-                // Session state the job depends on is snapshotted at
-                // job-build time (Arc clones): a `load_model` or
-                // `store_program` earlier in the same drained batch is
-                // visible, and later session changes cannot race the job.
-                let (model, stored) = match &body {
-                    RequestBody::Classify { .. } => (it.conn.session.lock().model.clone(), None),
-                    RequestBody::RunStored { pid, .. } => {
-                        (None, it.conn.session.lock().stored.get(pid).cloned())
-                    }
-                    _ => (None, None),
-                };
                 let fault = if faults.is_active() {
                     faults.compute_fault(it.conn.id, it.seq)
                 } else {
                     None
                 };
-                meta.push((it.conn, it.id, it.seq, Prepared::Run));
+                meta.push(MetaItem {
+                    conn: it.conn,
+                    session,
+                    id: it.id,
+                    seq: it.seq,
+                    claimed,
+                    ran_pid,
+                    prep: Prepared::Run,
+                });
                 jobs.push(ComputeJob {
                     body,
                     model,
@@ -1081,28 +1208,33 @@ fn process_batch(
             let mut results = bank
                 .try_run_batch(&jobs, |mac, job| run_compute(mac, job, params))
                 .into_iter();
-            for (conn, id, seq, prep) in meta {
-                let body = match prep {
-                    Prepared::Refused(err) => {
-                        conn.record_error();
-                        ResponseBody::Error(err)
+            for m in meta {
+                let (body, billing) = match m.prep {
+                    Prepared::Replay(rseq) => {
+                        // The original precedes this slot in response
+                        // order, so its response — if still in the bounded
+                        // window — is cached by now. Nothing is billed:
+                        // the account reflects each logical op once.
+                        let cached = m.session.inner.lock().replayed(rseq);
+                        (
+                            cached.unwrap_or_else(|| ResponseBody::Error(stale_seq_error(rseq))),
+                            Billing::None,
+                        )
                     }
+                    Prepared::Refused(err) => (ResponseBody::Error(err), Billing::Error),
                     Prepared::Run => match results.next().expect("one result per job") {
                         Ok((Ok(body), cycles, energy_fj)) => {
-                            conn.record_ok(cycles, energy_fj);
-                            body
+                            (body, Billing::Ok { cycles, energy_fj })
                         }
-                        Ok((Err(err), _, _)) => {
-                            conn.record_error();
-                            ResponseBody::Error(err)
-                        }
-                        Err(panic) => {
-                            conn.record_error();
-                            ResponseBody::Error(panic.to_string().into())
-                        }
+                        Ok((Err(err), _, _)) => (ResponseBody::Error(err), Billing::Error),
+                        Err(panic) => (
+                            ResponseBody::Error(panic.to_string().into()),
+                            Billing::Error,
+                        ),
                     },
                 };
-                deliver(&conn, id, seq, body, &faults);
+                m.session.settle(billing, m.ran_pid, m.claimed, &body);
+                deliver(&m.conn, m.id, m.seq, body, &faults);
             }
         } else {
             handle_control(item, bank, params, shared);
@@ -1131,30 +1263,112 @@ fn deliver(conn: &Arc<Conn>, id: u64, seq: u64, body: ResponseBody, faults: &Fau
     conn.respond(id, body);
 }
 
+/// Whether a control response may be recorded against its request's seq.
+/// Transient refusals — overload sheds and rate/inflight budget errors —
+/// mean the op never ran, so the seq must stay unclaimed and a retry of
+/// it re-admits fresh. Everything else (success or deterministic failure)
+/// is the seq's definitive outcome.
+fn control_consumes_seq(body: &ResponseBody) -> bool {
+    match body {
+        ResponseBody::Error(e) => {
+            e.kind != ErrorKind::Overloaded
+                && !matches!(
+                    e.limit,
+                    Some(LimitKind::CycleRate | LimitKind::EnergyRate | LimitKind::Inflight)
+                )
+        }
+        _ => true,
+    }
+}
+
+/// The common control-op epilogue: settles billing (and, when the request
+/// was seq-guarded and the outcome consumes the seq, records the response
+/// for replay), then responds.
+fn finish_control(
+    conn: &Arc<Conn>,
+    session: &Session,
+    id: u64,
+    guarded: Option<u64>,
+    billing: Billing,
+    body: ResponseBody,
+) {
+    let seq = guarded.filter(|_| control_consumes_seq(&body));
+    session.settle(billing, None, seq, &body);
+    conn.respond(id, body);
+}
+
 fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, shared: &Arc<Shared>) {
-    let Item { conn, id, body, .. } = item;
+    let Item {
+        conn,
+        id,
+        req_seq,
+        body,
+        ..
+    } = item;
+    let session = conn.session();
     let body = match body {
         Ok(body) => body,
         Err(err) => {
             // A line that never parsed, or a request refused at admission
             // (shed, over the in-flight cap): answered here, in queue
-            // order.
-            conn.record_error();
+            // order. Never seq-claimed — sheds and inflight refusals are
+            // transient, and malformed lines have no usable seq.
+            session.record_error();
             conn.respond(id, ResponseBody::Error(err));
             return;
         }
     };
+    // The idempotency gate. `open_session`/`resume_session` are exempt:
+    // they address session *identity* rather than session state, are
+    // natural-idempotent anyway, and a resume's seq could only be
+    // meaningful on the session it is still trying to attach to.
+    let guarded = match &body {
+        RequestBody::OpenSession | RequestBody::ResumeSession { .. } => None,
+        _ => req_seq.filter(|_| session.is_durable()),
+    };
+    if let Some(rseq) = guarded {
+        let replay = {
+            let inner = session.inner.lock();
+            inner.is_replay(rseq).then(|| inner.replayed(rseq))
+        };
+        if let Some(cached) = replay {
+            // A duplicate of an op that already ran: replay its recorded
+            // response (control ops execute inline in queue order, so the
+            // original has always settled by now), billing nothing.
+            let body = cached.unwrap_or_else(|| ResponseBody::Error(stale_seq_error(rseq)));
+            conn.respond(id, body);
+            return;
+        }
+    }
     match body {
         RequestBody::Ping => {
-            conn.record_ok(0, 0.0);
-            conn.respond(id, ResponseBody::Pong);
+            finish_control(
+                &conn,
+                &session,
+                id,
+                guarded,
+                Billing::Ok {
+                    cycles: 0,
+                    energy_fj: 0.0,
+                },
+                ResponseBody::Pong,
+            );
         }
         RequestBody::Stats => {
             // Reports the account *before* this request, then bills the
             // stats request itself as zero-cycle work.
-            let stats = conn.session.lock().stats;
-            conn.record_ok(0, 0.0);
-            conn.respond(id, ResponseBody::Stats(stats));
+            let stats = session.inner.lock().stats;
+            finish_control(
+                &conn,
+                &session,
+                id,
+                guarded,
+                Billing::Ok {
+                    cycles: 0,
+                    energy_fj: 0.0,
+                },
+                ResponseBody::Stats(stats),
+            );
         }
         RequestBody::LoadModel {
             precision,
@@ -1164,38 +1378,59 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             if !limits.unmetered() {
                 // `load_model` bills real macro work (the norm
                 // precompute), so it is metered like any compute request.
-                let refusal = conn
-                    .session
+                let refusal = session
+                    .inner
                     .lock()
                     .rate
                     .admit(&limits, Instant::now())
                     .err();
                 if let Some(err) = refusal {
-                    conn.record_error();
-                    conn.respond(id, ResponseBody::Error(err));
+                    finish_control(
+                        &conn,
+                        &session,
+                        id,
+                        guarded,
+                        Billing::Error,
+                        ResponseBody::Error(err),
+                    );
                     return;
                 }
             }
             match build_model(bank, params, precision, prototypes) {
                 Ok((model, cycles, energy_fj)) => {
-                    let mut session = conn.session.lock();
-                    session.model = Some(Arc::new(model));
-                    session.stats.record_ok(cycles, energy_fj);
-                    session.rate.charge(cycles, energy_fj);
-                    drop(session);
-                    conn.respond(id, ResponseBody::Ok);
+                    session.inner.lock().model = Some(Arc::new(model));
+                    finish_control(
+                        &conn,
+                        &session,
+                        id,
+                        guarded,
+                        Billing::Ok { cycles, energy_fj },
+                        ResponseBody::Ok,
+                    );
                 }
                 Err(msg) => {
-                    conn.record_error();
-                    conn.respond(id, ResponseBody::Error(msg.into()));
+                    finish_control(
+                        &conn,
+                        &session,
+                        id,
+                        guarded,
+                        Billing::Error,
+                        ResponseBody::Error(msg.into()),
+                    );
                 }
             }
         }
-        RequestBody::StoreProgram { instrs } => {
+        RequestBody::StoreProgram { instrs, name } => {
             let limits = shared.config.limits;
             if let Err(err) = limits.check_program_len(instrs.len()) {
-                conn.record_error();
-                conn.respond(id, ResponseBody::Error(err));
+                finish_control(
+                    &conn,
+                    &session,
+                    id,
+                    guarded,
+                    Billing::Error,
+                    ResponseBody::Error(err),
+                );
                 return;
             }
             let config = *bank.macro_at(0).config();
@@ -1205,8 +1440,14 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             // validation error the structured `invalid_program` response
             // carries the same code/index detail instead.
             if let Err(e) = prog.validate(&config) {
-                conn.record_error();
-                conn.respond(id, ResponseBody::Error(ErrorBody::from(&e)));
+                finish_control(
+                    &conn,
+                    &session,
+                    id,
+                    guarded,
+                    Billing::Error,
+                    ResponseBody::Error(ErrorBody::from(&e)),
+                );
                 return;
             }
             let diagnostics = prog.lint(&config);
@@ -1217,66 +1458,235 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             };
             match prog.compile(&config) {
                 Ok(compiled) => {
-                    let mut session = conn.session.lock();
-                    if session.stored.len() >= limits.max_stored_programs {
-                        session.stats.record_error();
-                        drop(session);
-                        conn.respond(
-                            id,
-                            ResponseBody::Error(ErrorBody::limit(
-                                LimitKind::StoredPrograms,
-                                None,
-                                format!(
-                                    "stored-program limit reached ({} per session)",
-                                    limits.max_stored_programs
-                                ),
-                            )),
-                        );
+                    // Lock order: the registry's global program quota
+                    // (durable sessions only) strictly before the session.
+                    let mut quota = session.is_durable().then(|| shared.sessions.quota());
+                    let mut inner = session.inner.lock();
+                    let refusal = if inner.stored.len() >= limits.max_stored_programs {
+                        Some(ErrorBody::limit(
+                            LimitKind::StoredPrograms,
+                            None,
+                            format!(
+                                "stored-program limit reached ({} per session)",
+                                limits.max_stored_programs
+                            ),
+                        ))
+                    } else if quota
+                        .as_ref()
+                        .is_some_and(|q| q.total_stored >= shared.sessions.caps.max_programs)
+                    {
+                        Some(ErrorBody::limit(
+                            LimitKind::RegistryPrograms,
+                            None,
+                            format!(
+                                "registry-wide stored-program cap reached ({} across all sessions)",
+                                shared.sessions.caps.max_programs
+                            ),
+                        ))
+                    } else if name.as_ref().is_some_and(|n| inner.names.contains_key(n)) {
+                        Some(ErrorBody::generic(format!(
+                            "a stored program named '{}' already exists in this session; \
+                             delete it first or pick another name",
+                            name.as_ref().expect("checked above")
+                        )))
+                    } else {
+                        None
+                    };
+                    if let Some(err) = refusal {
+                        let body = ResponseBody::Error(err);
+                        let seq = guarded.filter(|_| control_consumes_seq(&body));
+                        inner.settle(Billing::Error, None, seq, &body);
+                        drop(inner);
+                        drop(quota);
+                        conn.respond(id, body);
                         return;
                     }
                     let meta = StoredMeta {
-                        pid: session.next_pid,
+                        pid: inner.next_pid,
                         cycles: compiled.cycles(),
                         writes: compiled.write_count() as u64,
                         diagnostics,
                     };
-                    session.next_pid += 1;
-                    session.stored.insert(meta.pid, Arc::new(compiled));
+                    inner.next_pid += 1;
+                    inner
+                        .stored
+                        .insert(meta.pid, StoredEntry::new(Arc::new(compiled), name.clone()));
+                    if let Some(n) = name {
+                        inner.names.insert(n, meta.pid);
+                    }
+                    if let Some(q) = quota.as_mut() {
+                        q.total_stored += 1;
+                    }
                     // Validation, lint and lowering are host work, not
                     // macro work: a store bills zero hardware cycles.
-                    session.stats.record_ok(0, 0.0);
-                    drop(session);
-                    conn.respond(id, ResponseBody::Stored(meta));
+                    let body = ResponseBody::Stored(meta);
+                    inner.settle(
+                        Billing::Ok {
+                            cycles: 0,
+                            energy_fj: 0.0,
+                        },
+                        None,
+                        guarded,
+                        &body,
+                    );
+                    drop(inner);
+                    drop(quota);
+                    conn.respond(id, body);
                 }
                 Err(e) => {
-                    conn.record_error();
-                    conn.respond(id, ResponseBody::Error(ErrorBody::from(&e)));
+                    finish_control(
+                        &conn,
+                        &session,
+                        id,
+                        guarded,
+                        Billing::Error,
+                        ResponseBody::Error(ErrorBody::from(&e)),
+                    );
+                }
+            }
+        }
+        RequestBody::ListPrograms => {
+            // Pure registry read: zero hardware cycles.
+            let mut inner = session.inner.lock();
+            let body = ResponseBody::Programs(inner.program_entries());
+            inner.settle(
+                Billing::Ok {
+                    cycles: 0,
+                    energy_fj: 0.0,
+                },
+                None,
+                guarded,
+                &body,
+            );
+            drop(inner);
+            conn.respond(id, body);
+        }
+        RequestBody::DeleteProgram { target } => {
+            let mut quota = session.is_durable().then(|| shared.sessions.quota());
+            let mut inner = session.inner.lock();
+            let (billing, body) = match inner.remove_stored(&target) {
+                Some(_pid) => {
+                    if let Some(q) = quota.as_mut() {
+                        q.total_stored = q.total_stored.saturating_sub(1);
+                    }
+                    (
+                        Billing::Ok {
+                            cycles: 0,
+                            energy_fj: 0.0,
+                        },
+                        ResponseBody::Ok,
+                    )
+                }
+                None => (
+                    Billing::Error,
+                    ResponseBody::Error(ErrorBody::generic(format!("no {target} in this session"))),
+                ),
+            };
+            let seq = guarded.filter(|_| control_consumes_seq(&body));
+            inner.settle(billing, None, seq, &body);
+            drop(inner);
+            drop(quota);
+            conn.respond(id, body);
+        }
+        RequestBody::OpenSession => {
+            // Idempotent by construction: a connection already holding a
+            // durable session gets that session's info back rather than a
+            // second token. Session-management ops are never billed to
+            // the account — it must reflect executed ops exactly,
+            // however many opens/resumes the transport needed.
+            if session.is_durable() {
+                conn.respond(id, ResponseBody::Session(session.info()));
+                return;
+            }
+            match shared.sessions.open(&session, Instant::now()) {
+                Ok(durable) => {
+                    *conn.session.lock() = durable.clone();
+                    // If the reader exited while we swapped (it removes
+                    // the conn from `conns` *before* detaching the slot's
+                    // session), its detach may have hit the old ephemeral
+                    // session — re-check liveness and detach the durable
+                    // one ourselves so it cannot stay attached forever.
+                    if !shared.conns.lock().contains_key(&conn.id) {
+                        durable.detach(Instant::now());
+                    }
+                    conn.respond(id, ResponseBody::Session(durable.info()));
+                }
+                Err(err) => {
+                    conn.respond(id, ResponseBody::Error(err));
+                }
+            }
+        }
+        RequestBody::ResumeSession { token } => {
+            match shared.sessions.resume(&token, Instant::now()) {
+                Ok(resumed) => {
+                    let old = {
+                        let mut slot = conn.session.lock();
+                        std::mem::replace(&mut *slot, resumed.clone())
+                    };
+                    // The session this connection held until now goes back
+                    // to detached (ephemeral ones just drop).
+                    old.detach(Instant::now());
+                    // Same reader-exit race as in `open_session`.
+                    if !shared.conns.lock().contains_key(&conn.id) {
+                        resumed.detach(Instant::now());
+                    }
+                    conn.respond(id, ResponseBody::Session(resumed.info()));
+                }
+                Err(err) => {
+                    conn.respond(id, ResponseBody::Error(err));
                 }
             }
         }
         RequestBody::LintProgram { instrs } => {
             let limits = shared.config.limits;
             if let Err(err) = limits.check_program_len(instrs.len()) {
-                conn.record_error();
-                conn.respond(id, ResponseBody::Error(err));
+                finish_control(
+                    &conn,
+                    &session,
+                    id,
+                    guarded,
+                    Billing::Error,
+                    ResponseBody::Error(err),
+                );
                 return;
             }
             let config = *bank.macro_at(0).config();
             let diagnostics = Program::new(instrs).lint(&config);
             // Static analysis is pure host work: zero hardware cycles.
-            conn.record_ok(0, 0.0);
-            conn.respond(id, ResponseBody::Diagnostics(diagnostics));
+            finish_control(
+                &conn,
+                &session,
+                id,
+                guarded,
+                Billing::Ok {
+                    cycles: 0,
+                    energy_fj: 0.0,
+                },
+                ResponseBody::Diagnostics(diagnostics),
+            );
         }
         RequestBody::Shutdown => {
-            conn.record_ok(0, 0.0);
-            conn.respond(id, ResponseBody::Ok);
+            finish_control(
+                &conn,
+                &session,
+                id,
+                guarded,
+                Billing::Ok {
+                    cycles: 0,
+                    energy_fj: 0.0,
+                },
+                ResponseBody::Ok,
+            );
             shared.begin_shutdown();
         }
         other => {
             // Compute bodies never reach here (see `process_batch`).
-            conn.record_error();
-            conn.respond(
+            finish_control(
+                &conn,
+                &session,
                 id,
+                guarded,
+                Billing::Error,
                 ResponseBody::Error(format!("unexpected control request: {other:?}").into()),
             );
         }

@@ -1,0 +1,724 @@
+//! Durable sessions: token-keyed tenant state that survives connection
+//! drops, and the bounded registry that owns it.
+//!
+//! Historically a session *was* its connection — the loaded model, the
+//! stored-program cache, the exact cycle/energy account and the in-window
+//! rate budgets all lived in the reader's `Conn` and died with the
+//! socket. This module splits that state out into [`Session`] objects:
+//!
+//! - An **ephemeral** session (`token: None`) reproduces the old
+//!   behaviour exactly — every connection starts with one, and it is
+//!   dropped when the connection goes away.
+//! - A **durable** session (`token: Some(..)`) is owned by the
+//!   [`SessionRegistry`], keyed by an unguessable token. When its
+//!   connection drops it is *detached*, lingers for the registry's TTL,
+//!   and a later connection can re-attach with `resume_session` — model,
+//!   programs, account and rate budgets intact. Past the TTL a sweep
+//!   garbage-collects it; the token is remembered in a bounded ring so a
+//!   late resume gets the honest `session_expired` rather than
+//!   `bad_token`.
+//!
+//! Durable sessions also carry the idempotency guard: each request may be
+//! stamped with a strictly increasing per-session `seq`. The session
+//! remembers the last seq that *executed* plus a bounded window of recent
+//! responses ([`REPLAY_WINDOW`]), so a client that resends after a
+//! mid-request connection drop gets the original response replayed —
+//! never a second execution, never a second bill. Transient refusals
+//! (overload sheds, rate-budget and inflight refusals, deadlines expired
+//! in queue) deliberately do **not** consume a seq: the op never ran, so
+//! a retry must be re-admitted fresh.
+//!
+//! All locks here go through the [`bpimc_stats::sync`] shim, so the
+//! registry protocol (resume vs. drain, GC vs. resume, seq replay) runs
+//! under the deterministic model scheduler in `crate::models`. Lock
+//! order: `server.sessions.registry` before `server.session.inner`;
+//! never the reverse.
+
+use crate::exec::Model;
+use crate::guard::RateWindow;
+use bpimc_core::{
+    CompiledProgram, ErrorBody, LimitKind, ProgramEntry, ResponseBody, RunStatus, SessionActivity,
+    SessionInfo, StoredTarget,
+};
+use bpimc_stats::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Responses a durable session keeps for seq replay. A retrying client
+/// resends only its most recent in-flight request, so a small window is
+/// plenty; the bound keeps a session's memory footprint independent of
+/// its lifetime.
+pub(crate) const REPLAY_WINDOW: usize = 32;
+
+/// Swept tokens remembered for the `session_expired` answer. Beyond this
+/// many, the oldest are forgotten and answer `bad_token` — indistinguish-
+/// able, to a client, from a token that never existed, which is the
+/// honest degraded answer.
+const EXPIRED_TOKENS: usize = 1024;
+
+/// Back-off hint on the busy refusal of a second concurrent resume: long
+/// enough for the holder's reader to notice a dead socket, short enough
+/// that a legitimate takeover barely stalls.
+const RESUME_BUSY_RETRY_MS: u64 = 25;
+
+/// One stored program in a session's registry: the compiled fast-path
+/// artifact plus its name and cumulative run history (the
+/// `list_programs` payload).
+pub(crate) struct StoredEntry {
+    pub compiled: Arc<CompiledProgram>,
+    pub name: Option<String>,
+    pub runs: u64,
+    pub errors: u64,
+    pub total_cycles: u64,
+    pub total_energy_fj: f64,
+    pub last_status: Option<RunStatus>,
+}
+
+impl StoredEntry {
+    pub(crate) fn new(compiled: Arc<CompiledProgram>, name: Option<String>) -> Self {
+        Self {
+            compiled,
+            name,
+            runs: 0,
+            errors: 0,
+            total_cycles: 0,
+            total_energy_fj: 0.0,
+            last_status: None,
+        }
+    }
+}
+
+/// How one settled request affects the session account.
+pub(crate) enum Billing {
+    /// Executed: bill exact cycles/energy into stats and the rate window.
+    Ok { cycles: u64, energy_fj: f64 },
+    /// Failed or was refused: bill an error (requests count too).
+    Error,
+    /// A replayed duplicate or a session-management op: no accounting —
+    /// the account must reflect each logical op exactly once, however
+    /// many times its request was (re)sent.
+    None,
+}
+
+/// The state behind one session's lock.
+pub(crate) struct SessionInner {
+    pub stats: SessionActivity,
+    /// Cycle/energy spend in the current budget window (guardrails). The
+    /// whole window travels with the session, so a resumed tenant cannot
+    /// reset its in-window budget by reconnecting.
+    pub rate: RateWindow,
+    pub model: Option<Arc<Model>>,
+    pub stored: HashMap<u64, StoredEntry>,
+    /// Registry names to pids (`store_program` with a `name`).
+    pub names: HashMap<String, u64>,
+    pub next_pid: u64,
+    /// Highest request seq that has executed (idempotency guard).
+    last_seq: Option<u64>,
+    /// Recent `(seq, response)` pairs for replay, oldest first.
+    replay: VecDeque<(u64, ResponseBody)>,
+    /// A live connection currently owns this session (durable sessions
+    /// accept at most one at a time).
+    attached: bool,
+    /// When the last connection let go — the TTL clock.
+    detached_at: Option<Instant>,
+}
+
+impl SessionInner {
+    fn new() -> Self {
+        Self {
+            stats: SessionActivity::new(),
+            rate: RateWindow::new(),
+            model: None,
+            stored: HashMap::new(),
+            names: HashMap::new(),
+            next_pid: 1,
+            last_seq: None,
+            replay: VecDeque::new(),
+            attached: true,
+            detached_at: None,
+        }
+    }
+
+    /// True when `seq` was already claimed by an earlier request — the
+    /// caller must answer from the replay window instead of executing.
+    pub(crate) fn is_replay(&self, seq: u64) -> bool {
+        self.last_seq.is_some_and(|last| seq <= last)
+    }
+
+    /// Marks `seq` as executing. Idempotent; never lowers the watermark.
+    pub(crate) fn claim_seq(&mut self, seq: u64) {
+        if self.last_seq.is_none_or(|last| seq > last) {
+            self.last_seq = Some(seq);
+        }
+    }
+
+    /// The recorded response for a replayed `seq`, while it is still
+    /// inside the bounded window.
+    pub(crate) fn replayed(&self, seq: u64) -> Option<ResponseBody> {
+        self.replay
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, body)| body.clone())
+    }
+
+    /// The highest executed seq (reported on resume so a continuing
+    /// client can pick the next one).
+    pub(crate) fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Resolves a stored-program address to `(pid, compiled)`.
+    pub(crate) fn resolve(&self, target: &StoredTarget) -> Option<(u64, Arc<CompiledProgram>)> {
+        let pid = match target {
+            StoredTarget::Pid(pid) => *pid,
+            StoredTarget::Name(name) => *self.names.get(name)?,
+        };
+        self.stored.get(&pid).map(|e| (pid, e.compiled.clone()))
+    }
+
+    /// Removes a stored program (and its name mapping), returning its pid.
+    pub(crate) fn remove_stored(&mut self, target: &StoredTarget) -> Option<u64> {
+        let pid = match target {
+            StoredTarget::Pid(pid) => *pid,
+            StoredTarget::Name(name) => *self.names.get(name)?,
+        };
+        let entry = self.stored.remove(&pid)?;
+        if let Some(name) = entry.name {
+            self.names.remove(&name);
+        }
+        Some(pid)
+    }
+
+    /// The `list_programs` payload: every entry with its run history,
+    /// ordered by pid.
+    pub(crate) fn program_entries(&self) -> Vec<ProgramEntry> {
+        let mut entries: Vec<ProgramEntry> = self
+            .stored
+            .iter()
+            .map(|(&pid, e)| ProgramEntry {
+                pid,
+                name: e.name.clone(),
+                cycles: e.compiled.cycles(),
+                writes: e.compiled.write_count() as u64,
+                runs: e.runs,
+                errors: e.errors,
+                total_cycles: e.total_cycles,
+                total_energy_fj: e.total_energy_fj,
+                last_status: e.last_status.clone(),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.pid);
+        entries
+    }
+
+    /// Settles one request against this session: applies its billing,
+    /// updates the run history of the stored program it ran (if any), and
+    /// — when `seq` is set — records the seq as executed with its
+    /// response cached for replay.
+    pub(crate) fn settle(
+        &mut self,
+        billing: Billing,
+        ran_pid: Option<u64>,
+        seq: Option<u64>,
+        body: &ResponseBody,
+    ) {
+        match billing {
+            Billing::Ok { cycles, energy_fj } => {
+                self.stats.record_ok(cycles, energy_fj);
+                self.rate.charge(cycles, energy_fj);
+                if let Some(entry) = ran_pid.and_then(|pid| self.stored.get_mut(&pid)) {
+                    entry.runs += 1;
+                    entry.total_cycles += cycles;
+                    entry.total_energy_fj += energy_fj;
+                    entry.last_status = Some(RunStatus::Success);
+                }
+            }
+            Billing::Error => {
+                self.stats.record_error();
+                if let Some(entry) = ran_pid.and_then(|pid| self.stored.get_mut(&pid)) {
+                    entry.errors += 1;
+                    let message = match body {
+                        ResponseBody::Error(e) => e.message.clone(),
+                        _ => String::new(),
+                    };
+                    entry.last_status = Some(RunStatus::Error { message });
+                }
+            }
+            Billing::None => {}
+        }
+        if let Some(seq) = seq {
+            self.claim_seq(seq);
+            if self.replay.len() >= REPLAY_WINDOW {
+                self.replay.pop_front();
+            }
+            self.replay.push_back((seq, body.clone()));
+        }
+    }
+}
+
+/// One tenant's serving state, shared between its (current) connection,
+/// in-flight batch items and — when durable — the registry.
+pub(crate) struct Session {
+    /// `None` for an ephemeral (connection-lifetime) session.
+    pub token: Option<String>,
+    pub inner: Mutex<SessionInner>,
+}
+
+impl Session {
+    /// A fresh connection-lifetime session (the pre-token behaviour).
+    pub(crate) fn ephemeral() -> Arc<Session> {
+        Arc::new(Session {
+            token: None,
+            inner: Mutex::named("server.session.inner", SessionInner::new()),
+        })
+    }
+
+    pub(crate) fn is_durable(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// Convenience: settle under the session lock.
+    pub(crate) fn settle(
+        &self,
+        billing: Billing,
+        ran_pid: Option<u64>,
+        seq: Option<u64>,
+        body: &ResponseBody,
+    ) {
+        self.inner.lock().settle(billing, ran_pid, seq, body);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.settle(Billing::Error, None, None, &ResponseBody::Ok);
+    }
+
+    /// Lets go of this session: the next resume may attach. Starts the
+    /// TTL clock on the first detach; a no-op on ephemeral sessions and
+    /// idempotent on durable ones (repeat detaches never extend the TTL).
+    pub(crate) fn detach(&self, now: Instant) {
+        if !self.is_durable() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.attached = false;
+        if inner.detached_at.is_none() {
+            inner.detached_at = Some(now);
+        }
+    }
+
+    /// The `session` response payload for this (durable) session.
+    pub(crate) fn info(&self) -> SessionInfo {
+        let inner = self.inner.lock();
+        SessionInfo {
+            token: self.token.clone().unwrap_or_default(),
+            stats: inner.stats,
+            stored_programs: inner.stored.len() as u64,
+            last_seq: inner.last_seq(),
+        }
+    }
+}
+
+/// Sizing of the durable-session registry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegistryCaps {
+    /// How long a detached session lingers before a sweep collects it.
+    pub ttl: Duration,
+    /// Most durable sessions (attached + detached) at once.
+    pub max_sessions: usize,
+    /// Most stored programs across every durable session — the global
+    /// bound that keeps orphaned sessions from exhausting memory even
+    /// when each is under its per-session cap.
+    pub max_programs: usize,
+}
+
+pub(crate) struct RegistryState {
+    by_token: HashMap<String, Arc<Session>>,
+    /// Swept tokens, oldest first (bounded at [`EXPIRED_TOKENS`]).
+    expired: VecDeque<String>,
+    /// Stored programs across every durable session.
+    pub(crate) total_stored: usize,
+    /// Monotonic salt for token minting.
+    mint_counter: u64,
+}
+
+/// The bounded table of durable sessions, plus the TTL sweeper's
+/// coordination state.
+pub(crate) struct SessionRegistry {
+    pub(crate) caps: RegistryCaps,
+    state: Mutex<RegistryState>,
+    /// Sweeper shutdown flag + wakeup.
+    sweeper_stop: Mutex<bool>,
+    sweeper_cv: Condvar,
+}
+
+/// splitmix64: the same finalizer the fault plan uses — full-avalanche
+/// mixing, so related inputs produce unrelated tokens.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl SessionRegistry {
+    pub(crate) fn new(caps: RegistryCaps) -> Self {
+        Self {
+            caps,
+            state: Mutex::named(
+                "server.sessions.registry",
+                RegistryState {
+                    by_token: HashMap::new(),
+                    expired: VecDeque::new(),
+                    total_stored: 0,
+                    mint_counter: 0,
+                },
+            ),
+            sweeper_stop: Mutex::named("server.sessions.sweeper", false),
+            sweeper_cv: Condvar::new(),
+        }
+    }
+
+    /// Mints a 128-bit hex token. Entropy is mixed from the wall clock's
+    /// nanoseconds, ASLR'd addresses and a counter through splitmix64 —
+    /// unguessable in practice for a research serving stack, though not a
+    /// CSPRNG (the container image has no OS randomness source to draw
+    /// on, and the protocol treats tokens as capabilities, not keys).
+    fn mint_token(state: &mut RegistryState) -> String {
+        state.mint_counter = state.mint_counter.wrapping_add(1);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let stack = &state.mint_counter as *const _ as u64;
+        let heap = state.by_token.capacity() as u64 ^ (state as *const _ as u64);
+        let a = mix(nanos ^ mix(state.mint_counter) ^ stack.rotate_left(13));
+        let b = mix(a ^ mix(heap) ^ nanos.rotate_left(31));
+        format!("{a:016x}{b:016x}")
+    }
+
+    /// Upgrades `current` (an ephemeral session) to a durable one: moves
+    /// its whole state — account, model, programs, rate window — into a
+    /// fresh token-keyed session registered here. The caller swaps the
+    /// connection's session slot to the returned session.
+    ///
+    /// # Errors
+    ///
+    /// `limit_exceeded` naming `sessions` when the registry is full, or
+    /// `registry_programs` when adopting the session's stored programs
+    /// would break the global cap.
+    pub(crate) fn open(&self, current: &Session, _now: Instant) -> Result<Arc<Session>, ErrorBody> {
+        let mut state = self.state.lock();
+        if state.by_token.len() >= self.caps.max_sessions {
+            return Err(ErrorBody::limit(
+                LimitKind::Sessions,
+                Some(self.caps.ttl.as_millis() as u64),
+                format!(
+                    "session registry is full ({} durable sessions)",
+                    self.caps.max_sessions
+                ),
+            ));
+        }
+        let mut current_inner = current.inner.lock();
+        let adopted = current_inner.stored.len();
+        if state.total_stored + adopted > self.caps.max_programs {
+            return Err(ErrorBody::limit(
+                LimitKind::RegistryPrograms,
+                None,
+                format!(
+                    "registry-wide stored-program cap reached ({} across all sessions)",
+                    self.caps.max_programs
+                ),
+            ));
+        }
+        let mut moved = std::mem::replace(&mut *current_inner, SessionInner::new());
+        drop(current_inner);
+        moved.attached = true;
+        moved.detached_at = None;
+        let token = Self::mint_token(&mut state);
+        let session = Arc::new(Session {
+            token: Some(token.clone()),
+            inner: Mutex::named("server.session.inner", moved),
+        });
+        state.total_stored += adopted;
+        state.by_token.insert(token, session.clone());
+        Ok(session)
+    }
+
+    /// Attaches a connection to the session `token` names.
+    ///
+    /// # Errors
+    ///
+    /// `bad_token` for a token this registry never minted,
+    /// `session_expired` for one whose session was swept, and a generic
+    /// busy refusal (with a `retry_after_ms` hint) when another
+    /// connection currently holds the session.
+    pub(crate) fn resume(&self, token: &str, _now: Instant) -> Result<Arc<Session>, ErrorBody> {
+        let state = self.state.lock();
+        let Some(session) = state.by_token.get(token).cloned() else {
+            if state.expired.iter().any(|t| t == token) {
+                return Err(ErrorBody::session_expired(
+                    "session expired: it sat disconnected past the server's TTL and was \
+                     garbage-collected; open a fresh session",
+                ));
+            }
+            return Err(ErrorBody::bad_token("unknown session token"));
+        };
+        let mut inner = session.inner.lock();
+        if inner.attached {
+            return Err(ErrorBody {
+                retry_after_ms: Some(RESUME_BUSY_RETRY_MS),
+                ..ErrorBody::generic(
+                    "session is attached to another live connection; retry after it detaches",
+                )
+            });
+        }
+        inner.attached = true;
+        inner.detached_at = None;
+        drop(inner);
+        drop(state);
+        Ok(session)
+    }
+
+    /// Collects every detached session whose TTL elapsed at `now`,
+    /// remembering the swept tokens for `session_expired` answers.
+    /// Returns how many sessions were collected.
+    pub(crate) fn sweep(&self, now: Instant) -> usize {
+        let mut state = self.state.lock();
+        let dead: Vec<String> = state
+            .by_token
+            .iter()
+            .filter(|(_, session)| {
+                let inner = session.inner.lock();
+                !inner.attached
+                    && inner
+                        .detached_at
+                        .is_some_and(|t| now.duration_since(t) >= self.caps.ttl)
+            })
+            .map(|(token, _)| token.clone())
+            .collect();
+        for token in &dead {
+            if let Some(session) = state.by_token.remove(token) {
+                state.total_stored = state
+                    .total_stored
+                    .saturating_sub(session.inner.lock().stored.len());
+            }
+            if state.expired.len() >= EXPIRED_TOKENS {
+                state.expired.pop_front();
+            }
+            state.expired.push_back(token.clone());
+        }
+        dead.len()
+    }
+
+    /// Durable sessions currently registered (the concurrency models'
+    /// postcondition checks).
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().by_token.len()
+    }
+
+    /// Locks the registry's global stored-program quota. Lock order:
+    /// take this **before** any `session.inner` lock.
+    pub(crate) fn quota(&self) -> MutexGuard<'_, RegistryState> {
+        self.state.lock()
+    }
+
+    /// The sweeper thread body: wakes every quarter-TTL (clamped to
+    /// 10ms..1s) and collects expired sessions, until
+    /// [`SessionRegistry::stop_sweeper`].
+    pub(crate) fn run_sweeper(&self) {
+        let interval = (self.caps.ttl / 4)
+            .max(Duration::from_millis(10))
+            .min(Duration::from_secs(1));
+        let mut stop = self.sweeper_stop.lock();
+        while !*stop {
+            let (guard, timed_out) = self.sweeper_cv.wait_timeout(stop, interval);
+            stop = guard;
+            if *stop {
+                return;
+            }
+            if timed_out {
+                drop(stop);
+                self.sweep(Instant::now());
+                stop = self.sweeper_stop.lock();
+            }
+        }
+    }
+
+    /// Stops [`SessionRegistry::run_sweeper`] (idempotent).
+    pub(crate) fn stop_sweeper(&self) {
+        *self.sweeper_stop.lock() = true;
+        self.sweeper_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(ttl_ms: u64) -> RegistryCaps {
+        RegistryCaps {
+            ttl: Duration::from_millis(ttl_ms),
+            max_sessions: 4,
+            max_programs: 100,
+        }
+    }
+
+    #[test]
+    fn tokens_are_distinct_and_opaque() {
+        let registry = SessionRegistry::new(caps(1000));
+        let now = Instant::now();
+        let mut tokens = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let s = registry.open(&Session::ephemeral(), now).expect("open");
+            let token = s.token.clone().expect("durable sessions have tokens");
+            assert_eq!(token.len(), 32, "{token}");
+            assert!(token.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(tokens.insert(token), "tokens must be distinct");
+        }
+        assert_eq!(registry.len(), 4);
+    }
+
+    #[test]
+    fn registry_cap_refuses_the_next_open() {
+        let registry = SessionRegistry::new(caps(1000));
+        let now = Instant::now();
+        for _ in 0..4 {
+            registry
+                .open(&Session::ephemeral(), now)
+                .expect("under cap");
+        }
+        let err = registry
+            .open(&Session::ephemeral(), now)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.limit, Some(LimitKind::Sessions));
+    }
+
+    #[test]
+    fn resume_rules_attached_detached_swept_and_forged() {
+        let registry = SessionRegistry::new(caps(50));
+        let t0 = Instant::now();
+        let session = registry.open(&Session::ephemeral(), t0).expect("open");
+        let token = session.token.clone().unwrap();
+
+        // Attached: a second resume is refused with a back-off hint.
+        let busy = registry.resume(&token, t0).map(|_| ()).unwrap_err();
+        assert_eq!(busy.kind, bpimc_core::ErrorKind::Generic);
+        assert!(busy.retry_after_ms.is_some());
+
+        // Detached within TTL: resume re-attaches.
+        session.detach(t0);
+        assert_eq!(registry.sweep(t0 + Duration::from_millis(10)), 0);
+        let resumed = registry.resume(&token, t0).expect("resume");
+        assert!(Arc::ptr_eq(&resumed, &session));
+
+        // Swept past TTL: session_expired, and the session is gone.
+        resumed.detach(t0);
+        assert_eq!(registry.sweep(t0 + Duration::from_millis(60)), 1);
+        assert_eq!(registry.len(), 0);
+        let expired = registry.resume(&token, t0).map(|_| ()).unwrap_err();
+        assert_eq!(expired.kind, bpimc_core::ErrorKind::SessionExpired);
+
+        // A token never minted here: bad_token.
+        let forged = registry.resume("deadbeef", t0).map(|_| ()).unwrap_err();
+        assert_eq!(forged.kind, bpimc_core::ErrorKind::BadToken);
+    }
+
+    #[test]
+    fn detach_is_idempotent_and_never_extends_the_ttl() {
+        let registry = SessionRegistry::new(caps(50));
+        let t0 = Instant::now();
+        let session = registry.open(&Session::ephemeral(), t0).expect("open");
+        session.detach(t0);
+        // A repeat detach later must not restart the clock.
+        session.detach(t0 + Duration::from_millis(40));
+        assert_eq!(registry.sweep(t0 + Duration::from_millis(55)), 1);
+    }
+
+    #[test]
+    fn seq_guard_claims_replays_and_bounds_its_window() {
+        let session = Session::ephemeral();
+        let mut inner = session.inner.lock();
+        assert!(!inner.is_replay(0));
+        inner.settle(
+            Billing::Ok {
+                cycles: 5,
+                energy_fj: 1.0,
+            },
+            None,
+            Some(0),
+            &ResponseBody::Scalar(42),
+        );
+        assert!(inner.is_replay(0));
+        assert_eq!(inner.replayed(0), Some(ResponseBody::Scalar(42)));
+        assert_eq!(inner.stats.requests, 1);
+        // Fill past the window: seq 0 falls out, the newest stay.
+        for seq in 1..=(REPLAY_WINDOW as u64) {
+            inner.settle(Billing::None, None, Some(seq), &ResponseBody::Pong);
+        }
+        assert!(inner.is_replay(0), "claimed seqs stay claimed");
+        assert_eq!(inner.replayed(0), None, "but the window is bounded");
+        assert_eq!(
+            inner.replayed(REPLAY_WINDOW as u64),
+            Some(ResponseBody::Pong)
+        );
+        // Replay-window settles bill nothing.
+        assert_eq!(inner.stats.requests, 1);
+    }
+
+    #[test]
+    fn run_history_tracks_success_error_and_totals() {
+        use bpimc_core::{MacroConfig, ProgramBuilder};
+        let mut bld = ProgramBuilder::new();
+        let r = bld.alloc();
+        bld.write_to(r, bpimc_core::Precision::P8, vec![1, 2]);
+        bld.read(r, bpimc_core::Precision::P8, 2);
+        let compiled = bld
+            .finish()
+            .compile(&MacroConfig::paper_macro())
+            .expect("compile");
+
+        let session = Session::ephemeral();
+        let mut inner = session.inner.lock();
+        inner
+            .stored
+            .insert(7, StoredEntry::new(Arc::new(compiled), Some("p".into())));
+        inner.names.insert("p".into(), 7);
+        assert_eq!(inner.resolve(&StoredTarget::Name("p".into())).unwrap().0, 7);
+
+        inner.settle(
+            Billing::Ok {
+                cycles: 10,
+                energy_fj: 2.0,
+            },
+            Some(7),
+            None,
+            &ResponseBody::Ok,
+        );
+        inner.settle(
+            Billing::Error,
+            Some(7),
+            None,
+            &ResponseBody::Error(ErrorBody::generic("bad binding")),
+        );
+        let entries = inner.program_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].runs, 1);
+        assert_eq!(entries[0].errors, 1);
+        assert_eq!(entries[0].total_cycles, 10);
+        assert_eq!(
+            entries[0].last_status,
+            Some(RunStatus::Error {
+                message: "bad binding".into()
+            })
+        );
+        assert_eq!(
+            inner.remove_stored(&StoredTarget::Name("p".into())),
+            Some(7)
+        );
+        assert!(inner.names.is_empty());
+        assert!(inner.stored.is_empty());
+    }
+}

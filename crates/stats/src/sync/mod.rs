@@ -241,6 +241,46 @@ impl Condvar {
         }
     }
 
+    /// Releases the guard's mutex, waits for a notification or for `dur`
+    /// to elapse, reacquires. Returns the guard plus whether the wait
+    /// timed out. Spurious wakeups are possible (as with std): always
+    /// wait in a predicate loop.
+    ///
+    /// Under the model backend there is no clock, so this behaves like a
+    /// plain [`Condvar::wait`] and never reports a timeout — model code
+    /// that needs the deadline path must drive it explicitly (e.g. by
+    /// notifying the sweeper after mutating its predicate).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let name = guard.name;
+        lockorder::on_release(name);
+        let imp = guard.imp.take().expect("guard live");
+        drop(guard);
+        let (new_imp, timed_out) = match (&self.imp, imp) {
+            (CondImp::Std(cv), GuardImp::Std(g)) => {
+                let (g, res) = cv
+                    .wait_timeout(g, dur)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                (GuardImp::Std(g), res.timed_out())
+            }
+            #[cfg(feature = "model")]
+            (CondImp::Model(cv), GuardImp::Model(g)) => (GuardImp::Model(cv.wait(g)), false),
+            #[cfg(feature = "model")]
+            _ => panic!("Condvar::wait_timeout used across std/model backends"),
+        };
+        lockorder::on_acquire(name);
+        (
+            MutexGuard {
+                name,
+                imp: Some(new_imp),
+            },
+            timed_out,
+        )
+    }
+
     /// Wakes one waiter (a no-op when nothing waits).
     pub fn notify_one(&self) {
         match &self.imp {
