@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release -p bpimc-bench --example load_gen -- \
 //!     [--clients 8] [--requests 50] [--macros N] [--addr HOST:PORT] \
-//!     [--programs] [--stored] [--pipeline W] [--min-throughput R]
+//!     [--programs] [--stored] [--pipeline W] [--min-throughput R] \
+//!     [--chaos [--chaos-seed S] [--restart]]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -43,6 +44,17 @@
 //! The run fails on a *wrong* value, a lost session, or a final account
 //! that is not byte-identical to replaying the executed ops through a
 //! fault-free server — the correctness-under-fire smoke test.
+//!
+//! `--chaos --restart` is the crash-recovery smoke test: the server runs
+//! as a **separate `repro serve` process** with `--state-dir`/`--fsync
+//! always`, gets `SIGKILL`ed mid-load, and is restarted on the same port
+//! against the same state directory. The clients ride the restart through
+//! the same reconnect/resume/seq-replay machinery, and the run asserts
+//! exactly what `--chaos` asserts — every session survives and every
+//! account is byte-identical to its fault-free replay, i.e. the journal
+//! recovered every billed op exactly once and re-executed none of the
+//! replayed retries. Afterwards the server is shut down gracefully and
+//! `repro state` must find the state directory clean.
 
 use bpimc_bench::shapes::program_request;
 use bpimc_core::{
@@ -51,6 +63,8 @@ use bpimc_core::{
 };
 use bpimc_server::{Client, ClientError, FaultPlan, RetryPolicy, Server, ServerConfig};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -64,6 +78,7 @@ struct Args {
     min_throughput: Option<f64>,
     chaos: bool,
     chaos_seed: u64,
+    restart: bool,
 }
 
 fn parse_args() -> Args {
@@ -78,6 +93,7 @@ fn parse_args() -> Args {
         min_throughput: None,
         chaos: false,
         chaos_seed: 7,
+        restart: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -99,6 +115,7 @@ fn parse_args() -> Args {
             "--stored" => args.stored = true,
             "--chaos" => args.chaos = true,
             "--chaos-seed" => args.chaos_seed = num("--chaos-seed"),
+            "--restart" => args.restart = true,
             other => die(&format!("unknown option '{other}'")),
         }
     }
@@ -421,6 +438,8 @@ fn drive_chaos_client(
     replay_addr: SocketAddr,
     c: u64,
     requests: u64,
+    retry: RetryPolicy,
+    progress: &AtomicU64,
 ) -> (u64, u64, u64, u64) {
     let mut stream = build_stream(c, requests, false, false, false, &[]);
     // The trailing stats self-check is replaced below by the stronger
@@ -430,24 +449,23 @@ fn drive_chaos_client(
         Ok(cl) => cl,
         Err(e) => {
             eprintln!("chaos client {c}: connect failed: {e}");
+            progress.fetch_add(requests, Ordering::SeqCst);
             return (0, requests, 0, 0);
         }
     };
-    client.set_retry_policy(Some(RetryPolicy {
-        max_attempts: 10,
-        base_delay: Duration::from_millis(2),
-        max_delay: Duration::from_millis(100),
-    }));
+    client.set_retry_policy(Some(retry));
     let token = match client.open_session() {
         Ok(info) => info.token,
         Err(e) => {
             eprintln!("chaos client {c}: open_session failed: {e}");
+            progress.fetch_add(requests, Ordering::SeqCst);
             return (0, requests, 0, 0);
         }
     };
     let (mut ok, mut bad, mut faults) = (0u64, 0u64, 0u64);
     let mut executed: Vec<RequestBody> = Vec::new();
     for (body, expect) in &stream {
+        progress.fetch_add(1, Ordering::SeqCst);
         let outcome = match body.clone() {
             RequestBody::Dot { precision, x, w } => {
                 client.dot(precision, &x, &w).map(ResponseBody::Scalar)
@@ -576,6 +594,13 @@ fn main() {
     if args.chaos && (args.stored || args.programs) {
         die("--chaos drives the plain idempotent op mix; drop --stored/--programs");
     }
+    if args.restart && !args.chaos {
+        die("--restart extends the chaos run; add --chaos");
+    }
+    if args.restart {
+        run_restart(&args);
+        return;
+    }
     let spawned = match &args.addr {
         Some(_) => None,
         None => {
@@ -591,8 +616,8 @@ fn main() {
                 config.macros = m;
                 config.batch_max = (16 * m).max(64);
             }
-            let handle =
-                Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| die(&format!("bind: {e}")));
+            let handle = Server::bind("127.0.0.1:0", config.clone())
+                .unwrap_or_else(|e| die(&format!("bind: {e}")));
             println!(
                 "spawned in-process server on {} ({} macros{})",
                 handle.local_addr(),
@@ -682,21 +707,15 @@ fn run_chaos(addr: SocketAddr, args: &Args, handle: bpimc_server::ServerHandle) 
     let replay = Server::bind("127.0.0.1:0", ServerConfig::default())
         .unwrap_or_else(|e| die(&format!("replay bind: {e}")));
     let replay_addr = replay.local_addr();
+    let retry = RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(100),
+    };
     let t0 = Instant::now();
-    let workers: Vec<_> = (0..args.clients)
-        .map(|c| {
-            let requests = args.requests;
-            std::thread::spawn(move || drive_chaos_client(addr, replay_addr, c, requests))
-        })
-        .collect();
-    let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
-    for w in workers {
-        let (o, b, f, r) = w.join().unwrap_or((0, 1, 0, 0));
-        ok += o;
-        bad += b;
-        faults += f;
-        reconnects += r;
-    }
+    let progress = Arc::new(AtomicU64::new(0));
+    let workers = spawn_chaos_clients(addr, replay_addr, args, retry, &progress);
+    let (ok, bad, faults, reconnects) = join_chaos_clients(workers);
     let elapsed = t0.elapsed().as_secs_f64();
     let total = args.clients * args.requests;
     println!(
@@ -715,5 +734,205 @@ fn run_chaos(addr: SocketAddr, args: &Args, handle: bpimc_server::ServerHandle) 
     println!(
         "all {total} chaos responses accounted for: zero wrong values, zero lost sessions, \
          every account byte-identical to its fault-free replay"
+    );
+}
+
+fn spawn_chaos_clients(
+    addr: SocketAddr,
+    replay_addr: SocketAddr,
+    args: &Args,
+    retry: RetryPolicy,
+    progress: &Arc<AtomicU64>,
+) -> Vec<std::thread::JoinHandle<(u64, u64, u64, u64)>> {
+    (0..args.clients)
+        .map(|c| {
+            let requests = args.requests;
+            let progress = progress.clone();
+            std::thread::spawn(move || {
+                drive_chaos_client(addr, replay_addr, c, requests, retry, &progress)
+            })
+        })
+        .collect()
+}
+
+fn join_chaos_clients(
+    workers: Vec<std::thread::JoinHandle<(u64, u64, u64, u64)>>,
+) -> (u64, u64, u64, u64) {
+    let (mut ok, mut bad, mut faults, mut reconnects) = (0u64, 0u64, 0u64, 0u64);
+    for w in workers {
+        let (o, b, f, r) = w.join().unwrap_or((0, 1, 0, 0));
+        ok += o;
+        bad += b;
+        faults += f;
+        reconnects += r;
+    }
+    (ok, bad, faults, reconnects)
+}
+
+/// Locates the `repro` binary the `--restart` mode serves with: the
+/// `REPRO_BIN` env var when set, else the sibling of this example in the
+/// same cargo target profile directory.
+fn repro_bin() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("REPRO_BIN") {
+        return p.into();
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| die(&format!("current_exe: {e}")));
+    // target/<profile>/examples/load_gen -> target/<profile>/repro
+    let bin = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|d| d.join(format!("repro{}", std::env::consts::EXE_SUFFIX)))
+        .unwrap_or_else(|| die("cannot locate the repro binary next to this example"));
+    if !bin.exists() {
+        die(&format!(
+            "{} not built; run `cargo build -p bpimc-bench --bin repro` first \
+             (or point REPRO_BIN at it)",
+            bin.display()
+        ));
+    }
+    bin
+}
+
+/// One `repro serve` child process with durable state, its address parsed
+/// from the serve banner. Stdout keeps draining on a thread so the child
+/// can never block on a full pipe.
+struct ServedProc {
+    child: std::process::Child,
+    addr: SocketAddr,
+}
+
+fn spawn_served(
+    repro: &std::path::Path,
+    addr: &str,
+    state_dir: &std::path::Path,
+    seed: u64,
+) -> ServedProc {
+    use std::io::BufRead as _;
+    // The same fault mix `chaos_plan` injects in-process, so the restart
+    // run is chaos *plus* a crash, not instead of one.
+    let plan = chaos_plan(seed);
+    let mut child = std::process::Command::new(repro)
+        .args(["serve", "--addr", addr, "--fsync", "always", "--state-dir"])
+        .arg(state_dir)
+        .args([
+            "--chaos-seed".into(),
+            plan.seed.to_string(),
+            "--chaos-panic-pm".into(),
+            plan.panic_per_mille.to_string(),
+            "--chaos-delay-pm".into(),
+            plan.delay_per_mille.to_string(),
+            "--chaos-delay-ms".into(),
+            plan.delay_ms.to_string(),
+            "--chaos-stall-pm".into(),
+            plan.stall_per_mille.to_string(),
+            "--chaos-stall-ms".into(),
+            plan.stall_ms.to_string(),
+            "--chaos-drop-pm".into(),
+            plan.drop_per_mille.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| die(&format!("spawning {}: {e}", repro.display())));
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut served = None;
+    for line in lines.by_ref() {
+        let line = line.unwrap_or_else(|e| die(&format!("reading serve banner: {e}")));
+        // "serving on 127.0.0.1:PORT with N macros (...)"
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            let addr = rest.split_whitespace().next().and_then(|a| a.parse().ok());
+            served = Some(addr.unwrap_or_else(|| die(&format!("bad serve banner: {line}"))));
+            break;
+        }
+    }
+    let addr = served.unwrap_or_else(|| {
+        let _ = child.kill();
+        die("serve exited without printing its address")
+    });
+    std::thread::spawn(move || for _ in lines {});
+    ServedProc { child, addr }
+}
+
+/// The `--chaos --restart` run: the served process is `SIGKILL`ed
+/// mid-load and restarted on the same port against the same `--state-dir`,
+/// and every `--chaos` invariant must hold across the crash — plus a
+/// clean `repro state` verdict on the surviving state directory.
+fn run_restart(args: &Args) {
+    let repro = repro_bin();
+    let state_dir = std::env::temp_dir().join(format!("bpimc-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    std::fs::create_dir_all(&state_dir)
+        .unwrap_or_else(|e| die(&format!("creating {}: {e}", state_dir.display())));
+    let first = spawn_served(&repro, "127.0.0.1:0", &state_dir, args.chaos_seed);
+    let addr = first.addr;
+    println!(
+        "spawned repro serve on {addr} (state dir {})",
+        state_dir.display()
+    );
+    let replay = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .unwrap_or_else(|e| die(&format!("replay bind: {e}")));
+    // Generous backoff: the clients must ride out the kill-to-recovery
+    // window, not just a severed connection.
+    let retry = RetryPolicy {
+        max_attempts: 30,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(250),
+    };
+    let t0 = Instant::now();
+    let progress = Arc::new(AtomicU64::new(0));
+    let workers = spawn_chaos_clients(addr, replay.local_addr(), args, retry, &progress);
+    // SIGKILL once roughly a third of the workload has executed — far
+    // enough in for durable state to matter, early enough that the
+    // recovered server serves real load.
+    let total = args.clients * args.requests;
+    while progress.load(Ordering::SeqCst) < total.div_ceil(3) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut child = first.child;
+    child.kill().unwrap_or_else(|e| die(&format!("kill: {e}")));
+    let _ = child.wait();
+    println!(
+        "SIGKILLed the serving process after {} of {total} ops; restarting on {addr}",
+        progress.load(Ordering::SeqCst)
+    );
+    let second = spawn_served(&repro, &addr.to_string(), &state_dir, args.chaos_seed);
+    assert_eq!(second.addr, addr, "the restart must reuse the port");
+    let (ok, bad, faults, reconnects) = join_chaos_clients(workers);
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "restart: {} clients x {} requests in {elapsed:.3} s — {ok} correct, \
+         {faults} injected faults tolerated, {reconnects} reconnects survived",
+        args.clients, args.requests
+    );
+    // Graceful shutdown over the wire, then the state dir must audit
+    // clean (final snapshot + clean-shutdown marker).
+    let mut closer =
+        Client::connect(addr).unwrap_or_else(|e| die(&format!("shutdown connect: {e}")));
+    closer
+        .shutdown_server()
+        .unwrap_or_else(|e| die(&format!("graceful shutdown: {e}")));
+    let mut child = second.child;
+    let status = child.wait().unwrap_or_else(|e| die(&format!("wait: {e}")));
+    if !status.success() {
+        die(&format!("restarted server exited with {status}"));
+    }
+    replay.shutdown();
+    let audit = std::process::Command::new(&repro)
+        .args(["state", "--state-dir"])
+        .arg(&state_dir)
+        .status()
+        .unwrap_or_else(|e| die(&format!("repro state: {e}")));
+    if !audit.success() {
+        die("repro state found corruption after a kill -9 + restart run");
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+    if bad > 0 || ok + faults != total {
+        die(&format!(
+            "{bad} wrong/lost responses out of {total} across the kill -9 restart"
+        ));
+    }
+    println!(
+        "all {total} responses accounted for across kill -9 + restart: zero lost sessions, \
+         every account byte-identical to its fault-free replay, state directory clean"
     );
 }

@@ -14,6 +14,12 @@
 //!     [--chaos-delay-ms MS] [--chaos-stall-pm N] [--chaos-stall-ms MS]
 //!     [--chaos-drop-pm N]
 //!     [--fault-injection]   # honour explicit inject_panic requests only
+//!     [--state-dir DIR]     # crash-safe durable state: write-ahead
+//!     [--fsync always|interval:<ms>|never]  # journal + snapshots in DIR
+//! repro state --state-dir DIR   # inspect/verify a state directory:
+//!                           # record counts, CRC failures, truncation
+//!                           # point, per-session summary; non-zero exit
+//!                           # on corruption
 //! repro check-bench         # regression gate: compare current cycles and
 //!     [--baseline FILE]     # micro-timings against BENCH_repro.json
 //! repro lint --builtin      # static program-quality gate: lint the
@@ -534,6 +540,8 @@ fn serve_throughput() -> f64 {
 fn serve(args: &[String]) {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut config = bpimc_server::ServerConfig::default();
+    let mut state_dir: Option<String> = None;
+    let mut fsync: Option<bpimc_server::FsyncPolicy> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |name: &str| -> u64 {
@@ -591,10 +599,38 @@ fn serve(args: &[String]) {
             "--max-registry-programs" => {
                 config.max_registry_programs = num("--max-registry-programs").max(1) as usize
             }
+            "--state-dir" => {
+                state_dir = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--state-dir needs a PATH")),
+                )
+            }
+            "--fsync" => {
+                let spec = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--fsync needs always|interval:<ms>|never"));
+                fsync = Some(
+                    bpimc_server::FsyncPolicy::parse(&spec)
+                        .unwrap_or_else(|e| die(&format!("--fsync: {e}"))),
+                );
+            }
             other => die(&format!("unknown serve option '{other}'")),
         }
     }
-    let handle = bpimc_server::Server::bind(addr.as_str(), config)
+    match state_dir {
+        Some(dir) => {
+            let mut state = bpimc_server::StateConfig::new(std::path::PathBuf::from(dir));
+            if let Some(policy) = fsync {
+                state.fsync = policy;
+            }
+            config.state = Some(state);
+        }
+        None if fsync.is_some() => die("--fsync needs --state-dir"),
+        None => {}
+    }
+    let handle = bpimc_server::Server::bind(addr.as_str(), config.clone())
         .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!(
         "serving on {} with {} macros (queue {}, batch {}, write timeout {:?})",
@@ -619,9 +655,103 @@ fn serve(args: &[String]) {
     if config.faults.inject_panic_op {
         println!("explicit inject_panic requests are honoured");
     }
+    if let Some(state) = &config.state {
+        println!(
+            "durable state in {} (fsync {})",
+            state.dir.display(),
+            state.fsync
+        );
+    }
     println!("send {{\"id\":1,\"op\":\"shutdown\"}} to stop");
     handle.join();
     println!("server stopped");
+}
+
+/// `repro state --state-dir DIR`: offline inspection of a durable-state
+/// directory — what a restarting server would recover. Prints every
+/// snapshot and journal generation with record counts and CRC failures,
+/// the recovery path (warm or replay) and truncation point, and a
+/// per-session summary of the recovered registry. Exits non-zero when any
+/// file carries a torn or corrupt record, so recovery tests and operators
+/// can assert on it.
+fn state_cmd(args: &[String]) {
+    let mut dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--state-dir" => dir = it.next().cloned(),
+            other if dir.is_none() && !other.starts_with("--") => dir = Some(other.to_string()),
+            other => die(&format!("unknown state option '{other}'")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("state needs --state-dir DIR (or a bare DIR)"));
+    let report = bpimc_server::inspect(std::path::Path::new(&dir))
+        .unwrap_or_else(|e| die(&format!("inspecting {dir}: {e}")));
+    let file_line = |kind: &str, f: &bpimc_server::FileReport| {
+        let chosen = if kind == "snapshot" && Some(f.gen) == report.chosen_snapshot {
+            "  <- recovery base"
+        } else {
+            ""
+        };
+        match &f.corruption {
+            Some(c) => println!(
+                "{kind} gen {}: {} records, CORRUPT at byte {} ({} bytes dropped: {}){chosen}",
+                f.gen, f.records, c.offset, c.dropped_bytes, c.reason
+            ),
+            None => println!("{kind} gen {}: {} records, clean{chosen}", f.gen, f.records),
+        }
+    };
+    for f in &report.snapshots {
+        file_line("snapshot", f);
+    }
+    for f in &report.journals {
+        file_line("journal", f);
+    }
+    match report.clean_marker {
+        Some(gen) => println!("clean-shutdown marker names gen {gen}"),
+        None => println!("no clean-shutdown marker (crash or mid-run copy)"),
+    }
+    if report.warm {
+        println!("recovery path: warm (snapshot only, journal replay skipped)");
+    } else {
+        println!(
+            "recovery path: snapshot {} + {} replayed journal events",
+            report
+                .chosen_snapshot
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "none".into()),
+            report.replayed_events
+        );
+    }
+    println!("{} recovered sessions:", report.sessions.len());
+    for s in &report.sessions {
+        println!(
+            "  {}: {} requests ({} errors), {} cycles, {:.1} fJ, {} programs, last_seq {}, {} replay entries{}",
+            s.token,
+            s.stats.requests,
+            s.stats.errors,
+            s.stats.cycles,
+            s.stats.energy_fj,
+            s.programs,
+            s.last_seq.map(|q| q.to_string()).unwrap_or_else(|| "-".into()),
+            s.replay,
+            if s.detached_since_ms.is_some() {
+                " (detached)"
+            } else {
+                ""
+            },
+        );
+    }
+    if report.corrupt() {
+        for (file, c) in &report.corruptions {
+            eprintln!(
+                "corruption in {file} at byte {}: {} ({} bytes dropped)",
+                c.offset, c.reason, c.dropped_bytes
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("state directory is clean");
 }
 
 /// `repro check-bench`: the CI regression gate. Simulated cycle counts are
@@ -992,8 +1122,9 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: repro [all|fig2|fig7a|fig7b|fig8|fig9|table1|table2|table3|ablation|vrange]... [--samples N] [--seed S] [--json]");
         eprintln!(
-            "       repro serve [--addr HOST:PORT] [--macros N] [--write-timeout-ms MS] [--max-* limits] [--chaos-* plan] [--fault-injection (honour inject_panic only)]"
+            "       repro serve [--addr HOST:PORT] [--macros N] [--write-timeout-ms MS] [--max-* limits] [--chaos-* plan] [--fault-injection (honour inject_panic only)] [--state-dir DIR] [--fsync always|interval:<ms>|never]"
         );
+        eprintln!("       repro state --state-dir DIR  (inspect/verify durable state; non-zero exit on corruption)");
         eprintln!("       repro check-bench [--baseline FILE]");
         eprintln!("       repro lint [--builtin] [FILE|-]");
         eprintln!("       repro model-check [--seeds N] [--depth D] [--model NAME] [--seed S] [--exhaustive BUDGET] [--max-steps N]  (needs --features model)");
@@ -1001,6 +1132,10 @@ fn main() {
     }
     if args[0] == "serve" {
         serve(&args[1..]);
+        return;
+    }
+    if args[0] == "state" {
+        state_cmd(&args[1..]);
         return;
     }
     if args[0] == "model-check" {

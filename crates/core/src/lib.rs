@@ -65,8 +65,9 @@ pub use prog::{
     SubProgram,
 };
 pub use wire::{
-    ErrorBody, ErrorKind, LaneOp, LimitKind, ProgramEntry, ProgramReport, Request, RequestBody,
-    Response, ResponseBody, RunStatus, SessionInfo, StoredMeta, StoredTarget,
+    instr_from_json, instr_to_json, ErrorBody, ErrorKind, LaneOp, LimitKind, ProgramEntry,
+    ProgramReport, Request, RequestBody, Response, ResponseBody, RunStatus, SessionInfo,
+    StoredMeta, StoredTarget,
 };
 
 // A failed batch job, as surfaced by `MacroBank::try_run_batch`, and the

@@ -808,8 +808,11 @@ fn reg_json(r: Reg) -> Json {
 }
 
 /// Serializes one program instruction to its wire object (see the module
-/// docs for the vocabulary).
-fn instr_to_json(instr: &Instr) -> Json {
+/// docs for the vocabulary). Public so the server's persistence layer can
+/// journal submitted instruction streams in the exact wire vocabulary —
+/// one representation, one parser, whether a program arrives over TCP or
+/// out of a recovery journal.
+pub fn instr_to_json(instr: &Instr) -> Json {
     let mut fields: Vec<(String, Json)> = Vec::new();
     let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
     match instr {
@@ -902,8 +905,14 @@ fn instr_to_json(instr: &Instr) -> Json {
     Json::Obj(fields)
 }
 
-/// Parses one program instruction from its wire object.
-fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
+/// Parses one program instruction from its wire object — the inverse of
+/// [`instr_to_json`], shared by the request parser and the server's
+/// recovery path.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the missing or malformed field.
+pub fn instr_from_json(v: &Json) -> Result<Instr, WireError> {
     let name = field(v, "i")?
         .as_str()
         .ok_or_else(|| wire_err("instruction field 'i' must be a string"))?;

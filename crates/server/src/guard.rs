@@ -152,6 +152,37 @@ impl RateWindow {
         self.cycles += cycles;
         self.energy_fj += energy_fj;
     }
+
+    /// The window's state for a snapshot: `(age at `now`, cycles,
+    /// energy)`. Ages convert to wall-clock offsets outside, where the
+    /// caller holds both clocks.
+    pub(crate) fn export(&self, now: Instant) -> (Duration, u64, f64) {
+        (
+            now.saturating_duration_since(self.start),
+            self.cycles,
+            self.energy_fj,
+        )
+    }
+
+    /// Rebuilds a window recovered from disk: one that started `age` ago
+    /// relative to `now`. A window already past [`WINDOW`] restores
+    /// empty — `admit` would roll it on first use anyway — so a restart
+    /// neither refills an exhausted in-window budget nor meters stale
+    /// spend against a fresh second.
+    pub(crate) fn restore(age: Duration, cycles: u64, energy_fj: f64, now: Instant) -> Self {
+        if age >= WINDOW {
+            return Self {
+                start: now,
+                cycles: 0,
+                energy_fj: 0.0,
+            };
+        }
+        Self {
+            start: now.checked_sub(age).unwrap_or(now),
+            cycles,
+            energy_fj,
+        }
+    }
 }
 
 impl Default for RateWindow {
@@ -205,6 +236,24 @@ mod tests {
         win.charge(0, 500.0);
         let err = win.admit(&limits, Instant::now()).unwrap_err();
         assert_eq!(err.limit, Some(LimitKind::EnergyRate));
+    }
+
+    #[test]
+    fn restore_preserves_live_windows_and_drops_stale_ones() {
+        let limits = SessionLimits {
+            max_cycles_per_sec: Some(100),
+            ..SessionLimits::default()
+        };
+        let now = Instant::now();
+        // A half-spent window restored mid-second still meters the spend.
+        let mut win = RateWindow::restore(Duration::from_millis(400), 100, 1.5, now);
+        assert_eq!(win.export(now), (Duration::from_millis(400), 100, 1.5));
+        assert!(win.admit(&limits, now).is_err(), "budget stays exhausted");
+        // …until the window it belonged to actually ends.
+        assert!(win.admit(&limits, now + Duration::from_millis(601)).is_ok());
+        // A window older than a second restores empty.
+        let mut stale = RateWindow::restore(Duration::from_millis(1000), 100, 1.5, now);
+        assert!(stale.admit(&limits, now).is_ok());
     }
 
     #[test]

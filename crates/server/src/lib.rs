@@ -59,6 +59,19 @@
 //!   a per-session `seq` number: a retry of an executed seq replays the
 //!   recorded response instead of executing again, so reconnect-and-retry
 //!   can never double-execute or double-bill.
+//! * **Crash-safe durable state** ([`StateConfig`]): with `state` set,
+//!   every state-mutating event (session opens/resumes/detaches, model
+//!   loads, program stores/deletes, executed seqs with their responses,
+//!   account deltas) appends to a CRC-framed write-ahead journal, fsynced
+//!   per [`FsyncPolicy`]; the sweeper thread takes periodic compacting
+//!   snapshots (atomic tmp+rename). On boot the server recovers the
+//!   newest valid snapshot plus the journal tail — stopping cleanly at
+//!   the first torn or corrupt record — and resumes with byte-identical
+//!   accounts, recompiled stored programs, restarted TTL clocks, and the
+//!   seq replay window intact, so a `kill -9` can never double-bill a
+//!   retried request. [`inspect`] (the `repro state` subcommand) audits a
+//!   state directory offline. With `state` unset every journal hook is
+//!   one `Option` branch: the hot path is unchanged.
 //! * **Per-session guardrails** ([`SessionLimits`]): optional per-second
 //!   cycle and energy budgets — metered against the same exact accounting
 //!   the session is billed, which the paper's fixed cost model makes
@@ -124,10 +137,14 @@ mod fault;
 mod guard;
 #[cfg(feature = "model")]
 pub mod models;
+mod persist;
 mod server;
 mod session;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{ComputeFault, FaultPlan, ResponseFault};
 pub use guard::SessionLimits;
+pub use persist::{
+    inspect, Corruption, FileReport, FsyncPolicy, SessionSummary, StateConfig, StateReport,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -352,7 +352,7 @@ fn session_gc_vs_resume_exclusive() {
     let resumed = resumer.join().expect("resumer exits");
     match resumed {
         Ok(()) => {
-            assert_eq!(swept, 0, "a resumed session is never collected");
+            assert!(swept.is_empty(), "a resumed session is never collected");
             assert_eq!(registry.len(), 1, "the resumed session stays registered");
         }
         Err(err) => {
@@ -361,9 +361,101 @@ fn session_gc_vs_resume_exclusive() {
                 ErrorKind::SessionExpired,
                 "a swept token answers session_expired: {err:?}"
             );
-            assert_eq!(swept, 1, "the losing resume implies the sweep collected it");
+            assert_eq!(
+                swept,
+                vec![token],
+                "the losing resume implies the sweep collected it"
+            );
             assert_eq!(registry.len(), 0, "the collected session is gone");
         }
+    }
+}
+
+/// The write-ahead journal agrees with the live registry in every
+/// schedule of the sweep / resume race: both racers append their events
+/// under the persist lock exactly as the server does (lock, mutate,
+/// append — one atomic unit), and replaying the journal through
+/// [`apply_event`](crate::persist::apply_event) reconstructs whichever
+/// outcome the schedule picked. A schedule where the journal could
+/// record an Expire for a session the resume kept (or vice versa) would
+/// mean a crash right there recovers the wrong registry.
+fn journal_vs_gc_vs_resume_consistent() {
+    use crate::persist::{apply_event, Event, RegistryRecord, SessionRecord};
+    let registry = Arc::new(SessionRegistry::new(model_caps(Duration::ZERO)));
+    let now = Instant::now();
+    let session = registry
+        .open(&Session::ephemeral(), now)
+        .expect("registry has room");
+    let token = session
+        .token
+        .clone()
+        .expect("durable sessions carry a token");
+    session.detach(now);
+    // The journal as the server writes it, seeded with the events that
+    // built the live state above. The persist lock is outermost, so
+    // taking the registry lock inside it is the production lock order.
+    let journal = Arc::new(Mutex::named(
+        "server.persist.journal",
+        vec![
+            Event::Open {
+                token: token.clone(),
+                record: Box::new(SessionRecord::empty(token.clone())),
+            },
+            Event::Detach {
+                token: token.clone(),
+                unix_ms: 0,
+            },
+        ],
+    ));
+    let sweeper = {
+        let registry = registry.clone();
+        let journal = journal.clone();
+        thread::spawn(move || {
+            let mut journal = journal.lock();
+            for t in registry.sweep(now) {
+                journal.push(Event::Expire { token: t });
+            }
+        })
+    };
+    let resumer = {
+        let registry = registry.clone();
+        let journal = journal.clone();
+        let token = token.clone();
+        thread::spawn(move || {
+            let mut journal = journal.lock();
+            let attached = registry.resume(&token, now).is_ok();
+            if attached {
+                journal.push(Event::Attach { token });
+            }
+            attached
+        })
+    };
+    let attached = resumer.join().expect("resumer exits");
+    sweeper.join().expect("sweeper exits");
+    let mut replayed = RegistryRecord::default();
+    for ev in journal.lock().iter() {
+        apply_event(&mut replayed, ev);
+    }
+    let recovered = replayed.sessions.iter().find(|s| s.token == token);
+    if attached {
+        assert_eq!(registry.len(), 1, "the resume kept the session live");
+        let rec = recovered.expect("the journal preserves the resumed session");
+        assert!(
+            rec.detached_since_ms.is_none(),
+            "the Attach event cleared the recorded TTL clock"
+        );
+        assert!(replayed.expired.is_empty(), "nothing was collected");
+    } else {
+        assert_eq!(registry.len(), 0, "the sweep collected the session");
+        assert!(
+            recovered.is_none(),
+            "the journal must not resurrect a collected session"
+        );
+        assert_eq!(
+            replayed.expired,
+            vec![token],
+            "the Expire event landed in the journal"
+        );
     }
 }
 
@@ -404,6 +496,11 @@ pub const MODELS: &[ModelSpec] = &[
         name: "server-session-gc-vs-resume",
         invariant: "a sweep racing a resume resolves exclusively: attach or session_expired",
         run: session_gc_vs_resume_exclusive,
+    },
+    ModelSpec {
+        name: "server-journal-vs-gc-vs-resume",
+        invariant: "journal replay reconstructs the live registry in every sweep/resume schedule",
+        run: journal_vs_gc_vs_resume_consistent,
     },
 ];
 

@@ -5,6 +5,7 @@
 use crate::exec::{is_compute, run_compute, ComputeJob, Model};
 use crate::fault::{FaultPlan, ResponseFault};
 use crate::guard::SessionLimits;
+use crate::persist::{self, Event, Persist, StateConfig};
 use crate::session::{Billing, RegistryCaps, Session, SessionRegistry, StoredEntry};
 use bpimc_core::{
     ErrorBody, ErrorKind, LimitKind, MacroBank, MacroConfig, Program, Request, RequestBody,
@@ -24,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Macros in the shared bank (defaults to the host's parallelism).
     pub macros: usize,
@@ -74,6 +75,11 @@ pub struct ServerConfig {
     /// sessions each under the per-session cap cannot together exhaust
     /// server memory while they wait out the TTL.
     pub max_registry_programs: usize,
+    /// Crash-safe durable state (`--state-dir`): `Some` journals every
+    /// durable-session mutation to disk, snapshots periodically, and
+    /// recovers both at the next boot. `None` (the default) keeps all
+    /// state in memory with zero persistence cost on the serving path.
+    pub state: Option<StateConfig>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +99,7 @@ impl Default for ServerConfig {
             session_ttl: DEFAULT_SESSION_TTL,
             max_sessions: 1024,
             max_registry_programs: 4096,
+            state: None,
         }
     }
 }
@@ -623,6 +630,9 @@ struct Shared {
     queue: Queue<Item>,
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     sessions: Arc<SessionRegistry>,
+    /// The write-ahead journal + snapshot engine, when `--state-dir` is
+    /// on. `None` costs the serving path exactly one branch per settle.
+    persist: Option<Arc<Persist>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
     next_conn_id: AtomicU64,
@@ -630,6 +640,53 @@ struct Shared {
 }
 
 impl Shared {
+    /// Settles one request against its session, journaling the identical
+    /// mutation when persistence is on and the session is durable. The
+    /// journal lock is taken *before* the session lock and held across
+    /// both the mutation and the append, so a concurrent snapshot can
+    /// never capture the mutation yet lose its event (or vice versa).
+    fn settle(
+        &self,
+        session: &Session,
+        billing: Billing,
+        ran_pid: Option<u64>,
+        seq: Option<u64>,
+        body: &ResponseBody,
+    ) {
+        match (&self.persist, session.token.as_deref()) {
+            (Some(p), Some(token)) if !matches!(billing, Billing::None) || seq.is_some() => {
+                let ev = persist::exec_event(token, &billing, ran_pid, seq, body);
+                let mut journal = p.begin();
+                session.settle(billing, ran_pid, seq, body);
+                p.append(&mut journal, &ev);
+            }
+            _ => session.settle(billing, ran_pid, seq, body),
+        }
+    }
+
+    /// Bills one error with no response to record, via the journal hook.
+    fn record_error(&self, session: &Session) {
+        self.settle(session, Billing::Error, None, None, &ResponseBody::Ok);
+    }
+
+    /// [`Session::detach`] with the journal hook: the detach event
+    /// carries the wall clock so a restart resumes the TTL countdown
+    /// where it stood instead of granting a fresh one.
+    fn detach_session(&self, session: &Session, now: Instant) {
+        match (&self.persist, session.token.as_deref()) {
+            (Some(p), Some(token)) => {
+                let ev = Event::Detach {
+                    token: token.to_string(),
+                    unix_ms: persist::unix_ms_now(),
+                };
+                let mut journal = p.begin();
+                session.detach(now);
+                p.append(&mut journal, &ev);
+            }
+            _ => session.detach(now),
+        }
+    }
+
     /// Idempotent: stops the accept loop, closes the queue and stops the
     /// session sweeper. Already queued requests still drain and get
     /// responses; new pushes fail.
@@ -670,12 +727,25 @@ impl Server {
             max_sessions: config.max_sessions,
             max_programs: config.max_registry_programs,
         }));
+        // Recovery happens before the listener accepts anything: by the
+        // time a client can connect, every recovered session is already
+        // resumable with its pre-crash account, programs and seq window.
+        let persist = match &config.state {
+            Some(state) => Some(Arc::new(recover(
+                state,
+                &sessions,
+                config.optimize_programs,
+            )?)),
+            None => None,
+        };
+        let queue = Queue::new(config.queue_capacity, config.shed_high, config.shed_low);
         let shared = Arc::new(Shared {
             config,
             addr,
-            queue: Queue::new(config.queue_capacity, config.shed_high, config.shed_low),
+            queue,
             conns: Mutex::named("server.conns", HashMap::new()),
             sessions: sessions.clone(),
+            persist: persist.clone(),
             readers: Mutex::named("server.readers", Vec::new()),
             writers: Mutex::named("server.writers", Vec::new()),
             next_conn_id: AtomicU64::named("server.conn.next-id", 1),
@@ -684,7 +754,31 @@ impl Server {
 
         let sweeper = std::thread::Builder::new()
             .name("bpimc-session-gc".into())
-            .spawn(move || sessions.run_sweeper())
+            .spawn(move || {
+                let registry = sessions.clone();
+                sessions.run_sweeper(move || {
+                    let now = Instant::now();
+                    match &persist {
+                        Some(p) => {
+                            // Lock order: journal before registry. Held
+                            // across sweep + append, each expiry is one
+                            // atomic journal unit.
+                            {
+                                let mut journal = p.begin();
+                                for token in registry.sweep(now) {
+                                    p.append(&mut journal, &Event::Expire { token });
+                                }
+                            }
+                            // Interval fsyncs and due snapshots ride the
+                            // same tick — nothing on the request path.
+                            p.tick(&registry);
+                        }
+                        None => {
+                            registry.sweep(now);
+                        }
+                    }
+                });
+            })
             .expect("spawning the session sweeper thread");
         let accept = {
             let shared = shared.clone();
@@ -708,6 +802,53 @@ impl Server {
             sweeper: Some(sweeper),
         })
     }
+}
+
+/// Opens the state directory and rebuilds what it holds: newest valid
+/// snapshot, journal-tail replay, then materialization — stored programs
+/// and classifier models recompiled from their journaled source streams
+/// on a scratch macro (billing nothing; the original bills are already in
+/// the recovered accounts). Runs to completion before the server accepts
+/// its first connection, and logs which recovery path was taken.
+fn recover(
+    state: &StateConfig,
+    sessions: &Arc<SessionRegistry>,
+    optimize: bool,
+) -> std::io::Result<Persist> {
+    let (persist, recovery) = Persist::open(state)?;
+    eprintln!("bpimc-server: {}", recovery.path);
+    if let Some(c) = &recovery.corruption {
+        eprintln!(
+            "bpimc-server: journal tail dropped at byte {}: {} ({} bytes discarded)",
+            c.offset, c.reason, c.dropped_bytes
+        );
+    }
+    let recovered = recovery.registry;
+    if recovered.sessions.is_empty() && recovered.expired.is_empty() && recovered.mint_counter == 0
+    {
+        return Ok(persist);
+    }
+    let mut bank = MacroBank::new(1, MacroConfig::paper_macro());
+    let params = paper_calibrated_params();
+    let now = Instant::now();
+    let mut notes = Vec::new();
+    let live: Vec<Arc<Session>> = recovered
+        .sessions
+        .iter()
+        .map(|rec| {
+            let inner =
+                persist::materialize_session(rec, &mut bank, &params, optimize, now, &mut notes);
+            Arc::new(Session {
+                token: Some(rec.token.clone()),
+                inner: Mutex::named("server.session.inner", inner),
+            })
+        })
+        .collect();
+    for note in notes {
+        eprintln!("bpimc-server: recovery: {note}");
+    }
+    sessions.install_recovered(live, recovered.expired, recovered.mint_counter);
+    Ok(persist)
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -754,6 +895,13 @@ impl ServerHandle {
         let writers = std::mem::take(&mut *self.shared.writers.lock());
         for h in writers {
             let _ = h.join();
+        }
+        // Every thread that could mutate session state is joined (readers
+        // journal their final detaches on exit), so this snapshot is the
+        // complete final state: write it plus the clean-shutdown marker,
+        // and the next boot skips journal replay entirely.
+        if let Some(p) = &self.shared.persist {
+            p.finalize(&self.shared.sessions);
         }
     }
 }
@@ -895,7 +1043,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     let Ok(read_half) = conn.stream.try_clone() else {
         conn.outbox.no_more_requests();
         shared.conns.lock().remove(&conn.id);
-        conn.session().detach(Instant::now());
+        shared.detach_session(&conn.session(), Instant::now());
         return;
     };
     let mut reader = BufReader::new(read_half);
@@ -979,7 +1127,7 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
         {
             // Queue closed: the dispatcher will never answer. This is the
             // one response written off-order, and only during shutdown.
-            conn.session().record_error();
+            shared.record_error(&conn.session());
             conn.respond(id, ResponseBody::Error("server is shutting down".into()));
             break;
         }
@@ -993,11 +1141,11 @@ fn reader_loop(conn: Arc<Conn>, shared: &Arc<Shared>) {
     // we are already gone, so this ordering leaves no window in which a
     // session stays attached to a dead connection (see `handle_control`).
     shared.conns.lock().remove(&conn.id);
-    conn.session().detach(Instant::now());
+    shared.detach_session(&conn.session(), Instant::now());
 }
 
 fn dispatch_loop(shared: &Arc<Shared>) {
-    let config = shared.config;
+    let config = &shared.config;
     let mut bank = MacroBank::new(config.macros.max(1), MacroConfig::paper_macro());
     let params = paper_calibrated_params();
     while let Some(batch) = shared.queue.pop_batch(config.batch_max) {
@@ -1233,7 +1381,7 @@ fn process_batch(
                         ),
                     },
                 };
-                m.session.settle(billing, m.ran_pid, m.claimed, &body);
+                shared.settle(&m.session, billing, m.ran_pid, m.claimed, &body);
                 deliver(&m.conn, m.id, m.seq, body, &faults);
             }
         } else {
@@ -1283,8 +1431,10 @@ fn control_consumes_seq(body: &ResponseBody) -> bool {
 
 /// The common control-op epilogue: settles billing (and, when the request
 /// was seq-guarded and the outcome consumes the seq, records the response
-/// for replay), then responds.
+/// for replay), then responds. Settling goes through [`Shared::settle`],
+/// so every control outcome reaches the journal too.
 fn finish_control(
+    shared: &Shared,
     conn: &Arc<Conn>,
     session: &Session,
     id: u64,
@@ -1293,7 +1443,7 @@ fn finish_control(
     body: ResponseBody,
 ) {
     let seq = guarded.filter(|_| control_consumes_seq(&body));
-    session.settle(billing, None, seq, &body);
+    shared.settle(session, billing, None, seq, &body);
     conn.respond(id, body);
 }
 
@@ -1313,7 +1463,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             // (shed, over the in-flight cap): answered here, in queue
             // order. Never seq-claimed — sheds and inflight refusals are
             // transient, and malformed lines have no usable seq.
-            session.record_error();
+            shared.record_error(&session);
             conn.respond(id, ResponseBody::Error(err));
             return;
         }
@@ -1343,6 +1493,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
     match body {
         RequestBody::Ping => {
             finish_control(
+                shared,
                 &conn,
                 &session,
                 id,
@@ -1359,6 +1510,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             // stats request itself as zero-cycle work.
             let stats = session.inner.lock().stats;
             finish_control(
+                shared,
                 &conn,
                 &session,
                 id,
@@ -1386,6 +1538,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                     .err();
                 if let Some(err) = refusal {
                     finish_control(
+                        shared,
                         &conn,
                         &session,
                         id,
@@ -1398,8 +1551,25 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             }
             match build_model(bank, params, precision, prototypes) {
                 Ok((model, cycles, energy_fj)) => {
-                    session.inner.lock().model = Some(Arc::new(model));
+                    let model = Arc::new(model);
+                    match (&shared.persist, session.token.as_deref()) {
+                        (Some(p), Some(token)) => {
+                            // The journal records the model's *source*
+                            // (precision + prototypes); recovery rebuilds
+                            // norms and the fused template from it.
+                            let ev = Event::Model {
+                                token: token.to_string(),
+                                precision_bits: model.precision.bits() as u32,
+                                prototypes: model.prototypes_q.clone(),
+                            };
+                            let mut journal = p.begin();
+                            session.inner.lock().model = Some(model);
+                            p.append(&mut journal, &ev);
+                        }
+                        _ => session.inner.lock().model = Some(model),
+                    }
                     finish_control(
+                        shared,
                         &conn,
                         &session,
                         id,
@@ -1410,6 +1580,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                 }
                 Err(msg) => {
                     finish_control(
+                        shared,
                         &conn,
                         &session,
                         id,
@@ -1424,6 +1595,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             let limits = shared.config.limits;
             if let Err(err) = limits.check_program_len(instrs.len()) {
                 finish_control(
+                    shared,
                     &conn,
                     &session,
                     id,
@@ -1441,6 +1613,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             // carries the same code/index detail instead.
             if let Err(e) = prog.validate(&config) {
                 finish_control(
+                    shared,
                     &conn,
                     &session,
                     id,
@@ -1451,6 +1624,10 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                 return;
             }
             let diagnostics = prog.lint(&config);
+            // The submitted stream, kept with the entry: what the journal
+            // persists and recovery recompiles (an ephemeral session's
+            // programs can become durable later via `open_session`).
+            let source = prog.instrs().to_vec();
             let prog = if shared.config.optimize_programs {
                 prog.optimize()
             } else {
@@ -1458,8 +1635,11 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             };
             match prog.compile(&config) {
                 Ok(compiled) => {
-                    // Lock order: the registry's global program quota
-                    // (durable sessions only) strictly before the session.
+                    // Lock order: the journal, then the registry's global
+                    // program quota (durable sessions only), then the
+                    // session — the whole store is one journal unit.
+                    let p = shared.persist.as_ref().filter(|_| session.is_durable());
+                    let mut journal = p.map(|p| p.begin());
                     let mut quota = session.is_durable().then(|| shared.sessions.quota());
                     let mut inner = session.inner.lock();
                     let refusal = if inner.stored.len() >= limits.max_stored_programs {
@@ -1496,6 +1676,12 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                         let body = ResponseBody::Error(err);
                         let seq = guarded.filter(|_| control_consumes_seq(&body));
                         inner.settle(Billing::Error, None, seq, &body);
+                        if let (Some(p), Some(journal), Some(token)) =
+                            (p, journal.as_mut(), session.token.as_deref())
+                        {
+                            let ev = persist::exec_event(token, &Billing::Error, None, seq, &body);
+                            p.append(journal, &ev);
+                        }
                         drop(inner);
                         drop(quota);
                         conn.respond(id, body);
@@ -1507,10 +1693,20 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                         writes: compiled.write_count() as u64,
                         diagnostics,
                     };
+                    let store_ev = match (p, session.token.as_deref()) {
+                        (Some(_), Some(token)) => Some(Event::Store {
+                            token: token.to_string(),
+                            pid: meta.pid,
+                            name: name.clone(),
+                            instrs: source.clone(),
+                        }),
+                        _ => None,
+                    };
                     inner.next_pid += 1;
-                    inner
-                        .stored
-                        .insert(meta.pid, StoredEntry::new(Arc::new(compiled), name.clone()));
+                    inner.stored.insert(
+                        meta.pid,
+                        StoredEntry::new(Arc::new(compiled), name.clone(), source),
+                    );
                     if let Some(n) = name {
                         inner.names.insert(n, meta.pid);
                     }
@@ -1520,6 +1716,10 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                     // Validation, lint and lowering are host work, not
                     // macro work: a store bills zero hardware cycles.
                     let body = ResponseBody::Stored(meta);
+                    let billing = Billing::Ok {
+                        cycles: 0,
+                        energy_fj: 0.0,
+                    };
                     inner.settle(
                         Billing::Ok {
                             cycles: 0,
@@ -1529,12 +1729,20 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                         guarded,
                         &body,
                     );
+                    if let (Some(p), Some(journal), Some(ev), Some(token)) =
+                        (p, journal.as_mut(), store_ev, session.token.as_deref())
+                    {
+                        p.append(journal, &ev);
+                        let ev = persist::exec_event(token, &billing, None, guarded, &body);
+                        p.append(journal, &ev);
+                    }
                     drop(inner);
                     drop(quota);
                     conn.respond(id, body);
                 }
                 Err(e) => {
                     finish_control(
+                        shared,
                         &conn,
                         &session,
                         id,
@@ -1547,25 +1755,29 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
         }
         RequestBody::ListPrograms => {
             // Pure registry read: zero hardware cycles.
-            let mut inner = session.inner.lock();
-            let body = ResponseBody::Programs(inner.program_entries());
-            inner.settle(
+            let body = ResponseBody::Programs(session.inner.lock().program_entries());
+            finish_control(
+                shared,
+                &conn,
+                &session,
+                id,
+                guarded,
                 Billing::Ok {
                     cycles: 0,
                     energy_fj: 0.0,
                 },
-                None,
-                guarded,
-                &body,
+                body,
             );
-            drop(inner);
-            conn.respond(id, body);
         }
         RequestBody::DeleteProgram { target } => {
+            // Lock order: journal, then the registry's quota, then the
+            // session — the delete and its billing are one journal unit.
+            let p = shared.persist.as_ref().filter(|_| session.is_durable());
+            let mut journal = p.map(|p| p.begin());
             let mut quota = session.is_durable().then(|| shared.sessions.quota());
             let mut inner = session.inner.lock();
-            let (billing, body) = match inner.remove_stored(&target) {
-                Some(_pid) => {
+            let (billing, body, deleted) = match inner.remove_stored(&target) {
+                Some(pid) => {
                     if let Some(q) = quota.as_mut() {
                         q.total_stored = q.total_stored.saturating_sub(1);
                     }
@@ -1575,15 +1787,37 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                             energy_fj: 0.0,
                         },
                         ResponseBody::Ok,
+                        Some(pid),
                     )
                 }
                 None => (
                     Billing::Error,
                     ResponseBody::Error(ErrorBody::generic(format!("no {target} in this session"))),
+                    None,
                 ),
             };
             let seq = guarded.filter(|_| control_consumes_seq(&body));
             inner.settle(billing, None, seq, &body);
+            if let (Some(p), Some(journal), Some(token)) =
+                (p, journal.as_mut(), session.token.as_deref())
+            {
+                if let Some(pid) = deleted {
+                    let ev = Event::Delete {
+                        token: token.to_string(),
+                        pid,
+                    };
+                    p.append(journal, &ev);
+                }
+                let billing = match deleted {
+                    Some(_) => Billing::Ok {
+                        cycles: 0,
+                        energy_fj: 0.0,
+                    },
+                    None => Billing::Error,
+                };
+                let ev = persist::exec_event(token, &billing, None, seq, &body);
+                p.append(journal, &ev);
+            }
             drop(inner);
             drop(quota);
             conn.respond(id, body);
@@ -1598,8 +1832,18 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                 conn.respond(id, ResponseBody::Session(session.info()));
                 return;
             }
+            // The mint and its journal record are one unit: the guard
+            // spans the registry insert and the Open append.
+            let p = shared.persist.as_ref();
+            let mut journal = p.map(|p| p.begin());
             match shared.sessions.open(&session, Instant::now()) {
                 Ok(durable) => {
+                    if let (Some(p), Some(journal)) = (p, journal.as_mut()) {
+                        if let Some(ev) = persist::open_event(&durable) {
+                            p.append(journal, &ev);
+                        }
+                    }
+                    drop(journal);
                     *conn.session.lock() = durable.clone();
                     // If the reader exited while we swapped (it removes
                     // the conn from `conns` *before* detaching the slot's
@@ -1607,32 +1851,48 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
                     // session — re-check liveness and detach the durable
                     // one ourselves so it cannot stay attached forever.
                     if !shared.conns.lock().contains_key(&conn.id) {
-                        durable.detach(Instant::now());
+                        shared.detach_session(&durable, Instant::now());
                     }
                     conn.respond(id, ResponseBody::Session(durable.info()));
                 }
                 Err(err) => {
+                    drop(journal);
                     conn.respond(id, ResponseBody::Error(err));
                 }
             }
         }
         RequestBody::ResumeSession { token } => {
+            // The resume and its Attach record are one unit; the old
+            // session's detach journals as its own unit afterwards (the
+            // journal guard is not reentrant).
+            let p = shared.persist.as_ref();
+            let mut journal = p.map(|p| p.begin());
             match shared.sessions.resume(&token, Instant::now()) {
                 Ok(resumed) => {
+                    if let (Some(p), Some(journal), Some(tok)) =
+                        (p, journal.as_mut(), resumed.token.as_deref())
+                    {
+                        let ev = Event::Attach {
+                            token: tok.to_string(),
+                        };
+                        p.append(journal, &ev);
+                    }
+                    drop(journal);
                     let old = {
                         let mut slot = conn.session.lock();
                         std::mem::replace(&mut *slot, resumed.clone())
                     };
                     // The session this connection held until now goes back
                     // to detached (ephemeral ones just drop).
-                    old.detach(Instant::now());
+                    shared.detach_session(&old, Instant::now());
                     // Same reader-exit race as in `open_session`.
                     if !shared.conns.lock().contains_key(&conn.id) {
-                        resumed.detach(Instant::now());
+                        shared.detach_session(&resumed, Instant::now());
                     }
                     conn.respond(id, ResponseBody::Session(resumed.info()));
                 }
                 Err(err) => {
+                    drop(journal);
                     conn.respond(id, ResponseBody::Error(err));
                 }
             }
@@ -1641,6 +1901,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             let limits = shared.config.limits;
             if let Err(err) = limits.check_program_len(instrs.len()) {
                 finish_control(
+                    shared,
                     &conn,
                     &session,
                     id,
@@ -1654,6 +1915,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
             let diagnostics = Program::new(instrs).lint(&config);
             // Static analysis is pure host work: zero hardware cycles.
             finish_control(
+                shared,
                 &conn,
                 &session,
                 id,
@@ -1667,6 +1929,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
         }
         RequestBody::Shutdown => {
             finish_control(
+                shared,
                 &conn,
                 &session,
                 id,
@@ -1682,6 +1945,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
         other => {
             // Compute bodies never reach here (see `process_batch`).
             finish_control(
+                shared,
                 &conn,
                 &session,
                 id,
@@ -1700,7 +1964,7 @@ fn handle_control(item: Item, bank: &mut MacroBank, params: &EnergyParams, share
 /// **here, once per model** — every `classify` request then runs the
 /// pre-resolved op array with just the sample's chunks rebound, skipping
 /// per-call program building, validation and lowering entirely.
-fn build_model(
+pub(crate) fn build_model(
     bank: &mut MacroBank,
     params: &EnergyParams,
     precision: bpimc_core::Precision,

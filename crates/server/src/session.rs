@@ -31,14 +31,15 @@
 //! All locks here go through the [`bpimc_stats::sync`] shim, so the
 //! registry protocol (resume vs. drain, GC vs. resume, seq replay) runs
 //! under the deterministic model scheduler in `crate::models`. Lock
-//! order: `server.sessions.registry` before `server.session.inner`;
-//! never the reverse.
+//! order: `server.persist.journal` (when persistence is on) before
+//! `server.sessions.registry` before `server.session.inner`; never the
+//! reverse.
 
 use crate::exec::Model;
 use crate::guard::RateWindow;
 use bpimc_core::{
-    CompiledProgram, ErrorBody, LimitKind, ProgramEntry, ResponseBody, RunStatus, SessionActivity,
-    SessionInfo, StoredTarget,
+    CompiledProgram, ErrorBody, Instr, LimitKind, ProgramEntry, ResponseBody, RunStatus,
+    SessionActivity, SessionInfo, StoredTarget,
 };
 use bpimc_stats::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, VecDeque};
@@ -68,6 +69,10 @@ const RESUME_BUSY_RETRY_MS: u64 = 25;
 pub(crate) struct StoredEntry {
     pub compiled: Arc<CompiledProgram>,
     pub name: Option<String>,
+    /// The instruction stream exactly as submitted — what the journal
+    /// persists, so recovery can recompile through the same pipeline
+    /// instead of trusting a serialized artifact.
+    pub source: Vec<Instr>,
     pub runs: u64,
     pub errors: u64,
     pub total_cycles: u64,
@@ -76,10 +81,15 @@ pub(crate) struct StoredEntry {
 }
 
 impl StoredEntry {
-    pub(crate) fn new(compiled: Arc<CompiledProgram>, name: Option<String>) -> Self {
+    pub(crate) fn new(
+        compiled: Arc<CompiledProgram>,
+        name: Option<String>,
+        source: Vec<Instr>,
+    ) -> Self {
         Self {
             compiled,
             name,
+            source,
             runs: 0,
             errors: 0,
             total_cycles: 0,
@@ -122,6 +132,11 @@ pub(crate) struct SessionInner {
     attached: bool,
     /// When the last connection let go — the TTL clock.
     detached_at: Option<Instant>,
+    /// Detachment served *before* the last recovery, credited against the
+    /// TTL: `Instant`s do not survive a restart, so recovery restarts the
+    /// clock at boot but carries the pre-crash elapsed time here. A
+    /// resume clears it along with `detached_at`.
+    detached_carry: Duration,
 }
 
 impl SessionInner {
@@ -137,7 +152,56 @@ impl SessionInner {
             replay: VecDeque::new(),
             attached: true,
             detached_at: None,
+            detached_carry: Duration::ZERO,
         }
+    }
+
+    /// Rebuilds a recovered session's state. The session materializes
+    /// *detached* — its pre-crash connection is certainly gone — with the
+    /// TTL clock restarted at `now` and `detached_carry` (how long it had
+    /// already been detached before the crash) credited against it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        stats: SessionActivity,
+        rate: RateWindow,
+        model: Option<Arc<Model>>,
+        stored: HashMap<u64, StoredEntry>,
+        names: HashMap<String, u64>,
+        next_pid: u64,
+        last_seq: Option<u64>,
+        replay: Vec<(u64, ResponseBody)>,
+        detached_carry: Duration,
+        now: Instant,
+    ) -> Self {
+        Self {
+            stats,
+            rate,
+            model,
+            stored,
+            names,
+            next_pid,
+            last_seq,
+            replay: replay.into_iter().collect(),
+            attached: false,
+            detached_at: Some(now),
+            detached_carry,
+        }
+    }
+
+    /// How long this session has been detached at `now`, including time
+    /// carried over from before a restart; `None` while attached.
+    pub(crate) fn detached_for(&self, now: Instant) -> Option<Duration> {
+        if self.attached {
+            return None;
+        }
+        self.detached_at
+            .map(|t| now.saturating_duration_since(t) + self.detached_carry)
+    }
+
+    /// The replay window's `(seq, response)` pairs, oldest first (what
+    /// the persistence layer snapshots).
+    pub(crate) fn replay_entries(&self) -> impl Iterator<Item = &(u64, ResponseBody)> {
+        self.replay.iter()
     }
 
     /// True when `seq` was already claimed by an earlier request — the
@@ -287,10 +351,6 @@ impl Session {
         body: &ResponseBody,
     ) {
         self.inner.lock().settle(billing, ran_pid, seq, body);
-    }
-
-    pub(crate) fn record_error(&self) {
-        self.settle(Billing::Error, None, None, &ResponseBody::Ok);
     }
 
     /// Lets go of this session: the next resume may attach. Starts the
@@ -475,25 +535,27 @@ impl SessionRegistry {
         }
         inner.attached = true;
         inner.detached_at = None;
+        inner.detached_carry = Duration::ZERO;
         drop(inner);
         drop(state);
         Ok(session)
     }
 
-    /// Collects every detached session whose TTL elapsed at `now`,
+    /// Collects every detached session whose TTL elapsed at `now`
+    /// (counting detachment carried over from before a restart),
     /// remembering the swept tokens for `session_expired` answers.
-    /// Returns how many sessions were collected.
-    pub(crate) fn sweep(&self, now: Instant) -> usize {
+    /// Returns the swept tokens so a persistence layer can journal them.
+    pub(crate) fn sweep(&self, now: Instant) -> Vec<String> {
         let mut state = self.state.lock();
         let dead: Vec<String> = state
             .by_token
             .iter()
             .filter(|(_, session)| {
-                let inner = session.inner.lock();
-                !inner.attached
-                    && inner
-                        .detached_at
-                        .is_some_and(|t| now.duration_since(t) >= self.caps.ttl)
+                session
+                    .inner
+                    .lock()
+                    .detached_for(now)
+                    .is_some_and(|d| d >= self.caps.ttl)
             })
             .map(|(token, _)| token.clone())
             .collect();
@@ -508,7 +570,7 @@ impl SessionRegistry {
             }
             state.expired.push_back(token.clone());
         }
-        dead.len()
+        dead
     }
 
     /// Durable sessions currently registered (the concurrency models'
@@ -524,10 +586,46 @@ impl SessionRegistry {
         self.state.lock()
     }
 
+    /// Everything a snapshot needs: the live sessions, the expired-token
+    /// ring (oldest first) and the mint counter. Takes and releases the
+    /// registry lock; callers serialize against mutations by holding the
+    /// persistence layer's journal lock around the whole capture.
+    pub(crate) fn snapshot_parts(&self) -> (Vec<Arc<Session>>, Vec<String>, u64) {
+        let state = self.state.lock();
+        (
+            state.by_token.values().cloned().collect(),
+            state.expired.iter().cloned().collect(),
+            state.mint_counter,
+        )
+    }
+
+    /// Installs recovered state at boot, before any connection is
+    /// accepted: the rebuilt sessions, the expired-token ring and the
+    /// mint counter (so post-restart tokens keep their uniqueness salt).
+    pub(crate) fn install_recovered(
+        &self,
+        sessions: Vec<Arc<Session>>,
+        expired: Vec<String>,
+        mint_counter: u64,
+    ) {
+        let mut state = self.state.lock();
+        for session in sessions {
+            let token = session
+                .token
+                .clone()
+                .expect("recovered sessions are durable");
+            state.total_stored += session.inner.lock().stored.len();
+            state.by_token.insert(token, session);
+        }
+        state.expired = expired.into_iter().collect();
+        state.mint_counter = state.mint_counter.max(mint_counter);
+    }
+
     /// The sweeper thread body: wakes every quarter-TTL (clamped to
-    /// 10ms..1s) and collects expired sessions, until
-    /// [`SessionRegistry::stop_sweeper`].
-    pub(crate) fn run_sweeper(&self) {
+    /// 10ms..1s) and runs `tick` — a sweep, plus whatever housekeeping
+    /// the server hangs off the same cadence (journal fsync deadlines,
+    /// snapshot triggers) — until [`SessionRegistry::stop_sweeper`].
+    pub(crate) fn run_sweeper(&self, tick: impl Fn()) {
         let interval = (self.caps.ttl / 4)
             .max(Duration::from_millis(10))
             .min(Duration::from_secs(1));
@@ -540,7 +638,7 @@ impl SessionRegistry {
             }
             if timed_out {
                 drop(stop);
-                self.sweep(Instant::now());
+                tick();
                 stop = self.sweeper_stop.lock();
             }
         }
@@ -610,13 +708,16 @@ mod tests {
 
         // Detached within TTL: resume re-attaches.
         session.detach(t0);
-        assert_eq!(registry.sweep(t0 + Duration::from_millis(10)), 0);
+        assert!(registry.sweep(t0 + Duration::from_millis(10)).is_empty());
         let resumed = registry.resume(&token, t0).expect("resume");
         assert!(Arc::ptr_eq(&resumed, &session));
 
         // Swept past TTL: session_expired, and the session is gone.
         resumed.detach(t0);
-        assert_eq!(registry.sweep(t0 + Duration::from_millis(60)), 1);
+        assert_eq!(
+            registry.sweep(t0 + Duration::from_millis(60)),
+            vec![token.clone()]
+        );
         assert_eq!(registry.len(), 0);
         let expired = registry.resume(&token, t0).map(|_| ()).unwrap_err();
         assert_eq!(expired.kind, bpimc_core::ErrorKind::SessionExpired);
@@ -634,7 +735,65 @@ mod tests {
         session.detach(t0);
         // A repeat detach later must not restart the clock.
         session.detach(t0 + Duration::from_millis(40));
-        assert_eq!(registry.sweep(t0 + Duration::from_millis(55)), 1);
+        assert_eq!(registry.sweep(t0 + Duration::from_millis(55)).len(), 1);
+    }
+
+    #[test]
+    fn restored_sessions_carry_pre_restart_detachment_into_the_ttl() {
+        let registry = SessionRegistry::new(caps(50));
+        let t0 = Instant::now();
+        let session = registry.open(&Session::ephemeral(), t0).expect("open");
+        let token = session.token.clone().unwrap();
+        // Simulate recovery: the session had already been detached for
+        // 40ms when the process died; the clock restarts at t0.
+        {
+            let mut inner = session.inner.lock();
+            let restored = SessionInner::restore(
+                inner.stats,
+                RateWindow::new(),
+                None,
+                HashMap::new(),
+                HashMap::new(),
+                inner.next_pid,
+                inner.last_seq(),
+                Vec::new(),
+                Duration::from_millis(40),
+                t0,
+            );
+            *inner = restored;
+        }
+        // 40ms carried + 20ms live = 60ms > 50ms TTL: swept, even though
+        // only 20ms passed since "boot".
+        assert_eq!(
+            registry.sweep(t0 + Duration::from_millis(20)),
+            vec![token.clone()]
+        );
+
+        // A resume clears the carry: a fresh detach gets the full TTL.
+        let session = registry.open(&Session::ephemeral(), t0).expect("open");
+        {
+            let mut inner = session.inner.lock();
+            *inner = SessionInner::restore(
+                inner.stats,
+                RateWindow::new(),
+                None,
+                HashMap::new(),
+                HashMap::new(),
+                1,
+                None,
+                Vec::new(),
+                Duration::from_millis(40),
+                t0,
+            );
+        }
+        let token = session.token.clone().unwrap();
+        registry.resume(&token, t0).expect("resume clears carry");
+        session.detach(t0 + Duration::from_millis(10));
+        assert!(
+            registry.sweep(t0 + Duration::from_millis(55)).is_empty(),
+            "carry must not outlive the resume that cleared it"
+        );
+        assert_eq!(registry.sweep(t0 + Duration::from_millis(61)).len(), 1);
     }
 
     #[test]
@@ -682,9 +841,10 @@ mod tests {
 
         let session = Session::ephemeral();
         let mut inner = session.inner.lock();
-        inner
-            .stored
-            .insert(7, StoredEntry::new(Arc::new(compiled), Some("p".into())));
+        inner.stored.insert(
+            7,
+            StoredEntry::new(Arc::new(compiled), Some("p".into()), Vec::new()),
+        );
         inner.names.insert("p".into(), 7);
         assert_eq!(inner.resolve(&StoredTarget::Name("p".into())).unwrap().0, 7);
 

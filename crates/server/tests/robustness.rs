@@ -765,3 +765,74 @@ fn serde_free_lanes_line(values: &[u64]) -> String {
         .join(",");
     format!("{{\"id\":1,\"op\":\"add\",\"precision\":8,\"a\":[{list}],\"b\":[{list}]}}\n")
 }
+
+// ---------------------------------------------------------------------
+// Durable-state robustness: foreign files and corrupt snapshots
+// ---------------------------------------------------------------------
+
+/// A state directory is shared infrastructure: recovery must ignore
+/// files it does not own, and a corrupt newest snapshot must fall back
+/// to the previous valid generation plus journal replay — never to an
+/// empty registry, and never to trusting the clean marker (which names
+/// the now-unreadable snapshot).
+#[test]
+fn corrupt_newest_snapshot_falls_back_to_prior_generation() {
+    use bpimc_server::StateConfig;
+
+    let dir = std::env::temp_dir().join(format!("bpimc-robust-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+
+    let config = ServerConfig {
+        state: Some(StateConfig::new(dir.clone())),
+        ..ServerConfig::default()
+    };
+    let handle = start(config.clone());
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let token = client.open_session().expect("open_session").token;
+    let dot = client
+        .dot(Precision::P8, &[1, 2, 3], &[4, 5, 6])
+        .expect("dot");
+    assert_eq!(dot, 32);
+    drop(client);
+    // Graceful shutdown: final snapshot (gen 1) + clean marker, with the
+    // boot-time snapshot (gen 0) and its event-bearing journal retained.
+    handle.shutdown();
+
+    // Operator droppings must be ignored, and the marker's snapshot is
+    // unreadable — recovery has to walk back to gen 0 and replay.
+    std::fs::write(dir.join("NOTES.txt"), b"not a state file").expect("drop foreign file");
+    let snap = dir.join("snap-1.bpimc");
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("corrupt snapshot");
+
+    let report = bpimc_server::inspect(&dir).expect("inspect");
+    assert!(report.corrupt(), "the corrupt snapshot is reported");
+    assert!(
+        report.corruptions.iter().any(|(f, _)| f == "snap-1.bpimc"),
+        "the report names the bad file: {:?}",
+        report.corruptions
+    );
+    assert_eq!(
+        report.chosen_snapshot,
+        Some(0),
+        "recovery walks back a generation"
+    );
+    assert!(
+        !report.warm,
+        "the marker names an unreadable snapshot; no warm path"
+    );
+
+    let handle = start(config);
+    let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+    let info = client.resume_session(token).expect("resume after fallback");
+    assert_eq!(
+        info.stats.requests, 1,
+        "the journaled dot survived the fallback"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

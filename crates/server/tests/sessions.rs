@@ -407,3 +407,48 @@ fn duplicate_seq_replays_the_recorded_response_and_bills_once() {
     }
     handle.shutdown();
 }
+
+/// Durability is opt-in per session, not per server: with a state dir
+/// configured, connections that never call `open_session` leave no
+/// trace on disk — no journal events, no snapshot entries — so an
+/// all-ephemeral workload costs the persistence layer nothing and a
+/// restart recovers an empty registry.
+#[test]
+fn ephemeral_sessions_leave_no_durable_trace() {
+    use bpimc_server::StateConfig;
+
+    let dir = std::env::temp_dir().join(format!("bpimc-ephemeral-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+
+    let handle = start(ServerConfig {
+        state: Some(StateConfig::new(dir.clone())),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for _ in 0..4 {
+        let dot = client
+            .dot(Precision::P8, &[1, 2, 3], &[4, 5, 6])
+            .expect("dot");
+        assert_eq!(dot, 32);
+    }
+    let prog = dot_shape();
+    client.store_program(&prog).expect("store on ephemeral");
+    drop(client);
+    handle.shutdown();
+
+    let report = bpimc_server::inspect(&dir).expect("inspect");
+    assert!(!report.corrupt());
+    assert!(report.warm, "clean shutdown with nothing to replay");
+    assert!(
+        report.sessions.is_empty(),
+        "ephemeral work must not be persisted: {:?}",
+        report.sessions
+    );
+    assert!(
+        report.journals.iter().all(|j| j.records == 0),
+        "no journal events for ephemeral traffic: {:?}",
+        report.journals
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
